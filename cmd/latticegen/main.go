@@ -1,0 +1,183 @@
+// Command latticegen generates two-dimensional lattice task graphs — the
+// paper's worked figures, grids, and random structured fork-join task
+// graphs — and renders them as Graphviz DOT or as (delayed)
+// non-separating traversals in the paper's notation.
+//
+// Usage:
+//
+//	latticegen -figure 3            # the paper's Figure 3 diagram (DOT)
+//	latticegen -figure 3 -traversal # its Figure 4 traversal
+//	latticegen -figure 3 -delayed   # its Figure 7 delayed traversal
+//	latticegen -grid 3x4            # grid lattice (linear pipeline shape)
+//	latticegen -random -seed 7 -ops 30   # random fork-join task graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fj"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// figure2Program is the fork-join program of the paper's Figure 2.
+func figure2Program(t *fj.Task) {
+	const r = 0x10
+	a := t.Fork(func(a *fj.Task) { a.Read(r) })
+	t.Read(r)
+	c := t.Fork(func(c *fj.Task) { c.Join(a) })
+	t.Write(r)
+	t.Join(c)
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("latticegen", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "render a paper figure: 2 (fork-join graph), 3 (lattice diagram), 10 (pipeline fork-join)")
+	grid := fs.String("grid", "", "grid lattice, e.g. 3x4")
+	random := fs.Bool("random", false, "random structured fork-join task graph")
+	seed := fs.Int64("seed", 1, "random seed")
+	ops := fs.Int("ops", 30, "operation budget for -random")
+	trav := fs.Bool("traversal", false, "print the non-separating traversal instead of DOT")
+	delayed := fs.Bool("delayed", false, "print the delayed non-separating traversal")
+	recognize := fs.Bool("recognize", false, "scramble the embedding, then recognize the 2D lattice from the bare digraph and recover a traversal (Remark 1)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var g *graph.Digraph
+	var labels map[graph.V]string
+	var arcAttrs map[graph.Arc]string
+	switch {
+	case *figure == 3:
+		g = traversal.Figure3()
+		labels = map[graph.V]string{}
+		for v := 0; v < 9; v++ {
+			labels[v] = strconv.Itoa(v + 1) // paper numbering
+		}
+	case *figure == 2 || *figure == 10:
+		// Figure 2: the paper's fork-join program with a 2D (non-SP)
+		// task graph. Figure 10: a pipeline-shaped fork-join task graph;
+		// fork edges dashed, step edges solid, join edges crossed.
+		b := fj.NewGraphBuilder()
+		var err error
+		if *figure == 2 {
+			_, err = fj.Run(figure2Program, b, fj.Options{AutoJoin: true})
+		} else {
+			_, err = (workload.Pipeline{Stages: 3, Items: 3}).Run(b)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latticegen:", err)
+			return 2
+		}
+		g = b.Graph()
+		labels = b.Labels
+		arcAttrs = map[graph.Arc]string{}
+		for arc, kind := range b.ArcKind {
+			switch kind {
+			case fj.EvFork:
+				arcAttrs[arc] = "style=dashed"
+			case fj.EvJoin:
+				arcAttrs[arc] = "style=bold, arrowhead=crow"
+			}
+		}
+	case *grid != "":
+		parts := strings.SplitN(*grid, "x", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "latticegen: -grid wants ROWSxCOLS")
+			return 2
+		}
+		rows, err1 := strconv.Atoi(parts[0])
+		cols, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || rows < 1 || cols < 1 {
+			fmt.Fprintln(os.Stderr, "latticegen: bad -grid dimensions")
+			return 2
+		}
+		g = order.Grid(rows, cols)
+	case *random:
+		b := fj.NewGraphBuilder()
+		w := workload.ForkJoin{Seed: *seed, Ops: *ops, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 4, ReadFrac: 0.5}}
+		if _, err := w.Run(b); err != nil {
+			fmt.Fprintln(os.Stderr, "latticegen:", err)
+			return 2
+		}
+		g = b.Graph()
+		labels = b.Labels
+	default:
+		fmt.Fprintln(os.Stderr, "usage: latticegen (-figure 3 | -grid RxC | -random) [-traversal|-delayed]")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	if *recognize {
+		scrambled := order.Scramble(g)
+		_, real, err := order.Recognize2D(scrambled)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latticegen: not a 2D lattice:", err)
+			return 1
+		}
+		embedded, err := order.EmbedFromRealizer(scrambled, real)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latticegen:", err)
+			return 2
+		}
+		t, err := traversal.NonSeparating(embedded)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latticegen:", err)
+			return 2
+		}
+		fmt.Printf("recognized 2D lattice: %d vertices, %d Hasse arcs\n", embedded.N(), embedded.M())
+		fmt.Println("recovered traversal:", render(t, labels))
+		return 0
+	}
+	if *trav || *delayed {
+		t, err := traversal.NonSeparating(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latticegen:", err)
+			return 2
+		}
+		if *delayed {
+			t = traversal.Delay(t, graph.NewReach(g), g.N())
+		}
+		fmt.Println(render(t, labels))
+		return 0
+	}
+	if err := graph.WriteDOT(os.Stdout, g, graph.DOTOptions{Name: "lattice", Labels: labels, Attrs: arcAttrs}); err != nil {
+		fmt.Fprintln(os.Stderr, "latticegen:", err)
+		return 2
+	}
+	return 0
+}
+
+// render prints a traversal using the labels (paper numbering for
+// figures), falling back to vertex ids.
+func render(t traversal.T, labels map[graph.V]string) string {
+	name := func(v graph.V) string {
+		if l, ok := labels[v]; ok {
+			return l
+		}
+		return strconv.Itoa(v)
+	}
+	var b strings.Builder
+	for _, it := range t {
+		switch it.Kind {
+		case traversal.Loop:
+			fmt.Fprintf(&b, "(%s,%s)", name(it.S), name(it.S))
+		case traversal.StopArc:
+			fmt.Fprintf(&b, "(%s,x)", name(it.S))
+		default:
+			fmt.Fprintf(&b, "(%s,%s)", name(it.S), name(it.T))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	code := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, code
+}
+
+func TestFigure3DOT(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-figure", "3"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"digraph lattice", `label="1"`, `label="9"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestFigure4Traversal(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-figure", "3", "-traversal"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// The exact prefix printed in the paper's Figure 4.
+	want := "(1,1)(1,2)(2,2)(2,3)(3,3)(3,6)(2,5)(1,4)(4,4)(4,5)(5,5)"
+	if !strings.HasPrefix(strings.TrimSpace(out), want) {
+		t.Fatalf("traversal = %q, want prefix %q", out, want)
+	}
+}
+
+func TestFigure7Delayed(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-figure", "3", "-delayed"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// The exact prefix printed in the paper's Figure 7.
+	want := "(1,1)(1,2)(2,2)(2,3)(3,3)(3,x)(2,x)(1,4)(4,4)(2,5)(4,5)(5,5)"
+	if !strings.HasPrefix(strings.TrimSpace(out), want) {
+		t.Fatalf("delayed traversal = %q, want prefix %q", out, want)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-grid", "2x3"}) })
+	if code != 0 || !strings.Contains(out, "digraph") {
+		t.Fatalf("exit = %d, out = %q", code, out)
+	}
+}
+
+func TestRandom(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-random", "-seed", "3", "-ops", "20"}) })
+	if code != 0 || !strings.Contains(out, "digraph") {
+		t.Fatalf("exit = %d", code)
+	}
+	out2, _ := capture(t, func() int { return run([]string{"-random", "-seed", "3", "-ops", "20"}) })
+	if out != out2 {
+		t.Fatal("random generation not deterministic for fixed seed")
+	}
+}
+
+func TestRandomTraversal(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-random", "-seed", "1", "-traversal"}) })
+	// Vertices carry builder labels like b0 (begin of task 0).
+	if code != 0 || !strings.Contains(out, "(b0,b0)") {
+		t.Fatalf("exit = %d, out = %q", code, out)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"-grid", "x"},
+		{"-grid", "0x3"},
+		{"-grid", "axb"},
+	} {
+		if _, code := capture(t, func() int { return run(args) }); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-figure", "2"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"digraph", "style=dashed", "arrowhead=crow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 2 DOT missing %q", want)
+		}
+	}
+}
+
+func TestFigure10Rendering(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-figure", "10"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// 3x3 pipeline: 9 cell begins plus the root.
+	if !strings.Contains(out, `label="b9"`) || !strings.Contains(out, "style=dashed") {
+		t.Errorf("figure 10 DOT unexpected:\n%s", out[:200])
+	}
+}
+
+func TestRecognizeMode(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-grid", "3x3", "-recognize"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "recognized 2D lattice") || !strings.Contains(out, "recovered traversal") {
+		t.Fatalf("output: %s", out)
+	}
+}

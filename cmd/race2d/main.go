@@ -1,0 +1,209 @@
+// Command race2d runs a structured fork-join program (see internal/prog
+// for the textual syntax) under a dynamic race detector and reports the
+// races it finds.
+//
+// Usage:
+//
+//	race2d [-engine 2d|vc|fasttrack|spbags] [-all] [-truth] program.fj
+//
+// Exit status: 0 when race-free, 1 when races were detected, 2 on error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/fj"
+	"repro/internal/prog"
+
+	race2d "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("race2d", flag.ContinueOnError)
+	engineName := fs.String("engine", "2d", "detector engine: 2d, vc, fasttrack, spbags")
+	all := fs.Bool("all", false, "run every engine and compare verdicts")
+	truth := fs.Bool("truth", false, "also run the exhaustive ground-truth oracle")
+	record := fs.String("record", "", "write the execution's binary trace to this file")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	traceStats := fs.Bool("stats", false, "print trace shape statistics (parallelism width, depth)")
+	viz := fs.Bool("viz", false, "render the task line's evolution (small programs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: race2d [flags] (program.fj | trace.bin)")
+		fs.PrintDefaults()
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "race2d:", err)
+		return 2
+	}
+	// Binary traces (recorded with -record) are replayed directly; any
+	// other input is parsed as a program.
+	if len(data) >= 4 && [4]byte(data[:4]) == fj.TraceMagic {
+		return runTrace(data, *engineName, *all, *truth)
+	}
+	p, err := prog.Parse(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "race2d:", err)
+		return 2
+	}
+
+	engines := []race2d.Engine{}
+	if *all {
+		engines = []race2d.Engine{race2d.Engine2D, race2d.EngineVC, race2d.EngineFastTrack, race2d.EngineSPBags}
+	} else {
+		e, err := race2d.ParseEngine(*engineName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		engines = append(engines, e)
+	}
+
+	stats := p.Stats()
+	if !*jsonOut {
+		fmt.Printf("program: %s (%d forks, %d joins, %d reads, %d writes, locations %s)\n",
+			fs.Arg(0), stats.Forks, stats.Joins, stats.Reads, stats.Writes,
+			strings.Join(stats.Locations, " "))
+	}
+
+	racy := false
+	var trace fj.Trace
+	for i, e := range engines {
+		d := race2d.NewEngineSink(e)
+		sink := race2d.Sink(d)
+		if i == 0 {
+			sink = fj.MultiSink{&trace, d}
+		}
+		res, err := prog.Exec(p, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		if *jsonOut {
+			rep := &race2d.Report{
+				Races: d.Races(), Count: d.Count(), Tasks: res.Tasks,
+				Locations: d.Locations(), MemoryBytes: d.MemoryBytes(), Engine: e,
+			}
+			if err := rep.WriteJSON(os.Stdout, res.LocName); err != nil {
+				fmt.Fprintln(os.Stderr, "race2d:", err)
+				return 2
+			}
+			racy = racy || d.Racy()
+			continue
+		}
+		fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
+			e, res.Tasks, d.Locations(), d.Count())
+		for j, r := range d.Races() {
+			precise := ""
+			if j == 0 {
+				precise = " (precise)"
+			}
+			fmt.Printf("  #%d %s race on %q by task %d vs prior rooted at task %d%s\n",
+				j+1, kindName(r), res.LocName(r.Loc), r.Current, r.Prior, precise)
+		}
+		racy = racy || d.Racy()
+	}
+	if *truth && !*jsonOut {
+		rep := bruteforce.Analyze(&trace)
+		fmt.Printf("ground-truth: %d racing pairs over %d operations\n", len(rep.Pairs), rep.Ops)
+	}
+	if *traceStats && !*jsonOut {
+		fmt.Println("trace:", trace.Stats())
+	}
+	if *viz && !*jsonOut {
+		fmt.Print(fj.RenderLine(&trace))
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		if err := trace.Encode(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		if !*jsonOut {
+			fmt.Printf("trace recorded: %s (%d events)\n", *record, len(trace.Events))
+		}
+	}
+	if racy {
+		return 1
+	}
+	if !*jsonOut {
+		fmt.Println("no races detected")
+	}
+	return 0
+}
+
+// runTrace replays a recorded binary trace under the requested engines.
+func runTrace(data []byte, engineName string, all, truth bool) int {
+	tr, err := fj.DecodeTrace(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "race2d:", err)
+		return 2
+	}
+	// The detector's guarantees hold only for traces a serial fork-first
+	// execution could emit; reject anything else before replaying.
+	if err := fj.ValidateTrace(tr); err != nil {
+		fmt.Fprintln(os.Stderr, "race2d: invalid trace:", err)
+		return 2
+	}
+	engines := []race2d.Engine{}
+	if all {
+		engines = []race2d.Engine{race2d.Engine2D, race2d.EngineVC, race2d.EngineFastTrack, race2d.EngineSPBags}
+	} else {
+		e, err := race2d.ParseEngine(engineName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		engines = append(engines, e)
+	}
+	fmt.Printf("trace: %d events, %d tasks\n", len(tr.Events), tr.Tasks())
+	racy := false
+	for _, e := range engines {
+		d := race2d.NewEngineSink(e)
+		tr.Replay(d)
+		fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
+			e, tr.Tasks(), d.Locations(), d.Count())
+		for j, r := range d.Races() {
+			precise := ""
+			if j == 0 {
+				precise = " (precise)"
+			}
+			fmt.Printf("  #%d %s race on %#x by task %d vs prior rooted at task %d%s\n",
+				j+1, kindName(r), uint64(r.Loc), r.Current, r.Prior, precise)
+		}
+		racy = racy || d.Racy()
+	}
+	if truth {
+		rep := bruteforce.Analyze(tr)
+		fmt.Printf("ground-truth: %d racing pairs over %d operations\n", len(rep.Pairs), rep.Ops)
+	}
+	if racy {
+		return 1
+	}
+	fmt.Println("no races detected")
+	return 0
+}
+
+func kindName(r race2d.Race) string { return r.Kind.String() }

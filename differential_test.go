@@ -1,0 +1,110 @@
+package race2d
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fj"
+	"repro/internal/workload"
+)
+
+// TestDifferentialEnginesOn2D: on random 2D (possibly non-SP) programs,
+// every engine that supports the full class — the 2D detector, vector
+// clocks, FastTrack and the naive R/W-set detector — must agree with the
+// exhaustive oracle about race existence. (SP-bags and SP-order are
+// excluded: they are defined only for series-parallel programs.)
+func TestDifferentialEnginesOn2D(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.ForkJoin{Seed: seed, Ops: 45, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 5, ReadFrac: 0.55}}
+		var tr fj.Trace
+		engines := []Engine{Engine2D, EngineVC, EngineFastTrack, EngineNaive}
+		sinks := make([]interface {
+			Sink
+			Racy() bool
+		}, len(engines))
+		multi := fj.MultiSink{&tr}
+		for i, e := range engines {
+			s := NewEngineSink(e)
+			sinks[i] = s
+			multi = append(multi, s)
+		}
+		if _, err := w.Run(multi); err != nil {
+			return false
+		}
+		truth := GroundTruth(&tr)
+		for i, s := range sinks {
+			if s.Racy() != truth {
+				t.Logf("seed %d: engine %v = %v, truth = %v", seed, engines[i], s.Racy(), truth)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialEnginesOnSP: on series-parallel programs all six
+// engines agree.
+func TestDifferentialEnginesOnSP(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.SpawnSync{Seed: seed, Ops: 45, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 4, ReadFrac: 0.55}}
+		var tr fj.Trace
+		engines := []Engine{Engine2D, EngineVC, EngineFastTrack, EngineSPBags, EngineSPOrder, EngineNaive}
+		sinks := make([]interface {
+			Sink
+			Racy() bool
+		}, len(engines))
+		multi := fj.MultiSink{&tr}
+		for i, e := range engines {
+			s := NewEngineSink(e)
+			sinks[i] = s
+			multi = append(multi, s)
+		}
+		if _, err := w.Run(multi); err != nil {
+			return false
+		}
+		truth := GroundTruth(&tr)
+		for i, s := range sinks {
+			if s.Racy() != truth {
+				t.Logf("seed %d: engine %v = %v, truth = %v", seed, engines[i], s.Racy(), truth)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialPipelines: the application workloads under every
+// general engine.
+func TestDifferentialPipelines(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		buggy := rng.Intn(2) == 0
+		var tr fj.Trace
+		d2 := NewEngineSink(Engine2D)
+		nv := NewEngineSink(EngineNaive)
+		w := workload.Dedup{Chunks: 4 + rng.Intn(8), DupEvery: rng.Intn(4), Buggy: buggy}
+		if _, err := w.Run(fj.MultiSink{&tr, d2, nv}); err != nil {
+			t.Fatal(err)
+		}
+		truth := GroundTruth(&tr)
+		if d2.Racy() != truth || nv.Racy() != truth {
+			t.Fatalf("trial %d (buggy=%v): 2d=%v naive=%v truth=%v",
+				trial, buggy, d2.Racy(), nv.Racy(), truth)
+		}
+		// The planted dedup bug races whenever a later chunk updates the
+		// table; with ≥2 chunks and non-1 dup stride that is guaranteed.
+		if buggy && w.DupEvery != 1 && !truth {
+			t.Fatalf("trial %d: planted bug produced no race (chunks=%d dup=%d)",
+				trial, w.Chunks, w.DupEvery)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Cilkfib: spawn/sync divide-and-conquer with a racy accumulator.
+//
+// The classic Cilk bug: parallel recursive fib where both recursive calls
+// add into a shared accumulator without synchronization. The spawn-sync
+// frontend produces a series-parallel task graph, so this example also
+// shows the paper's detector subsuming SP-bags territory. The fixed
+// version has each call write its own result slot and combine after sync.
+//
+// Run with: go run ./examples/cilkfib
+package main
+
+import (
+	"fmt"
+	"log"
+
+	race2d "repro"
+)
+
+const accumulator = race2d.Addr(0xACC)
+
+// racyFib accumulates into one shared location from parallel branches.
+func racyFib(p *race2d.Proc, n int) {
+	if n < 2 {
+		p.Read(accumulator)
+		p.Write(accumulator) // acc += n, unsynchronized
+		return
+	}
+	p.Spawn(func(c *race2d.Proc) { racyFib(c, n-1) })
+	racyFib(p, n-2)
+	p.Sync()
+}
+
+// resultSlot gives every call-tree node its own location.
+func resultSlot(path uint64) race2d.Addr { return race2d.Addr(0x10000 + path) }
+
+// fixedFib writes disjoint result slots and combines after sync.
+func fixedFib(p *race2d.Proc, n int, path uint64) {
+	if n < 2 {
+		p.Write(resultSlot(path))
+		return
+	}
+	p.Spawn(func(c *race2d.Proc) { fixedFib(c, n-1, path*2) })
+	fixedFib(p, n-2, path*2+1)
+	p.Sync()
+	p.Read(resultSlot(path * 2))
+	p.Read(resultSlot(path*2 + 1))
+	p.Write(resultSlot(path))
+}
+
+func main() {
+	racy, err := race2d.DetectSpawnSync(func(p *race2d.Proc) { racyFib(p, 10) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("racy fib(10):  %d tasks -> races=%d\n", racy.Tasks, racy.Count)
+	if !racy.Racy() {
+		log.Fatal("shared-accumulator race not detected")
+	}
+	fmt.Printf("first (precise) report: %v\n", racy.Races[0])
+
+	fixed, err := race2d.DetectSpawnSync(func(p *race2d.Proc) { fixedFib(p, 10, 1) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed fib(10): %d tasks -> races=%d\n", fixed.Tasks, fixed.Count)
+	if fixed.Racy() {
+		log.Fatalf("fixed fib flagged: %v", fixed.Races)
+	}
+	fmt.Println("cilkfib OK: accumulator race flagged, reduction version clean")
+}

@@ -1,0 +1,68 @@
+// Package asyncfinish layers X10/Habanero-style async/finish constructs
+// (Section 2.1) on top of the structured fork-join runtime. An async
+// activates a new task registered with the innermost enclosing finish
+// scope; the finish construct joins every task registered with its scope —
+// including tasks created transitively by descendants — before returning.
+//
+// Under the serial fork-first schedule, tasks created inside a finish form
+// a contiguous segment immediately left of the finish owner, so the bulk
+// join respects the line discipline and async-finish programs produce
+// series-parallel task graphs inside the 2D class.
+package asyncfinish
+
+import (
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// scope counts the asyncs registered with one finish block.
+type scope struct {
+	count int
+}
+
+// Act is an X10-style activity.
+type Act struct {
+	t  *fj.Task
+	sc *scope // innermost enclosing finish scope
+}
+
+// ID returns the underlying task identifier.
+func (a *Act) ID() fj.ID { return a.t.ID() }
+
+// Async activates body as a new activity governed by the innermost
+// enclosing finish ("async G1; G2" means P(G1, G2)).
+func (a *Act) Async(body func(*Act)) {
+	a.sc.count++
+	a.t.Fork(func(ct *fj.Task) {
+		body(&Act{t: ct, sc: a.sc})
+	})
+}
+
+// Finish executes body and waits for every activity created inside it,
+// transitively ("finish G1; G2" means S(G1, G2)).
+func (a *Act) Finish(body func(*Act)) {
+	inner := &scope{}
+	body(&Act{t: a.t, sc: inner})
+	for i := 0; i < inner.count; i++ {
+		if !a.t.JoinLeft() {
+			// Unreachable by construction: every registered async left a
+			// task in the segment to our left.
+			panic("asyncfinish: finish scope out of sync with task line")
+		}
+	}
+}
+
+// Read performs an instrumented read of loc.
+func (a *Act) Read(loc core.Addr) { a.t.Read(loc) }
+
+// Write performs an instrumented write of loc.
+func (a *Act) Write(loc core.Addr) { a.t.Write(loc) }
+
+// Run executes an async-finish program under an implicit whole-program
+// finish, streaming events to sink.
+func Run(root func(*Act), sink fj.Sink) (int, error) {
+	return fj.Run(func(t *fj.Task) {
+		a := &Act{t: t, sc: &scope{}}
+		a.Finish(func(inner *Act) { root(inner) })
+	}, sink, fj.Options{AutoJoin: true})
+}

@@ -1,0 +1,170 @@
+package asyncfinish
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/order"
+)
+
+// TestFigure1Program builds the async-finish program of Figure 1:
+//
+//	finish { async A(); B() }; finish { async C(); D() }
+func TestFigure1Program(t *testing.T) {
+	b := fj.NewGraphBuilder()
+	_, err := Run(func(a *Act) {
+		a.Finish(func(f *Act) {
+			f.Async(func(x *Act) { x.Read(1) }) // A
+			f.Read(1)                           // B
+		})
+		a.Finish(func(f *Act) {
+			f.Async(func(x *Act) { x.Read(2) }) // C
+			f.Read(2)                           // D
+		})
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := order.NewPoset(b.Graph())
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	var aV, bV, cV, dV = -1, -1, -1, -1
+	for _, ac := range b.Accesses {
+		switch {
+		case ac.Loc == 1 && ac.Task != 0:
+			aV = ac.Vertex
+		case ac.Loc == 1 && ac.Task == 0:
+			bV = ac.Vertex
+		case ac.Loc == 2 && ac.Task != 0:
+			cV = ac.Vertex
+		case ac.Loc == 2 && ac.Task == 0:
+			dV = ac.Vertex
+		}
+	}
+	if p.Comparable(aV, bV) || p.Comparable(cV, dV) {
+		t.Fatal("async not parallel")
+	}
+	if !p.Lt(aV, cV) || !p.Lt(aV, dV) || !p.Lt(bV, cV) {
+		t.Fatal("finish not serializing")
+	}
+}
+
+func TestTransitiveFinish(t *testing.T) {
+	// finish waits for asyncs created by descendants: the X10 semantics
+	// that plain sync does not provide.
+	ds := fj.NewDetectorSink(4)
+	_, err := Run(func(a *Act) {
+		a.Finish(func(f *Act) {
+			f.Async(func(x *Act) {
+				x.Async(func(y *Act) { y.Write(3) }) // grandchild, same scope
+			})
+		})
+		a.Write(3) // ordered after the grandchild by the finish
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("finish failed to wait transitively: %v", ds.Races())
+	}
+}
+
+func TestAsyncWithoutFinishRaces(t *testing.T) {
+	ds := fj.NewDetectorSink(4)
+	_, err := Run(func(a *Act) {
+		a.Async(func(x *Act) { x.Write(5) })
+		a.Write(5) // concurrent with the async
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("unordered async write not flagged")
+	}
+}
+
+func TestNestedFinishScopes(t *testing.T) {
+	ds := fj.NewDetectorSink(8)
+	_, err := Run(func(a *Act) {
+		a.Finish(func(f *Act) {
+			f.Async(func(x *Act) {
+				x.Finish(func(inf *Act) {
+					inf.Async(func(y *Act) { y.Write(1) })
+				})
+				x.Read(1) // ordered after y by the inner finish
+			})
+			f.Async(func(z *Act) { z.Write(2) })
+		})
+		a.Read(1)
+		a.Read(2)
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("nested finish misordered: %v", ds.Races())
+	}
+}
+
+func TestSameTaskGraphAsSpawnSync(t *testing.T) {
+	// Figure 1's point: the two programs have the same task graph shape.
+	// We compare vertex counts and the order relation fingerprint.
+	b := fj.NewGraphBuilder()
+	_, err := Run(func(a *Act) {
+		a.Finish(func(f *Act) {
+			f.Async(func(x *Act) { x.Read(1) })
+			f.Read(1)
+		})
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := order.NewPoset(b.Graph())
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Graph().Sources()) != 1 || len(b.Graph().Sinks()) != 1 {
+		t.Fatal("not an SP graph shape")
+	}
+}
+
+func randomAF(rng *rand.Rand, budget *int, depth int) func(*Act) {
+	return func(a *Act) {
+		for *budget > 0 {
+			*budget--
+			switch r := rng.Intn(10); {
+			case r < 3:
+				a.Read(core.Addr(rng.Intn(6)))
+			case r < 6:
+				a.Write(core.Addr(rng.Intn(6)))
+			case r < 8 && depth < 4:
+				a.Async(randomAF(rng, budget, depth+1))
+			case r < 9 && depth < 4:
+				a.Finish(randomAF(rng, budget, depth+1))
+			default:
+				return
+			}
+		}
+	}
+}
+
+func TestRandomAsyncFinishStaysInDiscipline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := 2 + rng.Intn(30)
+		b := fj.NewGraphBuilder()
+		_, err := Run(randomAF(rng, &budget, 0), b)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return order.NewPoset(b.Graph()).IsLattice() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

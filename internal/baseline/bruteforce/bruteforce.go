@@ -1,0 +1,101 @@
+// Package bruteforce is the ground-truth oracle: it materializes the full
+// task graph of an execution (the naive algorithm of Section 2.3, tracking
+// the complete R and W sets), computes its reachability closure, and
+// enumerates every pair of conflicting concurrent accesses. Its space is
+// Θ(operations) — the cost the paper's detector avoids — which is exactly
+// why it serves as the reference for soundness/precision experiments
+// rather than as a practical detector.
+package bruteforce
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/graph"
+)
+
+// Pair is a racing pair of accesses, ordered by execution (First precedes
+// Second in the serial schedule).
+type Pair struct {
+	First, Second fj.Access
+}
+
+// Report is the exact race analysis of one execution.
+type Report struct {
+	// Pairs lists every conflicting concurrent access pair, ordered by
+	// the position of the second access (then the first): the leading
+	// pair is "the first race" that a precise online detector must flag.
+	Pairs []Pair
+	// Ops is the number of memory operations analyzed.
+	Ops int
+	// Vertices is the task-graph size.
+	Vertices int
+}
+
+// Racy reports whether any race exists.
+func (r *Report) Racy() bool { return len(r.Pairs) > 0 }
+
+// First returns the first race pair in execution order; ok is false when
+// the execution is race-free.
+func (r *Report) First() (Pair, bool) {
+	if len(r.Pairs) == 0 {
+		return Pair{}, false
+	}
+	return r.Pairs[0], true
+}
+
+// RacyLocations returns the distinct racy addresses, ascending.
+func (r *Report) RacyLocations() []core.Addr {
+	seen := map[core.Addr]bool{}
+	var locs []core.Addr
+	for _, p := range r.Pairs {
+		if !seen[p.First.Loc] {
+			seen[p.First.Loc] = true
+			locs = append(locs, p.First.Loc)
+		}
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}
+
+// Analyze replays a recorded trace, rebuilds the task graph, and returns
+// the exact race report.
+func Analyze(tr *fj.Trace) *Report {
+	b := fj.NewGraphBuilder()
+	tr.Replay(b)
+	return AnalyzeBuilt(b)
+}
+
+// AnalyzeBuilt computes the exact race report from an already-built graph.
+func AnalyzeBuilt(b *fj.GraphBuilder) *Report {
+	g := b.Graph()
+	r := graph.NewReach(g)
+	rep := &Report{Ops: len(b.Accesses), Vertices: g.N()}
+	// Group accesses by location to avoid the full quadratic blowup over
+	// unrelated addresses.
+	byLoc := map[core.Addr][]fj.Access{}
+	for _, a := range b.Accesses {
+		byLoc[a.Loc] = append(byLoc[a.Loc], a)
+	}
+	for _, accs := range byLoc {
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				ai, aj := accs[i], accs[j]
+				if !ai.Write && !aj.Write {
+					continue
+				}
+				if r.Concurrent(ai.Vertex, aj.Vertex) {
+					rep.Pairs = append(rep.Pairs, Pair{First: ai, Second: aj})
+				}
+			}
+		}
+	}
+	sort.Slice(rep.Pairs, func(i, j int) bool {
+		if rep.Pairs[i].Second.Vertex != rep.Pairs[j].Second.Vertex {
+			return rep.Pairs[i].Second.Vertex < rep.Pairs[j].Second.Vertex
+		}
+		return rep.Pairs[i].First.Vertex < rep.Pairs[j].First.Vertex
+	})
+	return rep
+}

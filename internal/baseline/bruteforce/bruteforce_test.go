@@ -1,0 +1,115 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+func figure2Trace(t *testing.T) *fj.Trace {
+	t.Helper()
+	var tr fj.Trace
+	_, err := fj.Run(func(t *fj.Task) {
+		const r = core.Addr(0x10)
+		a := t.Fork(func(a *fj.Task) { a.Read(r) })
+		t.Read(r)
+		c := t.Fork(func(c *fj.Task) { c.Join(a) })
+		t.Write(r)
+		t.Join(c)
+	}, &tr, fj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tr
+}
+
+func TestFigure2ExactlyOneRacingPair(t *testing.T) {
+	rep := Analyze(figure2Trace(t))
+	if !rep.Racy() {
+		t.Fatal("Figure 2 race missed by ground truth")
+	}
+	if len(rep.Pairs) != 1 {
+		t.Fatalf("pairs = %v, want exactly A–D", rep.Pairs)
+	}
+	p, ok := rep.First()
+	if !ok {
+		t.Fatal("First failed")
+	}
+	// First access is A's read (task 1), second is D's write (task 0).
+	if p.First.Task != 1 || p.First.Write || p.Second.Task != 0 || !p.Second.Write {
+		t.Fatalf("first race pair = %+v", p)
+	}
+	if locs := rep.RacyLocations(); len(locs) != 1 || locs[0] != 0x10 {
+		t.Fatalf("racy locations = %v", locs)
+	}
+	if rep.Ops != 3 {
+		t.Fatalf("ops = %d, want 3", rep.Ops)
+	}
+}
+
+func TestRaceFreeProgram(t *testing.T) {
+	var tr fj.Trace
+	_, err := fj.Run(func(t *fj.Task) {
+		h := t.Fork(func(c *fj.Task) { c.Write(1) })
+		t.Join(h)
+		t.Read(1)
+	}, &tr, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(&tr)
+	if rep.Racy() {
+		t.Fatalf("race-free program reported racy: %v", rep.Pairs)
+	}
+	if _, ok := rep.First(); ok {
+		t.Fatal("First returned a pair on race-free run")
+	}
+	if len(rep.RacyLocations()) != 0 {
+		t.Fatal("racy locations non-empty")
+	}
+}
+
+func TestPairsOrderedByExecution(t *testing.T) {
+	var tr fj.Trace
+	_, err := fj.Run(func(t *fj.Task) {
+		t.Fork(func(c *fj.Task) { c.Write(1); c.Write(2) })
+		t.Write(2) // second access in execution order races first
+		t.Write(1)
+	}, &tr, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(&tr)
+	if len(rep.Pairs) != 2 {
+		t.Fatalf("pairs = %v", rep.Pairs)
+	}
+	first, _ := rep.First()
+	if first.Second.Loc != 2 {
+		t.Fatalf("first race should be on loc 2, got %v", first)
+	}
+	if rep.Pairs[0].Second.Vertex > rep.Pairs[1].Second.Vertex {
+		t.Fatal("pairs not sorted by second access")
+	}
+}
+
+func TestMultipleLocationsGrouped(t *testing.T) {
+	var tr fj.Trace
+	_, err := fj.Run(func(t *fj.Task) {
+		t.Fork(func(c *fj.Task) {
+			c.Write(1)
+			c.Write(2)
+			c.Write(3)
+		})
+		t.Write(1)
+		t.Write(3)
+	}, &tr, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(&tr)
+	locs := rep.RacyLocations()
+	if len(locs) != 2 || locs[0] != 1 || locs[1] != 3 {
+		t.Fatalf("racy locations = %v, want [1 3]", locs)
+	}
+}

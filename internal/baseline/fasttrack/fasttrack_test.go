@@ -1,0 +1,157 @@
+package fasttrack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/workload"
+)
+
+func TestFigure2FastTrack(t *testing.T) {
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		const r = core.Addr(0x10)
+		a := t.Fork(func(a *fj.Task) { a.Read(r) })
+		t.Read(r)
+		c := t.Fork(func(c *fj.Task) { c.Join(a) })
+		t.Write(r)
+		t.Join(c)
+	}, d, fj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() {
+		t.Fatal("FastTrack missed the Figure 2 race")
+	}
+}
+
+func TestExclusiveReadStaysEpoch(t *testing.T) {
+	// Sequential same-task reads must not promote to a vector clock.
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		for i := 0; i < 10; i++ {
+			t.Read(5)
+			t.Write(5)
+		}
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatal("sequential accesses flagged")
+	}
+	// Two epochs only: 16 bytes.
+	if got := d.LocationBytes(); got != 16 {
+		t.Fatalf("exclusive location uses %d bytes, want 16", got)
+	}
+}
+
+func TestSharedReadsPromoteToVC(t *testing.T) {
+	// The known FastTrack degradation: concurrent readers force the read
+	// vector clock, so per-location bytes grow with the reader count —
+	// unlike the paper's 2D detector.
+	// No trailing write here: FastTrack legitimately collapses the read
+	// set once a write dominates it, so the degradation is visible while
+	// the location is read-shared (the common steady state for
+	// read-mostly data).
+	bytesFor := func(n int) int {
+		d := New()
+		_, err := fj.Run(func(t *fj.Task) {
+			for i := 0; i < n; i++ {
+				t.Fork(func(c *fj.Task) { c.Read(1) })
+			}
+		}, d, fj.Options{AutoJoin: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.LocationBytes()
+	}
+	small, large := bytesFor(16), bytesFor(256)
+	if large < 4*small {
+		t.Fatalf("read-shared location did not degrade: %d -> %d bytes", small, large)
+	}
+	d := New()
+	if _, err := (workload.SharedReadFanout{Tasks: 64, Locs: 1}).Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("race-free fanout flagged: %v", d.Races())
+	}
+}
+
+func TestWriteResetsReadSet(t *testing.T) {
+	// After a write that dominates all reads, the read set collapses back
+	// to the cheap representation.
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		for i := 0; i < 3; i++ {
+			t.Fork(func(c *fj.Task) { c.Read(9) })
+		}
+		for t.JoinLeft() {
+		}
+		t.Write(9)
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("unexpected race: %v", d.Races())
+	}
+	if got := d.LocationBytes(); got != 16 {
+		t.Fatalf("post-write location uses %d bytes, want 16 (epochs only)", got)
+	}
+}
+
+func TestSameEpochFastPath(t *testing.T) {
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		t.Write(3)
+		t.Write(3) // same epoch: early return
+		t.Read(3)
+		t.Read(3) // same epoch: early return
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatal("same-epoch accesses flagged")
+	}
+}
+
+// TestParityWithGroundTruth: FastTrack flags a race iff one exists.
+func TestParityWithGroundTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.ForkJoin{Seed: seed, Ops: 40, MaxDepth: 4, Mix: workload.Mix{Locs: 4, ReadFrac: 0.6}}
+		var tr fj.Trace
+		d := New()
+		if _, err := w.Run(fj.MultiSink{&tr, d}); err != nil {
+			return false
+		}
+		return d.Racy() == bruteforce.Analyze(&tr).Racy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountAndMaxRaces(t *testing.T) {
+	d := New()
+	d.MaxRaces = 1
+	_, err := fj.Run(func(t *fj.Task) {
+		for i := 0; i < 4; i++ {
+			t.Fork(func(c *fj.Task) { c.Write(1) })
+		}
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() < 2 || len(d.Races()) != 1 {
+		t.Fatalf("count=%d retained=%d", d.Count(), len(d.Races()))
+	}
+	if d.Locations() != 1 || d.MemoryBytes() <= 0 {
+		t.Fatal("accounting wrong")
+	}
+}

@@ -1,0 +1,100 @@
+package naive
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/workload"
+)
+
+func TestFigure2Naive(t *testing.T) {
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		const r = core.Addr(0x10)
+		a := t.Fork(func(a *fj.Task) { a.Read(r) })
+		t.Read(r)
+		c := t.Fork(func(c *fj.Task) { c.Join(a) })
+		t.Write(r)
+		t.Join(c)
+	}, d, fj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() || d.Races()[0].Kind != core.ReadWrite {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+// TestParityWithGroundTruth: the naive detector is sound and precise by
+// construction; verify against the offline oracle.
+func TestParityWithGroundTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.ForkJoin{Seed: seed, Ops: 40, MaxDepth: 4, Mix: workload.Mix{Locs: 4, ReadFrac: 0.6}}
+		var tr fj.Trace
+		d := New()
+		if _, err := w.Run(fj.MultiSink{&tr, d}); err != nil {
+			return false
+		}
+		return d.Racy() == bruteforce.Analyze(&tr).Racy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocationBytesGrowWithAccesses: Θ(accesses) per location — one rung
+// worse than the vector clocks' Θ(tasks).
+func TestLocationBytesGrowWithAccesses(t *testing.T) {
+	bytesFor := func(ops int) int {
+		d := New()
+		_, err := fj.Run(func(t *fj.Task) {
+			for i := 0; i < ops; i++ {
+				t.Read(1)
+			}
+		}, d, fj.Options{AutoJoin: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.LocationBytes()
+	}
+	small, large := bytesFor(10), bytesFor(1000)
+	if large < 50*small {
+		t.Fatalf("access sets did not grow linearly: %d -> %d", small, large)
+	}
+}
+
+func TestReadReadNotFlagged(t *testing.T) {
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		t.Fork(func(c *fj.Task) { c.Read(3) })
+		t.Read(3)
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatal("read-read flagged")
+	}
+}
+
+func TestAccountingSurface(t *testing.T) {
+	d := New()
+	d.MaxRaces = 1
+	_, err := fj.Run(func(t *fj.Task) {
+		for i := 0; i < 3; i++ {
+			t.Fork(func(c *fj.Task) { c.Write(1) })
+		}
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() < 2 || len(d.Races()) != 1 {
+		t.Fatalf("count=%d retained=%d", d.Count(), len(d.Races()))
+	}
+	if d.Locations() != 1 || d.MemoryBytes() <= 0 {
+		t.Fatal("accounting wrong")
+	}
+}

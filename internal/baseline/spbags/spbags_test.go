@@ -1,0 +1,156 @@
+package spbags
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/spawnsync"
+	"repro/internal/workload"
+)
+
+func TestSpawnRaceDetected(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(7) })
+		p.Write(7) // parallel with the child
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() {
+		t.Fatal("SP-bags missed the spawn race")
+	}
+	if d.Races()[0].Kind != core.WriteWrite {
+		t.Fatalf("race = %v", d.Races()[0])
+	}
+}
+
+func TestSyncSerializes(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(7) })
+		p.Sync()
+		p.Write(7)
+		p.Read(7)
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("synced accesses flagged: %v", d.Races())
+	}
+}
+
+func TestReadReadNotFlagged(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Read(3) })
+		p.Read(3)
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatal("read-read flagged by SP-bags")
+	}
+}
+
+func TestParallelReadThenWriteRaces(t *testing.T) {
+	// Parent writes after sync-free spawn that read: read-write race.
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Read(4) })
+		p.Write(4)
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() {
+		t.Fatal("read-write spawn race missed")
+	}
+}
+
+func TestGrandchildrenAccounting(t *testing.T) {
+	// Grandchild's accesses must be parallel with the parent until the
+	// parent's sync (implicit child sync already joined the grandchild
+	// into the child's subtree).
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) {
+			c.Spawn(func(g *spawnsync.Proc) { g.Write(5) })
+		})
+		p.Write(5) // races with the grandchild
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() {
+		t.Fatal("grandchild race missed")
+	}
+
+	d2 := New()
+	_, err = spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) {
+			c.Spawn(func(g *spawnsync.Proc) { g.Write(5) })
+		})
+		p.Sync()
+		p.Write(5)
+	}, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Racy() {
+		t.Fatalf("synced grandchild flagged: %v", d2.Races())
+	}
+}
+
+// TestParityWithGroundTruth: on random spawn-sync programs SP-bags agrees
+// with exhaustive reachability about race existence.
+func TestParityWithGroundTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.SpawnSync{Seed: seed, Ops: 40, MaxDepth: 4, Mix: workload.Mix{Locs: 4, ReadFrac: 0.6}}
+		var tr fj.Trace
+		d := New()
+		if _, err := w.Run(fj.MultiSink{&tr, d}); err != nil {
+			return false
+		}
+		if got, want := d.Racy(), bruteforce.Analyze(&tr).Racy(); got != want {
+			t.Logf("seed %d: spbags=%v truth=%v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantPerLocationFootprint(t *testing.T) {
+	if New().BytesPerLocation() != 8 {
+		t.Fatal("per-location footprint changed")
+	}
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		for i := 0; i < 16; i++ {
+			p.Spawn(func(c *spawnsync.Proc) { c.Read(1) })
+		}
+		p.Sync()
+		p.Write(1)
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("race-free program flagged: %v", d.Races())
+	}
+	if d.Locations() != 1 || d.MemoryBytes() <= 0 {
+		t.Fatal("accounting wrong")
+	}
+}

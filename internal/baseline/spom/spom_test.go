@@ -1,0 +1,171 @@
+package spom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/baseline/spbags"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/spawnsync"
+	"repro/internal/workload"
+)
+
+func TestSpawnRaceDetected(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(7) })
+		p.Write(7)
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() || d.Races()[0].Kind != core.WriteWrite {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestSyncSerializes(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(7) })
+		p.Sync()
+		p.Write(7)
+		p.Read(7)
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("synced accesses flagged: %v", d.Races())
+	}
+}
+
+func TestSiblingsAreParallel(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(3) })
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(3) })
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Racy() {
+		t.Fatal("sibling write-write race missed")
+	}
+}
+
+func TestGrandchildSubtreeOrdering(t *testing.T) {
+	// The Hebrew-maximum induction: a grandchild's accesses must be
+	// ordered after the parent's sync, even though only the child is
+	// joined directly.
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) {
+			c.Spawn(func(g *spawnsync.Proc) { g.Write(5) })
+		})
+		p.Sync()
+		p.Write(5)
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("synced grandchild flagged: %v", d.Races())
+	}
+
+	d2 := New()
+	_, err = spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) {
+			c.Spawn(func(g *spawnsync.Proc) { g.Write(5) })
+		})
+		p.Write(5) // before sync: parallel with the grandchild
+		p.Sync()
+	}, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Racy() {
+		t.Fatal("unsynced grandchild race missed")
+	}
+}
+
+func TestReadReadNotFlagged(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Read(3) })
+		p.Read(3)
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatal("read-read flagged")
+	}
+}
+
+// TestParityWithGroundTruthAndSPBags: on random spawn-sync programs the
+// SP-order detector agrees with exhaustive reachability (and hence with
+// SP-bags) about race existence.
+func TestParityWithGroundTruthAndSPBags(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.SpawnSync{Seed: seed, Ops: 40, MaxDepth: 4,
+			Mix: workload.Mix{Locs: 4, ReadFrac: 0.6}}
+		var tr fj.Trace
+		d := New()
+		bags := spbags.New()
+		if _, err := w.Run(fj.MultiSink{&tr, d, bags}); err != nil {
+			return false
+		}
+		truth := bruteforce.Analyze(&tr).Racy()
+		if d.Racy() != truth {
+			t.Logf("seed %d: spom=%v truth=%v", seed, d.Racy(), truth)
+			return false
+		}
+		return bags.Racy() == truth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsGrowWithForks(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Spawn(func(c *spawnsync.Proc) { c.Write(core.Addr(i + 1)) })
+		}
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 root + 2 per fork + 1 per join.
+	if d.Segments() != 1+2*10+10 {
+		t.Fatalf("segments = %d", d.Segments())
+	}
+	if d.Locations() != 10 || d.MemoryBytes() <= 0 || d.BytesPerLocation() != 16 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestMaxRaces(t *testing.T) {
+	d := New()
+	d.MaxRaces = 1
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(func(c *spawnsync.Proc) { c.Write(1) })
+		}
+		p.Sync()
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() < 2 || len(d.Races()) != 1 {
+		t.Fatalf("count=%d retained=%d", d.Count(), len(d.Races()))
+	}
+}

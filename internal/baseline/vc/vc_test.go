@@ -1,0 +1,130 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/workload"
+)
+
+func runFigure2(sink fj.Sink) {
+	_, err := fj.Run(func(t *fj.Task) {
+		const r = core.Addr(0x10)
+		a := t.Fork(func(a *fj.Task) { a.Read(r) })
+		t.Read(r)
+		c := t.Fork(func(c *fj.Task) { c.Join(a) })
+		t.Write(r)
+		t.Join(c)
+	}, sink, fj.Options{})
+	if err != nil {
+		panic(err)
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	var c Clock
+	c = c.Set(3, 7)
+	if c.Get(3) != 7 || c.Get(10) != 0 {
+		t.Fatal("Set/Get wrong")
+	}
+	d := Clock{}.Set(1, 5)
+	c = c.Join(d)
+	if c.Get(1) != 5 || c.Get(3) != 7 {
+		t.Fatal("Join wrong")
+	}
+	if !c.LeqAt(1, 5) || c.LeqAt(1, 6) {
+		t.Fatal("LeqAt wrong")
+	}
+	cp := c.Copy()
+	cp = cp.Set(1, 9)
+	if c.Get(1) != 5 {
+		t.Fatal("Copy not independent")
+	}
+	if c.Bytes() != len(c)*4 {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+func TestFigure2VC(t *testing.T) {
+	d := New()
+	runFigure2(d)
+	if !d.Racy() {
+		t.Fatal("VC detector missed the Figure 2 race")
+	}
+	if d.Races()[0].Kind != core.ReadWrite {
+		t.Fatalf("first race = %v", d.Races()[0])
+	}
+}
+
+func TestRaceFreeSharedReads(t *testing.T) {
+	d := New()
+	if _, err := (workload.SharedReadFanout{Tasks: 8, Locs: 2}).Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() {
+		t.Fatalf("race-free fanout flagged: %v", d.Races())
+	}
+	if d.Locations() == 0 {
+		t.Fatal("no locations tracked")
+	}
+}
+
+// TestLocationBytesGrowLinearly demonstrates the Θ(n)-per-location
+// behaviour the paper criticizes: per-location state grows with the number
+// of concurrently reading tasks.
+func TestLocationBytesGrowLinearly(t *testing.T) {
+	bytesFor := func(n int) int {
+		d := New()
+		if _, err := (workload.SharedReadFanout{Tasks: n, Locs: 1}).Run(d); err != nil {
+			t.Fatal(err)
+		}
+		return d.LocationBytes() / d.Locations()
+	}
+	small, large := bytesFor(16), bytesFor(256)
+	if large < 8*small {
+		t.Fatalf("per-location bytes did not grow linearly: %d -> %d", small, large)
+	}
+}
+
+func TestMaxRacesBound(t *testing.T) {
+	d := New()
+	d.MaxRaces = 1
+	_, err := fj.Run(func(t *fj.Task) {
+		for i := 0; i < 4; i++ {
+			t.Fork(func(c *fj.Task) { c.Write(1) })
+		}
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() < 2 || len(d.Races()) != 1 {
+		t.Fatalf("count=%d retained=%d", d.Count(), len(d.Races()))
+	}
+}
+
+// TestParityWithGroundTruth: the VC detector flags a race iff one exists.
+func TestParityWithGroundTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.ForkJoin{Seed: seed, Ops: 40, MaxDepth: 4, Mix: workload.Mix{Locs: 4, ReadFrac: 0.6}}
+		var tr fj.Trace
+		d := New()
+		if _, err := w.Run(fj.MultiSink{&tr, d}); err != nil {
+			return false
+		}
+		return d.Racy() == bruteforce.Analyze(&tr).Racy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	d := New()
+	runFigure2(d)
+	if d.MemoryBytes() <= 0 || d.LocationBytes() <= 0 {
+		t.Fatal("memory accounting empty")
+	}
+}

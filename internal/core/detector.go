@@ -1,0 +1,189 @@
+package core
+
+import "fmt"
+
+// Addr identifies a monitored memory location.
+type Addr uint64
+
+// AccessKind distinguishes the conflicting pair of a race report.
+type AccessKind uint8
+
+const (
+	// ReadWrite: the current operation writes, a prior read races with it.
+	ReadWrite AccessKind = iota
+	// WriteWrite: the current operation writes, a prior write races.
+	WriteWrite
+	// WriteRead: the current operation reads, a prior write races.
+	WriteRead
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case ReadWrite:
+		return "read-write"
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	}
+	return fmt.Sprintf("AccessKind(%d)", uint8(k))
+}
+
+// Race is one race report. Current is the vertex (or thread, after
+// compression) executing the racy access; Prior is the representative
+// returned by Sup for the conflicting earlier accesses — the root of the
+// last-arc tree standing in for their supremum, not necessarily an access
+// to the same location itself (see Section 4: "sup K need not even access
+// the same memory location").
+type Race struct {
+	Loc     Addr
+	Current int
+	Prior   int
+	Kind    AccessKind
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on %#x: current %d vs prior rooted at %d", r.Kind, uint64(r.Loc), r.Current, r.Prior)
+}
+
+// locState is the per-location detector state: the accumulated suprema of
+// reads and writes (Figure 6's R[loc] and W[loc]). Exactly two vertex
+// identifiers — the Θ(1) space per tracked location of Theorem 5.
+type locState struct {
+	read, write int32
+}
+
+const noAccess int32 = -1
+
+// Detector is the online race detector of Figure 6 driven by the suprema
+// walker of Figure 8. Feed it the traversal of the executing program
+// (loops, last-arcs and stop-arcs — typically the thread-compressed stream
+// emitted by a fork-join runtime) and call OnRead/OnWrite at every memory
+// operation of the current vertex.
+type Detector struct {
+	W *Walker
+
+	state  map[Addr]*locState
+	shadow *shadowTable // non-nil when shadow-memory storage is selected
+
+	// MaxRaces bounds the retained race reports (the count keeps
+	// increasing); 0 means keep everything. The paper's precision
+	// guarantee covers the first report, so retaining a bounded prefix
+	// loses nothing.
+	MaxRaces int
+
+	races []Race
+	count int
+}
+
+// NewDetector returns a detector expecting about n vertices/threads
+// (growable) and locHint distinct locations (hint only), using map
+// storage for per-location state.
+func NewDetector(n, locHint int) *Detector {
+	return &Detector{
+		W:     NewWalker(n),
+		state: make(map[Addr]*locState, locHint),
+	}
+}
+
+// NewDetectorShadow returns a detector using paged shadow-memory storage
+// for per-location state — same Θ(1) per location, better locality for
+// dense address ranges (see shadow.go).
+func NewDetectorShadow(n int) *Detector {
+	return &Detector{
+		W:      NewWalker(n),
+		shadow: newShadowTable(),
+	}
+}
+
+func (d *Detector) loc(a Addr) *locState {
+	if d.shadow != nil {
+		return d.shadow.get(a)
+	}
+	st, ok := d.state[a]
+	if !ok {
+		st = &locState{read: noAccess, write: noAccess}
+		d.state[a] = st
+	}
+	return st
+}
+
+func (d *Detector) report(r Race) {
+	d.count++
+	if d.MaxRaces == 0 || len(d.races) < d.MaxRaces {
+		d.races = append(d.races, r)
+	}
+}
+
+// OnRead handles a read of loc by the current vertex t (Figure 6 On-Read).
+// A read conflicts with prior writes only (K = W, Section 2.3); the
+// supplied text's Figure 6 comparing against R is an extraction artifact —
+// read-read sharing is never a race.
+func (d *Detector) OnRead(t int, loc Addr) {
+	st := d.loc(loc)
+	if st.write != noAccess {
+		if s := d.W.Sup(int(st.write), t); s != t {
+			d.report(Race{Loc: loc, Current: t, Prior: s, Kind: WriteRead})
+		}
+	}
+	if st.read == noAccess {
+		st.read = int32(t)
+	} else {
+		st.read = int32(d.W.Sup(int(st.read), t))
+	}
+}
+
+// OnWrite handles a write of loc by the current vertex t (Figure 6
+// On-Write): it conflicts with prior reads and prior writes (K = R ∪ W).
+func (d *Detector) OnWrite(t int, loc Addr) {
+	st := d.loc(loc)
+	if st.read != noAccess {
+		if s := d.W.Sup(int(st.read), t); s != t {
+			d.report(Race{Loc: loc, Current: t, Prior: s, Kind: ReadWrite})
+		}
+	}
+	if st.write != noAccess {
+		if s := d.W.Sup(int(st.write), t); s != t {
+			d.report(Race{Loc: loc, Current: t, Prior: s, Kind: WriteWrite})
+		}
+	}
+	if st.write == noAccess {
+		st.write = int32(t)
+	} else {
+		st.write = int32(d.W.Sup(int(st.write), t))
+	}
+}
+
+// Races returns the retained race reports (all of them when MaxRaces is 0).
+func (d *Detector) Races() []Race { return d.races }
+
+// Count returns the total number of race reports, including any dropped
+// beyond MaxRaces.
+func (d *Detector) Count() int { return d.count }
+
+// Racy reports whether any race has been detected so far.
+func (d *Detector) Racy() bool { return d.count > 0 }
+
+// Locations returns the number of tracked memory locations.
+func (d *Detector) Locations() int {
+	if d.shadow != nil {
+		return d.shadow.locations()
+	}
+	return len(d.state)
+}
+
+// BytesPerLocation reports the detector's per-location state size in
+// bytes: constant by construction (Theorem 5). Map bucket overhead is
+// excluded; it is itself constant per entry.
+func (d *Detector) BytesPerLocation() int { return 8 }
+
+// MemoryBytes estimates the detector's total state: walker (Θ(1) per
+// thread) plus per-location records (Θ(1) per location; whole pages for
+// the shadow store).
+func (d *Detector) MemoryBytes() int {
+	if d.shadow != nil {
+		return d.W.MemoryBytes() + d.shadow.bytes()
+	}
+	const mapEntryOverhead = 16 // key + pointer, amortized bucket space
+	return d.W.MemoryBytes() + len(d.state)*(8+mapEntryOverhead)
+}

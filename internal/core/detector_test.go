@@ -1,0 +1,227 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure2Detector replays the thread-compressed event stream of the
+// paper's Figure 2 program under a serial fork-first execution:
+//
+//	fork a { A() }        // A reads r
+//	B()                   // B reads r
+//	fork c { join a; C() }
+//	D()                   // D writes r
+//	join c
+//
+// Threads: m=0 (main), a=1, c=2. The paper states A races with D, while B
+// and D are ordered.
+func figure2Detector(joinBeforeD bool) *Detector {
+	const m, a, c = 0, 1, 2
+	const r = Addr(0x10)
+	d := NewDetector(3, 1)
+	w := d.W
+
+	w.Visit(m) // main's initial operation
+	// m forks a: arc (m, a) is not a last-arc; no walker action.
+	w.Visit(a)     // a executes A
+	d.OnRead(a, r) // A reads r
+	w.StopArc(a)   // a halts
+	w.Visit(m)     // m resumes: B
+	d.OnRead(m, r) // B reads r
+	// m forks c.
+	w.LastArc(a, c) // c joins a: delayed last-arc (a, c)
+	w.Visit(c)      // c executes C (a nop)
+	w.StopArc(c)    // c halts
+	w.Visit(m)      // m resumes
+	if joinBeforeD {
+		w.LastArc(c, m) // m joins c before writing
+		w.Visit(m)
+	}
+	d.OnWrite(m, r) // D writes r
+	if !joinBeforeD {
+		w.LastArc(c, m)
+		w.Visit(m)
+	}
+	return d
+}
+
+func TestFigure2RaceDetected(t *testing.T) {
+	d := figure2Detector(false)
+	if !d.Racy() {
+		t.Fatal("Figure 2 race between A and D not detected")
+	}
+	if d.Count() != 1 {
+		t.Fatalf("race count = %d, want 1 (only A vs D)", d.Count())
+	}
+	race := d.Races()[0]
+	if race.Kind != ReadWrite || race.Current != 0 || race.Loc != 0x10 {
+		t.Fatalf("unexpected race report: %+v", race)
+	}
+	// The prior representative is the root standing in for sup{A, B} —
+	// thread c, which never accessed the location (Section 4's remark).
+	if race.Prior != 2 {
+		t.Fatalf("race prior = %d, want 2 (thread c as supremum proxy)", race.Prior)
+	}
+}
+
+func TestFigure2NoRaceWhenJoined(t *testing.T) {
+	d := figure2Detector(true)
+	if d.Racy() {
+		t.Fatalf("joining c before D must order all accesses; got %v", d.Races())
+	}
+}
+
+func TestReadReadIsNotARace(t *testing.T) {
+	// Two concurrent reads of the same location must not be flagged
+	// (regression for the Figure 6 transcription artifact).
+	const m, a = 0, 1
+	const r = Addr(1)
+	d := NewDetector(2, 1)
+	d.W.Visit(m)
+	d.OnRead(m, r)
+	// m forks a.
+	d.W.Visit(a)
+	d.OnRead(a, r) // concurrent with m's read
+	d.W.StopArc(a)
+	d.W.Visit(m)
+	d.OnRead(m, r)
+	if d.Racy() {
+		t.Fatalf("read-read flagged as race: %v", d.Races())
+	}
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	const m, a = 0, 1
+	const r = Addr(2)
+	d := NewDetector(2, 1)
+	d.W.Visit(m)
+	d.W.Visit(a) // forked child
+	d.OnWrite(a, r)
+	d.W.StopArc(a)
+	d.W.Visit(m)
+	d.OnWrite(m, r) // a never joined: write-write race
+	if d.Count() != 1 || d.Races()[0].Kind != WriteWrite {
+		t.Fatalf("want one write-write race, got %v", d.Races())
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	const m, a = 0, 1
+	const r = Addr(3)
+	d := NewDetector(2, 1)
+	d.W.Visit(m)
+	d.W.Visit(a)
+	d.OnWrite(a, r)
+	d.W.StopArc(a)
+	d.W.Visit(m)
+	d.OnRead(m, r)
+	if d.Count() != 1 || d.Races()[0].Kind != WriteRead {
+		t.Fatalf("want one write-read race, got %v", d.Races())
+	}
+}
+
+func TestJoinOrdersAccesses(t *testing.T) {
+	const m, a = 0, 1
+	const r = Addr(4)
+	d := NewDetector(2, 1)
+	d.W.Visit(m)
+	d.W.Visit(a)
+	d.OnWrite(a, r)
+	d.W.StopArc(a)
+	d.W.Visit(m)
+	d.W.LastArc(a, m) // m joins a
+	d.W.Visit(m)
+	d.OnWrite(m, r)
+	d.OnRead(m, r)
+	if d.Racy() {
+		t.Fatalf("joined accesses flagged: %v", d.Races())
+	}
+}
+
+func TestSameThreadSequentialAccesses(t *testing.T) {
+	d := NewDetector(1, 1)
+	d.W.Visit(0)
+	for i := 0; i < 10; i++ {
+		d.OnWrite(0, 7)
+		d.OnRead(0, 7)
+	}
+	if d.Racy() {
+		t.Fatal("same-thread accesses flagged")
+	}
+	if d.Locations() != 1 {
+		t.Fatalf("Locations = %d", d.Locations())
+	}
+}
+
+func TestMaxRacesBound(t *testing.T) {
+	d := NewDetector(3, 1)
+	d.MaxRaces = 2
+	d.W.Visit(0)
+	d.W.Visit(1)
+	d.OnWrite(1, 9)
+	d.W.StopArc(1)
+	d.W.Visit(0)
+	for i := 0; i < 5; i++ {
+		d.OnWrite(0, 9) // every write re-races with the unjoined child? No:
+		// after the first write W[9] is folded; subsequent same-thread
+		// writes race only against the stored prior. Use reads too.
+		d.OnRead(0, 9)
+	}
+	if d.Count() < 2 {
+		t.Fatalf("expected several reports, got %d", d.Count())
+	}
+	if len(d.Races()) != 2 {
+		t.Fatalf("retained %d races, want MaxRaces=2", len(d.Races()))
+	}
+}
+
+func TestDistinctLocationsIndependent(t *testing.T) {
+	d := NewDetector(2, 2)
+	d.W.Visit(0)
+	d.W.Visit(1)
+	d.OnWrite(1, 100)
+	d.W.StopArc(1)
+	d.W.Visit(0)
+	d.OnWrite(0, 200) // different location: no race
+	if d.Racy() {
+		t.Fatal("accesses to distinct locations raced")
+	}
+	if d.Locations() != 2 {
+		t.Fatalf("Locations = %d, want 2", d.Locations())
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{Loc: 0x10, Current: 3, Prior: 7, Kind: WriteWrite}
+	s := r.String()
+	for _, want := range []string{"write-write", "0x10", "3", "7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Race.String() = %q missing %q", s, want)
+		}
+	}
+	if AccessKind(99).String() != "AccessKind(99)" {
+		t.Fatal("unknown AccessKind string")
+	}
+	if ReadWrite.String() != "read-write" || WriteRead.String() != "write-read" {
+		t.Fatal("AccessKind strings wrong")
+	}
+}
+
+func TestDetectorMemoryConstantPerLocation(t *testing.T) {
+	// Theorem 5: per-location footprint must not depend on thread count.
+	if b := NewDetector(10, 0).BytesPerLocation(); b != NewDetector(10000, 0).BytesPerLocation() {
+		t.Fatalf("per-location bytes vary with thread count: %d", b)
+	}
+	d := NewDetector(4, 0)
+	d.W.Visit(0)
+	before := d.MemoryBytes()
+	for i := 0; i < 100; i++ {
+		d.OnWrite(0, Addr(i))
+	}
+	after := d.MemoryBytes()
+	perLoc := (after - before) / 100
+	if perLoc > 64 {
+		t.Fatalf("per-location growth %d bytes, want small constant", perLoc)
+	}
+}

@@ -1,0 +1,135 @@
+// The Walker processes traversal items one at a time, so it serves both
+// the offline setting (replay a stored traversal) and the fully online
+// setting (a fork-join runtime streams events as the program executes).
+// Space is Θ(n) in the number of traversed vertices — which, after thread
+// compression, is the number of threads, giving the paper's Θ(1) space
+// per thread. See doc.go for the full theory-to-code walkthrough.
+
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/traversal"
+	"repro/internal/unionfind"
+)
+
+// Walker is the state of the Walk routine from Figures 5 and 8: a
+// union-find forest mirroring the last-arc forest T/(s, t) of the visited
+// prefix, plus per-vertex visited marks. Vertices are dense ints, created
+// lazily via Grow or Visit.
+type Walker struct {
+	uf      *unionfind.Forest
+	visited []bool
+	current int // the most recent loop vertex, -1 initially
+}
+
+// NewWalker returns a walker prepared for n vertices (more may be added
+// with Grow).
+func NewWalker(n int) *Walker {
+	w := &Walker{uf: unionfind.New(n), visited: make([]bool, n), current: -1}
+	return w
+}
+
+// Grow ensures the walker tracks at least n vertices.
+func (w *Walker) Grow(n int) {
+	w.uf.Grow(n)
+	for len(w.visited) < n {
+		w.visited = append(w.visited, false)
+	}
+}
+
+// Len returns the number of tracked vertices.
+func (w *Walker) Len() int { return w.uf.Len() }
+
+// Current returns the most recently visited (loop) vertex, or -1.
+func (w *Walker) Current() int { return w.current }
+
+// Visit performs the loop step (t, t): mark t visited and make it current
+// (Walk lines 2–4). Queries for t are then posed via Sup.
+func (w *Walker) Visit(t int) {
+	w.Grow(t + 1)
+	w.visited[t] = true
+	w.current = t
+}
+
+// LastArc performs the last-arc step (s, t): attach s's tree under t
+// (Walk lines 5–6, Union(t, s)).
+func (w *Walker) LastArc(s, t int) {
+	w.Grow(max(s, t) + 1)
+	w.uf.Union(t, s)
+}
+
+// StopArc performs the stop-arc step (s, ×) of the delayed algorithm
+// (Figure 8 lines 7–8): mark s unvisited so that, until its delayed
+// last-arc arrives, the root s is observationally equivalent to the not
+// yet visited supremum.
+func (w *Walker) StopArc(s int) {
+	w.Grow(s + 1)
+	w.visited[s] = false
+}
+
+// Sup answers the query Sup(x, t) for the current vertex t (Figures 5 and
+// 8, identical in both): find the root r of the tree containing x; if r is
+// marked visited the answer is t, otherwise r. Along plain non-separating
+// traversals the answer is the exact supremum sup{x, t} (Theorem 1); along
+// delayed traversals it satisfies the relaxed conditions (6)–(7)
+// (Theorem 4), which is precisely what race detection needs.
+func (w *Walker) Sup(x, t int) int {
+	r := w.uf.Find(x)
+	if w.visited[r] {
+		return t
+	}
+	return r
+}
+
+// Ordered reports x ⊑ t for the current vertex t: the comparison
+// Sup(x, t) = t used by the race detector (Equation 3).
+func (w *Walker) Ordered(x, t int) bool {
+	return w.Sup(x, t) == t
+}
+
+// Feed processes one traversal item. Queries must be posed by the caller
+// right after the corresponding Loop item (the paper's callback Q).
+func (w *Walker) Feed(it traversal.Item) {
+	switch it.Kind {
+	case traversal.Loop:
+		w.Visit(it.S)
+	case traversal.LastArc:
+		w.LastArc(it.S, it.T)
+	case traversal.StopArc:
+		w.StopArc(it.S)
+	case traversal.Arc:
+		// Non-last arcs carry no action (Walk ignores them); they are
+		// part of the traversal only to satisfy the permutation view.
+	default:
+		panic(fmt.Sprintf("core: unknown traversal item %v", it))
+	}
+}
+
+// Stats reports the union-find operation counts, used by the Theorem 3 and
+// Theorem 5 cost experiments.
+func (w *Walker) Stats() (finds, unions int) { return w.uf.Stats() }
+
+// ResetStats zeroes the union-find operation counters.
+func (w *Walker) ResetStats() { w.uf.ResetStats() }
+
+// MemoryBytes reports the walker's state size: Θ(1) per vertex/thread.
+func (w *Walker) MemoryBytes() int {
+	return w.uf.MemoryBytes() + len(w.visited)
+}
+
+// Walk drives a complete traversal through a fresh walker, invoking
+// onVisit after every loop item with the walker and the visited vertex —
+// the literal Walk(T, Q) of Figures 5 and 8. It returns the walker for
+// inspection.
+func Walk(t traversal.T, n int, onVisit func(w *Walker, t int)) *Walker {
+	w := NewWalker(n)
+	for _, it := range t {
+		w.Feed(it)
+		if it.Kind == traversal.Loop && onVisit != nil {
+			onVisit(w, it.S)
+		}
+	}
+	return w
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+)
+
+// validQueryArgs tracks which vertices satisfy the query precondition (1):
+// x must belong to the closure of the traversal prefix, which equals the
+// vertex set of the last-arc forest (plus everything already visited).
+type validQueryArgs struct {
+	ok []bool
+}
+
+func newValidQueryArgs(n int) *validQueryArgs { return &validQueryArgs{ok: make([]bool, n)} }
+
+func (v *validQueryArgs) feed(it traversal.Item) {
+	switch it.Kind {
+	case traversal.Loop:
+		v.ok[it.S] = true
+	case traversal.LastArc:
+		v.ok[it.S] = true
+		v.ok[it.T] = true
+	}
+}
+
+// checkTheorem1 walks the plain non-separating traversal of g and compares
+// every valid query's answer with the brute-force supremum.
+func checkTheorem1(t *testing.T, g *graph.Digraph) {
+	t.Helper()
+	tr, err := traversal.NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := order.NewPoset(g)
+	w := NewWalker(g.N())
+	valid := newValidQueryArgs(g.N())
+	for _, it := range tr {
+		w.Feed(it)
+		valid.feed(it)
+		if it.Kind != traversal.Loop {
+			continue
+		}
+		cur := it.S
+		for x := 0; x < g.N(); x++ {
+			if !valid.ok[x] {
+				continue
+			}
+			got := w.Sup(x, cur)
+			want, ok := p.Sup(x, cur)
+			if !ok {
+				t.Fatalf("ground truth: no sup{%d,%d}", x, cur)
+			}
+			if got != want {
+				t.Fatalf("Sup(%d,%d) = %d, want %d (traversal %v)", x, cur, got, want, tr)
+			}
+		}
+	}
+}
+
+func TestTheorem1Figure3(t *testing.T) {
+	checkTheorem1(t, traversal.Figure3())
+}
+
+func TestTheorem1Grids(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {1, 6}, {6, 1}, {2, 2}, {3, 4}, {5, 5}} {
+		checkTheorem1(t, order.Grid(dim[0], dim[1]))
+	}
+}
+
+func randomStaircase(rng *rand.Rand) *graph.Digraph {
+	rows := 2 + rng.Intn(5)
+	cols := 2 + rng.Intn(5)
+	lo := make([]int, rows)
+	hi := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		if i == 0 {
+			lo[0] = 0
+			hi[0] = rng.Intn(cols)
+			continue
+		}
+		lo[i] = lo[i-1] + rng.Intn(hi[i-1]-lo[i-1]+1)
+		base := hi[i-1]
+		if lo[i] > base {
+			base = lo[i]
+		}
+		hi[i] = base + rng.Intn(cols-base)
+	}
+	g, _, err := order.Staircase(rows, cols, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestTheorem1StaircasesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomStaircase(rng)
+		checkTheorem1(t, g)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkTheorem4 walks the delayed traversal of g and verifies the relaxed
+// condition (6): Sup(x, t) = t ⇔ x ⊑ t, for every visited x, and condition
+// (7) compositionally by folding accumulated suprema the way the race
+// detector does.
+func checkTheorem4(t *testing.T, g *graph.Digraph, seed int64) {
+	t.Helper()
+	tr, err := traversal.NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := order.NewPoset(g)
+	dt := traversal.Delay(tr, p.R, g.N())
+	rng := rand.New(rand.NewSource(seed))
+
+	w := NewWalker(g.N())
+	visited := make([]bool, g.N())
+
+	// acc mimics a location's accumulated supremum: the fold of Sup over
+	// the member set. members records the true underlying vertex set.
+	acc := -1
+	var members []int
+
+	for _, it := range dt {
+		w.Feed(it)
+		if it.Kind != traversal.Loop {
+			continue
+		}
+		cur := it.S
+		// Condition (6) for every visited x.
+		for x := 0; x < g.N(); x++ {
+			if !visited[x] {
+				continue
+			}
+			if got, want := w.Sup(x, cur) == cur, p.Leq(x, cur); got != want {
+				t.Fatalf("condition (6) fails: Sup(%d,%d)=%v but x⊑t=%v\nplain %v\ndelayed %v",
+					x, cur, got, want, tr, dt)
+			}
+		}
+		// Condition (7) via the detector's fold: the accumulated value
+		// compares to cur exactly like the whole member set does.
+		if acc >= 0 {
+			allBelow := true
+			for _, m := range members {
+				if !p.Leq(m, cur) {
+					allBelow = false
+					break
+				}
+			}
+			if got := w.Sup(acc, cur) == cur; got != allBelow {
+				t.Fatalf("condition (7) fails at t=%d: fold says %v, members %v say %v",
+					cur, got, members, allBelow)
+			}
+		}
+		visited[cur] = true
+		// Randomly add the current vertex to the tracked set, as an
+		// access to a shared location would.
+		if rng.Intn(2) == 0 {
+			if acc < 0 {
+				acc = cur
+			} else {
+				acc = w.Sup(acc, cur)
+			}
+			members = append(members, cur)
+		}
+	}
+}
+
+func TestTheorem4Figure3(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		checkTheorem4(t, traversal.Figure3(), seed)
+	}
+}
+
+func TestTheorem4Grids(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {3, 4}, {5, 5}, {1, 7}} {
+		for seed := int64(0); seed < 10; seed++ {
+			checkTheorem4(t, order.Grid(dim[0], dim[1]), seed)
+		}
+	}
+}
+
+func TestTheorem4StaircasesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomStaircase(rng)
+		checkTheorem4(t, g, seed+1)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkerGrowAndCurrent(t *testing.T) {
+	w := NewWalker(0)
+	if w.Current() != -1 {
+		t.Fatal("fresh walker has a current vertex")
+	}
+	w.Visit(5)
+	if w.Len() < 6 || w.Current() != 5 {
+		t.Fatalf("Len=%d Current=%d", w.Len(), w.Current())
+	}
+	w.LastArc(7, 5)
+	if w.Sup(7, 5) != 5 {
+		t.Fatal("union after LastArc not visible")
+	}
+}
+
+func TestWalkerStopArcMarksUnvisited(t *testing.T) {
+	w := NewWalker(3)
+	w.Visit(0)
+	w.Visit(1)
+	if w.Sup(0, 1) != 1 {
+		t.Fatal("visited root should answer t")
+	}
+	w.StopArc(0)
+	if w.Sup(0, 1) != 0 {
+		t.Fatal("stop-arc must make the root behave unvisited")
+	}
+	// The delayed last-arc later re-attaches 0 under 2.
+	w.LastArc(0, 2)
+	w.Visit(2)
+	if w.Sup(0, 2) != 2 {
+		t.Fatal("after delayed last-arc and visit, 0 ⊑ 2 must hold")
+	}
+}
+
+func TestWalkFunctionCallback(t *testing.T) {
+	g := traversal.Figure3()
+	tr, _ := traversal.NonSeparating(g)
+	var seen []int
+	w := Walk(tr, g.N(), func(w *Walker, v int) { seen = append(seen, v) })
+	if len(seen) != g.N() {
+		t.Fatalf("callback fired %d times, want %d", len(seen), g.N())
+	}
+	if w.Current() != seen[len(seen)-1] {
+		t.Fatal("Current out of sync with callback")
+	}
+	finds, unions := w.Stats()
+	if finds < 0 || unions == 0 {
+		t.Fatalf("stats implausible: %d finds, %d unions", finds, unions)
+	}
+	w.ResetStats()
+	if f, u := w.Stats(); f != 0 || u != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestWalkerMemoryLinearInVertices(t *testing.T) {
+	small, large := NewWalker(100).MemoryBytes(), NewWalker(1000).MemoryBytes()
+	if large != 10*small {
+		t.Fatalf("walker memory not linear: %d vs %d", small, large)
+	}
+}
+
+func TestOrderedMatchesSup(t *testing.T) {
+	w := NewWalker(2)
+	w.Visit(0)
+	w.Visit(1)
+	if !w.Ordered(0, 1) {
+		t.Fatal("Ordered(0,1) false after visits with union-free path")
+	}
+}
+
+// TestFullRecognitionPipeline: from a bare scrambled digraph, recognize
+// the 2D lattice (lattice check + conjugate-order realizer), rebuild a
+// monotone planar diagram, traverse it, and answer exact suprema — the
+// complete Remark 1 + Remark 3 tool chain with no embedding given.
+func TestFullRecognitionPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := order.Scramble(randomStaircase(rng))
+		_, real, err := order.Recognize2D(g)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		embedded, err := order.EmbedFromRealizer(g, real)
+		if err != nil {
+			return false
+		}
+		tr, err := traversal.NonSeparating(embedded)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Theorem 1 exactness on the recovered diagram (its reachability
+		// equals g's, being the transitive reduction).
+		pr := order.NewPoset(embedded)
+		w := NewWalker(embedded.N())
+		valid := make([]bool, embedded.N())
+		for _, it := range tr {
+			w.Feed(it)
+			switch it.Kind {
+			case traversal.Loop:
+				valid[it.S] = true
+			case traversal.LastArc:
+				valid[it.S] = true
+				valid[it.T] = true
+			}
+			if it.Kind != traversal.Loop {
+				continue
+			}
+			for x := 0; x < embedded.N(); x++ {
+				if !valid[x] {
+					continue
+				}
+				want, ok := pr.Sup(x, it.S)
+				if !ok || w.Sup(x, it.S) != want {
+					t.Logf("seed %d: sup mismatch at (%d,%d)", seed, x, it.S)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

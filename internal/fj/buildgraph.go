@@ -1,0 +1,118 @@
+package fj
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Access records one memory operation in a built task graph.
+type Access struct {
+	Vertex graph.V
+	Task   ID
+	Loc    core.Addr
+	Write  bool
+}
+
+// GraphBuilder is a Sink that reconstructs the execution's task graph at
+// operation granularity, with the out-arcs of every vertex inserted in
+// left-to-right embedding order (child before continuation at forks). The
+// built graph is the ground-truth object of Theorem 6: a monotone planar
+// diagram of a two-dimensional lattice, whose canonical non-separating
+// traversal visits vertices in exactly the serial execution order.
+type GraphBuilder struct {
+	G        *graph.Digraph
+	Accesses []Access
+	VertexOf []graph.V // latest vertex per task, -1 once unknown
+	TaskOf   []ID      // owning task per vertex
+	Labels   map[graph.V]string
+	// ArcKind classifies each arc as a fork, step or join edge — the
+	// three styles of the paper's Figure 10 (dashed, solid, crossed).
+	ArcKind map[graph.Arc]EventKind
+
+	pendingFork map[ID]graph.V // child id -> fork vertex awaiting begin
+	finalOf     map[ID]graph.V // halted task id -> its final vertex
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{
+		G:           graph.New(0),
+		Labels:      map[graph.V]string{},
+		ArcKind:     map[graph.Arc]EventKind{},
+		pendingFork: map[ID]graph.V{},
+		finalOf:     map[ID]graph.V{},
+	}
+}
+
+func (b *GraphBuilder) last(t ID) graph.V {
+	for len(b.VertexOf) <= t {
+		b.VertexOf = append(b.VertexOf, -1)
+	}
+	return b.VertexOf[t]
+}
+
+func (b *GraphBuilder) newVertex(t ID, label string) graph.V {
+	v := b.G.AddVertex()
+	b.TaskOf = append(b.TaskOf, t)
+	if label != "" {
+		b.Labels[v] = fmt.Sprintf("%s%d", label, t)
+	}
+	return v
+}
+
+// step appends a fresh vertex to task t's chain and returns it.
+func (b *GraphBuilder) step(t ID, label string) graph.V {
+	prev := b.last(t)
+	v := b.newVertex(t, label)
+	if prev >= 0 {
+		b.G.AddArc(prev, v)
+		b.ArcKind[graph.Arc{S: prev, T: v}] = EvBegin // step edge
+	}
+	b.VertexOf[t] = v
+	return v
+}
+
+// Event implements Sink.
+func (b *GraphBuilder) Event(e Event) {
+	switch e.Kind {
+	case EvBegin:
+		v := b.newVertex(e.T, "b")
+		b.last(e.T)
+		b.VertexOf[e.T] = v
+		if fv, ok := b.pendingFork[e.T]; ok {
+			// The arc to the child's begin vertex must be the LEFT
+			// out-arc of the fork vertex: insert it before the parent's
+			// continuation (the parent has not stepped since the fork,
+			// so it is indeed first).
+			b.G.AddArc(fv, v)
+			b.ArcKind[graph.Arc{S: fv, T: v}] = EvFork
+			delete(b.pendingFork, e.T)
+		}
+	case EvFork:
+		fv := b.step(e.T, "f")
+		b.pendingFork[e.U] = fv
+	case EvJoin:
+		jv := b.step(e.T, "j")
+		final, ok := b.finalOf[e.U]
+		if !ok {
+			final = b.last(e.U)
+		}
+		if final >= 0 {
+			b.G.AddArc(final, jv)
+			b.ArcKind[graph.Arc{S: final, T: jv}] = EvJoin
+		}
+	case EvHalt:
+		b.finalOf[e.T] = b.last(e.T)
+	case EvRead:
+		v := b.step(e.T, "r")
+		b.Accesses = append(b.Accesses, Access{Vertex: v, Task: e.T, Loc: e.Loc, Write: false})
+	case EvWrite:
+		v := b.step(e.T, "w")
+		b.Accesses = append(b.Accesses, Access{Vertex: v, Task: e.T, Loc: e.Loc, Write: true})
+	}
+}
+
+// Graph returns the reconstructed task graph.
+func (b *GraphBuilder) Graph() *graph.Digraph { return b.G }

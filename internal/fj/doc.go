@@ -1,0 +1,61 @@
+// Package fj implements the paper's structured fork-join model (Section
+// 5, Figure 9) and everything an execution of it produces: the event
+// stream, the serial runtime, trace recording/validation, task-graph
+// reconstruction, and the detector adapters.
+//
+// # The line of task points
+//
+// Running tasks are points on a line (Line). The two transition rules of
+// Figure 9 are Fork — the child appears immediately LEFT of its parent —
+// and Join — a task may absorb only its immediate LEFT neighbor, and
+// only once that neighbor has halted:
+//
+//	L · {x | fork y β; α} · R  →  L · {y | β} · {x | α} · R
+//	L · {y |} · {x | join y; α} · R  →  L · {x | α} · R
+//
+// Anything else (joining across the line, acting after halt) is a
+// structure violation wrapping ErrStructure: such programs fall outside
+// the class whose task graphs are two-dimensional lattices, and the
+// detector's guarantees would not apply to them. Theorem 6 — property
+// tested in this package — says programs inside the discipline produce
+// exactly the 2D lattices.
+//
+// # Serial fork-first execution and the event stream
+//
+// Runtime (Run) executes bodies serially, child first: Fork runs the
+// child to completion before returning. Under that schedule every event
+// has a fixed meaning in the traversal the detector consumes
+// (Section 5's construction):
+//
+//	x forks y → arc (x, y)          EvFork + EvBegin
+//	x steps   → loop (x, x)         EvRead / EvWrite
+//	x joins y → last-arc (y, x)     EvJoin  (the delayed arc)
+//	x halts   → stop-arc (x, ×)     EvHalt
+//
+// Sinks consume that stream: DetectorSink (the paper's detector with
+// thread compression), UncompressedSink (the Section 4 formulation
+// before compression, kept as an ablation), GraphBuilder (operation-
+// granularity task graph for ground truth), Trace (recording), the
+// baselines in internal/baseline, or any Sink implementation.
+//
+// # Traces
+//
+// A recorded Trace can be replayed into any sink, serialized to a
+// compact binary format (Encode/DecodeTrace) and validated
+// (ValidateTrace): validation replays the events through the same Line
+// discipline plus the serial-schedule stack invariant, so it accepts
+// exactly the traces a run of this package could have emitted. Stats and
+// RenderLine summarize and visualize a trace's shape — RenderLine prints
+// the evolving line of task points, the picture drawn in the paper's
+// Figures 9 and 10.
+//
+// # Who builds on this package
+//
+// internal/spawnsync and internal/asyncfinish restrict the API to the
+// series-parallel constructs; internal/pipeline encodes linear pipelines
+// as per-cell tasks; internal/future layers left-neighbor futures;
+// internal/goinstr runs the same discipline on real goroutines
+// (serialized); internal/parallel executes it with true concurrency and
+// no instrumentation. The root package re-exports the user-facing
+// surface.
+package fj

@@ -1,0 +1,105 @@
+package fj
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// TraceMagic identifies the binary trace format ("FJT" + version 1).
+var TraceMagic = [4]byte{'F', 'J', 'T', 1}
+
+// Encode writes the trace in a compact binary format: the magic header, a
+// uvarint event count, then one record per event (kind byte + uvarint
+// task id + kind-dependent payload). Traces recorded from one run can be
+// replayed into any detector later or in another process.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(TraceMagic[:]); err != nil {
+		return fmt.Errorf("fj: encode trace: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return fmt.Errorf("fj: encode trace: %w", err)
+	}
+	for _, e := range t.Events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return fmt.Errorf("fj: encode trace: %w", err)
+		}
+		if err := putUvarint(uint64(e.T)); err != nil {
+			return fmt.Errorf("fj: encode trace: %w", err)
+		}
+		switch e.Kind {
+		case EvFork, EvJoin:
+			if err := putUvarint(uint64(e.U)); err != nil {
+				return fmt.Errorf("fj: encode trace: %w", err)
+			}
+		case EvRead, EvWrite:
+			if err := putUvarint(uint64(e.Loc)); err != nil {
+				return fmt.Errorf("fj: encode trace: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("fj: encode trace: %w", err)
+	}
+	return nil
+}
+
+// DecodeTrace reads a trace previously written by Encode.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("fj: decode trace: %w", err)
+	}
+	if magic != TraceMagic {
+		return nil, fmt.Errorf("fj: decode trace: bad magic %v", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fj: decode trace: %w", err)
+	}
+	const sanityCap = 1 << 28
+	if count > sanityCap {
+		return nil, fmt.Errorf("fj: decode trace: implausible event count %d", count)
+	}
+	tr := &Trace{Events: make([]Event, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+		}
+		kind := EventKind(kb)
+		if kind > EvWrite {
+			return nil, fmt.Errorf("fj: decode trace: event %d: unknown kind %d", i, kb)
+		}
+		t, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+		}
+		e := Event{Kind: kind, T: int(t)}
+		switch kind {
+		case EvFork, EvJoin:
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+			}
+			e.U = int(u)
+		case EvRead, EvWrite:
+			loc, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+			}
+			e.Loc = Addr(loc)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr, nil
+}

@@ -1,0 +1,134 @@
+// Event definitions for fork-join executions; see doc.go for the
+// package-level walkthrough.
+
+package fj
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ID identifies a task (thread). Identifiers are dense, starting at 0 for
+// the root task.
+type ID = int
+
+// EventKind enumerates the events of an execution, mirroring the traversal
+// construction of Section 5: fork emits the arc (x, y), a step emits the
+// loop (x, x), join emits the delayed last-arc (y, x), and halt emits the
+// stop-arc (x, ×).
+type EventKind uint8
+
+const (
+	// EvBegin marks the first operation of a task (its initial loop).
+	EvBegin EventKind = iota
+	// EvFork records task T forking task U: arc (T, U).
+	EvFork
+	// EvJoin records task T joining task U: delayed last-arc (U, T).
+	EvJoin
+	// EvHalt records task T halting: stop-arc (T, ×).
+	EvHalt
+	// EvRead records task T reading Loc (a loop plus a query).
+	EvRead
+	// EvWrite records task T writing Loc (a loop plus queries).
+	EvWrite
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvFork:
+		return "fork"
+	case EvJoin:
+		return "join"
+	case EvHalt:
+		return "halt"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one execution event. U is the counterpart task for fork/join;
+// Loc is the address for read/write.
+type Event struct {
+	Kind EventKind
+	T    ID
+	U    ID
+	Loc  core.Addr
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvFork, EvJoin:
+		return fmt.Sprintf("%s(%d,%d)", e.Kind, e.T, e.U)
+	case EvRead, EvWrite:
+		return fmt.Sprintf("%s(%d,%#x)", e.Kind, e.T, uint64(e.Loc))
+	default:
+		return fmt.Sprintf("%s(%d)", e.Kind, e.T)
+	}
+}
+
+// Sink consumes the event stream of an execution. Implementations include
+// the online race detector adapter, the Θ(n) baselines, trace recorders
+// and the task-graph builder.
+type Sink interface {
+	Event(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Event implements Sink.
+func (f SinkFunc) Event(e Event) { f(e) }
+
+// NullSink discards all events; it measures uninstrumented execution cost.
+type NullSink struct{}
+
+// Event implements Sink.
+func (NullSink) Event(Event) {}
+
+// MultiSink fans an event stream out to several sinks in order.
+type MultiSink []Sink
+
+// Event implements Sink.
+func (m MultiSink) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Trace records an event stream for replay and inspection.
+type Trace struct {
+	Events []Event
+}
+
+// Event implements Sink.
+func (t *Trace) Event(e Event) { t.Events = append(t.Events, e) }
+
+// Replay feeds the recorded events to another sink.
+func (t *Trace) Replay(s Sink) {
+	for _, e := range t.Events {
+		s.Event(e)
+	}
+}
+
+// Tasks returns the number of distinct tasks appearing in the trace.
+func (t *Trace) Tasks() int {
+	maxID := -1
+	for _, e := range t.Events {
+		if e.T > maxID {
+			maxID = e.T
+		}
+		if (e.Kind == EvFork || e.Kind == EvJoin) && e.U > maxID {
+			maxID = e.U
+		}
+	}
+	return maxID + 1
+}
+
+// Addr aliases the detector's memory-location type for convenience.
+type Addr = core.Addr

@@ -1,0 +1,395 @@
+package fj
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+)
+
+// figure2 is the program of the paper's Figure 2:
+//
+//	fork a { A() }            // A reads r
+//	B()                       // B reads r
+//	fork c { join a; C() }
+//	D()                       // D writes r
+//	join c
+func figure2(t *Task) {
+	const r = core.Addr(0x10)
+	a := t.Fork(func(a *Task) {
+		a.Read(r) // A
+	})
+	t.Read(r) // B
+	c := t.Fork(func(c *Task) {
+		c.Join(a)
+		// C is a nop.
+	})
+	t.Write(r) // D
+	t.Join(c)
+}
+
+func TestFigure2EndToEnd(t *testing.T) {
+	ds := NewDetectorSink(4)
+	tasks, err := Run(figure2, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks != 3 {
+		t.Fatalf("tasks = %d, want 3", tasks)
+	}
+	if !ds.Racy() {
+		t.Fatal("Figure 2 race not detected")
+	}
+	races := ds.Races()
+	if len(races) != 1 || races[0].Kind != core.ReadWrite {
+		t.Fatalf("races = %v, want one read-write", races)
+	}
+}
+
+func TestFigure2NoRaceVariant(t *testing.T) {
+	// Joining c before D orders A before D: no race.
+	ds := NewDetectorSink(4)
+	_, err := Run(func(t *Task) {
+		const r = core.Addr(0x10)
+		a := t.Fork(func(a *Task) { a.Read(r) })
+		t.Read(r)
+		c := t.Fork(func(c *Task) { c.Join(a) })
+		t.Join(c)
+		t.Write(r)
+	}, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("unexpected races: %v", ds.Races())
+	}
+}
+
+func TestForkFirstSerialOrder(t *testing.T) {
+	// Children run to completion before the parent resumes.
+	var order []ID
+	_, err := Run(func(t *Task) {
+		order = append(order, t.ID())
+		t.Fork(func(a *Task) {
+			order = append(order, a.ID())
+			a.Fork(func(b *Task) { order = append(order, b.ID()) })
+			order = append(order, a.ID())
+		})
+		order = append(order, t.ID())
+	}, nil, Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ID{0, 1, 2, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestJoinNonNeighborFails(t *testing.T) {
+	_, err := Run(func(t *Task) {
+		a := t.Fork(func(*Task) {})
+		t.Fork(func(*Task) {}) // b is now the immediate left neighbor
+		t.Join(a)              // violates the discipline
+	}, nil, Options{})
+	if !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v, want structure violation", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "immediate left neighbor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoubleJoinFails(t *testing.T) {
+	_, err := Run(func(t *Task) {
+		a := t.Fork(func(*Task) {})
+		t.Join(a)
+		t.Join(a)
+	}, nil, Options{})
+	if !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEscapedTaskFails(t *testing.T) {
+	var escaped *Task
+	_, err := Run(func(t *Task) {
+		t.Fork(func(a *Task) { escaped = a })
+		escaped.Read(1) // a has halted
+	}, nil, Options{})
+	if !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinLeftStealing(t *testing.T) {
+	// The non-SP pattern from Section 5: t forks y, t forks x, x joins y.
+	ds := NewDetectorSink(4)
+	_, err := Run(func(t *Task) {
+		t.Fork(func(*Task) {}) // y
+		t.Fork(func(x *Task) {
+			if !x.JoinLeft() { // x joins y
+				panic("no left neighbor")
+			}
+		})
+	}, ds, Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinLeftAtLineEnd(t *testing.T) {
+	_, err := Run(func(t *Task) {
+		if t.JoinLeft() {
+			panic("joined with empty left")
+		}
+	}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("user panic swallowed")
+		}
+	}()
+	Run(func(t *Task) { panic("boom") }, nil, Options{})
+}
+
+func TestAutoJoinProducesSingleSink(t *testing.T) {
+	b := NewGraphBuilder()
+	_, err := Run(func(t *Task) {
+		t.Fork(func(*Task) {})
+		t.Fork(func(a *Task) {
+			a.Fork(func(*Task) {})
+		})
+	}, b, Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	if s := g.Sources(); len(s) != 1 {
+		t.Fatalf("sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 {
+		t.Fatalf("sinks = %v", s)
+	}
+}
+
+func TestTraceRecordReplay(t *testing.T) {
+	var tr Trace
+	_, err := Run(figure2, &tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tasks() != 3 {
+		t.Fatalf("trace tasks = %d", tr.Tasks())
+	}
+	ds := NewDetectorSink(4)
+	tr.Replay(ds)
+	if !ds.Racy() {
+		t.Fatal("replayed trace lost the race")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := map[string]Event{
+		"fork(0,1)":   {Kind: EvFork, T: 0, U: 1},
+		"join(2,1)":   {Kind: EvJoin, T: 2, U: 1},
+		"read(1,0x5)": {Kind: EvRead, T: 1, Loc: 5},
+		"halt(3)":     {Kind: EvHalt, T: 3},
+		"begin(0)":    {Kind: EvBegin, T: 0},
+	}
+	for want, e := range cases {
+		if e.String() != want {
+			t.Errorf("Event.String() = %q, want %q", e.String(), want)
+		}
+	}
+	if EventKind(200).String() != "EventKind(200)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	var a, b Trace
+	m := MultiSink{&a, &b}
+	m.Event(Event{Kind: EvBegin, T: 0})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatal("MultiSink did not fan out")
+	}
+}
+
+// randomProgram builds a random structured fork-join program. Only
+// JoinLeft is used for explicit joins, which together with AutoJoin keeps
+// every generated program inside the discipline.
+func randomProgram(rng *rand.Rand, maxOps, maxDepth int) func(*Task) {
+	var body func(t *Task, depth int, budget *int)
+	body = func(t *Task, depth int, budget *int) {
+		for *budget > 0 {
+			*budget--
+			switch r := rng.Intn(10); {
+			case r < 3:
+				t.Read(core.Addr(rng.Intn(8)))
+			case r < 6:
+				t.Write(core.Addr(rng.Intn(8)))
+			case r < 8 && depth < maxDepth:
+				t.Fork(func(c *Task) { body(c, depth+1, budget) })
+			case r < 9:
+				t.JoinLeft()
+			default:
+				return
+			}
+		}
+	}
+	return func(t *Task) {
+		b := maxOps
+		body(t, 0, &b)
+	}
+}
+
+// TestTheorem6Property: task graphs of random structured programs are
+// two-dimensional lattices (single source/sink, lattice property, and a
+// Dushnik–Miller realizer from the two canonical traversal orders), and
+// the canonical non-separating traversal visits vertices in execution
+// order.
+func TestTheorem6Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewGraphBuilder()
+		_, err := Run(randomProgram(rng, 2+rng.Intn(25), 4), b, Options{AutoJoin: true})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		g := b.Graph()
+		if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+			t.Logf("seed %d: sources/sinks wrong", seed)
+			return false
+		}
+		p := order.NewPoset(g)
+		if err := p.IsLattice(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		left, err := traversal.NonSeparating(g)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := traversal.Validate(left, g, p.R); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Execution order is vertex-creation order 0..n-1; the canonical
+		// traversal must visit vertices in exactly that order.
+		for i, v := range left.VertexOrder() {
+			if v != i {
+				t.Logf("seed %d: traversal visits %d at position %d", seed, v, i)
+				return false
+			}
+		}
+		right, err := traversal.RightToLeft(g)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		real := order.Realizer{L1: left.VertexOrder(), L2: right.VertexOrder()}
+		if err := real.Verify(p); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelayedStreamMatchesOfflineDelay: the online event stream drives the
+// walker exactly like the offline Delay transform of the built task graph
+// would, as far as query answers are concerned. We validate by checking
+// condition (6) online against ground-truth reachability at thread level.
+func TestOnlineCondition6Property(t *testing.T) {
+	type check struct {
+		got    bool // thread-level Sup(x, cur) == cur
+		xv, cv graph.V
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewGraphBuilder()
+		ds := NewDetectorSink(0)
+		var checks []check
+		seen := map[ID]bool{}
+		probe := SinkFunc(func(e Event) {
+			ds.Event(e)
+			if e.Kind == EvBegin {
+				seen[e.T] = true
+				return
+			}
+			if e.Kind != EvRead && e.Kind != EvWrite {
+				return
+			}
+			cur := e.T
+			for x := range seen {
+				// Thread-level x ⊑ cur must equal vertex-level
+				// reachability from x's latest vertex to the current
+				// vertex (Equation 9). The builder (first in the
+				// MultiSink) has already appended the current vertex.
+				checks = append(checks, check{
+					got: ds.D.W.Sup(x, cur) == cur,
+					xv:  b.VertexOf[x],
+					cv:  b.VertexOf[cur],
+				})
+			}
+		})
+		_, err := Run(randomProgram(rng, 2+rng.Intn(20), 3), MultiSink{b, probe}, Options{AutoJoin: true})
+		if err != nil {
+			return false
+		}
+		p := order.NewPoset(b.Graph())
+		for _, c := range checks {
+			if c.got != p.Leq(c.xv, c.cv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphBuilderLabelsAndAccesses(t *testing.T) {
+	b := NewGraphBuilder()
+	_, err := Run(figure2, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := 0, 0
+	for _, a := range b.Accesses {
+		if a.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != 2 || writes != 1 {
+		t.Fatalf("accesses: %d reads, %d writes", reads, writes)
+	}
+	if len(b.TaskOf) != b.Graph().N() {
+		t.Fatal("TaskOf out of sync")
+	}
+}

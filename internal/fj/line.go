@@ -1,0 +1,138 @@
+package fj
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrStructure is wrapped by all line-discipline violations.
+var ErrStructure = errors.New("fork-join structure violation")
+
+// line maintains the paper's line of task points (Figure 9) and emits the
+// execution's event stream. It is the shared heart of the serial runtime
+// (Runtime) and the goroutine frontend (internal/goinstr): both guarantee
+// single-threaded access — the serial runtime trivially, the goroutine
+// frontend via its baton.
+type Line struct {
+	sink Sink
+
+	left   []int32 // left[x]: id of x's left neighbor, -1 at the left end
+	right  []int32 // right[x]: id of x's right neighbor, -1 at the right end
+	halted []bool
+	gone   []bool // joined and removed from the line
+}
+
+func NewLine(sink Sink) *Line {
+	if sink == nil {
+		sink = NullSink{}
+	}
+	l := &Line{sink: sink}
+	l.addTask() // the root task, id 0, alone in the line
+	l.sink.Event(Event{Kind: EvBegin, T: 0})
+	return l
+}
+
+func (l *Line) addTask() ID {
+	id := len(l.left)
+	l.left = append(l.left, -1)
+	l.right = append(l.right, -1)
+	l.halted = append(l.halted, false)
+	l.gone = append(l.gone, false)
+	return id
+}
+
+// tasks returns the number of tasks ever created.
+func (l *Line) Tasks() int { return len(l.left) }
+
+func (l *Line) check(x ID, op string) error {
+	if x < 0 || x >= len(l.left) {
+		return fmt.Errorf("%w: %s by unknown task %d", ErrStructure, op, x)
+	}
+	if l.gone[x] {
+		return fmt.Errorf("%w: %s by joined task %d", ErrStructure, op, x)
+	}
+	if l.halted[x] {
+		return fmt.Errorf("%w: %s by halted task %d", ErrStructure, op, x)
+	}
+	return nil
+}
+
+// fork creates a new task as the immediate left neighbor of parent
+// (Figure 9, first rule) and emits the fork arc.
+func (l *Line) Fork(parent ID) (ID, error) {
+	if err := l.check(parent, "fork"); err != nil {
+		return -1, err
+	}
+	child := l.addTask()
+	// Splice child between parent's left neighbor and parent.
+	pl := l.left[parent]
+	l.left[child] = pl
+	l.right[child] = int32(parent)
+	if pl >= 0 {
+		l.right[pl] = int32(child)
+	}
+	l.left[parent] = int32(child)
+	l.sink.Event(Event{Kind: EvFork, T: parent, U: child})
+	l.sink.Event(Event{Kind: EvBegin, T: child})
+	return child, nil
+}
+
+// join makes x join y (Figure 9, second rule): y must be x's immediate
+// left neighbor and must have halted; y is removed from the line.
+func (l *Line) Join(x, y ID) error {
+	if err := l.check(x, "join"); err != nil {
+		return err
+	}
+	if y < 0 || y >= len(l.left) || l.gone[y] {
+		return fmt.Errorf("%w: task %d joins unknown or already joined task %d", ErrStructure, x, y)
+	}
+	if l.left[x] != int32(y) {
+		return fmt.Errorf("%w: task %d may only join its immediate left neighbor %d, not %d",
+			ErrStructure, x, l.left[x], y)
+	}
+	if !l.halted[y] {
+		return fmt.Errorf("%w: task %d joins task %d which has not halted", ErrStructure, x, y)
+	}
+	// Unsplice y.
+	yl := l.left[y]
+	l.left[x] = yl
+	if yl >= 0 {
+		l.right[yl] = int32(x)
+	}
+	l.gone[y] = true
+	l.sink.Event(Event{Kind: EvJoin, T: x, U: y})
+	return nil
+}
+
+// halt marks x finished and emits the stop-arc.
+func (l *Line) Halt(x ID) error {
+	if err := l.check(x, "halt"); err != nil {
+		return err
+	}
+	l.halted[x] = true
+	l.sink.Event(Event{Kind: EvHalt, T: x})
+	return nil
+}
+
+// read emits a read of loc by x.
+func (l *Line) Read(x ID, loc core.Addr) error {
+	if err := l.check(x, "read"); err != nil {
+		return err
+	}
+	l.sink.Event(Event{Kind: EvRead, T: x, Loc: loc})
+	return nil
+}
+
+// write emits a write of loc by x.
+func (l *Line) Write(x ID, loc core.Addr) error {
+	if err := l.check(x, "write"); err != nil {
+		return err
+	}
+	l.sink.Event(Event{Kind: EvWrite, T: x, Loc: loc})
+	return nil
+}
+
+// leftNeighbor returns x's current immediate left neighbor, or -1.
+func (l *Line) LeftNeighbor(x ID) ID { return int(l.left[x]) }

@@ -1,0 +1,133 @@
+package fj
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Direct tests of the exported Line discipline, independent of any
+// runtime: these are the exact transition rules of Figure 9.
+
+func TestLineInitialState(t *testing.T) {
+	l := NewLine(nil) // nil sink must be tolerated
+	if l.Tasks() != 1 {
+		t.Fatalf("tasks = %d", l.Tasks())
+	}
+	if l.LeftNeighbor(0) != -1 {
+		t.Fatal("root has a left neighbor")
+	}
+}
+
+func TestLineEmitsRootBegin(t *testing.T) {
+	var tr Trace
+	NewLine(&tr)
+	if len(tr.Events) != 1 || tr.Events[0].Kind != EvBegin || tr.Events[0].T != 0 {
+		t.Fatalf("events = %v", tr.Events)
+	}
+}
+
+func TestLineForkPlacesChildLeft(t *testing.T) {
+	l := NewLine(nil)
+	a, err := l.Fork(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LeftNeighbor(0) != a {
+		t.Fatal("child not immediately left of parent")
+	}
+	b, _ := l.Fork(0)
+	if l.LeftNeighbor(0) != b || l.LeftNeighbor(b) != a {
+		t.Fatal("second child not spliced between")
+	}
+}
+
+func TestLineForkByUnknownTask(t *testing.T) {
+	l := NewLine(nil)
+	if _, err := l.Fork(42); !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := l.Fork(-1); !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLineJoinRequiresHalt(t *testing.T) {
+	l := NewLine(nil)
+	a, _ := l.Fork(0)
+	err := l.Join(0, a)
+	if err == nil || !strings.Contains(err.Error(), "has not halted") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := l.Halt(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Join(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if l.LeftNeighbor(0) != -1 {
+		t.Fatal("joined task still in line")
+	}
+}
+
+func TestLineJoinUnknownTarget(t *testing.T) {
+	l := NewLine(nil)
+	if err := l.Join(0, 9); !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := l.Join(0, -3); !errors.Is(err, ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLineOpsByHaltedTask(t *testing.T) {
+	l := NewLine(nil)
+	a, _ := l.Fork(0)
+	l.Halt(a)
+	if err := l.Read(a, 1); !errors.Is(err, ErrStructure) {
+		t.Fatalf("read: %v", err)
+	}
+	if err := l.Write(a, 1); !errors.Is(err, ErrStructure) {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := l.Fork(a); !errors.Is(err, ErrStructure) {
+		t.Fatalf("fork: %v", err)
+	}
+	if err := l.Halt(a); !errors.Is(err, ErrStructure) {
+		t.Fatalf("double halt: %v", err)
+	}
+}
+
+func TestLineOpsByJoinedTask(t *testing.T) {
+	l := NewLine(nil)
+	a, _ := l.Fork(0)
+	l.Halt(a)
+	l.Join(0, a)
+	if err := l.Read(a, 1); err == nil || !strings.Contains(err.Error(), "joined task") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := l.Join(0, a); err == nil || !strings.Contains(err.Error(), "already joined") {
+		t.Fatalf("double join: %v", err)
+	}
+}
+
+func TestLineThreeTaskSplice(t *testing.T) {
+	// [a, b, c, 0] — join c, then b, then a, checking splices.
+	l := NewLine(nil)
+	a, _ := l.Fork(0)
+	b, _ := l.Fork(0)
+	c, _ := l.Fork(0)
+	for _, id := range []ID{a, b, c} {
+		if err := l.Halt(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []ID{c, b, a} {
+		if got := l.LeftNeighbor(0); got != want {
+			t.Fatalf("left neighbor = %d, want %d", got, want)
+		}
+		if err := l.Join(0, want); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package fj
+
+import "repro/internal/core"
+
+// DetectorSink adapts the online race detector (internal/core, Figures 6
+// and 8) to the event stream: the thread-compressed delayed traversal of
+// Section 5 is fed to the Walker, and memory operations pose the
+// supremum queries.
+//
+//	fork(x, y)  → arc (x, y)            (no Walk action; registers y)
+//	begin(y)    → loop (y, y)
+//	read/write  → loop (t, t) + queries (On-Read / On-Write)
+//	join(x, y)  → delayed last-arc (y, x) + loop (x, x)
+//	halt(x)     → stop-arc (x, ×)
+type DetectorSink struct {
+	D *core.Detector
+}
+
+// NewDetectorSink returns a sink wrapping a fresh detector sized for
+// roughly nTasks tasks.
+func NewDetectorSink(nTasks int) *DetectorSink {
+	return &DetectorSink{D: core.NewDetector(nTasks, 64)}
+}
+
+// NewDetectorSinkShadow is NewDetectorSink with paged shadow-memory
+// location storage — faster and allocation-free on dense address ranges,
+// identical verdicts (see internal/core/shadow.go and its benchmarks).
+func NewDetectorSinkShadow(nTasks int) *DetectorSink {
+	return &DetectorSink{D: core.NewDetectorShadow(nTasks)}
+}
+
+// Event implements Sink.
+func (s *DetectorSink) Event(e Event) {
+	w := s.D.W
+	switch e.Kind {
+	case EvBegin:
+		w.Visit(e.T)
+	case EvFork:
+		// The fork arc (x, y) is not a last-arc: Walk ignores it. Make
+		// sure the child is registered before any query mentions it.
+		w.Grow(e.U + 1)
+	case EvJoin:
+		w.LastArc(e.U, e.T) // delayed last-arc (y, x)
+		w.Visit(e.T)        // the join operation itself is a step of x
+	case EvHalt:
+		w.StopArc(e.T)
+	case EvRead:
+		w.Visit(e.T)
+		s.D.OnRead(e.T, e.Loc)
+	case EvWrite:
+		w.Visit(e.T)
+		s.D.OnWrite(e.T, e.Loc)
+	}
+}
+
+// Races exposes the detector's retained reports.
+func (s *DetectorSink) Races() []core.Race { return s.D.Races() }
+
+// Racy reports whether any race was detected.
+func (s *DetectorSink) Racy() bool { return s.D.Racy() }

@@ -1,0 +1,133 @@
+package fj
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceStats summarizes the shape of an execution trace.
+type TraceStats struct {
+	// Events is the total event count.
+	Events int
+	// Tasks is the number of tasks created.
+	Tasks int
+	// Reads and Writes count the memory operations.
+	Reads, Writes int
+	// Forks and Joins count the structural operations.
+	Forks, Joins int
+	// MaxWidth is the maximum number of tasks simultaneously in the line
+	// (created and not yet joined): the execution's available
+	// parallelism.
+	MaxWidth int
+	// MaxDepth is the maximum fork-nesting depth of the serial schedule.
+	MaxDepth int
+}
+
+// Stats computes summary statistics in one pass over the trace.
+func (t *Trace) Stats() TraceStats {
+	s := TraceStats{Events: len(t.Events), Tasks: t.Tasks()}
+	width := 1 // the root task
+	depth := 1
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvFork:
+			s.Forks++
+			width++
+			if width > s.MaxWidth {
+				s.MaxWidth = width
+			}
+		case EvBegin:
+			if e.T != 0 {
+				depth++
+				if depth > s.MaxDepth {
+					s.MaxDepth = depth
+				}
+			} else {
+				s.MaxWidth = 1
+				s.MaxDepth = 1
+			}
+		case EvHalt:
+			if e.T != 0 {
+				depth--
+			}
+		case EvJoin:
+			s.Joins++
+			width--
+		case EvRead:
+			s.Reads++
+		case EvWrite:
+			s.Writes++
+		}
+	}
+	return s
+}
+
+func (s TraceStats) String() string {
+	return fmt.Sprintf("events=%d tasks=%d reads=%d writes=%d forks=%d joins=%d max-width=%d max-depth=%d",
+		s.Events, s.Tasks, s.Reads, s.Writes, s.Forks, s.Joins, s.MaxWidth, s.MaxDepth)
+}
+
+// RenderLine renders the evolution of the task line — the paper's
+// Figure 9/10 "lines of task points" — as text, one snapshot per
+// structural event. Tasks are printed left to right; halted tasks are
+// parenthesized. Intended for small traces (teaching, debugging); memory
+// operations are elided.
+func RenderLine(t *Trace) string {
+	type taskState struct {
+		halted bool
+	}
+	// Reconstruct the line as a slice of ids (small traces only).
+	var line []ID
+	state := map[ID]*taskState{}
+	insertLeftOf := func(x, child ID) {
+		for i, id := range line {
+			if id == x {
+				line = append(line[:i], append([]ID{child}, line[i:]...)...)
+				return
+			}
+		}
+	}
+	remove := func(x ID) {
+		for i, id := range line {
+			if id == x {
+				line = append(line[:i], line[i+1:]...)
+				return
+			}
+		}
+	}
+	var b strings.Builder
+	snapshot := func(label string) {
+		fmt.Fprintf(&b, "%-12s", label)
+		for _, id := range line {
+			if state[id].halted {
+				fmt.Fprintf(&b, " (%d)", id)
+			} else {
+				fmt.Fprintf(&b, " %d", id)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvBegin:
+			if e.T == 0 {
+				line = []ID{0}
+				state[0] = &taskState{}
+				snapshot("begin 0:")
+			}
+		case EvFork:
+			state[e.U] = &taskState{}
+			insertLeftOf(e.T, e.U)
+			snapshot(fmt.Sprintf("fork %d<-%d:", e.U, e.T))
+		case EvJoin:
+			remove(e.U)
+			snapshot(fmt.Sprintf("join %d<-%d:", e.U, e.T))
+		case EvHalt:
+			if st, ok := state[e.T]; ok {
+				st.halted = true
+			}
+			snapshot(fmt.Sprintf("halt %d:", e.T))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package fj
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceStatsFigure2(t *testing.T) {
+	var tr Trace
+	if _, err := Run(figure2, &tr, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Tasks != 3 || s.Forks != 2 || s.Joins != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("ops = %+v", s)
+	}
+	// Line: at most [a, c, main] minus joins — a is joined by c before
+	// the fork of... actually a and c coexist briefly: width 3.
+	if s.MaxWidth != 3 {
+		t.Fatalf("max width = %d", s.MaxWidth)
+	}
+	if s.MaxDepth != 2 {
+		t.Fatalf("max depth = %d", s.MaxDepth)
+	}
+	str := s.String()
+	for _, want := range []string{"tasks=3", "max-width=3"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestTraceStatsDeepNest(t *testing.T) {
+	var tr Trace
+	_, err := Run(func(t *Task) {
+		t.Fork(func(a *Task) {
+			a.Fork(func(b *Task) {
+				b.Fork(func(c *Task) { c.Write(1) })
+			})
+		})
+	}, &tr, Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.MaxDepth != 4 {
+		t.Fatalf("depth = %d", s.MaxDepth)
+	}
+	if s.MaxWidth != 4 {
+		t.Fatalf("width = %d", s.MaxWidth)
+	}
+}
+
+func TestTraceStatsWideFanout(t *testing.T) {
+	var tr Trace
+	_, err := Run(func(t *Task) {
+		for i := 0; i < 6; i++ {
+			t.Fork(func(*Task) {})
+		}
+	}, &tr, Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.MaxWidth != 7 {
+		t.Fatalf("width = %d", s.MaxWidth)
+	}
+	if s.MaxDepth != 2 {
+		t.Fatalf("depth = %d", s.MaxDepth)
+	}
+}
+
+func TestRenderLineFigure2(t *testing.T) {
+	var tr Trace
+	if _, err := Run(figure2, &tr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := RenderLine(&tr)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// begin, 2 forks, 2 halts of children, 1 join by c, 1 join by main,
+	// final halt of main = 8 snapshots.
+	if len(lines) != 8 {
+		t.Fatalf("snapshots = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "begin 0:") {
+		t.Fatalf("first line %q", lines[0])
+	}
+	// After forking a (task 1): line is "1 0".
+	if !strings.Contains(lines[1], " 1 0") {
+		t.Fatalf("fork snapshot %q", lines[1])
+	}
+	// Halted tasks are parenthesized.
+	if !strings.Contains(out, "(1)") {
+		t.Fatalf("halted task not marked:\n%s", out)
+	}
+}

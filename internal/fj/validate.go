@@ -1,0 +1,87 @@
+package fj
+
+import "fmt"
+
+// ValidateTrace checks that an event sequence is a record of a structured
+// fork-join execution under the serial fork-first schedule:
+//
+//   - task identifiers are dense and allocated in fork order;
+//   - every forked task begins immediately and runs to its halt before
+//     the parent resumes (the schedule is a stack discipline);
+//   - joins respect the left-neighbor rule and target halted tasks;
+//   - all events come from the currently running task.
+//
+// Traces read from disk (DecodeTrace) should be validated before being
+// replayed into detectors or the graph builder: the detector's guarantees
+// hold only for traces the serial runtime could have emitted, which is
+// exactly the set this function accepts.
+func ValidateTrace(tr *Trace) error {
+	events := tr.Events
+	if len(events) == 0 {
+		return fmt.Errorf("fj: empty trace")
+	}
+	if events[0].Kind != EvBegin || events[0].T != 0 {
+		return fmt.Errorf("fj: trace must start with begin(0), got %v", events[0])
+	}
+	line := NewLine(NullSink{})
+	stack := []ID{0}   // currently running tasks, innermost last
+	pendingBegin := -1 // child that must begin next, -1 if none
+	for i, e := range events[1:] {
+		pos := i + 1
+		if pendingBegin >= 0 {
+			if e.Kind != EvBegin || e.T != pendingBegin {
+				return fmt.Errorf("fj: event %d: expected begin(%d) right after its fork, got %v", pos, pendingBegin, e)
+			}
+			stack = append(stack, e.T)
+			pendingBegin = -1
+			continue
+		}
+		if len(stack) == 0 {
+			return fmt.Errorf("fj: event %d: %v after the root halted", pos, e)
+		}
+		top := stack[len(stack)-1]
+		if e.T != top {
+			return fmt.Errorf("fj: event %d: %v from task %d while task %d is running (schedule is serial fork-first)",
+				pos, e, e.T, top)
+		}
+		switch e.Kind {
+		case EvBegin:
+			return fmt.Errorf("fj: event %d: unexpected %v (no preceding fork)", pos, e)
+		case EvFork:
+			child, err := line.Fork(e.T)
+			if err != nil {
+				return fmt.Errorf("fj: event %d: %w", pos, err)
+			}
+			if child != e.U {
+				return fmt.Errorf("fj: event %d: fork allocated id %d, trace says %d", pos, child, e.U)
+			}
+			pendingBegin = e.U
+		case EvJoin:
+			if err := line.Join(e.T, e.U); err != nil {
+				return fmt.Errorf("fj: event %d: %w", pos, err)
+			}
+		case EvHalt:
+			if err := line.Halt(e.T); err != nil {
+				return fmt.Errorf("fj: event %d: %w", pos, err)
+			}
+			stack = stack[:len(stack)-1]
+		case EvRead:
+			if err := line.Read(e.T, e.Loc); err != nil {
+				return fmt.Errorf("fj: event %d: %w", pos, err)
+			}
+		case EvWrite:
+			if err := line.Write(e.T, e.Loc); err != nil {
+				return fmt.Errorf("fj: event %d: %w", pos, err)
+			}
+		default:
+			return fmt.Errorf("fj: event %d: unknown kind %v", pos, e.Kind)
+		}
+	}
+	if pendingBegin >= 0 {
+		return fmt.Errorf("fj: trace ends with unbegun fork of %d", pendingBegin)
+	}
+	if len(stack) > 1 {
+		return fmt.Errorf("fj: trace ends with %d tasks still running", len(stack))
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package fj
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAcceptsRuntimeTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trace
+		if _, err := Run(randomProgram(rng, 2+rng.Intn(40), 4), &tr, Options{AutoJoin: true}); err != nil {
+			return false
+		}
+		return ValidateTrace(&tr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAcceptsFigure2(t *testing.T) {
+	var tr Trace
+	if _, err := Run(figure2, &tr, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustTrace(t *testing.T) *Trace {
+	t.Helper()
+	var tr Trace
+	if _, err := Run(figure2, &tr, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	return &tr
+}
+
+func TestValidateRejectsCorruptions(t *testing.T) {
+	base := mustTrace(t)
+	corrupt := func(mut func(events []Event) []Event) error {
+		events := append([]Event(nil), base.Events...)
+		return ValidateTrace(&Trace{Events: mut(events)})
+	}
+	cases := map[string]struct {
+		mut  func([]Event) []Event
+		want string
+	}{
+		"empty": {func(e []Event) []Event { return nil }, "empty trace"},
+		"wrong start": {func(e []Event) []Event {
+			e[0] = Event{Kind: EvRead, T: 0, Loc: 1}
+			return e
+		}, "must start with begin(0)"},
+		"dropped begin": {func(e []Event) []Event {
+			// Remove the begin following the first fork.
+			for i, ev := range e {
+				if ev.Kind == EvFork {
+					return append(e[:i+1], e[i+2:]...)
+				}
+			}
+			return e
+		}, "expected begin"},
+		"foreign task event": {func(e []Event) []Event {
+			// A task acts while its child runs: move the parent's read
+			// before the child's halt.
+			return append(e, Event{Kind: EvRead, T: 1, Loc: 9})
+		}, ""},
+		"spurious begin": {func(e []Event) []Event {
+			return append(e, Event{Kind: EvBegin, T: 9})
+		}, ""},
+		"double halt": {func(e []Event) []Event {
+			return append(e, Event{Kind: EvHalt, T: 0})
+		}, ""},
+		"renumbered fork": {func(e []Event) []Event {
+			for i, ev := range e {
+				if ev.Kind == EvFork {
+					e[i].U = 7
+					break
+				}
+			}
+			return e
+		}, ""},
+	}
+	for name, c := range cases {
+		err := corrupt(c.mut)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsInterleaving(t *testing.T) {
+	// Hand-built trace where the parent acts while the child is running:
+	// begin(0) fork(0,1) begin(1) read(0) … violates the serial schedule.
+	tr := &Trace{Events: []Event{
+		{Kind: EvBegin, T: 0},
+		{Kind: EvFork, T: 0, U: 1},
+		{Kind: EvBegin, T: 1},
+		{Kind: EvRead, T: 0, Loc: 1},
+	}}
+	err := ValidateTrace(tr)
+	if err == nil || !strings.Contains(err.Error(), "serial fork-first") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsNonNeighborJoin(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: EvBegin, T: 0},
+		{Kind: EvFork, T: 0, U: 1},
+		{Kind: EvBegin, T: 1},
+		{Kind: EvHalt, T: 1},
+		{Kind: EvFork, T: 0, U: 2},
+		{Kind: EvBegin, T: 2},
+		{Kind: EvHalt, T: 2},
+		{Kind: EvJoin, T: 0, U: 1}, // 2 is the left neighbor, not 1
+	}}
+	err := ValidateTrace(tr)
+	if err == nil || !strings.Contains(err.Error(), "immediate left neighbor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsTruncatedRun(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: EvBegin, T: 0},
+		{Kind: EvFork, T: 0, U: 1},
+		{Kind: EvBegin, T: 1},
+		// child never halts, root never resumes
+	}}
+	err := ValidateTrace(tr)
+	if err == nil || !strings.Contains(err.Error(), "still running") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsDanglingFork(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: EvBegin, T: 0},
+		{Kind: EvFork, T: 0, U: 1},
+	}}
+	err := ValidateTrace(tr)
+	if err == nil || !strings.Contains(err.Error(), "unbegun fork") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package future layers a restricted future/promise construct over the
+// structured fork-join runtime. The paper motivates fork and join as
+// "general enough [to] naturally capture [a] variety of other constructs
+// such as futures" (Section 2.2); this package makes that concrete for
+// the 2D discipline.
+//
+// A future is created by Spawn and forced by Get. The line discipline
+// restricts which futures may be forced when: Get succeeds only when the
+// future's task is the forcing task's immediate left neighbor —
+// left-neighbor futures. Within that restriction futures compose into
+// non-series-parallel shapes (e.g. the Figure 2 pattern, or Blelloch and
+// Reid-Miller's pipelining-with-futures on linear chains), while a Get
+// out of discipline reports the structure violation instead of deadlock.
+package future
+
+import (
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// Value is the result type carried by futures. Using a concrete interface
+// keeps the package dependency-free; callers type-assert their own types.
+type Value = any
+
+// Future is a handle to a spawned computation's eventual result.
+type Future struct {
+	h      fj.Handle
+	result *Value
+	forced bool
+}
+
+// Ctx is the capability handed to computations: spawn futures, force
+// them, and perform instrumented memory accesses.
+type Ctx struct {
+	t *fj.Task
+}
+
+// ID returns the underlying task identifier.
+func (c *Ctx) ID() fj.ID { return c.t.ID() }
+
+// Read performs an instrumented read of loc.
+func (c *Ctx) Read(loc core.Addr) { c.t.Read(loc) }
+
+// Write performs an instrumented write of loc.
+func (c *Ctx) Write(loc core.Addr) { c.t.Write(loc) }
+
+// Spawn starts fn as a future. Under the serial fork-first schedule the
+// computation runs immediately; the value is sealed until Get
+// synchronizes with it.
+func (c *Ctx) Spawn(fn func(*Ctx) Value) *Future {
+	f := &Future{result: new(Value)}
+	f.h = c.t.Fork(func(ct *fj.Task) {
+		*f.result = fn(&Ctx{t: ct})
+	})
+	return f
+}
+
+// Get forces the future: it joins the future's task (which must be the
+// immediate left neighbor, per the discipline) and returns its value.
+// Forcing the same future twice returns the cached value without a second
+// join.
+func (c *Ctx) Get(f *Future) Value {
+	if !f.forced {
+		c.t.Join(f.h)
+		f.forced = true
+	}
+	return *f.result
+}
+
+// Run executes root with a future context on a fresh runtime, streaming
+// events to sink. Unforced futures are joined at exit (their values are
+// simply dropped).
+func Run(root func(*Ctx), sink fj.Sink) (int, error) {
+	return fj.Run(func(t *fj.Task) {
+		root(&Ctx{t: t})
+	}, sink, fj.Options{AutoJoin: true})
+}

@@ -1,0 +1,113 @@
+package future
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+func TestFutureValueRoundTrip(t *testing.T) {
+	var got int
+	_, err := Run(func(c *Ctx) {
+		f := c.Spawn(func(*Ctx) Value { return 42 })
+		got = c.Get(f).(int)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("future value = %d", got)
+	}
+}
+
+func TestGetTwiceReturnsCached(t *testing.T) {
+	_, err := Run(func(c *Ctx) {
+		f := c.Spawn(func(*Ctx) Value { return "x" })
+		if c.Get(f) != "x" || c.Get(f) != "x" {
+			panic("wrong value")
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnforcedFutureOrderingRaces(t *testing.T) {
+	// Without forcing, the future's write stays concurrent with ours.
+	ds := fj.NewDetectorSink(4)
+	_, err := Run(func(c *Ctx) {
+		c.Spawn(func(fc *Ctx) Value {
+			fc.Write(1)
+			return nil
+		})
+		c.Write(1)
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("unforced future write not flagged")
+	}
+}
+
+func TestForcedFutureOrders(t *testing.T) {
+	ds := fj.NewDetectorSink(4)
+	_, err := Run(func(c *Ctx) {
+		f := c.Spawn(func(fc *Ctx) Value {
+			fc.Write(1)
+			return nil
+		})
+		c.Get(f)
+		c.Write(1)
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("forced future still racing: %v", ds.D.Races())
+	}
+}
+
+func TestChainedFuturesPipelineStyle(t *testing.T) {
+	// Blelloch/Reid-Miller-style chaining on a line: each future forces
+	// its left neighbor — the non-SP staircase pattern of Figure 2.
+	ds := fj.NewDetectorSink(8)
+	_, err := Run(func(c *Ctx) {
+		prev := c.Spawn(func(fc *Ctx) Value {
+			fc.Write(core.Addr(100))
+			return 1
+		})
+		for i := 2; i <= 4; i++ {
+			loc := core.Addr(100 + i - 1)
+			p := prev
+			prev = c.Spawn(func(fc *Ctx) Value {
+				v := fc.Get(p).(int) // force left neighbor
+				fc.Read(loc - 1)
+				fc.Write(loc)
+				return v + 1
+			})
+		}
+		if got := c.Get(prev).(int); got != 4 {
+			panic("chain value wrong")
+		}
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("chained futures raced: %v", ds.D.Races())
+	}
+}
+
+func TestOutOfDisciplineGetFails(t *testing.T) {
+	_, err := Run(func(c *Ctx) {
+		a := c.Spawn(func(*Ctx) Value { return nil })
+		c.Spawn(func(*Ctx) Value { return nil })
+		c.Get(a) // a is not the immediate left neighbor
+	}, nil)
+	if !errors.Is(err, fj.ErrStructure) {
+		t.Fatalf("err = %v, want structure violation", err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package goinstr runs structured fork-join programs on real goroutines,
+// demonstrating how goroutine task graphs are instrumented for the paper's
+// detector. Each task executes in its own goroutine; execution is
+// serialized in the fork-first order the suprema algorithm requires by
+// having the parent block until the child goroutine halts — "this
+// requirement makes the algorithm serial, but that is the price we pay for
+// efficiency" (Section 2.3).
+//
+// The instrumentation points are exactly the ones a compiler or runtime
+// shim would hook in instrumented Go code: goroutine creation (Go),
+// joining (Join, the done-channel idiom), and memory accesses
+// (Read/Write). The emitted event stream is identical to the serial
+// runtime's, so every detector and baseline consumes it unchanged. This is
+// the substitution for the paper's language-runtime integration: Go's
+// unrestricted goroutines carry no task-line structure, so the structure
+// is imposed by the API and violations surface as errors.
+package goinstr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// ID identifies a task.
+type ID = fj.ID
+
+// Task is the per-goroutine capability. Methods must be called from the
+// goroutine that owns the task (the one its body runs on); ownership is
+// exclusive because parents block while children run.
+type Task struct {
+	id ID
+	rt *runtime
+}
+
+// ID returns the task identifier (0 for the root).
+func (t *Task) ID() ID { return t.id }
+
+// Handle names a task created by Go for a later Join.
+type Handle struct {
+	id   ID
+	done chan struct{}
+}
+
+type runtime struct {
+	mu   sync.Mutex // guards err; the line itself is serialization-protected
+	line *fj.Line
+	err  error
+}
+
+func (rt *runtime) fail(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *runtime) failed() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err != nil
+}
+
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Go activates body as a new task on a fresh goroutine placed immediately
+// left of t and waits for it to halt before returning — the serial
+// fork-first schedule on real goroutines.
+func (t *Task) Go(body func(*Task)) Handle {
+	rt := t.rt
+	if rt.failed() {
+		return Handle{id: -1, done: closedChan}
+	}
+	child, err := rt.line.Fork(t.id)
+	if err != nil {
+		rt.fail(err)
+		return Handle{id: -1, done: closedChan}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if p := recover(); p != nil {
+				rt.fail(fmt.Errorf("goinstr: task %d panicked: %v", child, p))
+				return
+			}
+			if e := rt.line.Halt(child); e != nil {
+				rt.fail(e)
+			}
+		}()
+		body(&Task{id: child, rt: rt})
+	}()
+	<-done // fork-first: the child goroutine runs to completion first
+	return Handle{id: child, done: done}
+}
+
+// Join performs the discipline-checked join of the task named by h. Under
+// the serial schedule the goroutine has already finished; Join still
+// receives on its done channel, mirroring the idiomatic Go join.
+func (t *Task) Join(h Handle) {
+	rt := t.rt
+	if rt.failed() || h.id < 0 {
+		return
+	}
+	<-h.done
+	if err := rt.line.Join(t.id, h.id); err != nil {
+		rt.fail(err)
+	}
+}
+
+// JoinLeft joins the current immediate left neighbor, if any.
+func (t *Task) JoinLeft() bool {
+	rt := t.rt
+	if rt.failed() {
+		return false
+	}
+	y := rt.line.LeftNeighbor(t.id)
+	if y < 0 {
+		return false
+	}
+	if err := rt.line.Join(t.id, y); err != nil {
+		rt.fail(err)
+		return false
+	}
+	return true
+}
+
+// Read performs an instrumented read of loc.
+func (t *Task) Read(loc core.Addr) {
+	if t.rt.failed() {
+		return
+	}
+	if err := t.rt.line.Read(t.id, loc); err != nil {
+		t.rt.fail(err)
+	}
+}
+
+// Write performs an instrumented write of loc.
+func (t *Task) Write(loc core.Addr) {
+	if t.rt.failed() {
+		return
+	}
+	if err := t.rt.line.Write(t.id, loc); err != nil {
+		t.rt.fail(err)
+	}
+}
+
+// Run executes root as the main task, with every forked task on its own
+// goroutine, streaming events to sink. Remaining tasks are joined at the
+// end. It returns the number of tasks created and the first error
+// (structure violation or task panic).
+func Run(root func(*Task), sink fj.Sink) (int, error) {
+	rt := &runtime{line: fj.NewLine(sink)}
+	main := &Task{id: 0, rt: rt}
+	root(main)
+	for main.JoinLeft() {
+	}
+	if !rt.failed() {
+		if err := rt.line.Halt(0); err != nil {
+			rt.fail(err)
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.line.Tasks(), rt.err
+}

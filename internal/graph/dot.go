@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls DOT rendering of a digraph.
+type DOTOptions struct {
+	Name   string         // graph name; default "G"
+	Labels map[V]string   // optional vertex labels
+	Attrs  map[Arc]string // optional per-arc attribute strings, e.g. "style=dashed"
+	Rank   map[V]int      // optional rank (same rank ⇒ same horizontal line)
+	VAttrs map[V]string   // optional per-vertex attribute strings
+	Extra  []string       // raw lines injected into the body
+	_      struct{}       // force keyed literals
+}
+
+// WriteDOT renders g in Graphviz DOT format. It is used by cmd/latticegen to
+// reproduce the paper's figures as diagrams.
+func WriteDOT(w io.Writer, g *Digraph, opt DOTOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for _, line := range opt.Extra {
+		b.WriteString("  " + line + "\n")
+	}
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprintf("%d", v)
+		if l, ok := opt.Labels[v]; ok {
+			label = l
+		}
+		attr := ""
+		if a, ok := opt.VAttrs[v]; ok {
+			attr = ", " + a
+		}
+		fmt.Fprintf(&b, "  v%d [label=%q%s];\n", v, label, attr)
+	}
+	// Group vertices of equal rank.
+	if len(opt.Rank) > 0 {
+		byRank := map[int][]V{}
+		maxRank := 0
+		for v, r := range opt.Rank {
+			byRank[r] = append(byRank[r], v)
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		for r := 0; r <= maxRank; r++ {
+			vs := byRank[r]
+			if len(vs) == 0 {
+				continue
+			}
+			b.WriteString("  { rank=same;")
+			for _, v := range vs {
+				fmt.Fprintf(&b, " v%d;", v)
+			}
+			b.WriteString(" }\n")
+		}
+	}
+	for s := 0; s < g.N(); s++ {
+		for _, t := range g.Out(s) {
+			attr := ""
+			if a, ok := opt.Attrs[Arc{s, t}]; ok {
+				attr = " [" + a + "]"
+			}
+			fmt.Fprintf(&b, "  v%d -> v%d%s;\n", s, t, attr)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Digraph {
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	return g
+}
+
+func TestAddVertexAndArc(t *testing.T) {
+	g := New(0)
+	a := g.AddVertex()
+	b := g.AddVertex()
+	if a != 0 || b != 1 {
+		t.Fatalf("vertex ids = %d, %d; want 0, 1", a, b)
+	}
+	g.AddArc(a, b)
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("N=%d M=%d; want 2, 1", g.N(), g.M())
+	}
+	if !g.HasArc(a, b) || g.HasArc(b, a) {
+		t.Fatalf("HasArc wrong: %v %v", g.HasArc(a, b), g.HasArc(b, a))
+	}
+	if g.OutDeg(a) != 1 || g.InDeg(b) != 1 || g.InDeg(a) != 0 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+}
+
+func TestAddArcOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).AddArc(0, 1)
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	if src := g.Sources(); len(src) != 1 || src[0] != 0 {
+		t.Fatalf("sources = %v", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != 3 {
+		t.Fatalf("sinks = %v", snk)
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	order, ok := diamond().TopoSort()
+	if !ok {
+		t.Fatal("diamond reported cyclic")
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, a := range diamond().Arcs() {
+		if pos[a.S] >= pos[a.T] {
+			t.Fatalf("order %v violates arc %v", order, a)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("cycle not detected")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic true on cycle")
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := New(5)
+	g.AddArc(4, 2)
+	g.AddArc(4, 0)
+	g.AddArc(0, 3)
+	g.AddArc(2, 3)
+	g.AddArc(3, 1)
+	o1, _ := g.TopoSort()
+	o2, _ := g.TopoSort()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("nondeterministic topo sort: %v vs %v", o1, o2)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := diamond()
+	h := g.Clone()
+	h.AddArc(0, 3)
+	if g.M() != 4 || h.M() != 5 {
+		t.Fatalf("clone shares storage: g.M=%d h.M=%d", g.M(), h.M())
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := diamond()
+	r := g.Reverse()
+	for _, a := range g.Arcs() {
+		if !r.HasArc(a.T, a.S) {
+			t.Fatalf("reverse missing arc %v", a)
+		}
+	}
+	if r.M() != g.M() {
+		t.Fatal("arc count changed by Reverse")
+	}
+}
+
+func TestReachDiamond(t *testing.T) {
+	g := diamond()
+	r := NewReach(g)
+	cases := []struct {
+		x, y int
+		want bool
+	}{
+		{0, 3, true}, {0, 0, true}, {1, 2, false}, {2, 1, false},
+		{1, 3, true}, {3, 0, false},
+	}
+	for _, c := range cases {
+		if got := r.Reachable(c.x, c.y); got != c.want {
+			t.Errorf("Reachable(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+	if !r.Concurrent(1, 2) || r.Concurrent(0, 3) {
+		t.Fatal("Concurrent wrong on diamond")
+	}
+	if r.StrictlyReachable(0, 0) {
+		t.Fatal("StrictlyReachable reflexive")
+	}
+	if ub := r.UpperBounds(1, 2); len(ub) != 1 || ub[0] != 3 {
+		t.Fatalf("UpperBounds(1,2) = %v, want [3]", ub)
+	}
+	if n := r.CountReachable(0); n != 4 {
+		t.Fatalf("CountReachable(0) = %d, want 4", n)
+	}
+}
+
+// randomDAG builds a DAG on n vertices where each arc goes from a lower to a
+// higher identifier, so acyclicity holds by construction.
+func randomDAG(rng *rand.Rand, n int, p float64) *Digraph {
+	g := New(n)
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if rng.Float64() < p {
+				g.AddArc(s, t)
+			}
+		}
+	}
+	return g
+}
+
+// bfsReachable is an independent reachability oracle for cross-checking.
+func bfsReachable(g *Digraph, x, y int) bool {
+	seen := make([]bool, g.N())
+	queue := []int{x}
+	seen[x] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == y {
+			return true
+		}
+		for _, w := range g.Out(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+func TestReachMatchesBFSProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, 0.15)
+		r := NewReach(g)
+		for k := 0; k < 50; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if r.Reachable(x, y) != bfsReachable(g, x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachLargeWordBoundary(t *testing.T) {
+	// Exercise the bitset across the 64-bit word boundary: a path graph on
+	// 130 vertices.
+	n := 130
+	g := New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddArc(v, v+1)
+	}
+	r := NewReach(g)
+	if !r.Reachable(0, n-1) || r.Reachable(n-1, 0) {
+		t.Fatal("path reachability wrong across word boundary")
+	}
+	if r.CountReachable(0) != n {
+		t.Fatalf("CountReachable = %d, want %d", r.CountReachable(0), n)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond()
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Name:   "fig",
+		Labels: map[V]string{0: "src"},
+		Attrs:  map[Arc]string{{0, 1}: "style=dashed"},
+		Rank:   map[V]int{1: 1, 2: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph fig", `label="src"`, "style=dashed", "rank=same", "v2 -> v3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package lca implements Tarjan's offline lowest-common-ancestor
+// algorithm on rooted trees — the algorithm the paper's suprema finder
+// extends (Remark 2: "we can see Tarjan's algorithm as finding suprema in
+// a semilattice with the shape of a tree", and the simplified Theorem 1
+// where the root r is never visited at query time, so sup{x, t} = r
+// always).
+//
+// The package exists both as a usable batched LCA oracle and as an
+// executable witness of the generalization claim: its answers are tested
+// to coincide with the paper's Walk/Sup run over the corresponding tree
+// traversal.
+package lca
+
+import (
+	"fmt"
+
+	"repro/internal/unionfind"
+)
+
+// Tree is a rooted tree on dense vertices 0..n-1.
+type Tree struct {
+	n        int
+	root     int
+	parent   []int
+	children [][]int
+}
+
+// NewTree builds a tree from a parent array; parent[root] must be -1.
+func NewTree(parent []int) (*Tree, error) {
+	n := len(parent)
+	t := &Tree{n: n, root: -1, parent: append([]int(nil), parent...), children: make([][]int, n)}
+	for v, p := range parent {
+		switch {
+		case p == -1:
+			if t.root != -1 {
+				return nil, fmt.Errorf("lca: multiple roots %d and %d", t.root, v)
+			}
+			t.root = v
+		case p < 0 || p >= n:
+			return nil, fmt.Errorf("lca: parent of %d out of range: %d", v, p)
+		default:
+			t.children[p] = append(t.children[p], v)
+		}
+	}
+	if t.root == -1 {
+		return nil, fmt.Errorf("lca: no root")
+	}
+	// Reject cycles: walking up from every vertex must reach the root in
+	// at most n steps.
+	for v := range parent {
+		u, steps := v, 0
+		for u != t.root {
+			u = parent[u]
+			steps++
+			if steps > n {
+				return nil, fmt.Errorf("lca: cycle through %d", v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return t.n }
+
+// Root returns the root vertex.
+func (t *Tree) Root() int { return t.root }
+
+// Query is one LCA query; Answer is filled by Offline.
+type Query struct {
+	X, Y   int
+	Answer int
+}
+
+// Offline answers all queries with Tarjan's algorithm: one DFS, one
+// union-find, Θ((n+m)·α) time. Queries are answered in place.
+//
+// The classic formulation: when leaving vertex v, union v into its
+// parent's set keeping the parent's subtree ancestor as the label; a
+// query {x, y} is answered at the second of its endpoints to finish, as
+// Find(first endpoint).
+func (t *Tree) Offline(queries []Query) {
+	// Bucket queries by endpoint.
+	byVertex := make([][]int, t.n)
+	for i, q := range queries {
+		if q.X < 0 || q.X >= t.n || q.Y < 0 || q.Y >= t.n {
+			queries[i].Answer = -1
+			continue
+		}
+		byVertex[q.X] = append(byVertex[q.X], i)
+		byVertex[q.Y] = append(byVertex[q.Y], i)
+	}
+	uf := unionfind.New(t.n)
+	visited := make([]bool, t.n)
+
+	// Iterative post-order DFS: process a vertex's queries when first
+	// seen, union into parent when its subtree completes.
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{v: t.root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next == 0 {
+			v := f.v
+			visited[v] = true
+			for _, qi := range byVertex[v] {
+				q := &queries[qi]
+				other := q.X
+				if other == v && q.X == q.Y {
+					// Self-query.
+					q.Answer = v
+					continue
+				}
+				if other == v {
+					other = q.Y
+				}
+				if visited[other] {
+					q.Answer = uf.Find(other)
+				}
+			}
+		}
+		if f.next < len(t.children[f.v]) {
+			c := t.children[f.v][f.next]
+			f.next++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		// Subtree of f.v complete: union into parent, keeping the
+		// parent as the set label (the current subtree ancestor).
+		v := f.v
+		stack = stack[:len(stack)-1]
+		if p := t.parent[v]; p >= 0 {
+			uf.Union(p, v)
+		}
+	}
+}
+
+// Naive answers one query by walking ancestor paths; O(depth), used as
+// the test oracle.
+func (t *Tree) Naive(x, y int) int {
+	anc := map[int]bool{}
+	for v := x; ; v = t.parent[v] {
+		anc[v] = true
+		if v == t.root {
+			break
+		}
+	}
+	for v := y; ; v = t.parent[v] {
+		if anc[v] {
+			return v
+		}
+		if v == t.root {
+			break
+		}
+	}
+	return t.root
+}

@@ -1,0 +1,159 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/traversal"
+)
+
+// randomTree returns a random parent array rooted at 0.
+func randomTree(rng *rand.Rand, n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	return parent
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree([]int{-1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTree([]int{-1, -1}); err == nil {
+		t.Fatal("two roots accepted")
+	}
+	if _, err := NewTree([]int{0}); err == nil {
+		t.Fatal("self-parent accepted (cycle, no root)")
+	}
+	if _, err := NewTree([]int{-1, 5}); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+	if _, err := NewTree([]int{-1, 2, 1}); err == nil {
+		t.Fatal("2-cycle accepted")
+	}
+}
+
+func TestOfflineSmall(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//   / \   \
+	//  3   4   5
+	tree, err := NewTree([]int{-1, 0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Query{
+		{X: 3, Y: 4}, {X: 3, Y: 5}, {X: 1, Y: 4}, {X: 5, Y: 5}, {X: 0, Y: 3},
+	}
+	tree.Offline(qs)
+	want := []int{1, 0, 1, 5, 0}
+	for i, q := range qs {
+		if q.Answer != want[i] {
+			t.Errorf("LCA(%d,%d) = %d, want %d", q.X, q.Y, q.Answer, want[i])
+		}
+	}
+}
+
+func TestOfflineOutOfRange(t *testing.T) {
+	tree, _ := NewTree([]int{-1, 0})
+	qs := []Query{{X: 0, Y: 9}}
+	tree.Offline(qs)
+	if qs[0].Answer != -1 {
+		t.Fatal("out-of-range query not rejected")
+	}
+}
+
+func TestOfflineMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		tree, err := NewTree(randomTree(rng, n))
+		if err != nil {
+			return false
+		}
+		qs := make([]Query, 0, 80)
+		for k := 0; k < 80; k++ {
+			qs = append(qs, Query{X: rng.Intn(n), Y: rng.Intn(n)})
+		}
+		tree.Offline(qs)
+		for _, q := range qs {
+			if q.Answer != tree.Naive(q.X, q.Y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// postOrderTraversal renders a rooted tree as the paper's traversal of
+// the child→parent semilattice: children first, then the arc to the
+// parent (the child's last-arc), then the parent's loop.
+func postOrderTraversal(tree *Tree) traversal.T {
+	var out traversal.T
+	var visit func(v int)
+	visit = func(v int) {
+		for _, c := range tree.children[v] {
+			visit(c)
+			out = append(out, traversal.Item{Kind: traversal.LastArc, S: c, T: v})
+		}
+		// Arc items precede the loop per the traversal ordering; here
+		// the in-arcs of v were appended by the recursion above.
+		out = append(out, traversal.Item{Kind: traversal.Loop, S: v, T: v})
+	}
+	visit(tree.Root())
+	return out
+}
+
+// TestRemark2WalkerComputesLCA: running the paper's Walk/Sup over the
+// post-order traversal of a tree answers LCA queries — Remark 2's claim
+// that the suprema algorithm degenerates to Tarjan's on trees. Moreover
+// the answered root is always unvisited (the simplified Theorem 1).
+func TestRemark2WalkerComputesLCA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		tree, err := NewTree(randomTree(rng, n))
+		if err != nil {
+			return false
+		}
+		tr := postOrderTraversal(tree)
+		w := core.NewWalker(n)
+		visited := make([]bool, n)
+		for _, it := range tr {
+			// Arcs must be processed *after* querying at the previous
+			// loop; feeding in order is exactly Walk.
+			w.Feed(it)
+			if it.Kind != traversal.Loop {
+				continue
+			}
+			cur := it.S
+			for x := 0; x < n; x++ {
+				if !visited[x] {
+					continue
+				}
+				got := w.Sup(x, cur)
+				want := tree.Naive(x, cur)
+				// In a tree the supremum of a visited x with the current
+				// vertex is the LCA; when x is in a completed subtree
+				// the answer is the (unvisited) root r, and when the LCA
+				// is cur itself Walk returns cur.
+				if got != want {
+					return false
+				}
+			}
+			visited[cur] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package order
+
+import "repro/internal/graph"
+
+// Order-dimension tooling beyond the 2D case, used to characterize where
+// the paper's class ends (Remark 3 territory): exact dimension for small
+// posets by brute force, and the standard examples that witness each
+// dimension.
+
+// Dimension returns the Dushnik–Miller order dimension of the poset by
+// brute force: the least k such that the order is the intersection of k
+// linear extensions. Exponential in n — strictly a test/teaching oracle
+// for small posets (n ≤ ~8 for k ≥ 3 searches).
+//
+// By convention the empty poset has dimension 0 and chains have
+// dimension 1.
+func Dimension(p *Poset) int {
+	n := p.N()
+	if n == 0 {
+		return 0
+	}
+	if isChain(p) {
+		return 1
+	}
+	exts := linearExtensions(p)
+	for k := 2; ; k++ {
+		if searchRealizerK(p, exts, nil, k) {
+			return k
+		}
+	}
+}
+
+func isChain(p *Poset) bool {
+	for x := 0; x < p.N(); x++ {
+		for y := x + 1; y < p.N(); y++ {
+			if !p.Comparable(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// linearExtensions enumerates every linear extension of p.
+func linearExtensions(p *Poset) [][]graph.V {
+	n := p.N()
+	var exts [][]graph.V
+	used := make([]bool, n)
+	cur := make([]graph.V, 0, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			exts = append(exts, append([]graph.V(nil), cur...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for u := 0; u < n; u++ {
+				if !used[u] && u != v && p.Lt(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[v] = true
+			cur = append(cur, v)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	return exts
+}
+
+// searchRealizerK reports whether some k of the extensions intersect to
+// exactly the poset order.
+func searchRealizerK(p *Poset, exts [][]graph.V, chosen [][]graph.V, k int) bool {
+	if len(chosen) == k {
+		return intersectionEquals(p, chosen)
+	}
+	start := 0
+	for i := start; i < len(exts); i++ {
+		if searchRealizerK(p, exts, append(chosen, exts[i]), k) {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectionEquals(p *Poset, exts [][]graph.V) bool {
+	n := p.N()
+	pos := make([][]int, len(exts))
+	for i, e := range exts {
+		pos[i] = make([]int, n)
+		for idx, v := range e {
+			pos[i][v] = idx
+		}
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				continue
+			}
+			inAll := true
+			for i := range exts {
+				if pos[i][x] > pos[i][y] {
+					inAll = false
+					break
+				}
+			}
+			if p.Leq(x, y) != inAll {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StandardExample returns the standard example S_n: the height-one poset
+// on n minimal elements a_i and n maximal elements b_j with a_i < b_j
+// iff i ≠ j. Its dimension is exactly n (Dushnik–Miller) — the canonical
+// witness that dimension is unbounded. Elements 0..n-1 are the a_i,
+// n..2n-1 the b_j.
+func StandardExample(n int) *graph.Digraph {
+	g := graph.New(2 * n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddArc(i, n+j)
+			}
+		}
+	}
+	return g
+}

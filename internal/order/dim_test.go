@@ -1,0 +1,81 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDimensionChainAndEmpty(t *testing.T) {
+	if d := Dimension(NewPoset(graph.New(0))); d != 0 {
+		t.Fatalf("empty dimension = %d", d)
+	}
+	g := graph.New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	if d := Dimension(NewPoset(g)); d != 1 {
+		t.Fatalf("chain dimension = %d", d)
+	}
+}
+
+func TestDimensionAntichain(t *testing.T) {
+	// A 3-element antichain has dimension 2.
+	if d := Dimension(NewPoset(graph.New(3))); d != 2 {
+		t.Fatalf("antichain dimension = %d", d)
+	}
+}
+
+func TestDimensionGrid(t *testing.T) {
+	if d := Dimension(NewPoset(Grid(2, 3))); d != 2 {
+		t.Fatalf("grid dimension = %d", d)
+	}
+}
+
+func TestDimensionStandardExamples(t *testing.T) {
+	// S_2 is the 4-cycle fence: dimension 2; S_3 has dimension 3.
+	if d := Dimension(NewPoset(StandardExample(2))); d != 2 {
+		t.Fatalf("S_2 dimension = %d", d)
+	}
+	if d := Dimension(NewPoset(StandardExample(3))); d != 3 {
+		t.Fatalf("S_3 dimension = %d", d)
+	}
+}
+
+func TestDimensionAgreesWithFindRealizer(t *testing.T) {
+	// Dimension ≤ 2 ⟺ FindRealizer succeeds, on a gallery of small
+	// posets spanning both sides.
+	cases := []struct {
+		name string
+		g    *graph.Digraph
+	}{
+		{"diamond", func() *graph.Digraph {
+			g := graph.New(4)
+			g.AddArc(0, 1)
+			g.AddArc(0, 2)
+			g.AddArc(1, 3)
+			g.AddArc(2, 3)
+			return g
+		}()},
+		{"grid2x2", Grid(2, 2)},
+		{"S3", StandardExample(3)},
+		{"antichain4", graph.New(4)},
+		{"figure-like", func() *graph.Digraph {
+			g := graph.New(5)
+			g.AddArc(0, 1)
+			g.AddArc(0, 2)
+			g.AddArc(1, 3)
+			g.AddArc(2, 3)
+			g.AddArc(2, 4)
+			g.AddArc(3, 4)
+			return g
+		}()},
+	}
+	for _, c := range cases {
+		p := NewPoset(c.g)
+		dim := Dimension(p)
+		_, err := FindRealizer(p)
+		if (dim <= 2) != (err == nil) {
+			t.Errorf("%s: dimension=%d but FindRealizer err=%v", c.name, dim, err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package order is the order-theoretic ground truth of the repository:
+// posets, lattices, and two-dimensionality, implemented the obviously
+// correct (brute-force) way so that the efficient algorithms in
+// internal/core can be validated against it.
+//
+// # Background (Section 3 and Remark 3 of the paper)
+//
+// A lattice is a poset where every pair has a least upper bound (sup)
+// and a greatest lower bound (inf). The paper's class is the
+// two-dimensional lattices, introduced by Dushnik and Miller as posets
+// that are the intersection of TWO linear orders — a 2-realizer (L1, L2):
+//
+//	x ⊑ y  ⇔  x ≤L1 y  and  x ≤L2 y.
+//
+// Baker, Fishburn and Roberts proved this coincides with having a
+// monotone planar diagram: a drawing where directed paths always advance
+// in one direction and arcs meet only at endpoints. The paper works with
+// the diagrams; this package works with both views and converts between
+// them:
+//
+//   - Poset wraps a DAG with its reachability order and answers
+//     Sup/Inf/IsLattice/Closure by enumeration (the oracle for Theorem 1
+//     and 4 property tests).
+//   - Realizer.Verify checks a claimed 2-realizer pointwise.
+//   - FindRealizer constructs a realizer from the bare order, deciding
+//     dimension ≤ 2: the incomparability graph is transitively oriented
+//     by Γ-forcing (Golumbic); a conjugate order Q then gives
+//     L1 = lin(P ∪ Q), L2 = lin(P ∪ Qᵈ).
+//   - EmbedFromRealizer converts a realizer back into a monotone planar
+//     diagram via the dominance drawing: position x at
+//     (pos₁(x), pos₂(x)); left-to-right is increasing pos₁ − pos₂. The
+//     result feeds traversal.NonSeparating — this is Remark 1's "a
+//     planar drawing can be obtained" made executable.
+//   - Dimension computes exact order dimension by brute force, and
+//     StandardExample(n) provides the dimension-n witnesses, so tests
+//     can place the 2D boundary precisely (grids at 2, B₃ and S₃ at 3).
+//
+// Families used throughout the experiments: Grid (the task graph of
+// linear pipelines), Staircase (irregular 2D lattices between monotone
+// boundaries, the shape of the paper's Figure 3), FromPermutation
+// (arbitrary 2-dimensional posets), TransitiveReduction (Hasse
+// diagrams).
+//
+// Everything here is O(n²)–O(n³) by design: correctness and readability
+// over speed, since these functions define what "correct" means for the
+// fast path.
+package order

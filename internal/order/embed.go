@@ -1,0 +1,98 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// TransitiveReduction returns the Hasse diagram of a DAG: the unique
+// minimal subgraph with the same reachability. An arc (u, v) is redundant
+// exactly when some other successor of u reaches v.
+func TransitiveReduction(g *graph.Digraph) *graph.Digraph {
+	r := graph.NewReach(g)
+	h := graph.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			redundant := false
+			for _, w := range g.Out(u) {
+				if w != v && r.Reachable(w, v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				h.AddArc(u, v)
+			}
+		}
+	}
+	return h
+}
+
+// EmbedFromRealizer reconstructs a monotone planar diagram for a
+// two-dimensional lattice from a Dushnik–Miller realizer — the Remark 1
+// direction: a planar drawing (and hence a non-separating traversal) can
+// be obtained without one being given.
+//
+// The construction is the classic dominance drawing: place each element
+// at coordinates (position in L1, position in L2); reachability becomes
+// coordinatewise dominance, downward is increasing pos1+pos2, and
+// left-to-right is increasing pos1−pos2. The returned graph is the
+// transitive reduction of g with each vertex's out-arcs inserted in
+// left-to-right order, ready for traversal.NonSeparating.
+//
+// The realizer must be valid for g's reachability order (verify with
+// Realizer.Verify); otherwise the embedding is meaningless and an error
+// is returned for the detectable cases.
+func EmbedFromRealizer(g *graph.Digraph, r Realizer) (*graph.Digraph, error) {
+	n := g.N()
+	if len(r.L1) != n || len(r.L2) != n {
+		return nil, fmt.Errorf("order: realizer size mismatch: %d/%d vs %d", len(r.L1), len(r.L2), n)
+	}
+	pos1 := make([]int, n)
+	pos2 := make([]int, n)
+	for i, v := range r.L1 {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("order: L1 out of range at %d", i)
+		}
+		pos1[v] = i
+	}
+	for i, v := range r.L2 {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("order: L2 out of range at %d", i)
+		}
+		pos2[v] = i
+	}
+	red := TransitiveReduction(g)
+	h := graph.New(n)
+	for u := 0; u < n; u++ {
+		succ := append([]graph.V(nil), red.Out(u)...)
+		sort.Slice(succ, func(a, b int) bool {
+			da := pos1[succ[a]] - pos2[succ[a]]
+			db := pos1[succ[b]] - pos2[succ[b]]
+			if da != db {
+				return da < db
+			}
+			return pos1[succ[a]] < pos1[succ[b]]
+		})
+		for _, v := range succ {
+			h.AddArc(u, v)
+		}
+	}
+	return h, nil
+}
+
+// Scramble returns a copy of g with each vertex's out-arc order reversed —
+// a deterministic way for tests to destroy an embedding while preserving
+// the graph.
+func Scramble(g *graph.Digraph) *graph.Digraph {
+	h := graph.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		out := g.Out(u)
+		for i := len(out) - 1; i >= 0; i-- {
+			h.AddArc(u, out[i])
+		}
+	}
+	return h
+}

@@ -1,0 +1,112 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTransitiveReductionDiamondPlusShortcut(t *testing.T) {
+	g := graph.New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	g.AddArc(0, 3) // transitive shortcut
+	h := TransitiveReduction(g)
+	if h.M() != 4 || h.HasArc(0, 3) {
+		t.Fatalf("reduction kept the shortcut: M=%d", h.M())
+	}
+	// Reachability preserved.
+	r1, r2 := graph.NewReach(g), graph.NewReach(h)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			if r1.Reachable(x, y) != r2.Reachable(x, y) {
+				t.Fatalf("reachability changed at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestTransitiveReductionChain(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddArc(i, i+1)
+	}
+	g.AddArc(0, 2)
+	g.AddArc(0, 3)
+	g.AddArc(1, 3)
+	if h := TransitiveReduction(g); h.M() != 3 {
+		t.Fatalf("chain reduction M = %d, want 3", h.M())
+	}
+}
+
+func TestEmbedFromRealizerGrid(t *testing.T) {
+	// Destroy the grid's embedding, then rebuild it from a realizer and
+	// check the rebuilt diagram supports exact suprema queries again.
+	g := Grid(3, 4)
+	p := NewPoset(g)
+	// Realizer for a grid: column-major (the leftmost-DFS order of the
+	// canonical down-before-right embedding) and row-major. Swapping the
+	// two yields the mirrored — equally valid — embedding.
+	rows, cols := 3, 4
+	var l1, l2 []graph.V
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			l1 = append(l1, i*cols+j)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			l2 = append(l2, i*cols+j)
+		}
+	}
+	real := Realizer{L1: l1, L2: l2}
+	if err := real.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	scrambled := Scramble(g)
+	embedded, err := EmbedFromRealizer(scrambled, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt embedding must order each vertex's out-arcs
+	// down-before-right, like the canonical grid.
+	for v := 0; v < g.N(); v++ {
+		want := g.Out(v)
+		got := embedded.Out(v)
+		if len(want) != len(got) {
+			t.Fatalf("vertex %d: out degree %d vs %d", v, len(got), len(want))
+		}
+		for k := range want {
+			if want[k] != got[k] {
+				t.Fatalf("vertex %d: embedding %v, want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestEmbedFromRealizerErrors(t *testing.T) {
+	g := Grid(2, 2)
+	if _, err := EmbedFromRealizer(g, Realizer{L1: []graph.V{0}, L2: []graph.V{0, 1, 2, 3}}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := EmbedFromRealizer(g, Realizer{L1: []graph.V{0, 1, 2, 9}, L2: []graph.V{0, 1, 2, 3}}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := EmbedFromRealizer(g, Realizer{L1: []graph.V{0, 1, 2, 3}, L2: []graph.V{0, 1, 2, -1}}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestScrambleReverses(t *testing.T) {
+	g := Grid(2, 2)
+	s := Scramble(g)
+	if s.M() != g.M() {
+		t.Fatal("scramble changed arc count")
+	}
+	out := s.Out(0)
+	if out[0] != g.Out(0)[1] || out[1] != g.Out(0)[0] {
+		t.Fatal("scramble did not reverse out-arc order")
+	}
+}

@@ -1,0 +1,224 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func diamond() *graph.Digraph {
+	g := graph.New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	return g
+}
+
+func TestSupInfDiamond(t *testing.T) {
+	p := NewPoset(diamond())
+	if s, ok := p.Sup(1, 2); !ok || s != 3 {
+		t.Fatalf("sup{1,2} = %d, %v", s, ok)
+	}
+	if i, ok := p.Inf(1, 2); !ok || i != 0 {
+		t.Fatalf("inf{1,2} = %d, %v", i, ok)
+	}
+	if s, ok := p.Sup(0, 2); !ok || s != 2 {
+		t.Fatalf("sup{0,2} = %d, %v (comparable pair)", s, ok)
+	}
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupMissing(t *testing.T) {
+	// Two maximal elements: {1, 2} has no upper bound at all.
+	g := graph.New(3)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	p := NewPoset(g)
+	if _, ok := p.Sup(1, 2); ok {
+		t.Fatal("sup exists for incomparable maximal pair")
+	}
+	if p.IsLattice() == nil {
+		t.Fatal("IsLattice accepted a non-lattice")
+	}
+}
+
+func TestSupNotUnique(t *testing.T) {
+	// N-free "bowtie": 0,1 below both 2 and 3; {0,1} has two minimal
+	// upper bounds, hence no supremum.
+	g := graph.New(5)
+	g.AddArc(0, 2)
+	g.AddArc(0, 3)
+	g.AddArc(1, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 4)
+	g.AddArc(3, 4)
+	p := NewPoset(g)
+	if _, ok := p.Sup(0, 1); ok {
+		t.Fatal("sup reported despite two minimal upper bounds")
+	}
+}
+
+func TestSupSetFoldsPairs(t *testing.T) {
+	p := NewPoset(Grid(3, 3))
+	// sup{(0,2), (2,0), (1,1)} = (2,2) = vertex 8.
+	if s, ok := p.SupSet([]graph.V{2, 6, 4}); !ok || s != 8 {
+		t.Fatalf("SupSet = %d, %v", s, ok)
+	}
+	if _, ok := p.SupSet(nil); ok {
+		t.Fatal("SupSet of empty set should fail")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	p := NewPoset(Grid(3, 3))
+	// Closure of the two middle corners of a 3x3 grid adds sup and inf.
+	cl, ok := p.Closure([]graph.V{2, 6}) // (0,2) and (2,0)
+	if !ok {
+		t.Fatal("closure failed")
+	}
+	want := map[graph.V]bool{2: true, 6: true, 0: true, 8: true}
+	if len(cl) != len(want) {
+		t.Fatalf("closure = %v", cl)
+	}
+	for _, v := range cl {
+		if !want[v] {
+			t.Fatalf("unexpected closure member %d", v)
+		}
+	}
+}
+
+func TestGridLatticeAndSup(t *testing.T) {
+	const rows, cols = 4, 3
+	g := Grid(rows, cols)
+	p := NewPoset(g)
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < rows*cols; x++ {
+		for y := 0; y < rows*cols; y++ {
+			s, ok := p.Sup(x, y)
+			if !ok {
+				t.Fatalf("grid sup{%d,%d} missing", x, y)
+			}
+			if want := GridSup(cols, x, y); s != want {
+				t.Fatalf("grid sup{%d,%d} = %d, want %d", x, y, s, want)
+			}
+		}
+	}
+}
+
+func TestStaircaseErrors(t *testing.T) {
+	if _, _, err := Staircase(2, 3, []int{0}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Staircase(2, 3, []int{0, 0}, []int{1, 0}); err == nil {
+		t.Fatal("decreasing hi accepted")
+	}
+	if _, _, err := Staircase(2, 3, []int{0, 2}, []int{1, 2}); err == nil {
+		t.Fatal("non-overlapping rows accepted")
+	}
+	if _, _, err := Staircase(1, 3, []int{2}, []int{1}); err == nil {
+		t.Fatal("lo > hi accepted")
+	}
+}
+
+func TestStaircaseIsLattice(t *testing.T) {
+	g, id, err := Staircase(3, 4, []int{0, 1, 2}, []int{2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id[0][3] != -1 || id[2][0] != -1 || id[1][2] < 0 {
+		t.Fatal("id map wrong")
+	}
+	p := NewPoset(g)
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealizerVerifyGrid(t *testing.T) {
+	// A 2x2 grid: L1 = row-major, L2 = column-major realize it.
+	p := NewPoset(Grid(2, 2))
+	r := Realizer{L1: []graph.V{0, 1, 2, 3}, L2: []graph.V{0, 2, 1, 3}}
+	if err := r.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := TwoDimensional(p, r); err != nil {
+		t.Fatal(err)
+	}
+	// A wrong realizer must be rejected.
+	bad := Realizer{L1: []graph.V{0, 1, 2, 3}, L2: []graph.V{0, 1, 2, 3}}
+	if bad.Verify(p) == nil {
+		t.Fatal("bad realizer accepted")
+	}
+}
+
+func TestRealizerRejectsNonPermutation(t *testing.T) {
+	p := NewPoset(Grid(1, 2))
+	if (Realizer{L1: []graph.V{0, 0}, L2: []graph.V{0, 1}}).Verify(p) == nil {
+		t.Fatal("duplicate in L1 accepted")
+	}
+	if (Realizer{L1: []graph.V{0}, L2: []graph.V{0, 1}}).Verify(p) == nil {
+		t.Fatal("short L1 accepted")
+	}
+	if (Realizer{L1: []graph.V{0, 1}, L2: []graph.V{0, 7}}).Verify(p) == nil {
+		t.Fatal("out-of-range L2 accepted")
+	}
+}
+
+func TestFromPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		perm := rng.Perm(n)
+		p, r := FromPermutation(perm)
+		return r.Verify(p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPermutationChainAndAntichain(t *testing.T) {
+	p, _ := FromPermutation([]int{0, 1, 2})
+	if !p.Leq(0, 2) || !p.Lt(0, 1) {
+		t.Fatal("identity permutation should give a chain")
+	}
+	p, _ = FromPermutation([]int{2, 1, 0})
+	if p.Comparable(0, 1) || p.Comparable(1, 2) || p.Comparable(0, 2) {
+		t.Fatal("reverse permutation should give an antichain")
+	}
+}
+
+func TestSupSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(4), 1+rng.Intn(4)
+		p := NewPoset(Grid(rows, cols))
+		n := p.N()
+		for k := 0; k < 30; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			sxy, ok1 := p.Sup(x, y)
+			syx, ok2 := p.Sup(y, x)
+			if ok1 != ok2 || sxy != syx {
+				return false
+			}
+			// sup is an upper bound and x ⊑ y ⇒ sup = y.
+			if !p.Leq(x, sxy) || !p.Leq(y, sxy) {
+				return false
+			}
+			if p.Leq(x, y) && sxy != y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Posets over DAG reachability with brute-force lattice operations; see
+// doc.go for the package-level walkthrough.
+
+package order
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Poset is a partially ordered set (P, ⊑) whose order is the reachability
+// relation of a DAG, as in Section 3 of the paper.
+type Poset struct {
+	G *graph.Digraph
+	R *graph.Reach
+}
+
+// NewPoset wraps a DAG as a poset, computing its reachability closure.
+func NewPoset(g *graph.Digraph) *Poset {
+	return &Poset{G: g, R: graph.NewReach(g)}
+}
+
+// N returns the number of elements.
+func (p *Poset) N() int { return p.G.N() }
+
+// Leq reports x ⊑ y.
+func (p *Poset) Leq(x, y graph.V) bool { return p.R.Reachable(x, y) }
+
+// Lt reports x ⊏ y.
+func (p *Poset) Lt(x, y graph.V) bool { return p.R.StrictlyReachable(x, y) }
+
+// Comparable reports whether x and y are ordered either way.
+func (p *Poset) Comparable(x, y graph.V) bool { return p.R.Comparable(x, y) }
+
+// Sup returns the least upper bound of {x, y} by brute force, or ok=false
+// if it does not exist (no upper bound, or no unique minimal one).
+func (p *Poset) Sup(x, y graph.V) (s graph.V, ok bool) {
+	ub := p.R.UpperBounds(x, y)
+	if len(ub) == 0 {
+		return 0, false
+	}
+	// s is the least upper bound iff it is below every other upper bound.
+	for _, cand := range ub {
+		least := true
+		for _, other := range ub {
+			if !p.Leq(cand, other) {
+				least = false
+				break
+			}
+		}
+		if least {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// Inf returns the greatest lower bound of {x, y} by brute force, or
+// ok=false if it does not exist.
+func (p *Poset) Inf(x, y graph.V) (graph.V, bool) {
+	// Lower bounds of {x,y} are upper bounds in the dual; avoid building
+	// the dual closure by scanning directly.
+	var lb []graph.V
+	for v := 0; v < p.N(); v++ {
+		if p.Leq(v, x) && p.Leq(v, y) {
+			lb = append(lb, v)
+		}
+	}
+	if len(lb) == 0 {
+		return 0, false
+	}
+	for _, cand := range lb {
+		greatest := true
+		for _, other := range lb {
+			if !p.Leq(other, cand) {
+				greatest = false
+				break
+			}
+		}
+		if greatest {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// SupSet returns the supremum of a non-empty set K, or ok=false. It folds
+// pairwise suprema, which is valid in a lattice; for validation it also
+// verifies the defining property K ⊑ t ⇔ sup K ⊑ t is derivable (i.e. the
+// result is an upper bound below every upper bound of K).
+func (p *Poset) SupSet(ks []graph.V) (graph.V, bool) {
+	if len(ks) == 0 {
+		return 0, false
+	}
+	s := ks[0]
+	for _, k := range ks[1:] {
+		var ok bool
+		s, ok = p.Sup(s, k)
+		if !ok {
+			return 0, false
+		}
+	}
+	return s, true
+}
+
+// IsLattice reports whether every pair of elements has both a supremum and
+// an infimum. O(n²·n) brute force; test-sized inputs only.
+func (p *Poset) IsLattice() error {
+	n := p.N()
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if _, ok := p.Sup(x, y); !ok {
+				return fmt.Errorf("order: no supremum for {%d, %d}", x, y)
+			}
+			if _, ok := p.Inf(x, y); !ok {
+				return fmt.Errorf("order: no infimum for {%d, %d}", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// Closure returns the closure of the set U: the smallest superset closed
+// under pairwise infima and suprema (Section 3 "Lattices"). The poset must
+// contain the needed infima/suprema, otherwise ok=false.
+func (p *Poset) Closure(u []graph.V) ([]graph.V, bool) {
+	in := make(map[graph.V]bool, len(u))
+	var members []graph.V
+	add := func(v graph.V) {
+		if !in[v] {
+			in[v] = true
+			members = append(members, v)
+		}
+	}
+	for _, v := range u {
+		add(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		snapshot := append([]graph.V(nil), members...)
+		for i := 0; i < len(snapshot); i++ {
+			for j := i + 1; j < len(snapshot); j++ {
+				x, y := snapshot[i], snapshot[j]
+				s, ok := p.Sup(x, y)
+				if !ok {
+					return nil, false
+				}
+				inf, ok := p.Inf(x, y)
+				if !ok {
+					return nil, false
+				}
+				if !in[s] || !in[inf] {
+					changed = true
+				}
+				add(s)
+				add(inf)
+			}
+		}
+	}
+	return members, true
+}

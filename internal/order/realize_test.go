@@ -1,0 +1,184 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestFindRealizerChain(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddArc(i, i+1)
+	}
+	p := NewPoset(g)
+	r, err := FindRealizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindRealizerAntichainPair(t *testing.T) {
+	// Two incomparable elements plus bounds: the diamond.
+	g := graph.New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	p := NewPoset(g)
+	r, err := FindRealizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindRealizerGrids(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {3, 4}, {4, 4}, {1, 6}} {
+		p := NewPoset(Grid(dim[0], dim[1]))
+		r, err := FindRealizer(p)
+		if err != nil {
+			t.Fatalf("grid %v: %v", dim, err)
+		}
+		if err := r.Verify(p); err != nil {
+			t.Fatalf("grid %v: %v", dim, err)
+		}
+	}
+}
+
+// boolean3 is the Boolean lattice 2^{a,b,c}: a lattice of order dimension
+// 3, the canonical non-2D example.
+func boolean3() *graph.Digraph {
+	g := graph.New(8) // vertex = bitmask of {a,b,c}
+	for s := 0; s < 8; s++ {
+		for b := 0; b < 3; b++ {
+			if s&(1<<b) == 0 {
+				g.AddArc(s, s|1<<b)
+			}
+		}
+	}
+	return g
+}
+
+func TestFindRealizerRejectsBoolean3(t *testing.T) {
+	p := NewPoset(boolean3())
+	if err := p.IsLattice(); err != nil {
+		t.Fatalf("B3 is a lattice: %v", err)
+	}
+	if _, err := FindRealizer(p); err == nil {
+		t.Fatal("FindRealizer accepted the 3-dimensional Boolean lattice")
+	}
+}
+
+func TestRecognize2D(t *testing.T) {
+	// Accept a scrambled grid…
+	p, r, err := Recognize2D(Scramble(Grid(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	// …reject B3 (lattice but dimension 3)…
+	if _, _, err := Recognize2D(boolean3()); err == nil {
+		t.Fatal("B3 accepted")
+	}
+	// …and reject non-lattices.
+	nonLattice := graph.New(3)
+	nonLattice.AddArc(0, 1)
+	nonLattice.AddArc(0, 2)
+	if _, _, err := Recognize2D(nonLattice); err == nil {
+		t.Fatal("non-lattice accepted")
+	}
+}
+
+func TestFindRealizerEmptyPoset(t *testing.T) {
+	if _, err := FindRealizer(NewPoset(graph.New(0))); err == nil {
+		t.Fatal("empty poset accepted")
+	}
+}
+
+func TestFindRealizerSingleton(t *testing.T) {
+	p := NewPoset(graph.New(1))
+	r, err := FindRealizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.L1) != 1 || len(r.L2) != 1 {
+		t.Fatal("singleton realizer wrong")
+	}
+}
+
+// TestFindRealizerStaircasesProperty: every staircase sublattice (2D by
+// construction) is recognized, and the constructed realizer verifies.
+func TestFindRealizerStaircasesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(4)
+		cols := 2 + rng.Intn(4)
+		lo := make([]int, rows)
+		hi := make([]int, rows)
+		for i := 0; i < rows; i++ {
+			if i == 0 {
+				lo[0] = 0
+				hi[0] = rng.Intn(cols)
+				continue
+			}
+			lo[i] = lo[i-1] + rng.Intn(hi[i-1]-lo[i-1]+1)
+			base := hi[i-1]
+			if lo[i] > base {
+				base = lo[i]
+			}
+			hi[i] = base + rng.Intn(cols-base)
+		}
+		g, _, err := Staircase(rows, cols, lo, hi)
+		if err != nil {
+			return false
+		}
+		p, r, err := Recognize2D(Scramble(g))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return r.Verify(p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindRealizerDualConsistency: L2 reverses exactly the incomparable
+// pairs of L1.
+func TestFindRealizerDualConsistency(t *testing.T) {
+	p := NewPoset(Grid(3, 3))
+	r, err := FindRealizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos1 := make([]int, p.N())
+	pos2 := make([]int, p.N())
+	for i, v := range r.L1 {
+		pos1[v] = i
+	}
+	for i, v := range r.L2 {
+		pos2[v] = i
+	}
+	for x := 0; x < p.N(); x++ {
+		for y := 0; y < p.N(); y++ {
+			if x == y {
+				continue
+			}
+			sameDir := (pos1[x] < pos1[y]) == (pos2[x] < pos2[y])
+			if p.Comparable(x, y) != sameDir {
+				t.Fatalf("orders disagree wrongly at (%d,%d)", x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Realizer is a Dushnik–Miller 2-realizer: two linear orders whose
+// intersection is the poset order. L1 and L2 list all elements; position in
+// the slice is the linear rank. Per Remark 3 (and Baker–Fishburn–Roberts,
+// reference [1]), a lattice is two-dimensional exactly when such a realizer
+// exists, which for monotone planar diagrams is given by the left-to-right
+// and right-to-left topological DFS orders.
+type Realizer struct {
+	L1, L2 []graph.V
+}
+
+// Verify checks that the intersection of the two linear orders equals the
+// poset order: x ⊑ y ⇔ x ≤L1 y ∧ x ≤L2 y.
+func (r Realizer) Verify(p *Poset) error {
+	n := p.N()
+	if len(r.L1) != n || len(r.L2) != n {
+		return fmt.Errorf("order: realizer length %d/%d, poset has %d elements", len(r.L1), len(r.L2), n)
+	}
+	pos1 := make([]int, n)
+	pos2 := make([]int, n)
+	seen1 := make([]bool, n)
+	seen2 := make([]bool, n)
+	for i, v := range r.L1 {
+		if v < 0 || v >= n || seen1[v] {
+			return fmt.Errorf("order: L1 is not a permutation at index %d", i)
+		}
+		seen1[v] = true
+		pos1[v] = i
+	}
+	for i, v := range r.L2 {
+		if v < 0 || v >= n || seen2[v] {
+			return fmt.Errorf("order: L2 is not a permutation at index %d", i)
+		}
+		seen2[v] = true
+		pos2[v] = i
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			inBoth := pos1[x] <= pos1[y] && pos2[x] <= pos2[y]
+			if p.Leq(x, y) != inBoth {
+				return fmt.Errorf("order: realizer mismatch at (%d, %d): poset %v, intersection %v",
+					x, y, p.Leq(x, y), inBoth)
+			}
+		}
+	}
+	return nil
+}
+
+// TwoDimensional reports whether the poset admits the given realizer and is
+// a lattice — i.e. it is a two-dimensional lattice in the paper's sense.
+func TwoDimensional(p *Poset, r Realizer) error {
+	if err := r.Verify(p); err != nil {
+		return err
+	}
+	return p.IsLattice()
+}
+
+// FromPermutation builds the canonical dimension-2 poset of a permutation:
+// element i is below j iff i ≤ j and perm[i] ≤ perm[j]. Its realizer is
+// (identity, argsort(perm)). Such posets are exactly the 2-dimensional
+// posets (Dushnik–Miller, reference [10]); they are generally not lattices
+// until completed, and serve as negative/positive test material.
+func FromPermutation(perm []int) (*Poset, Realizer) {
+	n := len(perm)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if perm[i] <= perm[j] {
+				g.AddArc(i, j)
+			}
+		}
+	}
+	l1 := make([]graph.V, n)
+	for i := range l1 {
+		l1[i] = i
+	}
+	l2 := make([]graph.V, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return perm[idx[a]] < perm[idx[b]] })
+	copy(l2, idx)
+	return NewPoset(g), Realizer{L1: l1, L2: l2}
+}
+
+// Grid returns the (rows × cols) grid lattice drawn as a monotone planar
+// diagram: vertex (i, j) has identifier i*cols+j, with arcs to (i+1, j) and
+// (i, j+1). Grids are the archetypal two-dimensional lattices and the task
+// graphs of linear pipelines (Section 5). Out-arcs are inserted
+// down-before-right, which is the left-to-right embedding order used by the
+// traversal generator.
+func Grid(rows, cols int) *graph.Digraph {
+	g := graph.New(rows * cols)
+	id := func(i, j int) graph.V { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i+1 < rows {
+				g.AddArc(id(i, j), id(i+1, j))
+			}
+			if j+1 < cols {
+				g.AddArc(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+// GridSup returns the coordinatewise supremum identifier in a rows×cols
+// grid: sup{(a,b),(c,d)} = (max(a,c), max(b,d)).
+func GridSup(cols int, x, y graph.V) graph.V {
+	xi, xj := x/cols, x%cols
+	yi, yj := y/cols, y%cols
+	i, j := max(xi, yi), max(xj, yj)
+	return i*cols + j
+}
+
+// Staircase returns the sublattice of a rows×cols grid between two monotone
+// boundaries: for each row i only columns in [lo[i], hi[i]] exist, where lo
+// and hi are non-decreasing and lo[i] ≤ hi[i]. Such regions are closed under
+// coordinatewise min/max, hence 2D lattices; they model the irregular planar
+// diagrams of Figure 3. Returns the graph and the mapping from (row, col) to
+// vertex id (or -1).
+func Staircase(rows, cols int, lo, hi []int) (*graph.Digraph, [][]int, error) {
+	if len(lo) != rows || len(hi) != rows {
+		return nil, nil, fmt.Errorf("order: boundary length mismatch")
+	}
+	for i := 0; i < rows; i++ {
+		if lo[i] < 0 || hi[i] >= cols || lo[i] > hi[i] {
+			return nil, nil, fmt.Errorf("order: row %d boundary [%d, %d] invalid", i, lo[i], hi[i])
+		}
+		if i > 0 && (lo[i] < lo[i-1] || hi[i] < hi[i-1]) {
+			return nil, nil, fmt.Errorf("order: boundaries must be non-decreasing at row %d", i)
+		}
+		// Adjacent rows must overlap, otherwise the region is disconnected
+		// and not a lattice.
+		if i > 0 && lo[i] > hi[i-1] {
+			return nil, nil, fmt.Errorf("order: rows %d and %d do not overlap", i-1, i)
+		}
+	}
+	id := make([][]int, rows)
+	g := graph.New(0)
+	for i := 0; i < rows; i++ {
+		id[i] = make([]int, cols)
+		for j := range id[i] {
+			id[i][j] = -1
+		}
+		for j := lo[i]; j <= hi[i]; j++ {
+			id[i][j] = g.AddVertex()
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := lo[i]; j <= hi[i]; j++ {
+			if i+1 < rows && j >= lo[i+1] && j <= hi[i+1] {
+				g.AddArc(id[i][j], id[i+1][j])
+			}
+			if j+1 <= hi[i] {
+				g.AddArc(id[i][j], id[i][j+1])
+			}
+		}
+	}
+	return g, id, nil
+}

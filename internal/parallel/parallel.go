@@ -1,0 +1,152 @@
+// Package parallel executes structured fork-join programs with real
+// parallelism: forked tasks run concurrently on their own goroutines and
+// Join provides the happens-before edge (a done-channel receive).
+//
+// The paper's race detector requires the serial fork-first schedule —
+// "that is the price we pay for efficiency" (Section 2.3) — but the
+// *programming model* is genuinely parallel: this executor runs the same
+// line-disciplined programs at full concurrency, for production use once
+// a program has been checked under the serial detector. The line
+// discipline is still enforced (fork left, join only the immediate left
+// neighbor); adjacency of a task and its left neighbor is unaffected by
+// concurrent activity elsewhere in the line, so validity coincides with
+// the serial semantics.
+//
+// No events are emitted and no accesses are instrumented: detection and
+// parallel execution are alternative modes over one program shape (see
+// the tests, which run the same wavefront under both).
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fj"
+)
+
+// Task is the per-goroutine capability: fork children, join the left
+// neighbor. Unlike the detection runtimes there are no Read/Write hooks —
+// tasks perform real work.
+type Task struct {
+	id fj.ID
+	rt *runtime
+}
+
+// ID returns the task identifier (0 for the root).
+func (t *Task) ID() fj.ID { return t.id }
+
+// Handle names a forked task for Join.
+type Handle struct {
+	id   fj.ID
+	done chan struct{}
+}
+
+type runtime struct {
+	mu   sync.Mutex
+	line *fj.Line
+	err  error
+	done map[fj.ID]chan struct{}
+}
+
+func (rt *runtime) fail(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+}
+
+// Fork activates body on a new goroutine, placed immediately left of t in
+// the task line, and returns without waiting — true parallelism.
+func (t *Task) Fork(body func(*Task)) Handle {
+	rt := t.rt
+	rt.mu.Lock()
+	child, err := rt.line.Fork(t.id)
+	if err != nil {
+		rt.mu.Unlock()
+		rt.fail(err)
+		return Handle{id: -1, done: closedChan}
+	}
+	done := make(chan struct{})
+	rt.done[child] = done
+	rt.mu.Unlock()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				rt.fail(fmt.Errorf("parallel: task %d panicked: %v", child, p))
+			}
+			rt.mu.Lock()
+			if e := rt.line.Halt(child); e != nil && rt.err == nil {
+				rt.err = e
+			}
+			rt.mu.Unlock()
+			close(done)
+		}()
+		body(&Task{id: child, rt: rt})
+	}()
+	return Handle{id: child, done: done}
+}
+
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Join blocks until the task named by h halts, then performs the
+// discipline-checked join. The channel receive is the happens-before
+// edge: everything the joined task did is visible afterwards.
+func (t *Task) Join(h Handle) {
+	if h.id < 0 {
+		return
+	}
+	<-h.done
+	rt := t.rt
+	rt.mu.Lock()
+	err := rt.line.Join(t.id, h.id)
+	rt.mu.Unlock()
+	if err != nil {
+		rt.fail(err)
+	}
+}
+
+// Run executes root as the main task and waits for every remaining task
+// before returning. It returns the number of tasks created and the first
+// error (discipline violation or task panic).
+func Run(root func(*Task)) (int, error) {
+	rt := &runtime{
+		line: fj.NewLine(fj.NullSink{}),
+		done: map[fj.ID]chan struct{}{},
+	}
+	main := &Task{id: 0, rt: rt}
+	root(main)
+	// Join everything still outstanding, leftward.
+	for {
+		rt.mu.Lock()
+		y := rt.line.LeftNeighbor(0)
+		var done chan struct{}
+		if y >= 0 {
+			done = rt.done[y]
+		}
+		rt.mu.Unlock()
+		if y < 0 {
+			break
+		}
+		<-done
+		rt.mu.Lock()
+		err := rt.line.Join(0, y)
+		rt.mu.Unlock()
+		if err != nil {
+			rt.fail(err)
+			break
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.err == nil {
+		if err := rt.line.Halt(0); err != nil {
+			rt.err = err
+		}
+	}
+	return rt.line.Tasks(), rt.err
+}

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFanoutReduce(t *testing.T) {
+	// N workers compute into private slots; main joins and reduces. Run
+	// under -race this validates the Join happens-before edge.
+	const n = 32
+	results := make([]int, n)
+	var handles []Handle
+	tasks, err := Run(func(m *Task) {
+		for i := 0; i < n; i++ {
+			i := i
+			handles = append(handles, m.Fork(func(*Task) {
+				results[i] = i * i
+			}))
+		}
+		for i := n - 1; i >= 0; i-- {
+			m.Join(handles[i])
+		}
+		sum := 0
+		for _, r := range results {
+			sum += r
+		}
+		if sum != (n-1)*n*(2*n-1)/6 {
+			panic("wrong sum")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks != n+1 {
+		t.Fatalf("tasks = %d", tasks)
+	}
+}
+
+func TestRecursiveFib(t *testing.T) {
+	var fib func(p *Task, n int, out *int)
+	fib = func(p *Task, n int, out *int) {
+		if n < 2 {
+			*out = n
+			return
+		}
+		var a, b int
+		h := p.Fork(func(c *Task) { fib(c, n-1, &a) })
+		fib(p, n-2, &b)
+		p.Join(h)
+		*out = a + b
+	}
+	var got int
+	_, err := Run(func(m *Task) { fib(m, 18, &got) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2584 {
+		t.Fatalf("fib(18) = %d", got)
+	}
+}
+
+func TestFigure2ShapeParallel(t *testing.T) {
+	// The non-SP stealing pattern runs in parallel too: t forks y and x,
+	// passing y's handle into x, which joins it.
+	var order atomic.Int32
+	var yDone, xSawY int32
+	_, err := Run(func(m *Task) {
+		y := m.Fork(func(*Task) {
+			yDone = order.Add(1)
+		})
+		x := m.Fork(func(c *Task) {
+			c.Join(y)
+			xSawY = order.Add(1)
+		})
+		m.Join(x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(yDone < xSawY) {
+		t.Fatalf("join ordering violated: y=%d x=%d", yDone, xSawY)
+	}
+}
+
+func TestTrueConcurrency(t *testing.T) {
+	// Two forked tasks rendezvous with each other: impossible under any
+	// serial schedule, so passing proves real parallelism.
+	ping := make(chan struct{})
+	pong := make(chan struct{})
+	_, err := Run(func(m *Task) {
+		a := m.Fork(func(*Task) {
+			ping <- struct{}{}
+			<-pong
+		})
+		b := m.Fork(func(*Task) {
+			<-ping
+			pong <- struct{}{}
+		})
+		m.Join(b)
+		m.Join(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisciplineStillEnforced(t *testing.T) {
+	_, err := Run(func(m *Task) {
+		a := m.Fork(func(*Task) {})
+		b := m.Fork(func(*Task) {})
+		<-b.done  // ensure b halted so only the neighbor rule can fail
+		m.Join(a) // b is the immediate left neighbor, not a
+	})
+	if err == nil || !strings.Contains(err.Error(), "immediate left neighbor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	_, err := Run(func(m *Task) {
+		h := m.Fork(func(*Task) { panic("boom") })
+		m.Join(h)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAutoJoinAtExit(t *testing.T) {
+	// Unjoined tasks are awaited by Run before it returns.
+	var finished atomic.Int32
+	_, err := Run(func(m *Task) {
+		for i := 0; i < 8; i++ {
+			m.Fork(func(*Task) { finished.Add(1) })
+		}
+		// no joins: Run drains the line
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finished.Load() != 8 {
+		t.Fatalf("finished = %d", finished.Load())
+	}
+}

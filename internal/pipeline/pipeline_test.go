@@ -1,0 +1,285 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+)
+
+func TestRejectsDegenerateConfig(t *testing.T) {
+	if _, err := Run(Config{Stages: 0, Items: 1}, nil); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	if _, err := Run(Config{Stages: 1, Items: 0}, nil); err == nil {
+		t.Fatal("zero items accepted")
+	}
+}
+
+func TestTaskCount(t *testing.T) {
+	tasks, err := Run(Config{Stages: 3, Items: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks != 3*4+1 {
+		t.Fatalf("tasks = %d, want %d", tasks, 3*4+1)
+	}
+}
+
+func TestCellOrderIsWavefront(t *testing.T) {
+	// Serial fork-first order: column-major within the staircase — stage
+	// advances before the next item starts, and every cell runs exactly
+	// once with correct coordinates.
+	var cells [][2]int
+	_, err := Run(Config{Stages: 2, Items: 3, Body: func(c *Cell) {
+		cells = append(cells, [2]int{c.Stage, c.Item})
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 2}, {1, 2}}
+	if len(cells) != len(want) {
+		t.Fatalf("cells = %v", cells)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("cells = %v, want %v", cells, want)
+		}
+	}
+}
+
+// TestPipelineDependencies verifies the grid happens-before relation on the
+// built task graph: cell (i, j) is ordered after (i', j') iff i' ≤ i and
+// j' ≤ j.
+func TestPipelineDependencies(t *testing.T) {
+	const m, n = 3, 4
+	b := fj.NewGraphBuilder()
+	// One distinct location per cell so accesses identify cells.
+	vertexOf := map[[2]int]graph.V{}
+	_, err := Run(Config{Stages: m, Items: n, Body: func(c *Cell) {
+		c.Write(core.Addr(c.Stage*n + c.Item + 1))
+	}}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ac := range b.Accesses {
+		loc := int(ac.Loc) - 1
+		vertexOf[[2]int{loc / n, loc % n}] = ac.Vertex
+	}
+	p := order.NewPoset(b.Graph())
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			for i2 := 0; i2 < m; i2++ {
+				for j2 := 0; j2 < n; j2++ {
+					got := p.Leq(vertexOf[[2]int{i2, j2}], vertexOf[[2]int{i, j}])
+					want := i2 <= i && j2 <= j
+					if got != want {
+						t.Fatalf("(%d,%d) ⊑ (%d,%d): got %v want %v", i2, j2, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineGraphIsTwoDimensionalLattice(t *testing.T) {
+	b := fj.NewGraphBuilder()
+	_, err := Run(Config{Stages: 3, Items: 3}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	p := order.NewPoset(g)
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := traversal.NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := traversal.RightToLeft(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := order.Realizer{L1: left.VertexOrder(), L2: right.VertexOrder()}
+	if err := real.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageLocalStateIsRaceFree(t *testing.T) {
+	// Classic pipeline: each stage keeps per-stage state, written by every
+	// item in order — the cross-item join must order them.
+	ds := fj.NewDetectorSink(64)
+	_, err := Run(Config{Stages: 4, Items: 8, Body: func(c *Cell) {
+		stageState := core.Addr(1000 + c.Stage)
+		c.Read(stageState)
+		c.Write(stageState)
+	}}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("stage-local state flagged: %v", ds.D.Races())
+	}
+}
+
+func TestPerItemStateIsRaceFree(t *testing.T) {
+	ds := fj.NewDetectorSink(64)
+	_, err := Run(Config{Stages: 4, Items: 8, Body: func(c *Cell) {
+		item := core.Addr(2000 + c.Item)
+		c.Read(item)
+		c.Write(item)
+	}}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("per-item state flagged: %v", ds.D.Races())
+	}
+}
+
+func TestSkewedAccessRaces(t *testing.T) {
+	// Stage i of item j writing state owned by stage i+1 races with the
+	// (i+1, j-1) cell that reads it: they are incomparable in the grid.
+	ds := fj.NewDetectorSink(64)
+	_, err := Run(Config{Stages: 3, Items: 3, Body: func(c *Cell) {
+		c.Write(core.Addr(3000 + c.Stage)) // own stage state
+		if c.Stage+1 < 3 {
+			c.Write(core.Addr(3000 + c.Stage + 1)) // poke the next stage
+		}
+	}}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("cross-stage interference not flagged")
+	}
+}
+
+// TestDetectorMatchesGroundTruthOnPipelines: on random pipelines with
+// random cell access patterns, the online detector agrees with exhaustive
+// reachability checking about whether any race exists.
+func TestDetectorMatchesGroundTruthOnPipelines(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(4), 1+rng.Intn(4)
+		nLocs := 1 + rng.Intn(3)
+		ds := fj.NewDetectorSink(m*n + 1)
+		b := fj.NewGraphBuilder()
+		pattern := func(c *Cell) {
+			for k := 0; k < 2; k++ {
+				loc := core.Addr(rng.Intn(nLocs) + 1)
+				if rng.Intn(2) == 0 {
+					c.Read(loc)
+				} else {
+					c.Write(loc)
+				}
+			}
+		}
+		if _, err := Run(Config{Stages: m, Items: n, Body: pattern}, fj.MultiSink{b, ds}); err != nil {
+			return false
+		}
+		// Ground truth: any conflicting concurrent pair?
+		r := graph.NewReach(b.Graph())
+		truth := false
+		for i := 0; i < len(b.Accesses) && !truth; i++ {
+			for j := i + 1; j < len(b.Accesses); j++ {
+				ai, aj := b.Accesses[i], b.Accesses[j]
+				if ai.Loc == aj.Loc && (ai.Write || aj.Write) && r.Concurrent(ai.Vertex, aj.Vertex) {
+					truth = true
+					break
+				}
+			}
+		}
+		return ds.Racy() == truth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWhileDynamicItems(t *testing.T) {
+	// A data-dependent item count: stop when the (simulated) input runs
+	// dry at 7 items.
+	var items []int
+	tasks, err := RunWhile(3, func(item int) bool { return item < 7 },
+		func(c *Cell) {
+			if c.Stage == 0 {
+				items = append(items, c.Item)
+			}
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks != 3*7+1 {
+		t.Fatalf("tasks = %d, want %d", tasks, 3*7+1)
+	}
+	if len(items) != 7 {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestRunWhileZeroItems(t *testing.T) {
+	tasks, err := RunWhile(4, func(int) bool { return false }, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks != 1 {
+		t.Fatalf("tasks = %d, want 1 (just the root)", tasks)
+	}
+}
+
+func TestRunWhileValidation(t *testing.T) {
+	if _, err := RunWhile(0, func(int) bool { return false }, nil, nil); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	if _, err := RunWhile(1, nil, nil, nil); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+}
+
+func TestRunWhileDetectsRaces(t *testing.T) {
+	// The same cross-stage interference as the static pipeline, but with
+	// a dynamic item count driven by a pseudo-input stream.
+	ds := fj.NewDetectorSink(32)
+	stream := 0
+	_, err := RunWhile(3, func(item int) bool {
+		if item == 0 {
+			return true
+		}
+		stream++
+		return stream < 6
+	}, func(c *Cell) {
+		c.Write(core.Addr(5000 + c.Stage))
+		if c.Stage == 0 {
+			c.Read(core.Addr(5000 + 2)) // peek at a later stage's state
+		}
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("dynamic pipeline race missed")
+	}
+}
+
+func TestRunWhileGraphIsGrid(t *testing.T) {
+	b := fj.NewGraphBuilder()
+	_, err := RunWhile(2, func(item int) bool { return item < 4 }, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := order.NewPoset(b.Graph())
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traversal.NonSeparating(b.Graph()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// Result summarizes an execution.
+type Result struct {
+	// Tasks is the number of tasks created (including the root).
+	Tasks int
+	// Ops is the number of memory operations executed.
+	Ops int
+	// Addr maps location names to the addresses they were assigned.
+	Addr map[string]core.Addr
+}
+
+// LocName returns the name bound to addr, or a hex rendering.
+func (r *Result) LocName(addr core.Addr) string {
+	for name, a := range r.Addr {
+		if a == addr {
+			return name
+		}
+	}
+	return fmt.Sprintf("%#x", uint64(addr))
+}
+
+// Locations lists the program's location names, ascending by address.
+func (r *Result) Locations() []string {
+	names := make([]string, 0, len(r.Addr))
+	for n := range r.Addr {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Addr[names[i]] < r.Addr[names[j]] })
+	return names
+}
+
+// Exec interprets the program serially, fork-first, streaming events to
+// sink. The interpreter maintains an explicit frame stack — no Go-stack
+// recursion — so arbitrarily deep task structures execute safely.
+//
+// Task names bind globally, most recent fork wins; joining a name that was
+// never forked is an error. Location names map to consecutive addresses
+// starting at 1, in order of first occurrence.
+func Exec(p *Program, sink fj.Sink) (*Result, error) {
+	l := fj.NewLine(sink)
+	res := &Result{Addr: map[string]core.Addr{}}
+	locOf := func(name string) core.Addr {
+		if a, ok := res.Addr[name]; ok {
+			return a
+		}
+		a := core.Addr(len(res.Addr) + 1)
+		res.Addr[name] = a
+		return a
+	}
+
+	type frame struct {
+		task     fj.ID
+		body     []Stmt
+		pc       int
+		repeats  int     // > 0: re-run body this many more times before popping
+		isTask   bool    // pop emits a halt for task frames only
+		children []fj.ID // spawned, not yet synced (task frames only)
+	}
+	stack := []frame{{task: 0, body: p.Body, isTask: true}}
+	names := map[string]fj.ID{}
+
+	// taskFrame returns the innermost task frame (skipping repeat frames).
+	taskFrame := func(stack []frame) *frame {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].isTask {
+				return &stack[i]
+			}
+		}
+		return &stack[0]
+	}
+	// syncChildren joins f's spawned children newest-first.
+	syncChildren := func(l *fj.Line, f *frame) error {
+		for i := len(f.children) - 1; i >= 0; i-- {
+			if err := l.Join(f.task, f.children[i]); err != nil {
+				return err
+			}
+		}
+		f.children = f.children[:0]
+		return nil
+	}
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.pc == len(f.body) {
+			if f.repeats > 0 {
+				f.repeats--
+				f.pc = 0
+				continue
+			}
+			if f.isTask {
+				// Implicit sync at task end (Cilk semantics for spawn).
+				if err := syncChildren(l, f); err != nil {
+					return res, err
+				}
+				if f.task != 0 {
+					if err := l.Halt(f.task); err != nil {
+						return res, err
+					}
+				}
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		st := f.body[f.pc]
+		f.pc++
+		switch st.Op {
+		case OpFork:
+			child, err := l.Fork(f.task)
+			if err != nil {
+				return res, fmt.Errorf("line %d: %w", st.Line, err)
+			}
+			names[st.Name] = child
+			stack = append(stack, frame{task: child, body: st.Body, isTask: true})
+		case OpJoin:
+			id, ok := names[st.Name]
+			if !ok {
+				return res, fmt.Errorf("prog: line %d: join of unknown task %q", st.Line, st.Name)
+			}
+			if err := l.Join(f.task, id); err != nil {
+				return res, fmt.Errorf("line %d: %w", st.Line, err)
+			}
+		case OpSpawn:
+			child, err := l.Fork(f.task)
+			if err != nil {
+				return res, fmt.Errorf("line %d: %w", st.Line, err)
+			}
+			names[st.Name] = child
+			taskFrame(stack).children = append(taskFrame(stack).children, child)
+			stack = append(stack, frame{task: child, body: st.Body, isTask: true})
+		case OpSync:
+			if err := syncChildren(l, taskFrame(stack)); err != nil {
+				return res, fmt.Errorf("line %d: %w", st.Line, err)
+			}
+		case OpRepeat:
+			if st.Count > 0 {
+				stack = append(stack, frame{task: f.task, body: st.Body, repeats: st.Count - 1})
+			}
+		case OpJoinLeft:
+			if y := l.LeftNeighbor(f.task); y >= 0 {
+				if err := l.Join(f.task, y); err != nil {
+					return res, fmt.Errorf("line %d: %w", st.Line, err)
+				}
+			}
+		case OpRead:
+			if err := l.Read(f.task, locOf(st.Name)); err != nil {
+				return res, fmt.Errorf("line %d: %w", st.Line, err)
+			}
+			res.Ops++
+		case OpWrite:
+			if err := l.Write(f.task, locOf(st.Name)); err != nil {
+				return res, fmt.Errorf("line %d: %w", st.Line, err)
+			}
+			res.Ops++
+		}
+	}
+	// Join any remaining tasks so the task graph has a single sink.
+	for {
+		y := l.LeftNeighbor(0)
+		if y < 0 {
+			break
+		}
+		if err := l.Join(0, y); err != nil {
+			return res, err
+		}
+	}
+	if err := l.Halt(0); err != nil {
+		return res, err
+	}
+	res.Tasks = l.Tasks()
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package prog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("prog: line %d: %s", e.Line, e.Msg)
+}
+
+type token struct {
+	text string
+	line int
+}
+
+// Parse reads a program in the package's textual syntax. Statements are
+// whitespace-separated tokens; fork bodies may span lines or sit inline
+// ("fork a { read r }"). '#' comments run to end of line.
+func Parse(r io.Reader) (*Program, error) {
+	var tokens []token
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, f := range strings.Fields(line) {
+			tokens = append(tokens, token{text: f, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prog: %w", err)
+	}
+
+	type frame struct {
+		body   []Stmt
+		name   string
+		count  int
+		repeat bool
+		spawn  bool
+		line   int
+	}
+	stack := []frame{{}}
+	pos := 0
+	fail := func(line int, msg string, args ...any) (*Program, error) {
+		return nil, &ParseError{Line: line, Msg: fmt.Sprintf(msg, args...)}
+	}
+	next := func() (token, bool) {
+		if pos < len(tokens) {
+			t := tokens[pos]
+			pos++
+			return t, true
+		}
+		return token{line: lineNo}, false
+	}
+	for {
+		tok, ok := next()
+		if !ok {
+			break
+		}
+		switch tok.text {
+		case "fork", "spawn":
+			name, ok1 := next()
+			brace, ok2 := next()
+			if !ok1 || !ok2 || brace.text != "{" {
+				return fail(tok.line, "expected '%s NAME {'", tok.text)
+			}
+			if !validName(name.text) {
+				return fail(name.line, "invalid task name %q", name.text)
+			}
+			stack = append(stack, frame{name: name.text, spawn: tok.text == "spawn", line: tok.line})
+		case "repeat":
+			count, ok1 := next()
+			brace, ok2 := next()
+			if !ok1 || !ok2 || brace.text != "{" {
+				return fail(tok.line, "expected 'repeat COUNT {'")
+			}
+			n, err := strconv.Atoi(count.text)
+			if err != nil || n < 0 {
+				return fail(count.line, "invalid repeat count %q", count.text)
+			}
+			stack = append(stack, frame{repeat: true, count: n, line: tok.line})
+		case "}":
+			if len(stack) == 1 {
+				return fail(tok.line, "unmatched '}'")
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			parent := &stack[len(stack)-1]
+			switch {
+			case top.repeat:
+				parent.body = append(parent.body, Stmt{Op: OpRepeat, Count: top.count, Body: top.body, Line: top.line})
+			case top.spawn:
+				parent.body = append(parent.body, Stmt{Op: OpSpawn, Name: top.name, Body: top.body, Line: top.line})
+			default:
+				parent.body = append(parent.body, Stmt{Op: OpFork, Name: top.name, Body: top.body, Line: top.line})
+			}
+		case "join":
+			name, ok := next()
+			if !ok {
+				return fail(tok.line, "expected 'join NAME'")
+			}
+			if !validName(name.text) {
+				return fail(name.line, "invalid task name %q", name.text)
+			}
+			top := &stack[len(stack)-1]
+			top.body = append(top.body, Stmt{Op: OpJoin, Name: name.text, Line: tok.line})
+		case "sync":
+			top := &stack[len(stack)-1]
+			top.body = append(top.body, Stmt{Op: OpSync, Line: tok.line})
+		case "joinleft":
+			top := &stack[len(stack)-1]
+			top.body = append(top.body, Stmt{Op: OpJoinLeft, Line: tok.line})
+		case "read", "write":
+			name, ok := next()
+			if !ok {
+				return fail(tok.line, "expected '%s LOC'", tok.text)
+			}
+			if !validName(name.text) {
+				return fail(name.line, "invalid location %q", name.text)
+			}
+			op := OpRead
+			if tok.text == "write" {
+				op = OpWrite
+			}
+			top := &stack[len(stack)-1]
+			top.body = append(top.body, Stmt{Op: op, Name: name.text, Line: tok.line})
+		default:
+			return fail(tok.line, "unknown statement %q", tok.text)
+		}
+	}
+	if len(stack) != 1 {
+		return fail(stack[len(stack)-1].line, "unclosed fork block")
+	}
+	return &Program{Body: stack[0].body}, nil
+}
+
+// ParseString parses a program from a string.
+func ParseString(s string) (*Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func validName(s string) bool {
+	if s == "" || s == "{" || s == "}" {
+		return false
+	}
+	for _, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+// Package prog defines a small textual language for structured fork-join
+// programs, with a parser and an iterative interpreter. It exists so that
+// the CLI tools can run programs from files, tests can fuzz the detector
+// with serialized inputs, and deep task structures can execute without
+// consuming Go stack (the interpreter keeps an explicit frame stack and
+// drives the fj.Line discipline directly).
+//
+// Syntax (one statement per line; '#' starts a comment):
+//
+//	fork NAME {        # activate a task; the block is its body
+//	    read LOC
+//	    write LOC
+//	}
+//	join NAME          # join the task forked under NAME
+//	joinleft           # join the current immediate left neighbor
+//	read LOC           # LOC: identifier or integer, mapped to an address
+//	write LOC
+//
+// The program of the paper's Figure 2:
+//
+//	fork a { read r }
+//	read r
+//	fork c { join a }
+//	write r
+//	join c
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates statement kinds.
+type Op uint8
+
+const (
+	// OpFork forks a named task with a body.
+	OpFork Op = iota
+	// OpJoin joins a named task.
+	OpJoin
+	// OpJoinLeft joins the immediate left neighbor.
+	OpJoinLeft
+	// OpRead reads a location.
+	OpRead
+	// OpWrite writes a location.
+	OpWrite
+	// OpRepeat executes its body Count times.
+	OpRepeat
+	// OpSpawn forks a Cilk-style child registered with the enclosing
+	// task's sync set; the task has an implicit sync at its end.
+	OpSpawn
+	// OpSync joins every spawned child of the enclosing task.
+	OpSync
+)
+
+// Stmt is one statement. Body is non-nil only for OpFork and OpRepeat.
+type Stmt struct {
+	Op    Op
+	Name  string // task name (fork/join) or location name (read/write)
+	Count int    // repetitions for OpRepeat
+	Body  []Stmt
+	Line  int // source line, for error messages
+}
+
+// Program is a parsed program.
+type Program struct {
+	Body []Stmt
+}
+
+// Stats summarizes a program's static shape.
+type Stats struct {
+	Forks, Joins, Reads, Writes int
+	MaxDepth                    int
+	Locations                   []string
+}
+
+// Stats walks the AST and reports its shape.
+func (p *Program) Stats() Stats {
+	var s Stats
+	locs := map[string]bool{}
+	var walk func(body []Stmt, depth int)
+	walk = func(body []Stmt, depth int) {
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		for _, st := range body {
+			switch st.Op {
+			case OpFork, OpSpawn:
+				s.Forks++
+				walk(st.Body, depth+1)
+			case OpRepeat:
+				walk(st.Body, depth)
+			case OpJoin, OpJoinLeft, OpSync:
+				s.Joins++
+			case OpRead:
+				s.Reads++
+				locs[st.Name] = true
+			case OpWrite:
+				s.Writes++
+				locs[st.Name] = true
+			}
+		}
+	}
+	walk(p.Body, 0)
+	for l := range locs {
+		s.Locations = append(s.Locations, l)
+	}
+	sort.Strings(s.Locations)
+	return s
+}
+
+// String renders the program back to its textual form.
+func (p *Program) String() string {
+	var b strings.Builder
+	var walk func(body []Stmt, indent string)
+	walk = func(body []Stmt, indent string) {
+		for _, st := range body {
+			switch st.Op {
+			case OpFork:
+				fmt.Fprintf(&b, "%sfork %s {\n", indent, st.Name)
+				walk(st.Body, indent+"    ")
+				fmt.Fprintf(&b, "%s}\n", indent)
+			case OpRepeat:
+				fmt.Fprintf(&b, "%srepeat %d {\n", indent, st.Count)
+				walk(st.Body, indent+"    ")
+				fmt.Fprintf(&b, "%s}\n", indent)
+			case OpSpawn:
+				fmt.Fprintf(&b, "%sspawn %s {\n", indent, st.Name)
+				walk(st.Body, indent+"    ")
+				fmt.Fprintf(&b, "%s}\n", indent)
+			case OpSync:
+				fmt.Fprintf(&b, "%ssync\n", indent)
+			case OpJoin:
+				fmt.Fprintf(&b, "%sjoin %s\n", indent, st.Name)
+			case OpJoinLeft:
+				fmt.Fprintf(&b, "%sjoinleft\n", indent)
+			case OpRead:
+				fmt.Fprintf(&b, "%sread %s\n", indent, st.Name)
+			case OpWrite:
+				fmt.Fprintf(&b, "%swrite %s\n", indent, st.Name)
+			}
+		}
+	}
+	walk(p.Body, "")
+	return b.String()
+}

@@ -1,0 +1,404 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+const figure2Src = `
+# The program of the paper's Figure 2.
+fork a { read r }   # A
+read r              # B
+fork c {
+    join a          # C
+}
+write r             # D
+join c
+`
+
+func TestParseFigure2(t *testing.T) {
+	p, err := ParseString(figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Forks != 2 || s.Joins != 2 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxDepth != 1 {
+		t.Fatalf("depth = %d", s.MaxDepth)
+	}
+	if len(s.Locations) != 1 || s.Locations[0] != "r" {
+		t.Fatalf("locations = %v", s.Locations)
+	}
+}
+
+func TestExecFigure2DetectsRace(t *testing.T) {
+	p, err := ParseString(figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fj.NewDetectorSink(4)
+	res, err := Exec(p, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 3 || res.Ops != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !ds.Racy() {
+		t.Fatal("race not detected")
+	}
+	if res.LocName(ds.Races()[0].Loc) != "r" {
+		t.Fatalf("race on %v", ds.Races()[0])
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	p, err := ParseString(figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseString(p.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, p.String())
+	}
+	if p.String() != p2.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", p.String(), p2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"fork {":             "expected 'fork NAME {'",
+		"fork a {\nread x":   "unclosed fork",
+		"}":                  "unmatched '}'",
+		"join":               "expected 'join NAME'",
+		"joinleft now":       "unknown statement",
+		"read":               "expected 'read LOC'",
+		"frobnicate x":       "unknown statement",
+		"read x stray":       "unknown statement",
+		"write bad-name":     "invalid location",
+		"fork bad*name {\n}": "invalid task name",
+		"join {":             "invalid task name",
+	}
+	for src, wantSub := range cases {
+		_, err := ParseString(src)
+		if err == nil {
+			t.Errorf("no error for %q", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("error for %q = %q, want substring %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString("read x\nbogus y\n")
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 2 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecJoinUnknownTask(t *testing.T) {
+	p, _ := ParseString("join ghost")
+	if _, err := Exec(p, nil); err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecDisciplineViolation(t *testing.T) {
+	p, _ := ParseString(`
+fork a { }
+fork b { }
+join a
+`)
+	_, err := Exec(p, nil)
+	if err == nil || !strings.Contains(err.Error(), "immediate left neighbor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinLeftNoNeighborIsNoop(t *testing.T) {
+	p, _ := ParseString("joinleft\nread x")
+	res, err := Exec(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1 {
+		t.Fatal("ops wrong")
+	}
+}
+
+func TestDeepProgramIterative(t *testing.T) {
+	// 50k nested forks: would overflow any recursive interpreter's
+	// practical budget per frame; the explicit stack handles it.
+	var b strings.Builder
+	const depth = 50000
+	for i := 0; i < depth; i++ {
+		b.WriteString("fork t {\n")
+	}
+	b.WriteString("write x\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("}\n")
+	}
+	p, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != depth+1 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+}
+
+func TestExecMatchesGroundTruth(t *testing.T) {
+	src := `
+fork w1 { write s }
+fork w2 { write s }
+joinleft
+joinleft
+read s
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr fj.Trace
+	ds := fj.NewDetectorSink(4)
+	if _, err := Exec(p, fj.MultiSink{&tr, ds}); err != nil {
+		t.Fatal(err)
+	}
+	rep := bruteforce.Analyze(&tr)
+	if !rep.Racy() || !ds.Racy() {
+		t.Fatal("write-write race between w1 and w2 missed")
+	}
+}
+
+func TestLocNamesAndAddresses(t *testing.T) {
+	p, _ := ParseString("read a\nread b\nwrite a")
+	res, err := Exec(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Addr["a"] != 1 || res.Addr["b"] != 2 {
+		t.Fatalf("addr map = %v", res.Addr)
+	}
+	if got := res.Locations(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("locations = %v", got)
+	}
+	if res.LocName(2) != "b" || res.LocName(99) != "0x63" {
+		t.Fatal("LocName wrong")
+	}
+}
+
+func TestRepeatBasic(t *testing.T) {
+	p, err := ParseString("repeat 5 { write x read x }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 10 {
+		t.Fatalf("ops = %d, want 10", res.Ops)
+	}
+}
+
+func TestRepeatWithForks(t *testing.T) {
+	// Each iteration forks a worker and joins it: a chain of diamonds.
+	p, err := ParseString(`
+repeat 4 {
+    fork w { write s }
+    join w
+    read s
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fj.NewDetectorSink(8)
+	res, err := Exec(p, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 5 {
+		t.Fatalf("tasks = %d, want 5", res.Tasks)
+	}
+	if ds.Racy() {
+		t.Fatalf("joined repeats flagged: %v", ds.D.Races())
+	}
+}
+
+func TestRepeatRacyFanout(t *testing.T) {
+	// Unjoined workers from every iteration race on the shared location.
+	p, err := ParseString("repeat 3 { fork w { write s } }\nread s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fj.NewDetectorSink(8)
+	if _, err := Exec(p, ds); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("fanout race missed")
+	}
+}
+
+func TestRepeatZeroAndRoundTrip(t *testing.T) {
+	p, err := ParseString("repeat 0 { write x }\nread y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	p2, err := ParseString(p.String())
+	if err != nil || p.String() != p2.String() {
+		t.Fatalf("round trip failed: %v\n%s", err, p.String())
+	}
+}
+
+func TestRepeatParseErrors(t *testing.T) {
+	for src, want := range map[string]string{
+		"repeat { write x }":    "expected 'repeat COUNT {'",
+		"repeat -1 { write x }": "invalid repeat count",
+		"repeat 2 write x":      "expected 'repeat COUNT {'",
+		"repeat 2 { write x":    "unclosed fork",
+	} {
+		_, err := ParseString(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: err = %v, want %q", src, err, want)
+		}
+	}
+}
+
+func TestRepeatLargeIsCheap(t *testing.T) {
+	// 100k iterations: the interpreter loops instead of expanding the AST.
+	p, err := ParseString("repeat 100000 { write x }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 100000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+func TestSpawnSyncBasics(t *testing.T) {
+	src := `
+spawn a { write s }
+spawn b { write s }
+sync
+read s
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fj.NewDetectorSink(4)
+	res, err := Exec(p, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 3 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	// a and b race with each other (write-write), but the final read is
+	// synced.
+	if !ds.Racy() {
+		t.Fatal("sibling spawn race missed")
+	}
+	for _, r := range ds.Races() {
+		if r.Kind == core.WriteRead {
+			t.Fatalf("synced read flagged: %v", r)
+		}
+	}
+}
+
+func TestImplicitSyncAtTaskEnd(t *testing.T) {
+	src := `
+spawn outer {
+    spawn inner { write g }
+}
+sync
+write g
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fj.NewDetectorSink(4)
+	if _, err := Exec(p, ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("implicit sync failed: %v", ds.D.Races())
+	}
+}
+
+func TestSyncWithoutSpawnIsNoop(t *testing.T) {
+	p, err := ParseString("sync\nread x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(p, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnInsideRepeat(t *testing.T) {
+	src := `
+repeat 3 {
+    spawn w { write s }
+    sync
+    read s
+}
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := fj.NewDetectorSink(8)
+	res, err := Exec(p, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 4 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	if ds.Racy() {
+		t.Fatalf("per-iteration sync failed: %v", ds.D.Races())
+	}
+}
+
+func TestSpawnRoundTrip(t *testing.T) {
+	p, err := ParseString("spawn a { write x }\nsync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseString(p.String())
+	if err != nil || p.String() != p2.String() {
+		t.Fatalf("round trip: %v\n%s", err, p.String())
+	}
+	s := p.Stats()
+	if s.Forks != 1 || s.Joins != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

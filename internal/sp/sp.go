@@ -1,0 +1,264 @@
+// Package sp implements series-parallel graph theory (Section 2.1): SP
+// graph construction by series and parallel composition, and SP
+// recognition by reduction. SP graphs are the task-graph class of Cilk's
+// spawn-sync and X10's async-finish; the paper's 2D lattices strictly
+// contain them, and the experiments use this package to certify which
+// side of that line a given task graph falls on.
+//
+// An SP graph here is a two-terminal directed multigraph: either a single
+// arc source→sink, the series composition S(G1, G2) (G1's sink glued to
+// G2's source), or the parallel composition P(G1, G2) (sources glued,
+// sinks glued).
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Graph is a two-terminal series-parallel graph under construction.
+// Vertices are graph.V identifiers in G; Source and Sink are its
+// terminals.
+type Graph struct {
+	G      *graph.Digraph
+	Source graph.V
+	Sink   graph.V
+}
+
+// Edge returns the atomic SP graph: one arc source→sink.
+func Edge() *Graph {
+	g := graph.New(2)
+	g.AddArc(0, 1)
+	return &Graph{G: g, Source: 0, Sink: 1}
+}
+
+// merge copies other's vertices into dst, returning the vertex-id offset
+// mapping function.
+func merge(dst *graph.Digraph, other *graph.Digraph) func(graph.V) graph.V {
+	base := dst.N()
+	for i := 0; i < other.N(); i++ {
+		dst.AddVertex()
+	}
+	remap := func(v graph.V) graph.V { return base + v }
+	for _, a := range other.Arcs() {
+		dst.AddArc(remap(a.S), remap(a.T))
+	}
+	return remap
+}
+
+// contract redirects all arcs incident to from onto to. The vertex from
+// becomes isolated; Compact removes isolated vertices at the end.
+func contract(g *graph.Digraph, from, to graph.V) *graph.Digraph {
+	h := graph.New(g.N())
+	for _, a := range g.Arcs() {
+		s, t := a.S, a.T
+		if s == from {
+			s = to
+		}
+		if t == from {
+			t = to
+		}
+		h.AddArc(s, t)
+	}
+	return h
+}
+
+// Series returns S(g1, g2): g1 before g2, glued sink-to-source.
+func Series(g1, g2 *Graph) *Graph {
+	g := g1.G.Clone()
+	remap := merge(g, g2.G)
+	merged := contract(g, remap(g2.Source), g1.Sink)
+	out := &Graph{G: merged, Source: g1.Source, Sink: remap(g2.Sink)}
+	return out.compact()
+}
+
+// Parallel returns P(g1, g2): sources glued, sinks glued.
+func Parallel(g1, g2 *Graph) *Graph {
+	g := g1.G.Clone()
+	remap := merge(g, g2.G)
+	merged := contract(g, remap(g2.Source), g1.Source)
+	merged = contract(merged, remap(g2.Sink), g1.Sink)
+	out := &Graph{G: merged, Source: g1.Source, Sink: g1.Sink}
+	return out.compact()
+}
+
+// compact removes isolated vertices (left behind by contraction),
+// renumbering the rest densely.
+func (s *Graph) compact() *Graph {
+	g := s.G
+	newID := make([]graph.V, g.N())
+	h := graph.New(0)
+	for v := 0; v < g.N(); v++ {
+		if g.InDeg(v) == 0 && g.OutDeg(v) == 0 && v != s.Source && v != s.Sink {
+			newID[v] = -1
+			continue
+		}
+		newID[v] = h.AddVertex()
+	}
+	for _, a := range g.Arcs() {
+		h.AddArc(newID[a.S], newID[a.T])
+	}
+	return &Graph{G: h, Source: newID[s.Source], Sink: newID[s.Sink]}
+}
+
+// IsSP reports whether a two-terminal DAG is series-parallel, by
+// exhaustive series/parallel reduction: repeatedly remove parallel
+// multi-arcs and contract interior vertices with in-degree and out-degree
+// one. The graph is SP iff it reduces to a single arc source→sink
+// (Valdes–Tarjan–Lawler; quadratic implementation, ample for task-graph
+// sizes in tests and experiments).
+func IsSP(g *graph.Digraph, source, sink graph.V) bool {
+	if g.N() == 0 {
+		return false
+	}
+	// Degenerate single-vertex graph (the task graph of a program that
+	// performs no operations): trivially series-parallel.
+	if source == sink {
+		return g.M() == 0
+	}
+	// Work on multiset adjacency: count arcs between ordered pairs.
+	type key struct{ s, t graph.V }
+	arcs := map[key]int{}
+	outdeg := make([]int, g.N())
+	indeg := make([]int, g.N())
+	for _, a := range g.Arcs() {
+		arcs[key{a.S, a.T}]++
+		outdeg[a.S]++
+		indeg[a.T]++
+	}
+	// Parallel reduction: collapse multi-arcs to one.
+	reduceParallel := func() bool {
+		changed := false
+		for k, c := range arcs {
+			if c > 1 {
+				arcs[k] = 1
+				outdeg[k.s] -= c - 1
+				indeg[k.t] -= c - 1
+				changed = true
+			}
+		}
+		return changed
+	}
+	// Series reduction: an interior vertex v with indeg=outdeg=1 is
+	// bypassed: (u,v),(v,w) become (u,w).
+	reduceSeries := func() bool {
+		for v := 0; v < g.N(); v++ {
+			if v == source || v == sink || indeg[v] != 1 || outdeg[v] != 1 {
+				continue
+			}
+			var u, w graph.V = -1, -1
+			for k, c := range arcs {
+				if c == 0 {
+					continue
+				}
+				if k.t == v {
+					u = k.s
+				}
+				if k.s == v {
+					w = k.t
+				}
+			}
+			if u < 0 || w < 0 || u == v || w == v {
+				continue
+			}
+			arcs[key{u, v}]--
+			arcs[key{v, w}]--
+			arcs[key{u, w}]++
+			indeg[v] = 0
+			outdeg[v] = 0
+			// u's out-degree and w's in-degree are unchanged (one arc
+			// swapped for another).
+			return true
+		}
+		return false
+	}
+	for {
+		p := reduceParallel()
+		s := reduceSeries()
+		if !p && !s {
+			break
+		}
+	}
+	// SP iff exactly one arc remains: source→sink.
+	remaining := 0
+	for k, c := range arcs {
+		if c > 0 {
+			remaining += c
+			if k.s != source || k.t != sink {
+				return false
+			}
+		}
+	}
+	return remaining == 1
+}
+
+// Decompose builds an SP graph from a decomposition-tree expression for
+// tests and examples, e.g. "S(P(e,e),P(e,e))" — e is an edge, S/P are
+// compositions.
+func Decompose(expr string) (*Graph, error) {
+	p := &parser{src: expr}
+	g, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("sp: trailing input at %d", p.pos)
+	}
+	return g, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\n' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) parse() (*Graph, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("sp: unexpected end of expression")
+	}
+	switch c := p.src[p.pos]; c {
+	case 'e':
+		p.pos++
+		return Edge(), nil
+	case 'S', 'P':
+		p.pos++
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+			return nil, fmt.Errorf("sp: expected '(' at %d", p.pos)
+		}
+		p.pos++
+		left, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ',' {
+			return nil, fmt.Errorf("sp: expected ',' at %d", p.pos)
+		}
+		p.pos++
+		right, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("sp: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		if c == 'S' {
+			return Series(left, right), nil
+		}
+		return Parallel(left, right), nil
+	default:
+		return nil, fmt.Errorf("sp: unexpected %q at %d", c, p.pos)
+	}
+}

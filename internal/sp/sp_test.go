@@ -1,0 +1,190 @@
+package sp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+	"repro/internal/workload"
+)
+
+func TestEdge(t *testing.T) {
+	e := Edge()
+	if e.G.N() != 2 || e.G.M() != 1 || !e.G.HasArc(e.Source, e.Sink) {
+		t.Fatalf("edge = %+v", e)
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	s := Series(Edge(), Edge())
+	if s.G.N() != 3 || s.G.M() != 2 {
+		t.Fatalf("S(e,e): n=%d m=%d", s.G.N(), s.G.M())
+	}
+	r := graph.NewReach(s.G)
+	if !r.Reachable(s.Source, s.Sink) {
+		t.Fatal("sink unreachable")
+	}
+}
+
+func TestParallelShape(t *testing.T) {
+	p := Parallel(Edge(), Edge())
+	if p.G.N() != 2 || p.G.M() != 2 {
+		t.Fatalf("P(e,e): n=%d m=%d", p.G.N(), p.G.M())
+	}
+}
+
+func TestIsSPAcceptsCompositions(t *testing.T) {
+	exprs := []string{
+		"e",
+		"S(e,e)",
+		"P(e,e)",
+		"S(P(e,e),P(e,e))", // Figure 1's task-graph shape
+		"P(S(e,e),S(e,e))",
+		"S(e,P(S(e,e),e))",
+		"P(P(e,e),S(e,P(e,e)))",
+	}
+	for _, expr := range exprs {
+		g, err := Decompose(expr)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if !IsSP(g.G, g.Source, g.Sink) {
+			t.Errorf("IsSP rejected %s", expr)
+		}
+	}
+}
+
+func TestIsSPRejectsN(t *testing.T) {
+	// The forbidden "N": s→u, s→v, u→v, u→t, v→t.
+	g := graph.New(4)
+	const s, u, v, tt = 0, 1, 2, 3
+	g.AddArc(s, u)
+	g.AddArc(s, v)
+	g.AddArc(u, v)
+	g.AddArc(u, tt)
+	g.AddArc(v, tt)
+	if IsSP(g, s, tt) {
+		t.Fatal("IsSP accepted the N graph")
+	}
+}
+
+func TestIsSPEmptyGraph(t *testing.T) {
+	if IsSP(graph.New(0), 0, 0) {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	for _, expr := range []string{"", "X", "S(e e)", "S(e,e", "S e,e)", "e junk", "S(,e)"} {
+		if _, err := Decompose(expr); err == nil {
+			t.Errorf("Decompose(%q) accepted", expr)
+		}
+	}
+}
+
+// TestSPGraphsAreTwoDimensionalLattices: the paper's containment — SP
+// graphs (without parallel multi-arcs) are 2D lattices analyzable by the
+// traversal machinery.
+func TestSPGraphsAreTwoDimensionalLattices(t *testing.T) {
+	exprs := []string{
+		"S(e,e)",
+		"S(P(S(e,e),S(e,e)),e)",
+		"P(S(e,e),S(e,S(e,e)))",
+		"S(P(S(e,e),S(e,e)),P(S(e,e),S(e,e)))",
+	}
+	for _, expr := range exprs {
+		spg, err := Decompose(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := order.NewPoset(spg.G)
+		if err := p.IsLattice(); err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		left, err := traversal.NonSeparating(spg.G)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		right, err := traversal.RightToLeft(spg.G)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		real := order.Realizer{L1: left.VertexOrder(), L2: right.VertexOrder()}
+		if err := real.Verify(p); err != nil {
+			t.Errorf("%s: %v", expr, err)
+		}
+	}
+}
+
+// TestSpawnSyncGraphsAreSP: random spawn-sync programs produce SP task
+// graphs (Section 2.1), certified by reduction.
+func TestSpawnSyncGraphsAreSP(t *testing.T) {
+	f := func(seed int64) bool {
+		w := workload.SpawnSync{Seed: seed, Ops: 30, MaxDepth: 4,
+			Mix: workload.Mix{Locs: 3, ReadFrac: 0.5}}
+		b := fj.NewGraphBuilder()
+		if _, err := w.Run(b); err != nil {
+			return false
+		}
+		g := b.Graph()
+		src, snk := g.Sources(), g.Sinks()
+		if len(src) != 1 || len(snk) != 1 {
+			return false
+		}
+		return IsSP(g, src[0], snk[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2GraphIsNotSP: the paper's Figure 2 task graph lies outside
+// SP — the separation that motivates the 2D class.
+func TestFigure2GraphIsNotSP(t *testing.T) {
+	b := fj.NewGraphBuilder()
+	_, err := fj.Run(func(t *fj.Task) {
+		const r = core.Addr(0x10)
+		a := t.Fork(func(a *fj.Task) { a.Read(r) })
+		t.Read(r)
+		c := t.Fork(func(c *fj.Task) { c.Join(a) })
+		t.Write(r)
+		t.Join(c)
+	}, b, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	src, snk := g.Sources(), g.Sinks()
+	if len(src) != 1 || len(snk) != 1 {
+		t.Fatal("not two-terminal")
+	}
+	if IsSP(g, src[0], snk[0]) {
+		t.Fatal("Figure 2's task graph certified SP; it must not be")
+	}
+	// Yet it is a 2D lattice.
+	if err := order.NewPoset(g).IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineGridsAreNotSP: grids beyond 1×n / m×1 are non-SP — pipeline
+// parallelism needs the 2D class.
+func TestPipelineGridsAreNotSP(t *testing.T) {
+	g := order.Grid(3, 3)
+	src, snk := g.Sources(), g.Sinks()
+	if IsSP(g, src[0], snk[0]) {
+		t.Fatal("3x3 grid certified SP")
+	}
+	chain := order.Grid(1, 5)
+	src, snk = chain.Sources(), chain.Sinks()
+	if !IsSP(chain, src[0], snk[0]) {
+		t.Fatal("1x5 chain rejected")
+	}
+}

@@ -1,0 +1,61 @@
+// Package spawnsync layers Cilk-style spawn/sync constructs (Section 2.1)
+// on top of the structured fork-join runtime. Spawned children stack to the
+// left of their parent; sync joins them in LIFO order, which is exactly the
+// bracketed restriction (11) of Section 5 — so every spawn-sync program
+// produces a series-parallel task graph and stays inside the 2D discipline.
+//
+// Each procedure has an implicit sync at its end, as in Cilk.
+package spawnsync
+
+import (
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// Proc is a Cilk-style procedure: it can spawn children, sync with all of
+// them, and perform instrumented memory accesses.
+type Proc struct {
+	t        *fj.Task
+	children []fj.Handle // spawned and not yet synced, oldest first
+}
+
+// ID returns the underlying task identifier.
+func (p *Proc) ID() fj.ID { return p.t.ID() }
+
+// Spawn activates body as a new child procedure ("spawn G1; G2" means
+// P(G1, G2)).
+func (p *Proc) Spawn(body func(*Proc)) {
+	h := p.t.Fork(func(ct *fj.Task) {
+		cp := &Proc{t: ct}
+		body(cp)
+		cp.Sync() // implicit sync at procedure end
+	})
+	p.children = append(p.children, h)
+}
+
+// Sync suspends the procedure until all of its spawned children terminate
+// ("G1; sync; G2" means S(G1, G2)). Children are joined newest-first,
+// matching their left-to-right stacking in the task line.
+func (p *Proc) Sync() {
+	for i := len(p.children) - 1; i >= 0; i-- {
+		p.t.Join(p.children[i])
+	}
+	p.children = p.children[:0]
+}
+
+// Read performs an instrumented read of loc.
+func (p *Proc) Read(loc core.Addr) { p.t.Read(loc) }
+
+// Write performs an instrumented write of loc.
+func (p *Proc) Write(loc core.Addr) { p.t.Write(loc) }
+
+// Run executes a spawn-sync program, streaming events to sink. It returns
+// the number of tasks and the first structure violation, if any (none can
+// arise from well-typed use of this package).
+func Run(root func(*Proc), sink fj.Sink) (int, error) {
+	return fj.Run(func(t *fj.Task) {
+		p := &Proc{t: t}
+		root(p)
+		p.Sync()
+	}, sink, fj.Options{AutoJoin: true})
+}

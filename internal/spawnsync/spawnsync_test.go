@@ -1,0 +1,195 @@
+package spawnsync
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/order"
+	"repro/internal/traversal"
+)
+
+// TestFigure1Program builds the spawn-sync program of Figure 1:
+//
+//	spawn A(); B(); sync; spawn C(); D(); sync
+//
+// and checks its task graph is the series-parallel diamond pair.
+func TestFigure1Program(t *testing.T) {
+	b := fj.NewGraphBuilder()
+	_, err := Run(func(p *Proc) {
+		p.Spawn(func(a *Proc) { a.Read(1) }) // A
+		p.Read(1)                            // B
+		p.Sync()
+		p.Spawn(func(c *Proc) { c.Read(2) }) // C
+		p.Read(2)                            // D
+		p.Sync()
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("not single source/sink")
+	}
+	p := order.NewPoset(g)
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	// A ∥ B and C ∥ D, but everything in phase one precedes phase two.
+	var aV, bV, cV, dV = -1, -1, -1, -1
+	for _, ac := range b.Accesses {
+		switch {
+		case ac.Loc == 1 && ac.Task != 0:
+			aV = ac.Vertex
+		case ac.Loc == 1 && ac.Task == 0:
+			bV = ac.Vertex
+		case ac.Loc == 2 && ac.Task != 0:
+			cV = ac.Vertex
+		case ac.Loc == 2 && ac.Task == 0:
+			dV = ac.Vertex
+		}
+	}
+	if aV < 0 || bV < 0 || cV < 0 || dV < 0 {
+		t.Fatal("missing access vertices")
+	}
+	if p.Comparable(aV, bV) || p.Comparable(cV, dV) {
+		t.Fatal("parallel composition broken")
+	}
+	if !p.Lt(aV, cV) || !p.Lt(bV, dV) || !p.Lt(aV, dV) {
+		t.Fatal("series composition broken")
+	}
+}
+
+func TestSyncOrdersRaces(t *testing.T) {
+	// Racy: spawned child writes, parent writes before sync.
+	ds := fj.NewDetectorSink(2)
+	_, err := Run(func(p *Proc) {
+		p.Spawn(func(c *Proc) { c.Write(7) })
+		p.Write(7)
+		p.Sync()
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("spawn race not detected")
+	}
+
+	// Race-free: parent writes after sync.
+	ds2 := fj.NewDetectorSink(2)
+	_, err = Run(func(p *Proc) {
+		p.Spawn(func(c *Proc) { c.Write(7) })
+		p.Sync()
+		p.Write(7)
+	}, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Racy() {
+		t.Fatalf("synced accesses flagged: %v", ds2.Races())
+	}
+}
+
+func TestImplicitSyncAtProcEnd(t *testing.T) {
+	// A child's unsynced grandchildren are joined when the child ends, so
+	// the parent's sync sees a clean line (Cilk semantics).
+	ds := fj.NewDetectorSink(4)
+	_, err := Run(func(p *Proc) {
+		p.Spawn(func(c *Proc) {
+			c.Spawn(func(g *Proc) { g.Write(9) })
+			// no explicit sync: implicit at end of c
+		})
+		p.Sync()
+		p.Write(9) // ordered after g via the implicit sync
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("implicit sync failed to order accesses: %v", ds.Races())
+	}
+}
+
+func TestNestedSpawnFib(t *testing.T) {
+	// Cilk's signature pattern: recursive fib with spawned subcalls.
+	var fib func(p *Proc, n int, out core.Addr)
+	fib = func(p *Proc, n int, out core.Addr) {
+		if n < 2 {
+			p.Write(out)
+			return
+		}
+		p.Spawn(func(c *Proc) { fib(c, n-1, out*2) })
+		fib(p, n-2, out*2+1)
+		p.Sync()
+		p.Read(out * 2)
+		p.Read(out*2 + 1)
+		p.Write(out)
+	}
+	ds := fj.NewDetectorSink(64)
+	tasks, err := Run(func(p *Proc) { fib(p, 8, 1) }, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks < 30 {
+		t.Fatalf("fib(8) spawned only %d tasks", tasks)
+	}
+	if ds.Racy() {
+		t.Fatalf("race in race-free fib: %v", ds.Races())
+	}
+}
+
+// randomSP generates a random spawn-sync program.
+func randomSP(rng *rand.Rand, budget *int, depth int) func(*Proc) {
+	return func(p *Proc) {
+		for *budget > 0 {
+			*budget--
+			switch r := rng.Intn(10); {
+			case r < 3:
+				p.Read(core.Addr(rng.Intn(6)))
+			case r < 6:
+				p.Write(core.Addr(rng.Intn(6)))
+			case r < 8 && depth < 4:
+				p.Spawn(randomSP(rng, budget, depth+1))
+			case r < 9:
+				p.Sync()
+			default:
+				return
+			}
+		}
+	}
+}
+
+// TestSPGraphsAreTwoDimensional: spawn-sync task graphs are SP, hence 2D
+// lattices analyzable by the traversal machinery (the paper's
+// generalization claim).
+func TestSPGraphsAreTwoDimensional(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := fj.NewGraphBuilder()
+		budget := 2 + rng.Intn(25)
+		_, err := Run(randomSP(rng, &budget, 0), b)
+		if err != nil {
+			return false
+		}
+		g := b.Graph()
+		p := order.NewPoset(g)
+		if p.IsLattice() != nil {
+			return false
+		}
+		left, err := traversal.NonSeparating(g)
+		if err != nil {
+			return false
+		}
+		right, err := traversal.RightToLeft(g)
+		if err != nil {
+			return false
+		}
+		real := order.Realizer{L1: left.VertexOrder(), L2: right.VertexOrder()}
+		return real.Verify(p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

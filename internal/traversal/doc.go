@@ -1,0 +1,42 @@
+// Package traversal implements the traversal layer between lattice
+// diagrams and the suprema algorithm: non-separating traversals
+// (Definition 1), their delayed variants (Definition 3), the canonical
+// generator, and validators.
+//
+// # Why traversals (Sections 3 and 4 of the paper)
+//
+// The suprema algorithm never looks at the whole diagram; it consumes a
+// linear sequence of arcs and vertex visits ("loops"). For Theorem 1 to
+// hold, that sequence must be a NON-SEPARATING traversal: topological
+// (nothing visited before its predecessors), depth-first, and
+// left-to-right in the planar embedding. NonSeparating implements the
+// canonical such order as a greedy leftmost DFS that descends into a
+// vertex only once all of its incoming arcs are visited; on the paper's
+// Figure 3 diagram it emits the Figure 4 sequence item for item
+// (golden-tested). RightToLeft is the mirror, and the pair of vertex
+// orders is a Dushnik–Miller 2-realizer — the bridge to internal/order.
+//
+// The last-arc of a vertex — its rightmost outgoing arc, the final one a
+// traversal visits — is the load-bearing concept: visited last-arcs form
+// the forest whose roots answer supremum queries (Definition 2,
+// Theorem 1).
+//
+// # Delaying (Definition 3)
+//
+// An online execution cannot visit the arc (s, t) from a task's final
+// operation to its joiner at the arc's non-separating position: t does
+// not exist yet. Delay moves every such arc to just before its target's
+// final incoming arc and leaves a stop-arc (s, ×) marker at the original
+// position — on Figure 4's traversal it reproduces Figure 7 exactly. The
+// markers drive the modified algorithm's unvisited-root trick
+// (internal/core.Walker.StopArc).
+//
+// # Validation
+//
+// Validate and ValidateDelayed check the structural invariants a
+// traversal must satisfy (coverage, arc-before-loop ordering, embedding
+// order, last-arc flags, stop-arc matching); the semantic property —
+// that the algorithm run over the traversal answers correct suprema — is
+// established by the Theorem 1/4 property tests in internal/core, which
+// is the definition that actually matters.
+package traversal

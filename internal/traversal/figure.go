@@ -1,0 +1,70 @@
+package traversal
+
+import "repro/internal/graph"
+
+// Figure3 constructs the paper's Figure 3 diagram: the nine-vertex
+// two-dimensional lattice whose non-separating traversal is listed in
+// Figure 4. Vertices are numbered 1..9 in the paper; we use 0..8, so paper
+// vertex k is graph vertex k-1. Out-arc insertion order encodes the planar
+// left-to-right embedding of the drawing.
+func Figure3() *graph.Digraph {
+	g := graph.New(9)
+	v := func(paper int) graph.V { return paper - 1 }
+	add := func(s, t int) { g.AddArc(v(s), v(t)) }
+	// Per-vertex out-arcs in left-to-right embedding order.
+	add(1, 2)
+	add(1, 4)
+	add(2, 3)
+	add(2, 5)
+	add(3, 6)
+	add(4, 5)
+	add(4, 7)
+	add(5, 6)
+	add(5, 8)
+	add(6, 9)
+	add(7, 8)
+	add(8, 9)
+	return g
+}
+
+// Figure4Want is the traversal listed in Figure 4 of the paper, translated
+// to 0-based vertices, with the last-arc markings from the figure (solid
+// arcs). It is the golden value for the generator regression test.
+func Figure4Want() T {
+	l := func(x int) Item { return Item{Kind: Loop, S: x - 1, T: x - 1} }
+	a := func(s, t int) Item { return Item{Kind: Arc, S: s - 1, T: t - 1} }
+	la := func(s, t int) Item { return Item{Kind: LastArc, S: s - 1, T: t - 1} }
+	return T{
+		l(1), a(1, 2), l(2), a(2, 3), l(3), la(3, 6), la(2, 5), la(1, 4),
+		l(4), a(4, 5), l(5), a(5, 6), l(6), la(6, 9), la(5, 8), la(4, 7),
+		l(7), la(7, 8), l(8), la(8, 9), l(9),
+	}
+}
+
+// Figure7Want is the delayed counterpart listed in Figure 7, again 0-based.
+// The crossed arcs of the figure are the delayed ones: (3,6), (2,5), (6,9)
+// and (5,8); their stop-arcs sit at the original positions.
+func Figure7Want() T {
+	l := func(x int) Item { return Item{Kind: Loop, S: x - 1, T: x - 1} }
+	a := func(s, t int) Item { return Item{Kind: Arc, S: s - 1, T: t - 1} }
+	la := func(s, t int) Item { return Item{Kind: LastArc, S: s - 1, T: t - 1} }
+	stop := func(s int) Item { return Item{Kind: StopArc, S: s - 1, T: -1} }
+	return T{
+		l(1), a(1, 2), l(2), a(2, 3), l(3), stop(3), stop(2), la(1, 4),
+		l(4), la(2, 5), a(4, 5), l(5), la(3, 6), a(5, 6), l(6), stop(6), stop(5), la(4, 7),
+		l(7), la(5, 8), la(7, 8), l(8), la(6, 9), la(8, 9), l(9),
+	}
+}
+
+// Equal reports whether two traversals are identical item-for-item.
+func Equal(a, b T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+// Traversal item types and the canonical generator; see doc.go for the
+// package-level walkthrough.
+//
+// A traversal is a sequence of items over the arcs and vertices of a
+// diagram: each vertex x appears once as the loop (x, x), each arc (s, t)
+// appears once, and delayed traversals additionally contain stop-arc
+// markers (s, ×). Arcs carry a Last flag: the last-arc of x is the
+// rightmost arc exiting x in the planar embedding, equivalently the last
+// arc exiting x that the traversal visits (Definition 2, footnote 2).
+
+package traversal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Kind discriminates traversal items.
+type Kind uint8
+
+const (
+	// Loop is the visit (x, x) of vertex x itself.
+	Loop Kind = iota
+	// Arc is a non-last arc (s, t).
+	Arc
+	// LastArc is the rightmost arc exiting its source (Definition 2).
+	LastArc
+	// StopArc is the marker (s, ×) left at the original position of a
+	// delayed last-arc (Definition 3, Figure 7).
+	StopArc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Loop:
+		return "loop"
+	case Arc:
+		return "arc"
+	case LastArc:
+		return "last-arc"
+	case StopArc:
+		return "stop-arc"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Item is one element of a traversal. For loops S == T; for stop-arcs T is
+// unused (the × of the paper) and kept as -1.
+type Item struct {
+	Kind Kind
+	S, T graph.V
+}
+
+func (it Item) String() string {
+	switch it.Kind {
+	case Loop:
+		return fmt.Sprintf("(%d,%d)", it.S, it.S)
+	case StopArc:
+		return fmt.Sprintf("(%d,x)", it.S)
+	default:
+		return fmt.Sprintf("(%d,%d)", it.S, it.T)
+	}
+}
+
+// T is a traversal: a sequence of items.
+type T []Item
+
+// String renders the traversal in the paper's notation, e.g.
+// "(1,1)(1,2)(2,2)…".
+func (t T) String() string {
+	var b strings.Builder
+	for _, it := range t {
+		b.WriteString(it.String())
+	}
+	return b.String()
+}
+
+// VertexOrder returns the vertices in loop-visit order, which is the linear
+// order <T restricted to vertices.
+func (t T) VertexOrder() []graph.V {
+	var order []graph.V
+	for _, it := range t {
+		if it.Kind == Loop {
+			order = append(order, it.S)
+		}
+	}
+	return order
+}
+
+// LoopPos returns, for a traversal over n vertices, the index of each
+// vertex's loop item, or -1 if absent.
+func (t T) LoopPos(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, it := range t {
+		if it.Kind == Loop {
+			pos[it.S] = i
+		}
+	}
+	return pos
+}
+
+// NonSeparating produces the canonical non-separating traversal of a
+// monotone planar diagram: topological, depth-first, left-to-right
+// (Definition 1). The embedding is given by the insertion order of each
+// vertex's out-arcs in g (leftmost first). The diagram must have a single
+// source. The construction is the greedy leftmost DFS that descends into a
+// vertex only once all of its incoming arcs have been visited — on the
+// paper's Figure 3 diagram it reproduces the Figure 4 sequence exactly.
+func NonSeparating(g *graph.Digraph) (T, error) {
+	return traverse(g, false)
+}
+
+// RightToLeft produces the mirrored traversal (rightmost-first DFS). The
+// pair (NonSeparating, RightToLeft) vertex orders form a Dushnik–Miller
+// 2-realizer of the lattice, which is how tests verify two-dimensionality
+// (Remark 3).
+func RightToLeft(g *graph.Digraph) (T, error) {
+	return traverse(g, true)
+}
+
+func traverse(g *graph.Digraph, mirror bool) (T, error) {
+	srcs := g.Sources()
+	if len(srcs) != 1 {
+		return nil, fmt.Errorf("traversal: diagram must have exactly one source, found %d", len(srcs))
+	}
+	n := g.N()
+	t := make(T, 0, n+g.M())
+	seenIn := make([]int, n)  // number of visited incoming arcs
+	nextOut := make([]int, n) // next out-arc index to visit
+	visited := make([]bool, n)
+
+	emitArc := func(s, t graph.V, idx, deg int) Item {
+		kind := Arc
+		last := idx == deg-1
+		if mirror {
+			last = idx == 0
+		}
+		if last {
+			kind = LastArc
+		}
+		return Item{Kind: kind, S: s, T: t}
+	}
+
+	stack := []graph.V{srcs[0]}
+	visited[srcs[0]] = true
+	t = append(t, Item{Kind: Loop, S: srcs[0], T: srcs[0]})
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		out := g.Out(v)
+		if nextOut[v] == len(out) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		idx := nextOut[v]
+		nextOut[v]++
+		pos := idx
+		if mirror {
+			pos = len(out) - 1 - idx
+		}
+		w := out[pos]
+		t = append(t, emitArc(v, w, pos, len(out)))
+		seenIn[w]++
+		if seenIn[w] == g.InDeg(w) {
+			if visited[w] {
+				return nil, fmt.Errorf("traversal: vertex %d reached twice (multi-arc?)", w)
+			}
+			visited[w] = true
+			t = append(t, Item{Kind: Loop, S: w, T: w})
+			stack = append(stack, w)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			return nil, fmt.Errorf("traversal: vertex %d unreachable from source", v)
+		}
+	}
+	return t, nil
+}
+
+// Delay applies the T ↦ T′ transformation of Definition 3: every arc
+// (s, t) that the traversal visits before some vertex x ⊏ t is moved to
+// immediately before t — concretely, just before the final incoming arc of
+// t, which is never itself delayed (once every in-arc of t is visited, all
+// loops below t have been visited too). If the delayed arc is a last-arc,
+// a stop-arc (s, ×) is left at its original position; non-last delayed
+// arcs need no marker since Walk takes no action on them. On the paper's
+// Figure 4 traversal this reproduces the Figure 7 sequence exactly.
+//
+// The reachability oracle must describe the same graph the traversal walks.
+func Delay(t T, r *graph.Reach, n int) T {
+	loopPos := t.LoopPos(n)
+	// lastBelow[v] = latest loop position of any x strictly below v.
+	lastBelow := make([]int, n)
+	// finalIn[v] = position of the last incoming arc of v.
+	finalIn := make([]int, n)
+	for v := 0; v < n; v++ {
+		lastBelow[v] = -1
+		finalIn[v] = -1
+		for x := 0; x < n; x++ {
+			if x != v && r.Reachable(x, v) && loopPos[x] > lastBelow[v] {
+				lastBelow[v] = loopPos[x]
+			}
+		}
+	}
+	for i, it := range t {
+		if it.Kind == Arc || it.Kind == LastArc {
+			finalIn[it.T] = i
+		}
+	}
+	delayed := make(map[graph.V][]Item, n) // target vertex -> delayed in-arcs, original order
+	out := make(T, 0, len(t)+4)
+	for i, it := range t {
+		switch it.Kind {
+		case Arc, LastArc:
+			if i == finalIn[it.T] {
+				// Flush the delayed in-arcs of the target right before
+				// its final incoming arc.
+				out = append(out, delayed[it.T]...)
+				out = append(out, it)
+				continue
+			}
+			if i < lastBelow[it.T] {
+				delayed[it.T] = append(delayed[it.T], it)
+				if it.Kind == LastArc {
+					out = append(out, Item{Kind: StopArc, S: it.S, T: -1})
+				}
+				continue
+			}
+			out = append(out, it)
+		default:
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+func TestFigure4Exact(t *testing.T) {
+	g := Figure3()
+	got, err := NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Figure4Want()
+	if !Equal(got, want) {
+		t.Fatalf("Figure 4 traversal mismatch:\n got  %v\n want %v", got, want)
+	}
+}
+
+func TestFigure4Validates(t *testing.T) {
+	g := Figure3()
+	tr, err := NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tr, g, graph.NewReach(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure7Exact(t *testing.T) {
+	g := Figure3()
+	tr, err := NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Delay(tr, graph.NewReach(g), g.N())
+	want := Figure7Want()
+	if !Equal(got, want) {
+		t.Fatalf("Figure 7 delayed traversal mismatch:\n got  %v\n want %v", got, want)
+	}
+}
+
+func TestFigure7Validates(t *testing.T) {
+	g := Figure3()
+	tr, _ := NonSeparating(g)
+	r := graph.NewReach(g)
+	if err := ValidateDelayed(Delay(tr, r, g.N()), g, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3IsTwoDimensionalLattice(t *testing.T) {
+	g := Figure3()
+	p := order.NewPoset(g)
+	if err := p.IsLattice(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := RightToLeft(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := order.Realizer{L1: left.VertexOrder(), L2: right.VertexOrder()}
+	if err := order.TwoDimensional(p, real); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperSupremaExamples(t *testing.T) {
+	// Section 3: "If on Figure 4 we let x = 3 and t = 5, then r = 6 …
+	// sup{x,t} equals vertex 6. On the other hand, if x = 1 and t = 5,
+	// then r = 4 and sup{x,t} equals vertex 5."
+	p := order.NewPoset(Figure3())
+	if s, ok := p.Sup(3-1, 5-1); !ok || s != 6-1 {
+		t.Fatalf("sup{3,5} = %d, %v; want 6", s+1, ok)
+	}
+	if s, ok := p.Sup(1-1, 5-1); !ok || s != 5-1 {
+		t.Fatalf("sup{1,5} = %d, %v; want 5", s+1, ok)
+	}
+}
+
+func TestTraversalString(t *testing.T) {
+	tr := T{{Kind: Loop, S: 0, T: 0}, {Kind: LastArc, S: 0, T: 1}, {Kind: StopArc, S: 0, T: -1}}
+	if got, want := tr.String(), "(0,0)(0,1)(0,x)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Loop.String() != "loop" || LastArc.String() != "last-arc" ||
+		Arc.String() != "arc" || StopArc.String() != "stop-arc" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestNonSeparatingRejectsMultipleSources(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(0, 2)
+	g.AddArc(1, 2)
+	if _, err := NonSeparating(g); err == nil {
+		t.Fatal("expected error for two sources")
+	}
+}
+
+func TestGridTraversalValid(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {1, 5}, {5, 1}, {3, 4}, {6, 6}} {
+		g := order.Grid(dim[0], dim[1])
+		tr, err := NonSeparating(g)
+		if err != nil {
+			t.Fatalf("grid %v: %v", dim, err)
+		}
+		r := graph.NewReach(g)
+		if err := Validate(tr, g, r); err != nil {
+			t.Fatalf("grid %v: %v", dim, err)
+		}
+		if err := ValidateDelayed(Delay(tr, r, g.N()), g, r); err != nil {
+			t.Fatalf("grid %v delayed: %v", dim, err)
+		}
+	}
+}
+
+func TestGridRealizer(t *testing.T) {
+	g := order.Grid(4, 5)
+	p := order.NewPoset(g)
+	left, _ := NonSeparating(g)
+	right, _ := RightToLeft(g)
+	real := order.Realizer{L1: left.VertexOrder(), L2: right.VertexOrder()}
+	if err := order.TwoDimensional(p, real); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomStaircase builds a random staircase sublattice of a grid.
+func randomStaircase(rng *rand.Rand) *graph.Digraph {
+	rows := 2 + rng.Intn(5)
+	cols := 2 + rng.Intn(5)
+	lo := make([]int, rows)
+	hi := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		if i == 0 {
+			lo[0] = 0
+			hi[0] = rng.Intn(cols)
+			continue
+		}
+		// lo in [lo[i-1], hi[i-1]] keeps rows overlapping and monotone.
+		lo[i] = lo[i-1] + rng.Intn(hi[i-1]-lo[i-1]+1)
+		// hi in [max(hi[i-1], lo[i]), cols-1], monotone and ≥ lo.
+		base := hi[i-1]
+		if lo[i] > base {
+			base = lo[i]
+		}
+		hi[i] = base + rng.Intn(cols-base)
+	}
+	g, _, err := order.Staircase(rows, cols, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestStaircaseTraversalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomStaircase(rng)
+		p := order.NewPoset(g)
+		if p.IsLattice() != nil {
+			return false
+		}
+		tr, err := NonSeparating(g)
+		if err != nil {
+			return false
+		}
+		if Validate(tr, g, p.R) != nil {
+			return false
+		}
+		right, err := RightToLeft(g)
+		if err != nil {
+			return false
+		}
+		real := order.Realizer{L1: tr.VertexOrder(), L2: right.VertexOrder()}
+		return real.Verify(p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayPreservesArcMultiset(t *testing.T) {
+	g := Figure3()
+	tr, _ := NonSeparating(g)
+	d := Delay(tr, graph.NewReach(g), g.N())
+	count := 0
+	for _, it := range d {
+		if it.Kind == Arc || it.Kind == LastArc {
+			if !g.HasArc(it.S, it.T) {
+				t.Fatalf("delayed traversal invented arc %v", it)
+			}
+			count++
+		}
+	}
+	if count != g.M() {
+		t.Fatalf("delayed traversal has %d arcs, graph %d", count, g.M())
+	}
+}
+
+func TestLoopPos(t *testing.T) {
+	g := order.Grid(2, 2)
+	tr, _ := NonSeparating(g)
+	pos := tr.LoopPos(4)
+	for v, p := range pos {
+		if p < 0 || tr[p].Kind != Loop || tr[p].S != v {
+			t.Fatalf("LoopPos[%d] = %d wrong", v, p)
+		}
+	}
+}

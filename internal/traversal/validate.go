@@ -1,0 +1,166 @@
+package traversal
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Validate checks that t is a plausible non-separating traversal of g:
+//
+//  1. every vertex occurs exactly once as a loop, every arc exactly once;
+//  2. loops form a linear extension of reachability (topological);
+//  3. each arc (s, t) lies strictly between loop(s) and loop(t), which is
+//     the paper's "(x,y) ≤T (y,y) ≤T (y,z)" ordering;
+//  4. the out-arcs of every vertex are visited in embedding (left-to-right)
+//     order, with exactly the rightmost marked as the last-arc;
+//  5. no stop-arcs occur (those belong to delayed traversals).
+//
+// Left-to-right depth-firstness beyond (4) is established semantically by
+// the Theorem 1 property tests rather than syntactically here.
+func Validate(t T, g *graph.Digraph, r *graph.Reach) error {
+	n := g.N()
+	loopPos := t.LoopPos(n)
+	for v := 0; v < n; v++ {
+		if loopPos[v] < 0 {
+			return fmt.Errorf("traversal: missing loop for vertex %d", v)
+		}
+	}
+	loops := 0
+	arcPos := make(map[[2]graph.V]int, g.M())
+	outSeen := make([][]graph.V, n)
+	for i, it := range t {
+		switch it.Kind {
+		case Loop:
+			loops++
+		case StopArc:
+			return fmt.Errorf("traversal: unexpected stop-arc %v at %d in plain traversal", it, i)
+		case Arc, LastArc:
+			key := [2]graph.V{it.S, it.T}
+			if _, dup := arcPos[key]; dup {
+				return fmt.Errorf("traversal: arc %v visited twice", it)
+			}
+			arcPos[key] = i
+			if loopPos[it.S] > i {
+				return fmt.Errorf("traversal: arc %v precedes loop of its source", it)
+			}
+			if loopPos[it.T] < i {
+				return fmt.Errorf("traversal: arc %v follows loop of its target", it)
+			}
+			outSeen[it.S] = append(outSeen[it.S], it.T)
+			isLast := len(outSeen[it.S]) == g.OutDeg(it.S)
+			if isLast != (it.Kind == LastArc) {
+				return fmt.Errorf("traversal: arc %v last-arc flag wrong (want last=%v)", it, isLast)
+			}
+		}
+	}
+	if loops != n {
+		return fmt.Errorf("traversal: %d loops for %d vertices", loops, n)
+	}
+	if len(arcPos) != g.M() {
+		return fmt.Errorf("traversal: %d arcs visited, graph has %d", len(arcPos), g.M())
+	}
+	for s := 0; s < n; s++ {
+		want := g.Out(s)
+		got := outSeen[s]
+		if len(want) != len(got) {
+			return fmt.Errorf("traversal: vertex %d visited %d of %d out-arcs", s, len(got), len(want))
+		}
+		for k := range want {
+			if want[k] != got[k] {
+				return fmt.Errorf("traversal: vertex %d out-arcs visited out of embedding order: %v vs %v", s, got, want)
+			}
+		}
+	}
+	// Topological: loops are a linear extension.
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x != y && r.Reachable(x, y) && loopPos[x] > loopPos[y] {
+				return fmt.Errorf("traversal: loops of %d and %d violate reachability", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateDelayed checks the structural invariants of a delayed
+// non-separating traversal (Definition 3):
+//
+//  1. every vertex loops once; every arc of g occurs exactly once;
+//  2. loops form a linear extension;
+//  3. every arc (s, t) still precedes loop(t);
+//  4. after each arc (s, t) is visited, no loop of a vertex strictly below
+//     t occurs later (delaying removed all (4)-violations);
+//  5. every stop-arc (s, ×) is matched by the delayed last-arc of s later
+//     in the sequence, and vice versa.
+func ValidateDelayed(t T, g *graph.Digraph, r *graph.Reach) error {
+	n := g.N()
+	loopPos := t.LoopPos(n)
+	for v := 0; v < n; v++ {
+		if loopPos[v] < 0 {
+			return fmt.Errorf("traversal: missing loop for vertex %d", v)
+		}
+	}
+	lastBelow := make([]int, n)
+	for v := 0; v < n; v++ {
+		lastBelow[v] = -1
+		for x := 0; x < n; x++ {
+			if x != v && r.Reachable(x, v) && loopPos[x] > lastBelow[v] {
+				lastBelow[v] = loopPos[x]
+			}
+		}
+	}
+	arcCount := 0
+	stopArcs := map[graph.V]int{} // source -> count of stop-arcs seen
+	for i, it := range t {
+		switch it.Kind {
+		case StopArc:
+			stopArcs[it.S]++
+		case Arc, LastArc:
+			arcCount++
+			if !g.HasArc(it.S, it.T) {
+				return fmt.Errorf("traversal: arc %v not in graph", it)
+			}
+			if loopPos[it.T] < i {
+				return fmt.Errorf("traversal: arc %v follows loop of its target", it)
+			}
+			if i < lastBelow[it.T] {
+				return fmt.Errorf("traversal: arc %v still separated from target (loop below at %d)", it, lastBelow[it.T])
+			}
+		}
+	}
+	if arcCount != g.M() {
+		return fmt.Errorf("traversal: %d arcs visited, graph has %d", arcCount, g.M())
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x != y && r.Reachable(x, y) && loopPos[x] > loopPos[y] {
+				return fmt.Errorf("traversal: loops of %d and %d violate reachability", x, y)
+			}
+		}
+	}
+	// Stop-arc matching: each stop-arc for s must precede s's (delayed)
+	// last-arc, and each source has at most one stop-arc.
+	for s, c := range stopArcs {
+		if c != 1 {
+			return fmt.Errorf("traversal: %d stop-arcs for vertex %d", c, s)
+		}
+		stopAt := -1
+		lastAt := -1
+		for i, it := range t {
+			if it.Kind == StopArc && it.S == s {
+				stopAt = i
+			}
+			if it.Kind == LastArc && it.S == s {
+				lastAt = i
+			}
+		}
+		if lastAt < 0 {
+			return fmt.Errorf("traversal: stop-arc for %d has no matching last-arc", s)
+		}
+		if stopAt > lastAt {
+			return fmt.Errorf("traversal: stop-arc for %d after its last-arc", s)
+		}
+	}
+	return nil
+}

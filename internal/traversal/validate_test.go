@@ -1,0 +1,202 @@
+package traversal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// diamond with embedding: 0 -> [1, 2] (1 left), 1 -> 3, 2 -> 3.
+func diamond() *graph.Digraph {
+	g := graph.New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	return g
+}
+
+func validDiamondTraversal() T {
+	// Canonical: (0,0)(0,1)(1,1)(1,3)(0,2)(2,2)(2,3)(3,3)
+	return T{
+		{Kind: Loop, S: 0, T: 0},
+		{Kind: Arc, S: 0, T: 1},
+		{Kind: Loop, S: 1, T: 1},
+		{Kind: LastArc, S: 1, T: 3},
+		{Kind: LastArc, S: 0, T: 2},
+		{Kind: Loop, S: 2, T: 2},
+		{Kind: LastArc, S: 2, T: 3},
+		{Kind: Loop, S: 3, T: 3},
+	}
+}
+
+func TestValidateAcceptsCanonical(t *testing.T) {
+	g := diamond()
+	tr, err := NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr, validDiamondTraversal()) {
+		t.Fatalf("canonical diamond traversal = %v", tr)
+	}
+	if err := Validate(tr, g, graph.NewReach(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	g := diamond()
+	r := graph.NewReach(g)
+	base := validDiamondTraversal()
+	mutate := func(f func(T) T) error {
+		c := append(T{}, base...)
+		return Validate(f(c), g, r)
+	}
+	cases := map[string]struct {
+		f    func(T) T
+		want string
+	}{
+		"missing loop": {func(c T) T { return append(c[:2], c[3:]...) }, "missing loop"},
+		"stop arc in plain": {func(c T) T {
+			return append(c, Item{Kind: StopArc, S: 0, T: -1})
+		}, "unexpected stop-arc"},
+		"duplicate arc": {func(c T) T {
+			return append(c, Item{Kind: Arc, S: 0, T: 1}, Item{Kind: Loop, S: 0, T: 0})
+		}, ""},
+		"arc before source loop": {func(c T) T {
+			c[0], c[1] = c[1], c[0] // (0,1) before (0,0)
+			return c
+		}, "precedes loop of its source"},
+		"arc after target loop": {func(c T) T {
+			// Move (2,3) after (3,3).
+			c[6], c[7] = c[7], c[6]
+			return c
+		}, "follows loop of its target"},
+		"wrong last flag": {func(c T) T {
+			c[1].Kind = LastArc // (0,1) is not 0's last arc
+			return c
+		}, "last-arc flag wrong"},
+		"embedding order": {func(c T) T {
+			// Visit (0,2) before (0,1): violates the out-arc order.
+			return T{
+				{Kind: Loop, S: 0, T: 0},
+				{Kind: Arc, S: 0, T: 2},
+				{Kind: Loop, S: 2, T: 2},
+				{Kind: LastArc, S: 2, T: 3},
+				{Kind: LastArc, S: 0, T: 1},
+				{Kind: Loop, S: 1, T: 1},
+				{Kind: LastArc, S: 1, T: 3},
+				{Kind: Loop, S: 3, T: 3},
+			}
+		}, "out of embedding order"},
+		"missing arc": {func(c T) T { return append(c[:1], c[2:]...) }, ""},
+	}
+	for name, c := range cases {
+		err := mutate(c.f)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", name, err, c.want)
+		}
+	}
+}
+
+func TestValidateLoopOrderViolation(t *testing.T) {
+	// Loops out of topological order: swap the loop positions of 1 and 3
+	// while keeping arcs around them (hand-built nonsense sequence).
+	g := graph.New(2)
+	g.AddArc(0, 1)
+	r := graph.NewReach(g)
+	bad := T{
+		{Kind: Loop, S: 1, T: 1},
+		{Kind: Loop, S: 0, T: 0},
+		{Kind: LastArc, S: 0, T: 1},
+	}
+	err := Validate(bad, g, r)
+	if err == nil {
+		t.Fatal("accepted loop-order violation")
+	}
+}
+
+func TestValidateDelayedRejections(t *testing.T) {
+	g := diamond()
+	r := graph.NewReach(g)
+	tr, _ := NonSeparating(g)
+	good := Delay(tr, r, g.N())
+	if err := ValidateDelayed(good, g, r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Foreign arc.
+	bad := append(append(T{}, good...), Item{Kind: Arc, S: 3, T: 0})
+	if err := ValidateDelayed(bad, g, r); err == nil || !strings.Contains(err.Error(), "not in graph") {
+		t.Fatalf("foreign arc: %v", err)
+	}
+
+	// Arc count mismatch (drop one arc).
+	var dropped T
+	removed := false
+	for _, it := range good {
+		if !removed && it.Kind == Arc {
+			removed = true
+			continue
+		}
+		dropped = append(dropped, it)
+	}
+	if err := ValidateDelayed(dropped, g, r); err == nil {
+		t.Fatal("dropped arc accepted")
+	}
+
+	// Duplicate stop-arc.
+	withStops := append(append(T{}, good...),
+		Item{Kind: StopArc, S: 1, T: -1}, Item{Kind: StopArc, S: 1, T: -1})
+	if err := ValidateDelayed(withStops, g, r); err == nil || !strings.Contains(err.Error(), "stop-arcs") {
+		t.Fatalf("duplicate stop-arcs: %v", err)
+	}
+
+	// Stop-arc whose vertex has no last-arc at all (the sink).
+	orphan := append(append(T{}, good...), Item{Kind: StopArc, S: 3, T: -1})
+	if err := ValidateDelayed(orphan, g, r); err == nil || !strings.Contains(err.Error(), "no matching last-arc") {
+		t.Fatalf("orphan stop-arc: %v", err)
+	}
+
+	// Stop-arc placed after its vertex's last-arc.
+	var late T
+	late = append(late, good...)
+	// good ends with ... (3,3); 2's (non-delayed) last-arc (2,3) is
+	// inside: appending the stop-arc puts it after, which is invalid.
+	late = append(late, Item{Kind: StopArc, S: 2, T: -1})
+	if err := ValidateDelayed(late, g, r); err == nil || !strings.Contains(err.Error(), "after its last-arc") {
+		t.Fatalf("late stop-arc: %v", err)
+	}
+}
+
+func TestValidateDelayedStillSeparated(t *testing.T) {
+	// The plain traversal of Figure 3 contains separated arcs (e.g.
+	// (3,6) before vertices below 6 loop): ValidateDelayed must reject
+	// the undelayed sequence.
+	g := Figure3()
+	r := graph.NewReach(g)
+	tr, _ := NonSeparating(g)
+	if err := ValidateDelayed(tr, g, r); err == nil || !strings.Contains(err.Error(), "separated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEqualMismatches(t *testing.T) {
+	a := validDiamondTraversal()
+	if Equal(a, a[:len(a)-1]) {
+		t.Fatal("length mismatch not detected")
+	}
+	b := append(T{}, a...)
+	b[0].S = 3
+	if Equal(a, b) {
+		t.Fatal("item mismatch not detected")
+	}
+	if !Equal(a, append(T{}, a...)) {
+		t.Fatal("identical traversals unequal")
+	}
+}

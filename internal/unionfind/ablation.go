@@ -1,0 +1,70 @@
+package unionfind
+
+// Ablation is a configurable union-find used to quantify how much each of
+// Tarjan's two optimizations contributes to the Θ(α) bound the paper's
+// Theorems 3 and 5 rely on. Disabling both degrades Find to the Θ(n)
+// worst case; the benchmark suite measures all four combinations.
+//
+// The production structure is Forest; Ablation trades a branch per
+// operation for configurability and exists for experiments only.
+type Ablation struct {
+	// PathCompression enables path halving in Find.
+	PathCompression bool
+	// UnionByRank enables rank-based physical rooting in Union.
+	UnionByRank bool
+
+	parent []int32
+	rank   []uint8
+	name   []int32
+}
+
+// NewAblation returns a forest over n singletons with the given
+// optimizations enabled.
+func NewAblation(n int, pathCompression, unionByRank bool) *Ablation {
+	a := &Ablation{PathCompression: pathCompression, UnionByRank: unionByRank}
+	a.parent = make([]int32, n)
+	a.rank = make([]uint8, n)
+	a.name = make([]int32, n)
+	for i := range a.parent {
+		a.parent[i] = int32(i)
+		a.name[i] = int32(i)
+	}
+	return a
+}
+
+func (a *Ablation) findRoot(x int) int32 {
+	i := int32(x)
+	if a.PathCompression {
+		for a.parent[i] != i {
+			a.parent[i] = a.parent[a.parent[i]]
+			i = a.parent[i]
+		}
+		return i
+	}
+	for a.parent[i] != i {
+		i = a.parent[i]
+	}
+	return i
+}
+
+// Find returns the logical label of x's set.
+func (a *Ablation) Find(x int) int { return int(a.name[a.findRoot(x)]) }
+
+// Union merges s's set into t's set, keeping t's label (Walk semantics).
+func (a *Ablation) Union(t, s int) {
+	rt, rs := a.findRoot(t), a.findRoot(s)
+	if rt == rs {
+		return
+	}
+	label := a.name[rt]
+	if a.UnionByRank {
+		if a.rank[rt] < a.rank[rs] {
+			rt, rs = rs, rt
+		}
+		if a.rank[rt] == a.rank[rs] {
+			a.rank[rt]++
+		}
+	}
+	a.parent[rs] = rt
+	a.name[rt] = label
+}

@@ -1,0 +1,79 @@
+package unionfind
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAblationMatchesForestProperty(t *testing.T) {
+	variants := [][2]bool{{true, true}, {true, false}, {false, true}, {false, false}}
+	for _, v := range variants {
+		v := v
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + rng.Intn(50)
+			fast := New(n)
+			abl := NewAblation(n, v[0], v[1])
+			for op := 0; op < 150; op++ {
+				x, y := rng.Intn(n), rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					fast.Union(x, y)
+					abl.Union(x, y)
+				} else if fast.Find(x) != abl.Find(x) {
+					return false
+				}
+			}
+			for x := 0; x < n; x++ {
+				if fast.Find(x) != abl.Find(x) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("variant pc=%v rank=%v: %v", v[0], v[1], err)
+		}
+	}
+}
+
+func TestAblationWorstCaseChainStillCorrect(t *testing.T) {
+	// Adversarial chain for the unoptimized variant: each union hangs the
+	// taller tree under a singleton.
+	n := 512
+	a := NewAblation(n, false, false)
+	for v := 1; v < n; v++ {
+		a.Union(v, v-1) // label moves to v, tree is a path
+	}
+	for v := 0; v < n; v++ {
+		if a.Find(v) != n-1 {
+			t.Fatalf("Find(%d) = %d", v, a.Find(v))
+		}
+	}
+}
+
+// BenchmarkAblationUnionFind quantifies the contribution of path
+// compression and union by rank on the chain workload the detector
+// produces (every task eventually joined leftward).
+func BenchmarkAblationUnionFind(b *testing.B) {
+	const n = 1 << 13
+	for _, v := range []struct {
+		pc, rank bool
+	}{{true, true}, {true, false}, {false, true}, {false, false}} {
+		name := fmt.Sprintf("pc=%v/rank=%v", v.pc, v.rank)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := NewAblation(n, v.pc, v.rank)
+				for x := 1; x < n; x++ {
+					a.Union(x, x-1)
+				}
+				for x := 0; x < n; x++ {
+					if a.Find(x) != n-1 {
+						b.Fatal("wrong label")
+					}
+				}
+			}
+		})
+	}
+}

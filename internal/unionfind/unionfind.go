@@ -1,0 +1,113 @@
+// Package unionfind implements the disjoint-set data structure required by
+// the paper's Walk routine (Figure 5): union by rank with path compression,
+// plus *named roots*.
+//
+// Walk's Union(t, s) must merge the set containing s into the set containing
+// t "under the label of the set containing t". A rank-based union may make
+// either physical tree root the new root, so the logical label is stored
+// separately: every physical root carries the name of the lattice vertex
+// (or thread) that labels its set. Find returns the logical name, keeping
+// the inverse-Ackermann bound of Tarjan's analysis (references [19, 20]).
+package unionfind
+
+// Forest is a union-find structure over dense integer elements with named
+// set labels. The zero value is empty; Grow (or New) adds elements.
+type Forest struct {
+	parent []int32
+	rank   []uint8
+	name   []int32 // name[r] = logical label of the set whose physical root is r
+
+	// Operation counters, used by the Theorem 3/5 experiments to report
+	// the number of union-find operations actually executed.
+	finds  int
+	unions int
+}
+
+// New returns a forest over n singleton sets, each labeled by itself.
+func New(n int) *Forest {
+	f := &Forest{}
+	f.Grow(n)
+	return f
+}
+
+// Len returns the number of elements.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Grow appends fresh singleton elements until the forest has n elements.
+// Existing sets are unaffected.
+func (f *Forest) Grow(n int) {
+	for len(f.parent) < n {
+		v := int32(len(f.parent))
+		f.parent = append(f.parent, v)
+		f.rank = append(f.rank, 0)
+		f.name = append(f.name, v)
+	}
+}
+
+// Add appends one fresh singleton element and returns its index.
+func (f *Forest) Add() int {
+	f.Grow(len(f.parent) + 1)
+	return len(f.parent) - 1
+}
+
+// findRoot returns the physical root of x with path halving.
+func (f *Forest) findRoot(x int) int32 {
+	p := f.parent
+	i := int32(x)
+	for p[i] != i {
+		p[i] = p[p[i]] // path halving
+		i = p[i]
+	}
+	return i
+}
+
+// Find returns the logical label of the set containing x: the vertex that
+// currently names the tree, as required by Sup (Figures 5 and 8).
+func (f *Forest) Find(x int) int {
+	f.finds++
+	return int(f.name[f.findRoot(x)])
+}
+
+// SameSet reports whether x and y are currently in the same set.
+func (f *Forest) SameSet(x, y int) bool {
+	return f.findRoot(x) == f.findRoot(y)
+}
+
+// Union merges the set containing s into the set containing t, labeling the
+// result with t's current label (Walk line 6: Union(t, s)). It is a no-op if
+// the two are already in one set.
+func (f *Forest) Union(t, s int) {
+	f.unions++
+	rt, rs := f.findRoot(t), f.findRoot(s)
+	if rt == rs {
+		return
+	}
+	label := f.name[rt]
+	// Union by rank on physical trees.
+	if f.rank[rt] < f.rank[rs] {
+		rt, rs = rs, rt
+	}
+	f.parent[rs] = rt
+	if f.rank[rt] == f.rank[rs] {
+		f.rank[rt]++
+	}
+	f.name[rt] = label
+}
+
+// Relabel sets the logical label of x's set. The suprema algorithm does not
+// need it, but frontends use it to rename bookkeeping sets.
+func (f *Forest) Relabel(x, label int) {
+	f.name[f.findRoot(x)] = int32(label)
+}
+
+// Stats returns the number of Find and Union operations executed so far.
+func (f *Forest) Stats() (finds, unions int) { return f.finds, f.unions }
+
+// ResetStats zeroes the operation counters.
+func (f *Forest) ResetStats() { f.finds, f.unions = 0, 0 }
+
+// MemoryBytes reports the heap bytes used by the forest's arrays. It feeds
+// the Theorem 3 space measurements (Θ(n)).
+func (f *Forest) MemoryBytes() int {
+	return len(f.parent)*4 + len(f.rank) + len(f.name)*4
+}

@@ -1,0 +1,177 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	f := New(5)
+	for i := 0; i < 5; i++ {
+		if f.Find(i) != i {
+			t.Fatalf("Find(%d) = %d in fresh forest", i, f.Find(i))
+		}
+	}
+	if f.Len() != 5 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestUnionKeepsFirstArgumentLabel(t *testing.T) {
+	// Walk requires Union(t, s) to label the merged set with t's label,
+	// regardless of rank-based physical rooting.
+	f := New(4)
+	f.Union(1, 0) // {0,1} named 1
+	if f.Find(0) != 1 || f.Find(1) != 1 {
+		t.Fatalf("label after Union(1,0): Find(0)=%d Find(1)=%d", f.Find(0), f.Find(1))
+	}
+	// Merge a taller tree into a singleton: physical root will be the tall
+	// tree's root, but the label must be the singleton's.
+	f.Union(2, 1) // {0,1,2} named 2: tree {0,1} is rank 1, {2} is rank 0
+	if f.Find(0) != 2 || f.Find(1) != 2 || f.Find(2) != 2 {
+		t.Fatalf("label after Union(2,1): %d %d %d", f.Find(0), f.Find(1), f.Find(2))
+	}
+	f.Union(3, 0)
+	if f.Find(2) != 3 {
+		t.Fatalf("label after Union(3,0) via member: Find(2)=%d", f.Find(2))
+	}
+}
+
+func TestUnionSameSetNoop(t *testing.T) {
+	f := New(3)
+	f.Union(1, 0)
+	f.Union(1, 0)
+	f.Union(0, 1) // same set: must stay named 1? No — no-op, so name unchanged.
+	if f.Find(0) != 1 {
+		t.Fatalf("self-union changed label: %d", f.Find(0))
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	f := New(4)
+	f.Union(0, 1)
+	if !f.SameSet(0, 1) || f.SameSet(0, 2) {
+		t.Fatal("SameSet wrong")
+	}
+}
+
+func TestGrowAndAdd(t *testing.T) {
+	f := New(2)
+	f.Union(1, 0)
+	idx := f.Add()
+	if idx != 2 {
+		t.Fatalf("Add returned %d", idx)
+	}
+	if f.Find(2) != 2 {
+		t.Fatal("new element not a singleton")
+	}
+	if f.Find(0) != 1 {
+		t.Fatal("Grow disturbed existing set")
+	}
+	f.Grow(10)
+	if f.Len() != 10 || f.Find(9) != 9 {
+		t.Fatal("Grow wrong")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	f := New(3)
+	f.Union(0, 1)
+	f.Relabel(1, 7) // label value need not be an element index
+	if f.Find(0) != 7 || f.Find(1) != 7 {
+		t.Fatal("Relabel did not apply to whole set")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New(3)
+	f.ResetStats()
+	f.Find(0)
+	f.Union(0, 1)
+	finds, unions := f.Stats()
+	if finds != 1 || unions != 1 {
+		t.Fatalf("stats = %d, %d", finds, unions)
+	}
+	f.ResetStats()
+	if fi, un := f.Stats(); fi != 0 || un != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestMemoryBytesLinear(t *testing.T) {
+	small, large := New(100).MemoryBytes(), New(1000).MemoryBytes()
+	if large <= small || large != 10*small {
+		t.Fatalf("memory accounting not linear: %d vs %d", small, large)
+	}
+}
+
+// naive is an obviously-correct disjoint-set implementation used as the
+// property-test oracle: set membership via map to label.
+type naive struct {
+	label map[int]int
+}
+
+func newNaive(n int) *naive {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return &naive{label: m}
+}
+
+func (nv *naive) find(x int) int { return nv.label[x] }
+
+func (nv *naive) union(t, s int) {
+	lt, ls := nv.label[t], nv.label[s]
+	if lt == ls {
+		return
+	}
+	for k, v := range nv.label {
+		if v == ls {
+			nv.label[k] = lt
+		}
+	}
+}
+
+func TestAgainstNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		fast, slow := New(n), newNaive(n)
+		for op := 0; op < 200; op++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				fast.Union(x, y)
+				slow.union(x, y)
+			} else if fast.Find(x) != slow.find(x) {
+				return false
+			}
+		}
+		for x := 0; x < n; x++ {
+			if fast.Find(x) != slow.find(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := New(n)
+		for v := 1; v < n; v++ {
+			f.Union(v, v-1)
+		}
+		for v := 0; v < n; v++ {
+			if f.Find(v) != n-1 {
+				b.Fatal("wrong label")
+			}
+		}
+	}
+}

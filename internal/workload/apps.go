@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/pipeline"
+)
+
+// Application-shaped pipeline workloads.
+//
+// The paper's pipeline-parallelism reference (Lee et al., "On-the-fly
+// pipeline parallelism", SPAA 2013 — reference [15]) evaluates on the
+// PARSEC pipeline applications ferret, dedup and x264. Those inputs and
+// codebases are not reproducible here, so these generators build
+// synthetic equivalents that exercise the same *dependency structure and
+// sharing patterns*: the quantities that determine race-detector
+// behaviour. Each generator documents the correspondence.
+
+// Dedup models the dedup compression pipeline: fragment → hash →
+// compress → reorder over a stream of chunks. Stage state:
+//
+//   - the hash stage maintains a shared duplicate-detection table that
+//     every chunk consults and updates in stream order (serial stage);
+//   - the compress stage is stateless per chunk (parallel stage);
+//   - the reorder/write stage appends to the output file in order.
+//
+// With the grid's cross-item edges the table and output accesses are
+// ordered; the Buggy flag removes the discipline on the hash table by
+// accessing it from the (parallel) compress stage too — dedup's classic
+// hazard.
+type Dedup struct {
+	Chunks int
+	// DupEvery makes every k-th chunk a duplicate (hash hit), varying
+	// the access mix. 0 means no duplicates.
+	DupEvery int
+	// Buggy plants the compress-stage table peek.
+	Buggy bool
+}
+
+const (
+	dedupHashTable core.Addr = 0x100000
+	dedupOutput    core.Addr = 0x100001
+	dedupChunkBase core.Addr = 0x110000
+)
+
+// Config returns the pipeline configuration for the workload.
+func (d Dedup) Config() pipeline.Config {
+	return pipeline.Config{
+		Stages: 4, // fragment, hash, compress, reorder
+		Items:  d.Chunks,
+		Body: func(c *pipeline.Cell) {
+			chunk := dedupChunkBase + core.Addr(c.Item)
+			switch c.Stage {
+			case 0: // fragment: produce the chunk
+				c.Write(chunk)
+			case 1: // hash: consult and update the shared table
+				c.Read(chunk)
+				c.Read(dedupHashTable)
+				if d.DupEvery == 0 || c.Item%max(d.DupEvery, 1) != 0 {
+					c.Write(dedupHashTable)
+				}
+			case 2: // compress: chunk-local work
+				c.Read(chunk)
+				c.Write(chunk)
+				if d.Buggy {
+					// BUG: peeks at the hash table from the parallel
+					// stage; races with stage-1 updates of later items.
+					c.Read(dedupHashTable)
+				}
+			case 3: // reorder: append to the output in order
+				c.Read(chunk)
+				c.Read(dedupOutput)
+				c.Write(dedupOutput)
+			}
+		},
+	}
+}
+
+// Run executes the workload against sink.
+func (d Dedup) Run(sink fj.Sink) (int, error) {
+	return pipeline.Run(d.Config(), sink)
+}
+
+// Ferret models the ferret similarity-search pipeline: segment →
+// extract → index-query → rank over a stream of query images. The index
+// is read-shared by every query (a large read-mostly structure — the
+// pattern that degrades FastTrack to full vector clocks), while the
+// ranking stage maintains ordered per-stream output.
+type Ferret struct {
+	Queries int
+	// IndexShards is the number of read-shared index locations each
+	// query consults.
+	IndexShards int
+	// Buggy makes one query update the index in the (parallel) extract
+	// stage — an unsynchronized cache refresh.
+	Buggy bool
+}
+
+const (
+	ferretIndexBase core.Addr = 0x200000
+	ferretRankOut   core.Addr = 0x210000
+	ferretImgBase   core.Addr = 0x220000
+)
+
+// Config returns the pipeline configuration for the workload.
+func (f Ferret) Config() pipeline.Config {
+	shards := f.IndexShards
+	if shards < 1 {
+		shards = 1
+	}
+	return pipeline.Config{
+		Stages: 4, // segment, extract, query, rank
+		Items:  f.Queries,
+		Body: func(c *pipeline.Cell) {
+			img := ferretImgBase + core.Addr(c.Item)
+			switch c.Stage {
+			case 0:
+				c.Write(img)
+			case 1:
+				c.Read(img)
+				c.Write(img)
+				if f.Buggy && c.Item == f.Queries/2 {
+					// BUG: refreshes an index shard from the parallel
+					// stage; races with every other query's reads.
+					c.Write(ferretIndexBase)
+				}
+			case 2: // query the read-shared index shards
+				c.Read(img)
+				for s := 0; s < shards; s++ {
+					c.Read(ferretIndexBase + core.Addr(s))
+				}
+			case 3: // ranked output in stream order
+				c.Read(img)
+				c.Read(ferretRankOut)
+				c.Write(ferretRankOut)
+			}
+		},
+	}
+}
+
+// Run executes the workload against sink.
+func (f Ferret) Run(sink fj.Sink) (int, error) {
+	return pipeline.Run(f.Config(), sink)
+}
+
+// Encoder models an x264-style wavefront encoder: a frame is a grid of
+// macroblocks where block (r, c) depends on its left and upper
+// neighbors (intra prediction). Stages are block rows, items are block
+// columns; each block reads its neighbors' reconstructed pixels and
+// writes its own. The Buggy flag makes one block read a not-yet-ordered
+// diagonal "to prefetch", racing with that block's write.
+type Encoder struct {
+	Rows, Cols int
+	Buggy      bool
+	// Seed varies which block carries the planted bug.
+	Seed int64
+}
+
+const encoderBlockBase core.Addr = 0x300000
+
+func encoderBlock(rows, cols, r, c int) core.Addr {
+	return encoderBlockBase + core.Addr(r*cols+c)
+}
+
+// Config returns the pipeline configuration for the workload.
+func (e Encoder) Config() pipeline.Config {
+	rng := rand.New(rand.NewSource(e.Seed))
+	bugRow := 1
+	bugCol := 0
+	if e.Rows > 1 && e.Cols > 2 {
+		bugRow = 1 + rng.Intn(e.Rows-1)
+		bugCol = rng.Intn(e.Cols - 2)
+	}
+	return pipeline.Config{
+		Stages: e.Rows,
+		Items:  e.Cols,
+		Body: func(c *pipeline.Cell) {
+			r, col := c.Stage, c.Item
+			if r > 0 {
+				c.Read(encoderBlock(e.Rows, e.Cols, r-1, col)) // upper
+			}
+			if col > 0 {
+				c.Read(encoderBlock(e.Rows, e.Cols, r, col-1)) // left
+			}
+			if r > 0 && col > 0 {
+				c.Read(encoderBlock(e.Rows, e.Cols, r-1, col-1)) // diagonal
+			}
+			if e.Buggy && r == bugRow && col == bugCol {
+				// BUG: "prefetch" of the upper-right block, which the
+				// wavefront leaves concurrent with us.
+				c.Read(encoderBlock(e.Rows, e.Cols, r-1, col+1))
+			}
+			c.Write(encoderBlock(e.Rows, e.Cols, r, col))
+		},
+	}
+}
+
+// Run executes the workload against sink.
+func (e Encoder) Run(sink fj.Sink) (int, error) {
+	return pipeline.Run(e.Config(), sink)
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/baseline/fasttrack"
+	"repro/internal/fj"
+)
+
+func TestDedupClean(t *testing.T) {
+	for _, dupEvery := range []int{0, 3} {
+		ds := fj.NewDetectorSink(64)
+		var tr fj.Trace
+		if _, err := (Dedup{Chunks: 12, DupEvery: dupEvery}).Run(fj.MultiSink{&tr, ds}); err != nil {
+			t.Fatal(err)
+		}
+		if ds.Racy() {
+			t.Fatalf("dupEvery=%d: clean dedup flagged: %v", dupEvery, ds.Races())
+		}
+		if bruteforce.Analyze(&tr).Racy() {
+			t.Fatalf("dupEvery=%d: ground truth disagrees", dupEvery)
+		}
+	}
+}
+
+func TestDedupBuggy(t *testing.T) {
+	ds := fj.NewDetectorSink(64)
+	var tr fj.Trace
+	if _, err := (Dedup{Chunks: 12, Buggy: true}).Run(fj.MultiSink{&tr, ds}); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Racy() {
+		t.Fatal("dedup table peek not flagged")
+	}
+	if !bruteforce.Analyze(&tr).Racy() {
+		t.Fatal("ground truth disagrees with planted dedup race")
+	}
+}
+
+func TestFerretCleanAndBuggy(t *testing.T) {
+	ds := fj.NewDetectorSink(64)
+	if _, err := (Ferret{Queries: 10, IndexShards: 4}).Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("clean ferret flagged: %v", ds.Races())
+	}
+
+	ds2 := fj.NewDetectorSink(64)
+	var tr fj.Trace
+	if _, err := (Ferret{Queries: 10, IndexShards: 4, Buggy: true}).Run(fj.MultiSink{&tr, ds2}); err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Racy() {
+		t.Fatal("ferret index refresh not flagged")
+	}
+	if !bruteforce.Analyze(&tr).Racy() {
+		t.Fatal("ground truth disagrees")
+	}
+}
+
+func TestFerretDegradesFastTrack(t *testing.T) {
+	// The read-shared index is exactly the pattern that forces FastTrack
+	// to promote read epochs to vector clocks mid-stream.
+	ft := fasttrack.New()
+	if _, err := (Ferret{Queries: 48, IndexShards: 2}).Run(ft); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Racy() {
+		t.Fatalf("clean ferret flagged by fasttrack: %v", ft.Races())
+	}
+	if ft.LocationBytes() < 48*4 {
+		t.Fatalf("index reads did not promote: %d bytes", ft.LocationBytes())
+	}
+}
+
+func TestEncoderCleanAndBuggy(t *testing.T) {
+	ds := fj.NewDetectorSink(64)
+	if _, err := (Encoder{Rows: 6, Cols: 8}).Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("clean encoder flagged: %v", ds.Races())
+	}
+
+	for seed := int64(0); seed < 5; seed++ {
+		ds2 := fj.NewDetectorSink(64)
+		var tr fj.Trace
+		if _, err := (Encoder{Rows: 6, Cols: 8, Buggy: true, Seed: seed}).Run(fj.MultiSink{&tr, ds2}); err != nil {
+			t.Fatal(err)
+		}
+		if !ds2.Racy() {
+			t.Fatalf("seed %d: encoder prefetch race not flagged", seed)
+		}
+		if !bruteforce.Analyze(&tr).Racy() {
+			t.Fatalf("seed %d: ground truth disagrees", seed)
+		}
+	}
+}
+
+func TestEncoderMinimumSize(t *testing.T) {
+	ds := fj.NewDetectorSink(8)
+	if _, err := (Encoder{Rows: 1, Cols: 1}).Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatal("1x1 encoder flagged")
+	}
+}

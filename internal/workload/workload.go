@@ -1,0 +1,237 @@
+// Package workload provides the deterministic synthetic workloads used by
+// the tests, experiments and benchmarks. The paper has no empirical
+// section, so these generators are the substitution for its (absent)
+// benchmark suite: they sweep the quantities the paper's theorems speak
+// about — task counts, operation counts, sharing degree and task-graph
+// shape (general 2D, series-parallel, pipeline/grid).
+//
+// All generators take explicit seeds and are reproducible bit-for-bit.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asyncfinish"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/pipeline"
+	"repro/internal/spawnsync"
+)
+
+// Mix describes a random memory-access mix.
+type Mix struct {
+	// Locs is the number of distinct shared locations (addresses 1..Locs).
+	Locs int
+	// ReadFrac in [0,1] is the fraction of accesses that are reads.
+	ReadFrac float64
+}
+
+// access performs one random access on any instrumented surface.
+func (m Mix) access(rng *rand.Rand, read func(core.Addr), write func(core.Addr)) {
+	loc := core.Addr(1 + rng.Intn(m.Locs))
+	if rng.Float64() < m.ReadFrac {
+		read(loc)
+	} else {
+		write(loc)
+	}
+}
+
+// ForkJoin describes a random structured fork-join program. Only
+// left-neighbor joins are used, so every generated program obeys the
+// discipline and its task graph is a 2D lattice (Theorem 6).
+type ForkJoin struct {
+	Seed     int64
+	Ops      int // total operation budget
+	MaxDepth int // fork nesting bound
+	Mix      Mix
+}
+
+// Program returns the program body for fj.Run.
+func (c ForkJoin) Program() func(*fj.Task) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	budget := c.Ops
+	var body func(t *fj.Task, depth int)
+	body = func(t *fj.Task, depth int) {
+		for budget > 0 {
+			budget--
+			switch r := rng.Intn(10); {
+			case r < 4:
+				c.Mix.access(rng, t.Read, t.Write)
+			case r < 7 && depth < c.MaxDepth:
+				t.Fork(func(ct *fj.Task) { body(ct, depth+1) })
+			case r < 9:
+				t.JoinLeft()
+			default:
+				return
+			}
+		}
+	}
+	return func(t *fj.Task) { body(t, 0) }
+}
+
+// Run executes the workload against sink.
+func (c ForkJoin) Run(sink fj.Sink) (int, error) {
+	return fj.Run(c.Program(), sink, fj.Options{AutoJoin: true})
+}
+
+// SpawnSync describes a random Cilk-style program (series-parallel task
+// graph).
+type SpawnSync struct {
+	Seed     int64
+	Ops      int
+	MaxDepth int
+	Mix      Mix
+}
+
+// Program returns the program body for spawnsync.Run.
+func (c SpawnSync) Program() func(*spawnsync.Proc) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	budget := c.Ops
+	var body func(p *spawnsync.Proc, depth int)
+	body = func(p *spawnsync.Proc, depth int) {
+		for budget > 0 {
+			budget--
+			switch r := rng.Intn(10); {
+			case r < 4:
+				c.Mix.access(rng, p.Read, p.Write)
+			case r < 7 && depth < c.MaxDepth:
+				p.Spawn(func(cp *spawnsync.Proc) { body(cp, depth+1) })
+			case r < 9:
+				p.Sync()
+			default:
+				return
+			}
+		}
+	}
+	return func(p *spawnsync.Proc) { body(p, 0) }
+}
+
+// Run executes the workload against sink.
+func (c SpawnSync) Run(sink fj.Sink) (int, error) {
+	return spawnsync.Run(c.Program(), sink)
+}
+
+// AsyncFinish describes a random X10-style program.
+type AsyncFinish struct {
+	Seed     int64
+	Ops      int
+	MaxDepth int
+	Mix      Mix
+}
+
+// Program returns the program body for asyncfinish.Run.
+func (c AsyncFinish) Program() func(*asyncfinish.Act) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	budget := c.Ops
+	var body func(a *asyncfinish.Act, depth int)
+	body = func(a *asyncfinish.Act, depth int) {
+		for budget > 0 {
+			budget--
+			switch r := rng.Intn(12); {
+			case r < 4:
+				c.Mix.access(rng, a.Read, a.Write)
+			case r < 7 && depth < c.MaxDepth:
+				a.Async(func(ca *asyncfinish.Act) { body(ca, depth+1) })
+			case r < 9 && depth < c.MaxDepth:
+				a.Finish(func(fa *asyncfinish.Act) { body(fa, depth+1) })
+			default:
+				return
+			}
+		}
+	}
+	return func(a *asyncfinish.Act) { body(a, 0) }
+}
+
+// Run executes the workload against sink.
+func (c AsyncFinish) Run(sink fj.Sink) (int, error) {
+	return asyncfinish.Run(c.Program(), sink)
+}
+
+// Pipeline describes a pipeline workload: an m×n grid where every cell
+// touches its stage state, its item state, and optionally a fully shared
+// location (read-only unless RacySharing is set).
+type Pipeline struct {
+	Stages, Items int
+	// Shared, when true, has every cell read one global location —
+	// harmless, but it forces Θ(n)-family baselines to grow per-location
+	// read sets.
+	Shared bool
+	// RacySharing additionally makes one chosen cell write the global
+	// location, planting a genuine race.
+	RacySharing bool
+}
+
+const (
+	// SharedLoc is the address of the globally shared location.
+	SharedLoc core.Addr = 1
+	stageBase core.Addr = 1 << 20
+	itemBase  core.Addr = 1 << 21
+)
+
+// Config returns the pipeline.Config for this workload.
+func (c Pipeline) Config() pipeline.Config {
+	return pipeline.Config{
+		Stages: c.Stages,
+		Items:  c.Items,
+		Body: func(cell *pipeline.Cell) {
+			st := stageBase + core.Addr(cell.Stage)
+			it := itemBase + core.Addr(cell.Item)
+			cell.Read(st)
+			cell.Write(st)
+			cell.Read(it)
+			cell.Write(it)
+			if c.Shared {
+				cell.Read(SharedLoc)
+			}
+			if c.RacySharing && cell.Stage == 0 && cell.Item == c.Items-1 {
+				cell.Write(SharedLoc)
+			}
+		},
+	}
+}
+
+// Run executes the workload against sink.
+func (c Pipeline) Run(sink fj.Sink) (int, error) {
+	return pipeline.Run(c.Config(), sink)
+}
+
+// SharedReadFanout is the Theorem 5 space workload: the root forks Tasks
+// children; each reads the shared location (plus one private location),
+// and the root finally writes it after joining everyone. Race-free, but
+// every vector-clock-family detector accumulates Θ(Tasks) state on the
+// shared location, while the 2D detector keeps two identifiers.
+type SharedReadFanout struct {
+	Tasks int
+	// Locs is the number of distinct shared read locations (≥ 1), all
+	// read by every task.
+	Locs int
+}
+
+// Program returns the program body for fj.Run.
+func (c SharedReadFanout) Program() func(*fj.Task) {
+	locs := c.Locs
+	if locs < 1 {
+		locs = 1
+	}
+	return func(t *fj.Task) {
+		handles := make([]fj.Handle, 0, c.Tasks)
+		for i := 0; i < c.Tasks; i++ {
+			handles = append(handles, t.Fork(func(ct *fj.Task) {
+				for l := 0; l < locs; l++ {
+					ct.Read(core.Addr(1 + l))
+				}
+			}))
+		}
+		for i := len(handles) - 1; i >= 0; i-- {
+			t.Join(handles[i])
+		}
+		for l := 0; l < locs; l++ {
+			t.Write(core.Addr(1 + l))
+		}
+	}
+}
+
+// Run executes the workload against sink.
+func (c SharedReadFanout) Run(sink fj.Sink) (int, error) {
+	return fj.Run(c.Program(), sink, fj.Options{AutoJoin: true})
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/baseline/fasttrack"
+	"repro/internal/baseline/vc"
+	"repro/internal/fj"
+)
+
+func TestForkJoinDeterministic(t *testing.T) {
+	w := ForkJoin{Seed: 42, Ops: 50, MaxDepth: 4, Mix: Mix{Locs: 4, ReadFrac: 0.5}}
+	var a, b fj.Trace
+	if _, err := w.Run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("workload not deterministic")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) int {
+		var tr fj.Trace
+		w := ForkJoin{Seed: seed, Ops: 60, MaxDepth: 4, Mix: Mix{Locs: 4, ReadFrac: 0.5}}
+		if _, err := w.Run(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return len(tr.Events)
+	}
+	same := 0
+	for s := int64(0); s < 8; s++ {
+		if mk(s) == mk(s+100) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("all seeds produced identical event counts; generator ignores seed?")
+	}
+}
+
+// TestE7DetectorParity is the headline soundness/precision experiment: on
+// random structured fork-join programs the paper's Θ(1)-space detector
+// agrees with exhaustive reachability about race existence, and its first
+// report names a location on which a true race exists.
+func TestE7DetectorParity(t *testing.T) {
+	f := func(seed int64) bool {
+		w := ForkJoin{Seed: seed, Ops: 50, MaxDepth: 5, Mix: Mix{Locs: 4, ReadFrac: 0.55}}
+		var tr fj.Trace
+		ds := fj.NewDetectorSink(16)
+		if _, err := w.Run(fj.MultiSink{&tr, ds}); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		rep := bruteforce.Analyze(&tr)
+		if ds.Racy() != rep.Racy() {
+			t.Logf("seed %d: detector=%v truth=%v", seed, ds.Racy(), rep.Racy())
+			return false
+		}
+		if ds.Racy() {
+			// Precision up to the first race: the first reported
+			// location must truly race.
+			first := ds.Races()[0]
+			found := false
+			for _, loc := range rep.RacyLocations() {
+				if loc == first.Loc {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("seed %d: first report on %#x is a false positive", seed, uint64(first.Loc))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE9AllDetectorsAgreeOnSP: on series-parallel programs, every detector
+// in the repository agrees about race existence.
+func TestE9AllDetectorsAgreeOnSP(t *testing.T) {
+	f := func(seed int64) bool {
+		w := SpawnSync{Seed: seed, Ops: 40, MaxDepth: 4, Mix: Mix{Locs: 3, ReadFrac: 0.5}}
+		var tr fj.Trace
+		ds := fj.NewDetectorSink(16)
+		vcd := vc.New()
+		ftd := fasttrack.New()
+		if _, err := w.Run(fj.MultiSink{&tr, ds, vcd, ftd}); err != nil {
+			return false
+		}
+		truth := bruteforce.Analyze(&tr).Racy()
+		return ds.Racy() == truth && vcd.Racy() == truth && ftd.Racy() == truth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncFinishWorkloadRuns(t *testing.T) {
+	w := AsyncFinish{Seed: 7, Ops: 60, MaxDepth: 4, Mix: Mix{Locs: 4, ReadFrac: 0.5}}
+	var tr fj.Trace
+	tasks, err := w.Run(&tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks < 1 || len(tr.Events) == 0 {
+		t.Fatal("degenerate workload")
+	}
+}
+
+func TestPipelineWorkloadRaces(t *testing.T) {
+	clean := Pipeline{Stages: 3, Items: 5, Shared: true}
+	ds := fj.NewDetectorSink(32)
+	if _, err := clean.Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Racy() {
+		t.Fatalf("clean pipeline flagged: %v", ds.Races())
+	}
+
+	racy := Pipeline{Stages: 3, Items: 5, Shared: true, RacySharing: true}
+	ds2 := fj.NewDetectorSink(32)
+	var tr fj.Trace
+	if _, err := racy.Run(fj.MultiSink{&tr, ds2}); err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Racy() {
+		t.Fatal("planted pipeline race missed")
+	}
+	if !bruteforce.Analyze(&tr).Racy() {
+		t.Fatal("ground truth disagrees with planted race")
+	}
+}
+
+func TestSharedReadFanoutShape(t *testing.T) {
+	w := SharedReadFanout{Tasks: 10, Locs: 3}
+	var tr fj.Trace
+	tasks, err := w.Run(&tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks != 11 {
+		t.Fatalf("tasks = %d, want 11", tasks)
+	}
+	reads, writes := 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case fj.EvRead:
+			reads++
+		case fj.EvWrite:
+			writes++
+		}
+	}
+	if reads != 30 || writes != 3 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	ds := fj.NewDetectorSink(16)
+	tr.Replay(ds)
+	if ds.Racy() {
+		t.Fatalf("fanout is race-free by construction: %v", ds.Races())
+	}
+}
+
+func TestSharedReadFanoutDefaultLocs(t *testing.T) {
+	w := SharedReadFanout{Tasks: 2}
+	if _, err := w.Run(fj.NullSink{}); err != nil {
+		t.Fatal(err)
+	}
+}

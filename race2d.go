@@ -1,0 +1,381 @@
+// Package race2d is a dynamic data-race detector for structured
+// fork-join programs whose task graphs are two-dimensional lattices,
+// reproducing "Race Detection in Two Dimensions" (Dimitrov, Vechev,
+// Sarkar; SPAA 2015).
+//
+// The detector needs Θ(1) space per monitored memory location and per
+// task, and near-constant (inverse-Ackermann) amortized time per memory
+// operation — compared to the Θ(n)-per-location cost of vector-clock
+// detectors — while handling strictly more programs than series-parallel
+// detectors such as SP-bags: in particular, pipeline parallelism.
+//
+// # Quick start
+//
+//	report, err := race2d.Detect(func(t *race2d.Task) {
+//		h := t.Fork(func(c *race2d.Task) { c.Write(1) })
+//		t.Write(1) // races with the child's write
+//		t.Join(h)
+//	})
+//	// report.Racy() == true
+//
+// Programs follow the paper's restricted fork-join discipline: a forked
+// task is placed immediately left of its parent in the task line, and a
+// task may join only its immediate left neighbor (Figure 9). The runtime
+// executes serially, fork-first, and reports violations of the discipline
+// as errors. Cilk-style spawn/sync (DetectSpawnSync), X10-style
+// async/finish (DetectAsyncFinish), linear pipelines (DetectPipeline) and
+// goroutine-based programs (DetectGoroutines) are provided as frontends
+// that always stay inside the discipline.
+package race2d
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/asyncfinish"
+	"repro/internal/baseline/bruteforce"
+	"repro/internal/baseline/fasttrack"
+	"repro/internal/baseline/naive"
+	"repro/internal/baseline/spbags"
+	"repro/internal/baseline/spom"
+	"repro/internal/baseline/vc"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/future"
+	"repro/internal/goinstr"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/spawnsync"
+)
+
+// Addr identifies a monitored memory location.
+type Addr = core.Addr
+
+// Race is one race report; see core.Race for field semantics.
+type Race = core.Race
+
+// Task is the fork-join task capability (fork, join, read, write).
+type Task = fj.Task
+
+// Handle names a forked task for a later Join.
+type Handle = fj.Handle
+
+// Proc is the Cilk-style spawn/sync procedure capability.
+type Proc = spawnsync.Proc
+
+// Act is the X10-style async/finish activity capability.
+type Act = asyncfinish.Act
+
+// GoTask is the goroutine-frontend task capability.
+type GoTask = goinstr.Task
+
+// GoHandle names a goroutine task created by GoTask.Go.
+type GoHandle = goinstr.Handle
+
+// Cell is a pipeline cell capability.
+type Cell = pipeline.Cell
+
+// Pipeline configures a linear pipeline (stages × items grid).
+type Pipeline = pipeline.Config
+
+// Event and Sink expose the execution event stream for advanced uses
+// (custom detectors, trace recording).
+type (
+	// Event is one execution event.
+	Event = fj.Event
+	// Sink consumes execution events.
+	Sink = fj.Sink
+	// Trace records events for replay.
+	Trace = fj.Trace
+)
+
+// ErrStructure wraps all fork-join discipline violations.
+var ErrStructure = fj.ErrStructure
+
+// Engine selects a detector implementation. Engine2D is the paper's
+// contribution; the others are baselines for comparison.
+type Engine int
+
+const (
+	// Engine2D is the paper's Θ(1)-space suprema-based detector.
+	Engine2D Engine = iota
+	// EngineVC is the classic vector-clock detector (Θ(n)/location).
+	EngineVC
+	// EngineFastTrack is the epoch-optimized vector-clock detector.
+	EngineFastTrack
+	// EngineSPBags is the SP-bags detector (series-parallel programs
+	// only).
+	EngineSPBags
+	// EngineSPOrder is the English–Hebrew order-maintenance detector
+	// (Bender et al., reference [3]; series-parallel programs only).
+	EngineSPOrder
+	// EngineNaive is the paper's Section 2.3 naive algorithm: complete
+	// per-location R/W sets, Θ(accesses) space.
+	EngineNaive
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Engine2D:
+		return "2d"
+	case EngineVC:
+		return "vc"
+	case EngineFastTrack:
+		return "fasttrack"
+	case EngineSPBags:
+		return "spbags"
+	case EngineSPOrder:
+		return "sporder"
+	case EngineNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine converts a name ("2d", "vc", "fasttrack", "spbags") to an
+// Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(s) {
+	case "2d", "race2d":
+		return Engine2D, nil
+	case "vc", "vectorclock", "djit":
+		return EngineVC, nil
+	case "fasttrack", "ft":
+		return EngineFastTrack, nil
+	case "spbags", "sp-bags", "sp":
+		return EngineSPBags, nil
+	case "sporder", "sp-order", "eh", "om":
+		return EngineSPOrder, nil
+	case "naive", "rwsets":
+		return EngineNaive, nil
+	}
+	return 0, fmt.Errorf("race2d: unknown engine %q", s)
+}
+
+// detector is the common surface of all engines.
+type detector interface {
+	fj.Sink
+	Races() []core.Race
+	Count() int
+	Racy() bool
+	Locations() int
+	MemoryBytes() int
+}
+
+// detectorSinkAdapter lets the 2D DetectorSink satisfy detector.
+type detectorSinkAdapter struct{ *fj.DetectorSink }
+
+func (a detectorSinkAdapter) Count() int       { return a.D.Count() }
+func (a detectorSinkAdapter) Locations() int   { return a.D.Locations() }
+func (a detectorSinkAdapter) MemoryBytes() int { return a.D.MemoryBytes() }
+
+// NewEngineSink returns a fresh detector for the engine as an event sink
+// with the common reporting surface.
+func NewEngineSink(e Engine) interface {
+	Sink
+	Races() []Race
+	Count() int
+	Racy() bool
+	Locations() int
+	MemoryBytes() int
+} {
+	return newDetector(e)
+}
+
+func newDetector(e Engine) detector {
+	switch e {
+	case EngineVC:
+		return vc.New()
+	case EngineFastTrack:
+		return fasttrack.New()
+	case EngineSPBags:
+		return spbags.New()
+	case EngineSPOrder:
+		return spom.New()
+	case EngineNaive:
+		return naive.New()
+	default:
+		return detectorSinkAdapter{fj.NewDetectorSink(16)}
+	}
+}
+
+// Report is the result of running a program under a detector.
+type Report struct {
+	// Races holds the retained race reports in detection order. The
+	// first report is precise (a true race); later ones may be
+	// artifacts, per the paper's up-to-first-race guarantee.
+	Races []Race
+	// Count is the total number of reports (≥ len(Races)).
+	Count int
+	// Tasks is the number of tasks the execution created.
+	Tasks int
+	// Locations is the number of distinct memory locations monitored.
+	Locations int
+	// MemoryBytes estimates the detector's final state size.
+	MemoryBytes int
+	// Engine identifies the detector used.
+	Engine Engine
+}
+
+// Racy reports whether any race was detected.
+func (r *Report) Racy() bool { return r.Count > 0 }
+
+// String renders a short human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine=%s tasks=%d locations=%d races=%d", r.Engine, r.Tasks, r.Locations, r.Count)
+	for i, race := range r.Races {
+		fmt.Fprintf(&b, "\n  #%d %s", i+1, race)
+		if i == 0 {
+			b.WriteString(" (precise)")
+		}
+	}
+	return b.String()
+}
+
+func report(e Engine, d detector, tasks int) *Report {
+	return &Report{
+		Races:       d.Races(),
+		Count:       d.Count(),
+		Tasks:       tasks,
+		Locations:   d.Locations(),
+		MemoryBytes: d.MemoryBytes(),
+		Engine:      e,
+	}
+}
+
+// Detect runs a structured fork-join program under the 2D detector.
+func Detect(root func(*Task)) (*Report, error) {
+	return DetectWith(Engine2D, root)
+}
+
+// DetectWith runs a structured fork-join program under the chosen engine.
+func DetectWith(e Engine, root func(*Task)) (*Report, error) {
+	d := newDetector(e)
+	tasks, err := fj.Run(root, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		return nil, err
+	}
+	return report(e, d, tasks), nil
+}
+
+// DetectSpawnSync runs a Cilk-style spawn/sync program under the 2D
+// detector.
+func DetectSpawnSync(root func(*Proc)) (*Report, error) {
+	d := newDetector(Engine2D)
+	tasks, err := spawnsync.Run(root, d)
+	if err != nil {
+		return nil, err
+	}
+	return report(Engine2D, d, tasks), nil
+}
+
+// DetectAsyncFinish runs an X10-style async/finish program under the 2D
+// detector.
+func DetectAsyncFinish(root func(*Act)) (*Report, error) {
+	d := newDetector(Engine2D)
+	tasks, err := asyncfinish.Run(root, d)
+	if err != nil {
+		return nil, err
+	}
+	return report(Engine2D, d, tasks), nil
+}
+
+// DetectPipeline runs a linear pipeline under the 2D detector.
+func DetectPipeline(cfg Pipeline) (*Report, error) {
+	d := newDetector(Engine2D)
+	tasks, err := pipeline.Run(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	return report(Engine2D, d, tasks), nil
+}
+
+// DetectPipelineWhile runs an on-the-fly pipeline (pipe_while style, Lee
+// et al.): more is consulted before each item; the pipeline drains when
+// it returns false.
+func DetectPipelineWhile(stages int, more func(item int) bool, body func(*Cell)) (*Report, error) {
+	d := newDetector(Engine2D)
+	tasks, err := pipeline.RunWhile(stages, more, body, d)
+	if err != nil {
+		return nil, err
+	}
+	return report(Engine2D, d, tasks), nil
+}
+
+// DetectGoroutines runs a program whose tasks execute on real goroutines
+// (serialized fork-first) under the 2D detector.
+func DetectGoroutines(root func(*GoTask)) (*Report, error) {
+	d := newDetector(Engine2D)
+	tasks, err := goinstr.Run(root, d)
+	if err != nil {
+		return nil, err
+	}
+	return report(Engine2D, d, tasks), nil
+}
+
+// DetectProgram parses a textual program (see internal/prog syntax) and
+// runs it under the chosen engine. Location names from the source are
+// resolved in the returned report via the names function.
+func DetectProgram(e Engine, src io.Reader) (*Report, func(Addr) string, error) {
+	p, err := prog.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := newDetector(e)
+	res, err := prog.Exec(p, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return report(e, d, res.Tasks), res.LocName, nil
+}
+
+// GroundTruth replays a recorded trace through the exhaustive
+// reachability-based oracle and reports whether a race truly exists. It
+// costs Θ(operations²) time and Θ(operations) space — the cost the online
+// detector avoids — and exists for validation and debugging.
+func GroundTruth(tr *Trace) bool {
+	return bruteforce.Analyze(tr).Racy()
+}
+
+// PTask is the parallel-executor task capability: the same fork-join
+// model at full concurrency, without detection (see RunParallel).
+type PTask = parallel.Task
+
+// PHandle names a task forked by the parallel executor.
+type PHandle = parallel.Handle
+
+// RunParallel executes a structured fork-join program with REAL
+// parallelism and no instrumentation: forked tasks run concurrently and
+// Join provides the happens-before edge. Detection requires the serial
+// schedule (Section 2.3 of the paper), so the intended workflow is to
+// check a program's access pattern under Detect and deploy the same
+// shape under RunParallel.
+func RunParallel(root func(*PTask)) (tasks int, err error) {
+	return parallel.Run(root)
+}
+
+// FutureCtx is the futures-frontend capability (spawn and force
+// left-neighbor futures; see internal/future).
+type FutureCtx = future.Ctx
+
+// Future is a handle to a spawned computation's eventual value.
+type Future = future.Future
+
+// Value is the result type carried by futures.
+type Value = future.Value
+
+// DetectFutures runs a program written with restricted (left-neighbor)
+// futures — the construct the paper notes fork-join "naturally
+// capture[s]" (Section 2.2) and the idiom of Blelloch and Reid-Miller's
+// pipelining with futures — under the 2D detector.
+func DetectFutures(root func(*FutureCtx)) (*Report, error) {
+	d := newDetector(Engine2D)
+	tasks, err := future.Run(root, d)
+	if err != nil {
+		return nil, err
+	}
+	return report(Engine2D, d, tasks), nil
+}

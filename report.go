@@ -1,0 +1,68 @@
+package race2d
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// raceJSON is the JSON shape of one race report.
+type raceJSON struct {
+	Location string `json:"location"`
+	Kind     string `json:"kind"`
+	Current  int    `json:"current_task"`
+	Prior    int    `json:"prior_root_task"`
+	Precise  bool   `json:"precise"`
+}
+
+// reportJSON is the JSON shape of a Report.
+type reportJSON struct {
+	Engine      string     `json:"engine"`
+	Tasks       int        `json:"tasks"`
+	Locations   int        `json:"locations"`
+	RaceCount   int        `json:"race_count"`
+	Races       []raceJSON `json:"races"`
+	MemoryBytes int        `json:"memory_bytes"`
+}
+
+// MarshalJSON renders the report for tooling. Location names are hex
+// addresses; use WriteJSON with a name resolver for symbolic names.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return r.marshal(func(a Addr) string { return fmt.Sprintf("%#x", uint64(a)) })
+}
+
+func (r *Report) marshal(locName func(Addr) string) ([]byte, error) {
+	out := reportJSON{
+		Engine:      r.Engine.String(),
+		Tasks:       r.Tasks,
+		Locations:   r.Locations,
+		RaceCount:   r.Count,
+		Races:       make([]raceJSON, 0, len(r.Races)),
+		MemoryBytes: r.MemoryBytes,
+	}
+	for i, race := range r.Races {
+		out.Races = append(out.Races, raceJSON{
+			Location: locName(race.Loc),
+			Kind:     race.Kind.String(),
+			Current:  race.Current,
+			Prior:    race.Prior,
+			Precise:  i == 0,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// WriteJSON writes the report as indented JSON, resolving location names
+// through locName (may be nil for hex addresses).
+func (r *Report) WriteJSON(w io.Writer, locName func(Addr) string) error {
+	if locName == nil {
+		locName = func(a Addr) string { return fmt.Sprintf("%#x", uint64(a)) }
+	}
+	data, err := r.marshal(locName)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

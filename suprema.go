@@ -1,0 +1,80 @@
+package race2d
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+
+	"repro/internal/core"
+)
+
+// This file exposes the paper's Section 3 machinery — suprema in
+// two-dimensional lattices — as a standalone public API, independent of
+// race detection: build or recognize a lattice diagram, traverse it, and
+// answer supremum queries online in Θ(1) space per element.
+
+// Digraph is a directed graph; for lattice use, insert each vertex's
+// out-arcs in left-to-right embedding order (see NonSeparating).
+type Digraph = graph.Digraph
+
+// NewDigraph returns a digraph with n vertices and no arcs.
+func NewDigraph(n int) *Digraph { return graph.New(n) }
+
+// Traversal is a sequence of lattice-diagram items: loops, arcs,
+// last-arcs and stop-arcs (Definitions 1–3 of the paper).
+type Traversal = traversal.T
+
+// Walker answers supremum queries along a (delayed) non-separating
+// traversal: the paper's extension of Tarjan's offline LCA algorithm
+// (Figures 5 and 8).
+type Walker = core.Walker
+
+// NewWalker returns a walker prepared for n lattice elements.
+func NewWalker(n int) *Walker { return core.NewWalker(n) }
+
+// NonSeparating computes the canonical non-separating traversal of a
+// monotone planar diagram: topological, depth-first, left-to-right. The
+// embedding is the insertion order of each vertex's out-arcs; the diagram
+// must have a single source. On the paper's Figure 3 diagram the result
+// is exactly the Figure 4 sequence.
+func NonSeparating(g *Digraph) (Traversal, error) {
+	return traversal.NonSeparating(g)
+}
+
+// DelayTraversal applies the Definition 3 transform, producing the
+// delayed traversal an online execution can follow (stop-arcs mark the
+// original places of delayed last-arcs).
+func DelayTraversal(g *Digraph, t Traversal) Traversal {
+	return traversal.Delay(t, graph.NewReach(g), g.N())
+}
+
+// WalkTraversal drives a complete traversal through a fresh walker,
+// calling onVisit at every vertex so callers can pose Sup queries — the
+// paper's Walk(T, Q).
+func WalkTraversal(t Traversal, n int, onVisit func(w *Walker, vertex int)) *Walker {
+	return core.Walk(t, n, onVisit)
+}
+
+// RecognizeLattice decides whether a bare digraph (no embedding
+// information needed or trusted) is a two-dimensional lattice and, if so,
+// returns an equivalent monotone planar diagram — the transitive
+// reduction with out-arcs in left-to-right order — ready for
+// NonSeparating. This is the Remark 1/Remark 3 tool chain: lattice check,
+// Dushnik–Miller realizer by conjugate-order construction, dominance
+// drawing.
+//
+// Cost is polynomial but brute-force-grade (O(n³)-ish); intended for
+// tooling and analysis, not hot paths.
+func RecognizeLattice(g *Digraph) (*Digraph, error) {
+	_, realizer, err := order.Recognize2D(g)
+	if err != nil {
+		return nil, fmt.Errorf("race2d: %w", err)
+	}
+	embedded, err := order.EmbedFromRealizer(g, realizer)
+	if err != nil {
+		return nil, fmt.Errorf("race2d: %w", err)
+	}
+	return embedded, nil
+}

@@ -1,0 +1,85 @@
+package race2d
+
+import (
+	"testing"
+
+	"repro/internal/traversal"
+)
+
+func TestSupremaFacadeOnFigure3(t *testing.T) {
+	g := traversal.Figure3()
+	tr, err := NonSeparating(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3's worked examples: sup{3,5}=6 (root not yet visited),
+	// sup{1,5}=5 (root already visited). Paper numbering is 1-based.
+	var got3, got1 int
+	WalkTraversal(tr, g.N(), func(w *Walker, v int) {
+		if v == 5-1 {
+			got3 = w.Sup(3-1, v)
+			got1 = w.Sup(1-1, v)
+		}
+	})
+	if got3 != 6-1 {
+		t.Fatalf("Sup(3,5) = %d, want 6", got3+1)
+	}
+	if got1 != 5-1 {
+		t.Fatalf("Sup(1,5) = %d, want 5", got1+1)
+	}
+}
+
+func TestDelayTraversalFacade(t *testing.T) {
+	g := traversal.Figure3()
+	tr, _ := NonSeparating(g)
+	d := DelayTraversal(g, tr)
+	if !traversal.Equal(d, traversal.Figure7Want()) {
+		t.Fatal("facade delay does not reproduce Figure 7")
+	}
+}
+
+func TestRecognizeLatticeFacade(t *testing.T) {
+	// A diamond given with no meaningful arc order.
+	g := NewDigraph(4)
+	g.AddArc(0, 2)
+	g.AddArc(0, 1)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	g.AddArc(0, 3) // transitive clutter, removed by recognition
+	embedded, err := RecognizeLattice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embedded.M() != 4 {
+		t.Fatalf("embedded arcs = %d, want 4 (Hasse diagram)", embedded.M())
+	}
+	if _, err := NonSeparating(embedded); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-lattice is rejected.
+	bad := NewDigraph(3)
+	bad.AddArc(0, 1)
+	bad.AddArc(0, 2)
+	if _, err := RecognizeLattice(bad); err == nil {
+		t.Fatal("non-lattice accepted")
+	}
+}
+
+func TestWalkerFacadeOnline(t *testing.T) {
+	// Use the walker directly as an online oracle (thread-level), the way
+	// the detector does.
+	w := NewWalker(3)
+	w.Visit(0)
+	w.Visit(1)   // forked child runs
+	w.StopArc(1) // halts unjoined
+	w.Visit(0)
+	if w.Ordered(1, 0) {
+		t.Fatal("unjoined child reported ordered")
+	}
+	w.LastArc(1, 0) // join
+	w.Visit(0)
+	if !w.Ordered(1, 0) {
+		t.Fatal("joined child reported concurrent")
+	}
+}
