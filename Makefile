@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test verify race vet bench bench-json fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: the full suite plus vet and the goroutine frontend
+# under the Go race detector (the only packages that spawn real
+# goroutines, so -race is meaningful and fast there).
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/goinstr/...
+
+verify: build vet test race
+
+# Detector hot-path benchmarks: storage backends (openaddr/map/shadow) ×
+# ingestion paths (per-event, batched, steady-state) on the pipeline and
+# spawn-tree workloads. The steady openaddr rows are the allocation-free
+# monitor hot path.
+bench:
+	$(GO) test -run=NONE -bench BenchmarkDetector -benchmem .
+
+# Regenerate BENCH_race2d.json: the full detector × workload replay
+# matrix, sharded across GOMAXPROCS workers.
+bench-json:
+	$(GO) run ./cmd/bench2d -e bench -json BENCH_race2d.json
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
+	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
+
+clean:
+	$(GO) clean ./...

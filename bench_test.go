@@ -200,6 +200,90 @@ func BenchmarkE9SeriesParallel(b *testing.B) {
 	}
 }
 
+// --- Detector hot path: storage backends × workloads ---------------------
+
+// detectorBenchTrace records one of the acceptance workloads.
+func detectorBenchTrace(b *testing.B, name string) *fj.Trace {
+	b.Helper()
+	var tr fj.Trace
+	var err error
+	switch name {
+	case "pipeline":
+		_, err = workload.Pipeline{Stages: 16, Items: 8000, Shared: true, Payload: 8}.Run(&tr)
+	case "spawntree":
+		_, err = workload.SpawnSync{Seed: 9, Ops: 500000, MaxDepth: 11,
+			Mix: workload.Mix{Locs: 1 << 20, ReadFrac: 0.7, Block: 8}}.Run(&tr)
+	default:
+		b.Fatalf("unknown workload %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &tr
+}
+
+// BenchmarkDetector measures the per-access hot path of the 2D detector
+// across per-location storage backends on the pipeline and spawn-tree
+// workloads.
+//
+//   - replay/…: full event replay into a fresh detector each iteration,
+//     one event at a time — storage=map is the seed detector's path.
+//   - batch/…: the same replay through the batched ingestion path
+//     (EventBuffer-sized runs into Detector.OnAccessBatch).
+//   - steady/…: replay into an already-warm detector, the
+//     steady-state regime of a long-running monitor; the open-addressing
+//     backend runs allocation-free here (0 allocs/op).
+func BenchmarkDetector(b *testing.B) {
+	storages := []core.Storage{core.StorageOpenAddr, core.StorageMap, core.StorageShadow}
+	for _, wl := range []string{"pipeline", "spawntree"} {
+		tr := detectorBenchTrace(b, wl)
+		memops := 0
+		locs := make(map[core.Addr]struct{})
+		for _, ev := range tr.Events {
+			if ev.Kind == fj.EvRead || ev.Kind == fj.EvWrite {
+				memops++
+				locs[ev.Loc] = struct{}{}
+			}
+		}
+		locHint := len(locs)
+		perMemop := func(b *testing.B) {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*memops), "ns/memop")
+		}
+		for _, s := range storages {
+			b.Run(fmt.Sprintf("replay/storage=%s/workload=%s", s, wl), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := fj.NewDetectorSinkSized(16, locHint, s)
+					tr.Replay(d)
+				}
+				perMemop(b)
+			})
+		}
+		for _, s := range storages {
+			b.Run(fmt.Sprintf("batch/storage=%s/workload=%s", s, wl), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := fj.NewDetectorSinkSized(16, locHint, s)
+					tr.ReplayBatches(d, 0)
+				}
+				perMemop(b)
+			})
+		}
+		for _, s := range storages {
+			b.Run(fmt.Sprintf("steady/storage=%s/workload=%s", s, wl), func(b *testing.B) {
+				d := fj.NewDetectorSinkSized(16, locHint, s)
+				tr.ReplayBatches(d, 0) // warm: tables sized, locations touched
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.ReplayBatches(d, 0)
+				}
+				perMemop(b)
+			})
+		}
+	}
+}
+
 // --- End-to-end: full execution including the runtime --------------------
 
 func BenchmarkEndToEndPipeline(b *testing.B) {

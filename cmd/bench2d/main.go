@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	bench2d [-e all|1|2|3|4|5|6|7|8|9|10] [-quick]
+//	bench2d [-e all|1|2|3|4|5|6|7|8|9|10|bench] [-quick]
+//	        [-parallel N] [-json file] [-cpuprofile file] [-memprofile file]
+//
+// `-e bench` runs the detector × workload replay matrix sharded across
+// -parallel worker goroutines (default GOMAXPROCS; each trace's detector
+// stays serial, as the algorithm requires) and writes the measured
+// ns/op, B/op and allocs/op to -json (default BENCH_race2d.json).
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -33,12 +41,52 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("bench2d", flag.ContinueOnError)
-	exp := fs.String("e", "all", "experiment to run: all, or 1-10")
+	exp := fs.String("e", "all", "experiment to run: all, 1-10, or bench")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replay worker goroutines for -e bench")
+	jsonPath := fs.String("json", "BENCH_race2d.json", "output file for -e bench results (empty disables)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	run := func(id string) bool { return *exp == "all" || *exp == id }
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2d: cpuprofile:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2d: cpuprofile:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench2d: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench2d: memprofile:", err)
+			}
+		}()
+	}
+	if *exp == "bench" {
+		return eBench(*quick, *parallel, *jsonPath)
+	}
+	matched := *exp == "all"
+	run := func(id string) bool {
+		if *exp == id {
+			matched = true
+		}
+		return *exp == "all" || *exp == id
+	}
 	if run("1") {
 		e1(*quick)
 	}
@@ -69,6 +117,10 @@ func run(args []string) int {
 	}
 	if run("10") {
 		e10()
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, or bench)\n", *exp)
+		return 2
 	}
 	return 0
 }

@@ -149,3 +149,12 @@ func (d *Detector) MemoryBytes() int {
 	const mapEntryOverhead = 16
 	return total + len(d.locs)*mapEntryOverhead
 }
+
+// EventBatch implements fj.BatchSink: one dynamic dispatch per batch of
+// events instead of one per event, matching the 2D detector's batched
+// ingestion path so cross-engine comparisons stay fair.
+func (d *Detector) EventBatch(events []fj.Event) {
+	for i := range events {
+		d.Event(events[i])
+	}
+}

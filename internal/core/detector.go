@@ -55,21 +55,75 @@ type locState struct {
 
 const noAccess int32 = -1
 
+// Storage selects the per-location state backend. All backends hold the
+// identical two identifiers per location (Theorem 5's Θ(1)) and report
+// identical races; they differ only in constant factors, and the
+// differential tests hold them to that.
+type Storage uint8
+
+const (
+	// StorageOpenAddr is the default: a value-typed open-addressing
+	// table (table.go) — allocation-free accesses, one linear probe per
+	// operation.
+	StorageOpenAddr Storage = iota
+	// StorageMap is the reference map[Addr]*locState backend.
+	StorageMap
+	// StorageShadow is the paged shadow-memory backend (shadow.go),
+	// tuned for dense address ranges.
+	StorageShadow
+)
+
+func (s Storage) String() string {
+	switch s {
+	case StorageOpenAddr:
+		return "openaddr"
+	case StorageMap:
+		return "map"
+	case StorageShadow:
+		return "shadow"
+	}
+	return fmt.Sprintf("Storage(%d)", uint8(s))
+}
+
+// ParseStorage converts a backend name to a Storage.
+func ParseStorage(s string) (Storage, error) {
+	switch s {
+	case "openaddr", "oa", "table":
+		return StorageOpenAddr, nil
+	case "map":
+		return StorageMap, nil
+	case "shadow":
+		return StorageShadow, nil
+	}
+	return 0, fmt.Errorf("core: unknown storage %q", s)
+}
+
+// Access is one memory operation of a batch (see OnAccessBatch): task T
+// reads or writes Loc. The layout is chosen so a batch packs densely
+// (16 bytes per access).
+type Access struct {
+	Loc   Addr
+	T     int32
+	Write bool
+}
+
 // Detector is the online race detector of Figure 6 driven by the suprema
 // walker of Figure 8. Feed it the traversal of the executing program
 // (loops, last-arcs and stop-arcs — typically the thread-compressed stream
 // emitted by a fork-join runtime) and call OnRead/OnWrite at every memory
-// operation of the current vertex.
+// operation of the current vertex, or OnAccessBatch for whole runs.
 type Detector struct {
 	W *Walker
 
-	state  map[Addr]*locState
-	shadow *shadowTable // non-nil when shadow-memory storage is selected
+	table  *locTable          // non-nil for the default open-addressing storage
+	state  map[Addr]*locState // non-nil for map storage
+	shadow *shadowTable       // non-nil for shadow-memory storage
 
 	// MaxRaces bounds the retained race reports (the count keeps
 	// increasing); 0 means keep everything. The paper's precision
 	// guarantee covers the first report, so retaining a bounded prefix
-	// loses nothing.
+	// loses nothing. Set it before the first report to pre-size the
+	// retention buffer in one allocation.
 	MaxRaces int
 
 	races []Race
@@ -77,26 +131,55 @@ type Detector struct {
 }
 
 // NewDetector returns a detector expecting about n vertices/threads
-// (growable) and locHint distinct locations (hint only), using map
-// storage for per-location state.
+// (growable) and locHint distinct locations (hint only), using the
+// default open-addressing storage for per-location state.
 func NewDetector(n, locHint int) *Detector {
-	return &Detector{
-		W:     NewWalker(n),
-		state: make(map[Addr]*locState, locHint),
+	return NewDetectorStorage(n, locHint, StorageOpenAddr)
+}
+
+// NewDetectorStorage returns a detector with an explicit per-location
+// storage backend; see Storage for the choices.
+func NewDetectorStorage(n, locHint int, s Storage) *Detector {
+	d := &Detector{W: NewWalker(n)}
+	switch s {
+	case StorageMap:
+		d.state = make(map[Addr]*locState, locHint)
+	case StorageShadow:
+		d.shadow = newShadowTable()
+	default:
+		d.table = newLocTable(locHint)
 	}
+	return d
 }
 
 // NewDetectorShadow returns a detector using paged shadow-memory storage
 // for per-location state — same Θ(1) per location, better locality for
 // dense address ranges (see shadow.go).
 func NewDetectorShadow(n int) *Detector {
-	return &Detector{
-		W:      NewWalker(n),
-		shadow: newShadowTable(),
+	return NewDetectorStorage(n, 0, StorageShadow)
+}
+
+// Storage reports the selected per-location storage backend.
+func (d *Detector) Storage() Storage {
+	switch {
+	case d.state != nil:
+		return StorageMap
+	case d.shadow != nil:
+		return StorageShadow
+	default:
+		return StorageOpenAddr
 	}
 }
 
+// loc returns the state slot for a; OnRead and OnWrite call it exactly
+// once per access and reuse the slot between their conflict checks and
+// the supremum update, so each memory operation costs a single table
+// probe. The pointer is valid until the next loc call (table growth
+// happens before the probe, never after).
 func (d *Detector) loc(a Addr) *locState {
+	if d.table != nil {
+		return d.table.get(a)
+	}
 	if d.shadow != nil {
 		return d.shadow.get(a)
 	}
@@ -110,6 +193,9 @@ func (d *Detector) loc(a Addr) *locState {
 
 func (d *Detector) report(r Race) {
 	d.count++
+	if d.races == nil && d.MaxRaces > 0 {
+		d.races = make([]Race, 0, d.MaxRaces)
+	}
 	if d.MaxRaces == 0 || len(d.races) < d.MaxRaces {
 		d.races = append(d.races, r)
 	}
@@ -119,38 +205,66 @@ func (d *Detector) report(r Race) {
 // A read conflicts with prior writes only (K = W, Section 2.3); the
 // supplied text's Figure 6 comparing against R is an extraction artifact —
 // read-read sharing is never a race.
+//
+// Accesses whose recorded supremum is t itself skip the query outright:
+// sup{t, t} = t can neither race nor change the accumulated state. This
+// is the common repeated-access-by-one-task case in real traces.
 func (d *Detector) OnRead(t int, loc Addr) {
 	st := d.loc(loc)
-	if st.write != noAccess {
-		if s := d.W.Sup(int(st.write), t); s != t {
+	tt := int32(t)
+	if w := st.write; w != noAccess && w != tt {
+		if s := d.W.Sup(int(w), t); s != t {
 			d.report(Race{Loc: loc, Current: t, Prior: s, Kind: WriteRead})
 		}
 	}
-	if st.read == noAccess {
-		st.read = int32(t)
+	if r := st.read; r == noAccess || r == tt {
+		st.read = tt
 	} else {
-		st.read = int32(d.W.Sup(int(st.read), t))
+		st.read = int32(d.W.Sup(int(r), t))
 	}
 }
 
 // OnWrite handles a write of loc by the current vertex t (Figure 6
 // On-Write): it conflicts with prior reads and prior writes (K = R ∪ W).
+// The write-write check and the write-supremum update pose the same
+// query Sup(W[loc], t), so one union-find lookup serves both.
 func (d *Detector) OnWrite(t int, loc Addr) {
 	st := d.loc(loc)
-	if st.read != noAccess {
-		if s := d.W.Sup(int(st.read), t); s != t {
+	tt := int32(t)
+	if r := st.read; r != noAccess && r != tt {
+		if s := d.W.Sup(int(r), t); s != t {
 			d.report(Race{Loc: loc, Current: t, Prior: s, Kind: ReadWrite})
 		}
 	}
-	if st.write != noAccess {
-		if s := d.W.Sup(int(st.write), t); s != t {
+	if w := st.write; w == noAccess || w == tt {
+		st.write = tt
+	} else {
+		s := d.W.Sup(int(w), t)
+		if s != t {
 			d.report(Race{Loc: loc, Current: t, Prior: s, Kind: WriteWrite})
 		}
+		st.write = int32(s)
 	}
-	if st.write == noAccess {
-		st.write = int32(t)
-	} else {
-		st.write = int32(d.W.Sup(int(st.write), t))
+}
+
+// OnAccessBatch processes a run of memory accesses in one call,
+// amortizing the per-operation call and dispatch overhead of
+// OnRead/OnWrite. Each access performs the loop step for its task (the
+// walker Visit that OnRead/OnWrite leave to the caller) followed by the
+// Figure 6 checks, so a batch of accesses by the current task is
+// equivalent to the corresponding Visit+OnRead/OnWrite sequence.
+// Control events (fork/join/halt) delimit batches; see fj.EventBuffer.
+func (d *Detector) OnAccessBatch(batch []Access) {
+	w := d.W
+	for i := range batch {
+		a := &batch[i]
+		t := int(a.T)
+		w.Visit(t)
+		if a.Write {
+			d.OnWrite(t, a.Loc)
+		} else {
+			d.OnRead(t, a.Loc)
+		}
 	}
 }
 
@@ -166,6 +280,9 @@ func (d *Detector) Racy() bool { return d.count > 0 }
 
 // Locations returns the number of tracked memory locations.
 func (d *Detector) Locations() int {
+	if d.table != nil {
+		return d.table.locations()
+	}
 	if d.shadow != nil {
 		return d.shadow.locations()
 	}
@@ -181,6 +298,9 @@ func (d *Detector) BytesPerLocation() int { return 8 }
 // thread) plus per-location records (Θ(1) per location; whole pages for
 // the shadow store).
 func (d *Detector) MemoryBytes() int {
+	if d.table != nil {
+		return d.W.MemoryBytes() + d.table.bytes()
+	}
 	if d.shadow != nil {
 		return d.W.MemoryBytes() + d.shadow.bytes()
 	}

@@ -34,8 +34,18 @@ func NewWalker(n int) *Walker {
 // Grow ensures the walker tracks at least n vertices.
 func (w *Walker) Grow(n int) {
 	w.uf.Grow(n)
-	for len(w.visited) < n {
-		w.visited = append(w.visited, false)
+	if n > len(w.visited) {
+		if n <= cap(w.visited) {
+			w.visited = w.visited[:n]
+		} else {
+			c := 2 * cap(w.visited)
+			if c < n {
+				c = n
+			}
+			nv := make([]bool, n, c)
+			copy(nv, w.visited)
+			w.visited = nv
+		}
 	}
 }
 
@@ -48,7 +58,9 @@ func (w *Walker) Current() int { return w.current }
 // Visit performs the loop step (t, t): mark t visited and make it current
 // (Walk lines 2–4). Queries for t are then posed via Sup.
 func (w *Walker) Visit(t int) {
-	w.Grow(t + 1)
+	if t >= len(w.visited) {
+		w.Grow(t + 1)
+	}
 	w.visited[t] = true
 	w.current = t
 }
@@ -56,7 +68,9 @@ func (w *Walker) Visit(t int) {
 // LastArc performs the last-arc step (s, t): attach s's tree under t
 // (Walk lines 5–6, Union(t, s)).
 func (w *Walker) LastArc(s, t int) {
-	w.Grow(max(s, t) + 1)
+	if m := max(s, t); m >= len(w.visited) {
+		w.Grow(m + 1)
+	}
 	w.uf.Union(t, s)
 }
 
@@ -65,7 +79,9 @@ func (w *Walker) LastArc(s, t int) {
 // last-arc arrives, the root s is observationally equivalent to the not
 // yet visited supremum.
 func (w *Walker) StopArc(s int) {
-	w.Grow(s + 1)
+	if s >= len(w.visited) {
+		w.Grow(s + 1)
+	}
 	w.visited[s] = false
 }
 

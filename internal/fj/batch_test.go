@@ -1,0 +1,123 @@
+package fj
+
+import (
+	"bytes"
+	"testing"
+)
+
+// traceEqual reports whether two traces carry identical event sequences.
+func traceEqual(a, b *Trace) bool {
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEventBufferEquivalence: any event stream pushed through an
+// EventBuffer (various batch sizes, including ones that don't divide the
+// stream length) reaches the destination unchanged and in order.
+func TestEventBufferEquivalence(t *testing.T) {
+	var direct Trace
+	if _, err := Run(figure2, &direct, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 3, 7, DefaultBatchSize, len(direct.Events) + 10} {
+		var got Trace
+		buf := NewEventBuffer(&got, size)
+		for _, e := range direct.Events {
+			buf.Event(e)
+		}
+		buf.Flush()
+		if !traceEqual(&direct, &got) {
+			t.Fatalf("size %d: buffered stream differs (%d vs %d events)",
+				size, len(got.Events), len(direct.Events))
+		}
+	}
+}
+
+// TestRunBatchSize: the runtime's BatchSize option must not change what
+// any sink observes — same trace, same detector verdict and races.
+func TestRunBatchSize(t *testing.T) {
+	var direct Trace
+	dd := NewDetectorSink(4)
+	if _, err := Run(figure2, MultiSink{&direct, dd}, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 3, 64} {
+		var got Trace
+		bd := NewDetectorSink(4)
+		if _, err := Run(figure2, MultiSink{&got, bd}, Options{AutoJoin: true, BatchSize: size}); err != nil {
+			t.Fatal(err)
+		}
+		if !traceEqual(&direct, &got) {
+			t.Fatalf("BatchSize %d: trace differs", size)
+		}
+		if len(bd.Races()) != len(dd.Races()) {
+			t.Fatalf("BatchSize %d: %d races, want %d", size, len(bd.Races()), len(dd.Races()))
+		}
+		for i, r := range dd.Races() {
+			if bd.Races()[i] != r {
+				t.Fatalf("BatchSize %d: race %d differs: %v vs %v", size, i, bd.Races()[i], r)
+			}
+		}
+	}
+}
+
+// TestDecodeTraceIntoBatched: the streaming batched decoder must deliver
+// the same events as the one-shot decoder, both into a Trace and into a
+// detector.
+func TestDecodeTraceIntoBatched(t *testing.T) {
+	var tr Trace
+	if _, err := Run(figure2, &tr, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := tr.Encode(&enc); err != nil {
+		t.Fatal(err)
+	}
+
+	var got Trace
+	n, err := DecodeTraceInto(bytes.NewReader(enc.Bytes()), &got, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tr.Events) || !traceEqual(&tr, &got) {
+		t.Fatalf("streamed decode differs: %d events, want %d", n, len(tr.Events))
+	}
+
+	want := NewDetectorSink(4)
+	tr.Replay(want)
+	d := NewDetectorSink(4)
+	if _, err := DecodeTraceInto(bytes.NewReader(enc.Bytes()), d, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Racy() != want.Racy() || len(d.Races()) != len(want.Races()) {
+		t.Fatalf("decoded replay: racy=%v races=%d, want racy=%v races=%d",
+			d.Racy(), len(d.Races()), want.Racy(), len(want.Races()))
+	}
+}
+
+// TestMultiSinkEventBatch: a batch fanned out through MultiSink reaches
+// batch-aware and plain sinks alike.
+func TestMultiSinkEventBatch(t *testing.T) {
+	var tr Trace
+	if _, err := Run(figure2, &tr, Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	var viaBatch Trace             // BatchSink destination
+	plain := NewUncompressedSink() // per-event only destination
+	want := NewUncompressedSink()
+	tr.Replay(want)
+	MultiSink{&viaBatch, plain}.EventBatch(tr.Events)
+	if !traceEqual(&tr, &viaBatch) {
+		t.Fatal("batch-aware destination saw a different stream")
+	}
+	if plain.D.W.Len() != want.D.W.Len() {
+		t.Fatalf("plain destination diverged: %d vs %d vertices", plain.D.W.Len(), want.D.W.Len())
+	}
+}

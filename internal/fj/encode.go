@@ -54,52 +54,99 @@ func (t *Trace) Encode(w io.Writer) error {
 
 // DecodeTrace reads a trace previously written by Encode.
 func DecodeTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	if _, err := DecodeTraceInto(r, tr, 0); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// DecodeTraceInto streams a trace written by Encode directly into sink
+// in batches of batchSize events (DefaultBatchSize when <= 0), using
+// sink's BatchSink path when implemented. Unlike DecodeTrace it never
+// materializes the whole trace, so arbitrarily long recordings replay
+// in constant memory. It returns the number of events delivered.
+func DecodeTraceInto(r io.Reader, sink Sink, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("fj: decode trace: %w", err)
+		return 0, fmt.Errorf("fj: decode trace: %w", err)
 	}
 	if magic != TraceMagic {
-		return nil, fmt.Errorf("fj: decode trace: bad magic %v", magic)
+		return 0, fmt.Errorf("fj: decode trace: bad magic %v", magic)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("fj: decode trace: %w", err)
+		return 0, fmt.Errorf("fj: decode trace: %w", err)
 	}
 	const sanityCap = 1 << 28
 	if count > sanityCap {
-		return nil, fmt.Errorf("fj: decode trace: implausible event count %d", count)
+		return 0, fmt.Errorf("fj: decode trace: implausible event count %d", count)
 	}
-	tr := &Trace{Events: make([]Event, 0, count)}
+	if tr, ok := sink.(*Trace); ok && uint64(cap(tr.Events)-len(tr.Events)) < count {
+		// Recording sink: presize so the whole decode is one allocation.
+		grown := make([]Event, len(tr.Events), uint64(len(tr.Events))+count)
+		copy(grown, tr.Events)
+		tr.Events = grown
+	}
+	if int(count) < batchSize {
+		batchSize = int(count)
+	}
+	if batchSize == 0 {
+		batchSize = 1
+	}
+	batch := make([]Event, 0, batchSize)
+	delivered := 0
 	for i := uint64(0); i < count; i++ {
-		kb, err := br.ReadByte()
+		e, err := decodeEvent(br, i)
 		if err != nil {
-			return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+			return delivered, err
 		}
-		kind := EventKind(kb)
-		if kind > EvWrite {
-			return nil, fmt.Errorf("fj: decode trace: event %d: unknown kind %d", i, kb)
+		batch = append(batch, e)
+		if len(batch) == cap(batch) {
+			deliver(sink, batch)
+			delivered += len(batch)
+			batch = batch[:0]
 		}
-		t, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
-		}
-		e := Event{Kind: kind, T: int(t)}
-		switch kind {
-		case EvFork, EvJoin:
-			u, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
-			}
-			e.U = int(u)
-		case EvRead, EvWrite:
-			loc, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
-			}
-			e.Loc = Addr(loc)
-		}
-		tr.Events = append(tr.Events, e)
 	}
-	return tr, nil
+	if len(batch) > 0 {
+		deliver(sink, batch)
+		delivered += len(batch)
+	}
+	return delivered, nil
+}
+
+// decodeEvent reads one event record (kind byte + uvarint payload).
+func decodeEvent(br *bufio.Reader, i uint64) (Event, error) {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return Event{}, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+	}
+	kind := EventKind(kb)
+	if kind > EvWrite {
+		return Event{}, fmt.Errorf("fj: decode trace: event %d: unknown kind %d", i, kb)
+	}
+	t, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Event{}, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+	}
+	e := Event{Kind: kind, T: int(t)}
+	switch kind {
+	case EvFork, EvJoin:
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+		}
+		e.U = int(u)
+	case EvRead, EvWrite:
+		loc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, fmt.Errorf("fj: decode trace: event %d: %w", i, err)
+		}
+		e.Loc = Addr(loc)
+	}
+	return e, nil
 }

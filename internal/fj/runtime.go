@@ -101,12 +101,23 @@ type Options struct {
 	// returns, giving the task graph a single sink. Programs that leave
 	// tasks unjoined otherwise end with dangling (yet legal) structure.
 	AutoJoin bool
+
+	// BatchSize, when positive, buffers the event stream through an
+	// EventBuffer of that capacity so sink receives batches (via
+	// BatchSink when implemented). The buffer is flushed before Run
+	// returns, including on structure violations.
+	BatchSize int
 }
 
 // Run executes root as the main task of a fresh runtime, streaming events
 // to sink (which may be nil). It returns the number of tasks created and
 // the first structure violation, if any. User panics propagate.
 func Run(root func(*Task), sink Sink, opt Options) (tasks int, err error) {
+	if opt.BatchSize > 0 && sink != nil {
+		buf := NewEventBuffer(sink, opt.BatchSize)
+		sink = buf
+		defer buf.Flush() // runs after the recover below (LIFO)
+	}
 	rt := &Runtime{line: NewLine(sink)}
 	main := &Task{id: 0, rt: rt}
 	defer func() {

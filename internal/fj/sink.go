@@ -14,17 +14,33 @@ import "repro/internal/core"
 //	halt(x)     → stop-arc (x, ×)
 type DetectorSink struct {
 	D *core.Detector
+
+	accesses []core.Access // scratch batch reused by EventBatch
 }
 
 // NewDetectorSink returns a sink wrapping a fresh detector sized for
-// roughly nTasks tasks.
+// roughly nTasks tasks, on the default (open-addressing) storage.
 func NewDetectorSink(nTasks int) *DetectorSink {
 	return &DetectorSink{D: core.NewDetector(nTasks, 64)}
 }
 
+// NewDetectorSinkStorage is NewDetectorSink with an explicit per-location
+// storage backend (openaddr, map or shadow); every backend reports
+// identical races (see the differential tests).
+func NewDetectorSinkStorage(nTasks int, s core.Storage) *DetectorSink {
+	return NewDetectorSinkSized(nTasks, 64, s)
+}
+
+// NewDetectorSinkSized additionally passes a location-count hint, so a
+// monitor that knows its scale starts with right-sized tables instead of
+// growing through every doubling.
+func NewDetectorSinkSized(nTasks, locHint int, s core.Storage) *DetectorSink {
+	return &DetectorSink{D: core.NewDetectorStorage(nTasks, locHint, s)}
+}
+
 // NewDetectorSinkShadow is NewDetectorSink with paged shadow-memory
-// location storage — faster and allocation-free on dense address ranges,
-// identical verdicts (see internal/core/shadow.go and its benchmarks).
+// location storage — allocation-free on dense address ranges, identical
+// verdicts (see internal/core/shadow.go and its benchmarks).
 func NewDetectorSinkShadow(nTasks int) *DetectorSink {
 	return &DetectorSink{D: core.NewDetectorShadow(nTasks)}
 }
@@ -50,6 +66,36 @@ func (s *DetectorSink) Event(e Event) {
 	case EvWrite:
 		w.Visit(e.T)
 		s.D.OnWrite(e.T, e.Loc)
+	}
+}
+
+// EventBatch implements BatchSink: control events are applied one by
+// one, but maximal runs of memory accesses are handed to the detector's
+// OnAccessBatch in a reused scratch slab, replacing per-event interface
+// dispatch and switch overhead with one call per run.
+func (s *DetectorSink) EventBatch(events []Event) {
+	for i := 0; i < len(events); {
+		e := events[i]
+		if e.Kind != EvRead && e.Kind != EvWrite {
+			s.Event(e)
+			i++
+			continue
+		}
+		acc := s.accesses[:0]
+		for i < len(events) {
+			e = events[i]
+			if e.Kind != EvRead && e.Kind != EvWrite {
+				break
+			}
+			acc = append(acc, core.Access{
+				Loc:   e.Loc,
+				T:     int32(e.T),
+				Write: e.Kind == EvWrite,
+			})
+			i++
+		}
+		s.accesses = acc
+		s.D.OnAccessBatch(acc)
 	}
 }
 

@@ -157,6 +157,27 @@ func (t *Task) Write(loc core.Addr) {
 // end. It returns the number of tasks created and the first error
 // (structure violation or task panic).
 func Run(root func(*Task), sink fj.Sink) (int, error) {
+	return run(root, sink, 0)
+}
+
+// RunBuffered is Run with the event stream buffered through an
+// fj.EventBuffer of the given batch size (fj.DefaultBatchSize when
+// <= 0), so sink receives batches. The serial fork-first schedule means
+// events are still produced by one goroutine at a time, so the
+// unsynchronized buffer is safe here.
+func RunBuffered(root func(*Task), sink fj.Sink, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = fj.DefaultBatchSize
+	}
+	return run(root, sink, batchSize)
+}
+
+func run(root func(*Task), sink fj.Sink, batchSize int) (int, error) {
+	var buf *fj.EventBuffer
+	if batchSize > 0 && sink != nil {
+		buf = fj.NewEventBuffer(sink, batchSize)
+		sink = buf
+	}
 	rt := &runtime{line: fj.NewLine(sink)}
 	main := &Task{id: 0, rt: rt}
 	root(main)
@@ -166,6 +187,9 @@ func Run(root func(*Task), sink fj.Sink) (int, error) {
 		if err := rt.line.Halt(0); err != nil {
 			rt.fail(err)
 		}
+	}
+	if buf != nil {
+		buf.Flush()
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()

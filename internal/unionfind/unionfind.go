@@ -34,14 +34,50 @@ func New(n int) *Forest {
 func (f *Forest) Len() int { return len(f.parent) }
 
 // Grow appends fresh singleton elements until the forest has n elements.
-// Existing sets are unaffected.
+// Existing sets are unaffected. Each array grows with a single
+// capacity-doubling extension rather than element-at-a-time appends, so
+// growing to n costs O(n) amortized with at most O(log n) allocations.
 func (f *Forest) Grow(n int) {
-	for len(f.parent) < n {
-		v := int32(len(f.parent))
-		f.parent = append(f.parent, v)
-		f.rank = append(f.rank, 0)
-		f.name = append(f.name, v)
+	old := len(f.parent)
+	if n <= old {
+		return
 	}
+	f.parent = growInt32(f.parent, n)
+	f.rank = growUint8(f.rank, n)
+	f.name = growInt32(f.name, n)
+	for i := old; i < n; i++ {
+		f.parent[i] = int32(i)
+		f.name[i] = int32(i)
+	}
+}
+
+// growInt32 extends s to length n (zero-filled), doubling capacity when
+// a reallocation is needed.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	ns := make([]int32, n, c)
+	copy(ns, s)
+	return ns
+}
+
+// growUint8 is growInt32 for byte-sized elements.
+func growUint8(s []uint8, n int) []uint8 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	ns := make([]uint8, n, c)
+	copy(ns, s)
+	return ns
 }
 
 // Add appends one fresh singleton element and returns its index.

@@ -24,15 +24,27 @@ type Mix struct {
 	Locs int
 	// ReadFrac in [0,1] is the fraction of accesses that are reads.
 	ReadFrac float64
+	// Block is the number of consecutive accesses performed per access
+	// operation — the leaf-work chunk size of a real divide-and-conquer
+	// program, where a task does a stretch of memory work between
+	// scheduling points. 0 means 1.
+	Block int
 }
 
-// access performs one random access on any instrumented surface.
+// access performs one access operation (a block of Block random accesses)
+// on any instrumented surface.
 func (m Mix) access(rng *rand.Rand, read func(core.Addr), write func(core.Addr)) {
-	loc := core.Addr(1 + rng.Intn(m.Locs))
-	if rng.Float64() < m.ReadFrac {
-		read(loc)
-	} else {
-		write(loc)
+	n := m.Block
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		loc := core.Addr(1 + rng.Intn(m.Locs))
+		if rng.Float64() < m.ReadFrac {
+			read(loc)
+		} else {
+			write(loc)
+		}
 	}
 }
 
@@ -159,13 +171,19 @@ type Pipeline struct {
 	// RacySharing additionally makes one chosen cell write the global
 	// location, planting a genuine race.
 	RacySharing bool
+	// Payload gives every cell a private buffer of Payload locations,
+	// each written then read back — the per-cell chunk a real pipeline
+	// stage processes. It scales the tracked-location count with the
+	// grid size without introducing sharing. 0 disables.
+	Payload int
 }
 
 const (
 	// SharedLoc is the address of the globally shared location.
-	SharedLoc core.Addr = 1
-	stageBase core.Addr = 1 << 20
-	itemBase  core.Addr = 1 << 21
+	SharedLoc   core.Addr = 1
+	stageBase   core.Addr = 1 << 20
+	itemBase    core.Addr = 1 << 21
+	payloadBase core.Addr = 1 << 22
 )
 
 // Config returns the pipeline.Config for this workload.
@@ -180,6 +198,13 @@ func (c Pipeline) Config() pipeline.Config {
 			cell.Write(st)
 			cell.Read(it)
 			cell.Write(it)
+			if c.Payload > 0 {
+				buf := payloadBase + core.Addr(cell.Stage*c.Items+cell.Item)*core.Addr(c.Payload)
+				for k := 0; k < c.Payload; k++ {
+					cell.Write(buf + core.Addr(k))
+					cell.Read(buf + core.Addr(k))
+				}
+			}
 			if c.Shared {
 				cell.Read(SharedLoc)
 			}

@@ -94,6 +94,47 @@ type (
 // ErrStructure wraps all fork-join discipline violations.
 var ErrStructure = fj.ErrStructure
 
+// Storage selects the 2D detector's per-location state backend; all
+// backends report identical races (see the differential tests) and
+// differ only in constant factors.
+type Storage = core.Storage
+
+const (
+	// StorageOpenAddr is the default open-addressing table:
+	// allocation-free accesses, one linear probe per operation.
+	StorageOpenAddr = core.StorageOpenAddr
+	// StorageMap is the reference Go-map backend.
+	StorageMap = core.StorageMap
+	// StorageShadow is the paged shadow-memory backend.
+	StorageShadow = core.StorageShadow
+)
+
+// BatchSink is an event sink that can ingest events in batches (see
+// fj.EventBuffer); every engine returned by NewEngineSink implements it.
+type BatchSink = fj.BatchSink
+
+// EventBuffer buffers an event stream and flushes it downstream in
+// batches, amortizing per-event dispatch on the hot path.
+type EventBuffer = fj.EventBuffer
+
+// NewEventBuffer returns an EventBuffer of the given batch size in front
+// of dst; Flush must be called (the runtimes' BatchSize option does so).
+func NewEventBuffer(dst Sink, size int) *EventBuffer { return fj.NewEventBuffer(dst, size) }
+
+// New2DSink returns the 2D detector as an event sink on an explicit
+// per-location storage backend, with the common reporting surface —
+// the entry point for the storage ablation and differential testing.
+func New2DSink(s Storage) interface {
+	Sink
+	Races() []Race
+	Count() int
+	Racy() bool
+	Locations() int
+	MemoryBytes() int
+} {
+	return detectorSinkAdapter{fj.NewDetectorSinkStorage(16, s)}
+}
+
 // Engine selects a detector implementation. Engine2D is the paper's
 // contribution; the others are baselines for comparison.
 type Engine int
