@@ -1,25 +1,29 @@
 GO ?= go
 
-.PHONY: all build test verify race vet bench bench-json fuzz clean
+.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke fuzz fuzz-smoke clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Tier-1 verification: the full suite plus vet and the goroutine frontend
-# under the Go race detector (the only packages that spawn real
-# goroutines, so -race is meaningful and fast there).
 test:
 	$(GO) test ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/goinstr/...
+	$(GO) test -race ./...
 
-verify: build vet test race
+# Mirrors the CI test job step for step (.github/workflows/ci.yml):
+# gofmt gate, vet, build, the full suite, and the full suite under the
+# Go race detector.
+verify: fmt-check vet build test race
 
 # Detector hot-path benchmarks: storage backends (openaddr/map/shadow) ×
 # ingestion paths (per-event, batched, steady-state) on the pipeline and
@@ -33,9 +37,22 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bench2d -e bench -json BENCH_race2d.json
 
+# Mirrors the CI bench-smoke job: reduced sweeps, no JSON artifact,
+# failing on verdict disagreement, accounting violations, or steady-state
+# allocations in the 2D hot path.
+bench-smoke:
+	$(GO) run ./cmd/bench2d -e bench -quick -parallel 2 -json '' -checkallocs
+	$(GO) run ./cmd/bench2d -e all -quick
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
+
+# Mirrors the CI fuzz-smoke job: seed corpora, then a short fuzz budget
+# per target.
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj
+	$(MAKE) fuzz
 
 clean:
 	$(GO) clean ./...

@@ -13,16 +13,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/obs"
 	"repro/internal/workload"
 
 	race2d "repro"
@@ -32,7 +36,12 @@ import (
 type benchSink interface {
 	fj.Sink
 	Racy() bool
+	Stats() obs.Stats
 }
+
+// accountable is satisfied by the 2D-family sinks, whose live counters
+// must obey the paper's Theorem 3/5 accounting.
+type accountable interface{ CheckAccounting() error }
 
 // benchDetector names one detector configuration of the matrix.
 type benchDetector struct {
@@ -92,19 +101,23 @@ func benchWorkloads(quick bool) []benchWorkload {
 		{"encoder", false, workload.Encoder{Rows: 24, Cols: scale(125, 25)}.Run},
 	}
 	out := make([]benchWorkload, 0, len(specs))
-	for _, s := range specs {
-		tr := &fj.Trace{}
-		if _, err := s.run(tr); err != nil {
-			panic(fmt.Sprintf("bench: record %s: %v", s.name, err))
-		}
-		w := benchWorkload{name: s.name, sp: s.sp, tr: tr}
-		for _, ev := range tr.Events {
-			if ev.Kind == fj.EvRead || ev.Kind == fj.EvWrite {
-				w.memops++
+	// Label the recording phase so CPU profiles of the harness separate
+	// trace ingestion from replay.
+	pprof.Do(context.Background(), pprof.Labels("phase", "ingest"), func(context.Context) {
+		for _, s := range specs {
+			tr := &fj.Trace{}
+			if _, err := s.run(tr); err != nil {
+				panic(fmt.Sprintf("bench: record %s: %v", s.name, err))
 			}
+			w := benchWorkload{name: s.name, sp: s.sp, tr: tr}
+			for _, ev := range tr.Events {
+				if ev.Kind == fj.EvRead || ev.Kind == fj.EvWrite {
+					w.memops++
+				}
+			}
+			out = append(out, w)
 		}
-		out = append(out, w)
-	}
+	})
 	return out
 }
 
@@ -131,6 +144,10 @@ type benchCell struct {
 
 	Racy bool `json:"racy"`
 
+	// Stats is the detector's operation-count snapshot after the cold
+	// replay of phase 2 — one full pass over the trace.
+	Stats obs.Stats `json:"stats"`
+
 	wl  *benchWorkload
 	det benchDetector
 }
@@ -154,8 +171,10 @@ type benchReport struct {
 	Results    []benchCell `json:"results"`
 }
 
-// eBench runs the matrix and writes jsonPath (when non-empty).
-func eBench(quick bool, workers int, jsonPath string) int {
+// eBench runs the matrix and writes jsonPath (when non-empty). With
+// checkAllocs, a nonzero steady-state allocation count on any 2D-family
+// cell fails the run — the CI guard for the zero-allocation hot path.
+func eBench(quick bool, workers int, jsonPath string, checkAllocs bool) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -194,7 +213,7 @@ func eBench(quick bool, workers int, jsonPath string) int {
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go pprof.Do(context.Background(), pprof.Labels("phase", "replay"), func(context.Context) {
 			defer wg.Done()
 			for c := range jobs {
 				// Collect garbage left by the previous cell so its GC debt
@@ -236,7 +255,7 @@ func eBench(quick bool, workers int, jsonPath string) int {
 				c.NsPerEvent = float64(med.Nanoseconds()) / float64(c.Events)
 				c.NsPerMemOp = float64(med.Nanoseconds()) / float64(c.MemOps)
 			}
-		}()
+		})
 	}
 	for _, c := range cells {
 		jobs <- c
@@ -262,20 +281,35 @@ func eBench(quick bool, workers int, jsonPath string) int {
 	}
 
 	// Phase 2 — serial allocation accounting (Go's allocation counters
-	// are process-global, so this cannot run inside the pool).
-	var ms0, ms1 runtime.MemStats
-	for _, c := range cells {
-		d := c.det.fresh()
-		runtime.ReadMemStats(&ms0)
-		c.replay(d)
-		runtime.ReadMemStats(&ms1)
-		c.BytesPerReplayCold = ms1.TotalAlloc - ms0.TotalAlloc
-		c.AllocsPerReplayCold = ms1.Mallocs - ms0.Mallocs
-		runtime.ReadMemStats(&ms0)
-		c.replay(d)
-		runtime.ReadMemStats(&ms1)
-		c.BytesPerReplaySteady = ms1.TotalAlloc - ms0.TotalAlloc
-		c.AllocsPerReplaySteady = ms1.Mallocs - ms0.Mallocs
+	// are process-global, so this cannot run inside the pool). The cold
+	// replay also yields each cell's stats block, and the 2D family's
+	// counters are checked against the paper's accounting bounds.
+	var accountingErr error
+	pprof.Do(context.Background(), pprof.Labels("phase", "allocs"), func(context.Context) {
+		var ms0, ms1 runtime.MemStats
+		for _, c := range cells {
+			d := c.det.fresh()
+			runtime.ReadMemStats(&ms0)
+			c.replay(d)
+			runtime.ReadMemStats(&ms1)
+			c.BytesPerReplayCold = ms1.TotalAlloc - ms0.TotalAlloc
+			c.AllocsPerReplayCold = ms1.Mallocs - ms0.Mallocs
+			c.Stats = d.Stats()
+			if a, ok := d.(accountable); ok && accountingErr == nil {
+				if err := a.CheckAccounting(); err != nil {
+					accountingErr = fmt.Errorf("%s/%s: %w", c.Workload, c.Detector, err)
+				}
+			}
+			runtime.ReadMemStats(&ms0)
+			c.replay(d)
+			runtime.ReadMemStats(&ms1)
+			c.BytesPerReplaySteady = ms1.TotalAlloc - ms0.TotalAlloc
+			c.AllocsPerReplaySteady = ms1.Mallocs - ms0.Mallocs
+		}
+	})
+	if accountingErr != nil {
+		fmt.Fprintln(os.Stderr, "bench: accounting:", accountingErr)
+		return 1
 	}
 
 	sort.Slice(cells, func(i, j int) bool {
@@ -293,6 +327,20 @@ func eBench(quick bool, workers int, jsonPath string) int {
 			c.Workload, c.Detector, c.Events, c.NsPerEvent, c.NsPerMemOp, c.AllocsPerReplaySteady, c.Racy)
 	}
 	w.Flush()
+
+	if checkAllocs {
+		failed := false
+		for _, c := range cells {
+			if strings.HasPrefix(c.Detector, "2d") && c.AllocsPerReplaySteady > 0 {
+				fmt.Fprintf(os.Stderr, "bench: %s/%s: steady-state replay allocates (%d allocs, %d bytes); the 2D hot path must be allocation-free\n",
+					c.Workload, c.Detector, c.AllocsPerReplaySteady, c.BytesPerReplaySteady)
+				failed = true
+			}
+		}
+		if failed {
+			return 1
+		}
+	}
 
 	if jsonPath != "" {
 		report := benchReport{

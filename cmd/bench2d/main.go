@@ -45,6 +45,7 @@ func run(args []string) int {
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replay worker goroutines for -e bench")
 	jsonPath := fs.String("json", "BENCH_race2d.json", "output file for -e bench results (empty disables)")
+	checkAllocs := fs.Bool("checkallocs", false, "fail -e bench when a 2D-family cell's steady-state replay allocates")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +79,7 @@ func run(args []string) int {
 		}()
 	}
 	if *exp == "bench" {
-		return eBench(*quick, *parallel, *jsonPath)
+		return eBench(*quick, *parallel, *jsonPath, *checkAllocs)
 	}
 	matched := *exp == "all"
 	run := func(id string) bool {
@@ -139,7 +140,7 @@ func e2(quick bool) {
 		sizes = []int{1 << 8, 1 << 10}
 	}
 	w := table("\nE2 (Theorem 3): suprema queries along a non-separating traversal")
-	fmt.Fprintln(w, "n\tm\ttotal\tns/query\tfinds\tunions")
+	fmt.Fprintln(w, "n\tm\ttotal\tns/query\tfinds\tunions\tpath-steps\tuf-steps/query")
 	for _, n := range sizes {
 		const rows = 8
 		g := order.Grid(rows, n/rows)
@@ -164,10 +165,14 @@ func e2(quick bool) {
 			}
 		}
 		elapsed := time.Since(start)
-		finds, unions := walker.Stats()
-		fmt.Fprintf(w, "%d\t%d\t%v\t%.1f\t%d\t%d\n",
+		st := walker.Stats()
+		if err := walker.CheckAccounting(); err != nil {
+			panic(fmt.Sprintf("E2: live accounting violated: %v", err))
+		}
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.1f\t%d\t%d\t%d\t%.2f\n",
 			g.N(), queries, elapsed.Round(time.Microsecond),
-			float64(elapsed.Nanoseconds())/float64(queries), finds, unions)
+			float64(elapsed.Nanoseconds())/float64(queries), st.Finds, st.Unions,
+			st.PathSteps, float64(st.Finds+st.Unions+st.PathSteps)/float64(queries))
 	}
 	w.Flush()
 }

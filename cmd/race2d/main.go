@@ -34,7 +34,7 @@ func run(args []string) int {
 	truth := fs.Bool("truth", false, "also run the exhaustive ground-truth oracle")
 	record := fs.String("record", "", "write the execution's binary trace to this file")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
-	traceStats := fs.Bool("stats", false, "print trace shape statistics (parallelism width, depth)")
+	traceStats := fs.Bool("stats", false, "print trace shape and per-engine operation-count statistics")
 	viz := fs.Bool("viz", false, "render the task line's evolution (small programs)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,7 +52,7 @@ func run(args []string) int {
 	// Binary traces (recorded with -record) are replayed directly; any
 	// other input is parsed as a program.
 	if len(data) >= 4 && [4]byte(data[:4]) == fj.TraceMagic {
-		return runTrace(data, *engineName, *all, *truth)
+		return runTrace(data, *engineName, *all, *truth, *traceStats)
 	}
 	p, err := prog.Parse(bytes.NewReader(data))
 	if err != nil {
@@ -96,6 +96,7 @@ func run(args []string) int {
 			rep := &race2d.Report{
 				Races: d.Races(), Count: d.Count(), Tasks: res.Tasks,
 				Locations: d.Locations(), MemoryBytes: d.MemoryBytes(), Engine: e,
+				Stats: d.Stats(),
 			}
 			if err := rep.WriteJSON(os.Stdout, res.LocName); err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
@@ -106,6 +107,9 @@ func run(args []string) int {
 		}
 		fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
 			e, res.Tasks, d.Locations(), d.Count())
+		if *traceStats {
+			fmt.Printf("  ops: %s\n", d.Stats())
+		}
 		for j, r := range d.Races() {
 			precise := ""
 			if j == 0 {
@@ -155,7 +159,7 @@ func run(args []string) int {
 }
 
 // runTrace replays a recorded binary trace under the requested engines.
-func runTrace(data []byte, engineName string, all, truth bool) int {
+func runTrace(data []byte, engineName string, all, truth, stats bool) int {
 	tr, err := fj.DecodeTrace(bytes.NewReader(data))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "race2d:", err)
@@ -185,6 +189,9 @@ func runTrace(data []byte, engineName string, all, truth bool) int {
 		tr.Replay(d)
 		fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
 			e, tr.Tasks(), d.Locations(), d.Count())
+		if stats {
+			fmt.Printf("  ops: %s\n", d.Stats())
+		}
 		for j, r := range d.Races() {
 			precise := ""
 			if j == 0 {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/baseline/vc"
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/obs"
 )
 
 // epoch is a (task, clock) pair; the zero value is the empty epoch ⊥.
@@ -37,6 +38,15 @@ type Detector struct {
 	MaxRaces int
 	races    []core.Race
 	count    int
+
+	// Operation counters: epochHits counts the O(1) same-epoch fast
+	// paths, readShares the epoch→vector promotions that reintroduce
+	// the Θ(n) factor, clockJoins/clockEntries the vector-clock work.
+	reads, writes uint64
+	epochHits     uint64
+	readShares    uint64
+	clockJoins    uint64
+	clockEntries  uint64
 }
 
 // New returns an empty detector.
@@ -84,7 +94,10 @@ func (d *Detector) Event(e fj.Event) {
 		d.clocks[e.U] = child
 		d.clocks[e.T] = parent.Set(e.T, parent.Get(e.T)+1)
 	case fj.EvJoin:
-		merged := d.clock(e.T).Join(d.clock(e.U))
+		other := d.clock(e.U)
+		d.clockJoins++
+		d.clockEntries += uint64(len(other))
+		merged := d.clock(e.T).Join(other)
 		d.clocks[e.T] = merged.Set(e.T, merged.Get(e.T)+1)
 	case fj.EvHalt:
 	case fj.EvRead:
@@ -95,11 +108,13 @@ func (d *Detector) Event(e fj.Event) {
 }
 
 func (d *Detector) onRead(t int, loc core.Addr) {
+	d.reads++
 	ct := d.clock(t)
 	st := d.loc(loc)
 	cur := epoch{tid: int32(t), clk: ct.Get(t)}
 	// [FT READ SAME EPOCH]
 	if st.readVC == nil && st.read == cur {
+		d.epochHits++
 		return
 	}
 	// Write-read check.
@@ -115,6 +130,7 @@ func (d *Detector) onRead(t int, loc core.Addr) {
 		st.read = cur
 	default:
 		// [FT READ SHARE]: promote to a vector clock.
+		d.readShares++
 		st.readVC = epochClock(st.read).Join(epochClock(cur))
 	}
 }
@@ -127,11 +143,13 @@ func epochClock(e epoch) vc.Clock {
 }
 
 func (d *Detector) onWrite(t int, loc core.Addr) {
+	d.writes++
 	ct := d.clock(t)
 	st := d.loc(loc)
 	cur := epoch{tid: int32(t), clk: ct.Get(t)}
 	// [FT WRITE SAME EPOCH]
 	if st.write == cur {
+		d.epochHits++
 		return
 	}
 	// Write-write check.
@@ -140,6 +158,7 @@ func (d *Detector) onWrite(t int, loc core.Addr) {
 	}
 	// Read-write checks.
 	if st.readVC != nil {
+		d.clockEntries += uint64(len(st.readVC))
 		for u := range st.readVC {
 			if v := st.readVC[u]; v > 0 && !ct.LeqAt(u, v) {
 				d.report(core.Race{Loc: loc, Current: t, Prior: u, Kind: core.ReadWrite})
@@ -193,4 +212,25 @@ func (d *Detector) EventBatch(events []fj.Event) {
 	for i := range events {
 		d.Event(events[i])
 	}
+}
+
+// Stats reports the detector's operation counts. EpochHits is the share
+// of accesses resolved by the O(1) same-epoch fast path; ReadShares
+// counts the epoch→vector promotions where FastTrack's per-location
+// state degrades back to Θ(n).
+func (d *Detector) Stats() obs.Stats {
+	s := obs.Stats{
+		Reads:        d.reads,
+		Writes:       d.writes,
+		EpochHits:    d.epochHits,
+		ReadShares:   d.readShares,
+		ClockJoins:   d.clockJoins,
+		ClockEntries: d.clockEntries,
+		Races:        uint64(d.count),
+		Locations:    uint64(len(d.locs)),
+	}
+	if n := len(d.locs); n > 0 {
+		s.BytesPerLocation = float64(d.LocationBytes()) / float64(n)
+	}
+	return s
 }

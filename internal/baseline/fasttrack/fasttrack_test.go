@@ -155,3 +155,32 @@ func TestCountAndMaxRaces(t *testing.T) {
 		t.Fatal("accounting wrong")
 	}
 }
+
+func TestStats(t *testing.T) {
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		t.Write(1)
+		t.Write(1) // same epoch: fast path
+		t.Fork(func(c *fj.Task) { c.Read(2) })
+		t.Read(2) // concurrent second reader: epoch→vector promotion
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Reads != 2 || s.Writes != 2 {
+		t.Errorf("reads/writes = %d/%d, want 2/2", s.Reads, s.Writes)
+	}
+	if s.EpochHits == 0 {
+		t.Error("same-epoch fast path not counted")
+	}
+	if s.ReadShares != 1 {
+		t.Errorf("read shares = %d, want 1", s.ReadShares)
+	}
+	if s.ClockJoins == 0 || s.ClockEntries == 0 {
+		t.Error("join clock work not counted")
+	}
+	if s.Locations != 2 || s.BytesPerLocation <= 0 {
+		t.Errorf("locations = %d bytes/loc = %v", s.Locations, s.BytesPerLocation)
+	}
+}

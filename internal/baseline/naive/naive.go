@@ -15,6 +15,7 @@ import (
 	"repro/internal/baseline/vc"
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/obs"
 )
 
 // access is one recorded operation: the task and its clock at the time.
@@ -37,6 +38,13 @@ type Detector struct {
 	MaxRaces int
 	races    []core.Race
 	count    int
+
+	// setScans counts R/W-set elements examined — the Θ(|R ∪ W|)
+	// per-operation factor the suprema representation eliminates.
+	reads, writes uint64
+	setScans      uint64
+	clockJoins    uint64
+	clockEntries  uint64
 }
 
 // New returns an empty detector.
@@ -84,14 +92,19 @@ func (d *Detector) Event(e fj.Event) {
 		d.clocks[e.U] = child
 		d.clocks[e.T] = parent.Set(e.T, parent.Get(e.T)+1)
 	case fj.EvJoin:
-		merged := d.clock(e.T).Join(d.clock(e.U))
+		other := d.clock(e.U)
+		d.clockJoins++
+		d.clockEntries += uint64(len(other))
+		merged := d.clock(e.T).Join(other)
 		d.clocks[e.T] = merged.Set(e.T, merged.Get(e.T)+1)
 	case fj.EvHalt:
 	case fj.EvRead:
+		d.reads++
 		ct := d.clock(e.T)
 		st := d.loc(e.Loc)
 		// K = W: check every prior write.
 		for _, w := range st.writes {
+			d.setScans++
 			if !ct.LeqAt(w.task, w.clock) {
 				d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: w.task, Kind: core.WriteRead})
 				break
@@ -99,16 +112,19 @@ func (d *Detector) Event(e fj.Event) {
 		}
 		st.reads = append(st.reads, access{task: e.T, clock: ct.Get(e.T)})
 	case fj.EvWrite:
+		d.writes++
 		ct := d.clock(e.T)
 		st := d.loc(e.Loc)
 		// K = R ∪ W: check everything.
 		for _, r := range st.reads {
+			d.setScans++
 			if !ct.LeqAt(r.task, r.clock) {
 				d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: r.task, Kind: core.ReadWrite})
 				break
 			}
 		}
 		for _, w := range st.writes {
+			d.setScans++
 			if !ct.LeqAt(w.task, w.clock) {
 				d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: w.task, Kind: core.WriteWrite})
 				break
@@ -157,4 +173,23 @@ func (d *Detector) EventBatch(events []fj.Event) {
 	for i := range events {
 		d.Event(events[i])
 	}
+}
+
+// Stats reports the detector's operation counts. SetScans is the
+// defining cost: one increment per prior access examined, growing with
+// history where every other engine's per-operation work stays bounded.
+func (d *Detector) Stats() obs.Stats {
+	s := obs.Stats{
+		Reads:        d.reads,
+		Writes:       d.writes,
+		SetScans:     d.setScans,
+		ClockJoins:   d.clockJoins,
+		ClockEntries: d.clockEntries,
+		Races:        uint64(d.count),
+		Locations:    uint64(len(d.locs)),
+	}
+	if n := len(d.locs); n > 0 {
+		s.BytesPerLocation = float64(d.LocationBytes()) / float64(n)
+	}
+	return s
 }

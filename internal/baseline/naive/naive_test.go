@@ -98,3 +98,25 @@ func TestAccountingSurface(t *testing.T) {
 		t.Fatal("accounting wrong")
 	}
 }
+
+func TestStats(t *testing.T) {
+	d := New()
+	_, err := fj.Run(func(t *fj.Task) {
+		t.Write(1)
+		t.Write(1) // scans the one prior write
+		t.Read(1)  // scans both prior writes
+	}, d, fj.Options{AutoJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Errorf("reads/writes = %d/%d, want 1/2", s.Reads, s.Writes)
+	}
+	if s.SetScans != 3 {
+		t.Errorf("set scans = %d, want 3 (1 at second write + 2 at read)", s.SetScans)
+	}
+	if s.Locations != 1 || s.BytesPerLocation <= 0 {
+		t.Errorf("locations = %d bytes/loc = %v", s.Locations, s.BytesPerLocation)
+	}
+}

@@ -27,6 +27,7 @@ package spbags
 import (
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/obs"
 	"repro/internal/unionfind"
 )
 
@@ -55,6 +56,8 @@ type Detector struct {
 	MaxRaces int
 	races    []core.Race
 	count    int
+
+	reads, writes uint64
 }
 
 // New returns a detector ready for the root procedure (id 0).
@@ -144,6 +147,7 @@ func (d *Detector) Event(e fj.Event) {
 		}
 		d.uf.Relabel(e.T, sLabel(e.T))
 	case fj.EvRead:
+		d.reads++
 		st := d.loc(e.Loc)
 		if d.inPBag(st.writer) {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: int(st.writer), Kind: core.WriteRead})
@@ -152,6 +156,7 @@ func (d *Detector) Event(e fj.Event) {
 			st.reader = int32(e.T)
 		}
 	case fj.EvWrite:
+		d.writes++
 		st := d.loc(e.Loc)
 		if d.inPBag(st.writer) {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: int(st.writer), Kind: core.WriteWrite})
@@ -192,4 +197,20 @@ func (d *Detector) EventBatch(events []fj.Event) {
 	for i := range events {
 		d.Event(events[i])
 	}
+}
+
+// Stats reports the detector's operation counts. The bags are
+// union-find sets, so the bag membership tests and merges surface as
+// Finds/Unions/PathSteps from the underlying forest — directly
+// comparable with the 2D detector's union-find column.
+func (d *Detector) Stats() obs.Stats {
+	s := d.uf.Stats()
+	s.Reads = d.reads
+	s.Writes = d.writes
+	s.Races = uint64(d.count)
+	s.Locations = uint64(len(d.locs))
+	if len(d.locs) > 0 {
+		s.BytesPerLocation = float64(d.BytesPerLocation())
+	}
+	return s
 }

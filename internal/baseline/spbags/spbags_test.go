@@ -154,3 +154,29 @@ func TestConstantPerLocationFootprint(t *testing.T) {
 		t.Fatal("accounting wrong")
 	}
 }
+
+func TestStats(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(1) })
+		p.Write(1) // races with the spawned write
+		p.Sync()
+		p.Read(1)
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Errorf("reads/writes = %d/%d, want 1/2", s.Reads, s.Writes)
+	}
+	if s.Finds == 0 || s.Unions == 0 {
+		t.Errorf("bag operations not surfaced through union-find: finds=%d unions=%d", s.Finds, s.Unions)
+	}
+	if s.Races != uint64(d.Count()) || s.Races == 0 {
+		t.Errorf("stats races = %d, detector count = %d", s.Races, d.Count())
+	}
+	if s.Locations != 1 || s.BytesPerLocation != 8 {
+		t.Errorf("locations = %d bytes/loc = %v", s.Locations, s.BytesPerLocation)
+	}
+}

@@ -23,6 +23,7 @@ package spom
 import (
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/obs"
 	"repro/internal/om"
 )
 
@@ -48,6 +49,13 @@ type Detector struct {
 	MaxRaces int
 	races    []core.Race
 	count    int
+
+	// Operation counters: listInserts counts order-maintenance list
+	// insertions (two lists × one item per new segment), orderQueries
+	// counts precedes evaluations (each up to two Before calls).
+	reads, writes uint64
+	listInserts   uint64
+	orderQueries  uint64
 }
 
 type locState struct {
@@ -64,6 +72,7 @@ func New() *Detector {
 	root := &segment{e: d.english.InsertFirst(), h: d.hebrew.InsertFirst(), task: 0}
 	d.seg = []*segment{root}
 	d.segments = 1
+	d.listInserts = 2
 	return d
 }
 
@@ -83,7 +92,8 @@ func (d *Detector) setSegment(t fj.ID, s *segment) {
 }
 
 // precedes reports x ≺ y in the SP DAG: before in both lists.
-func precedes(x, y *segment) bool {
+func (d *Detector) precedes(x, y *segment) bool {
+	d.orderQueries++
 	return x == y || (x.e.Before(y.e) && x.h.Before(y.h))
 }
 
@@ -116,6 +126,7 @@ func (d *Detector) Event(e fj.Event) {
 		// Hebrew: continuation then child after the forking segment.
 		kH := d.hebrew.InsertAfter(s.h)
 		cH := d.hebrew.InsertAfter(kH)
+		d.listInserts += 4
 		d.setSegment(e.U, &segment{e: cE, h: cH, task: e.U})
 		d.setSegment(e.T, &segment{e: kE, h: kH, task: e.T})
 	case fj.EvJoin:
@@ -127,25 +138,28 @@ func (d *Detector) Event(e fj.Event) {
 		c := d.current(e.U)
 		kE := d.english.InsertAfter(p.e)
 		kH := d.hebrew.InsertAfter(c.h)
+		d.listInserts += 2
 		d.setSegment(e.T, &segment{e: kE, h: kH, task: e.T})
 	case fj.EvHalt:
 		// The final segment stays recorded for the parent's join.
 	case fj.EvRead:
+		d.reads++
 		cur := d.current(e.T)
 		st := d.loc(e.Loc)
-		if st.writer != nil && !precedes(st.writer, cur) {
+		if st.writer != nil && !d.precedes(st.writer, cur) {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: st.writer.task, Kind: core.WriteRead})
 		}
-		if st.reader == nil || precedes(st.reader, cur) {
+		if st.reader == nil || d.precedes(st.reader, cur) {
 			st.reader = cur
 		}
 	case fj.EvWrite:
+		d.writes++
 		cur := d.current(e.T)
 		st := d.loc(e.Loc)
-		if st.writer != nil && !precedes(st.writer, cur) {
+		if st.writer != nil && !d.precedes(st.writer, cur) {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: st.writer.task, Kind: core.WriteWrite})
 		}
-		if st.reader != nil && !precedes(st.reader, cur) {
+		if st.reader != nil && !d.precedes(st.reader, cur) {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: st.reader.task, Kind: core.ReadWrite})
 		}
 		st.writer = cur
@@ -186,4 +200,22 @@ func (d *Detector) EventBatch(events []fj.Event) {
 	for i := range events {
 		d.Event(events[i])
 	}
+}
+
+// Stats reports the detector's operation counts: order-maintenance list
+// insertions (Θ(1) amortized each) and precedence queries — the
+// 2-realizer analogue of the 2D detector's sup queries.
+func (d *Detector) Stats() obs.Stats {
+	s := obs.Stats{
+		Reads:        d.reads,
+		Writes:       d.writes,
+		ListInserts:  d.listInserts,
+		OrderQueries: d.orderQueries,
+		Races:        uint64(d.count),
+		Locations:    uint64(len(d.locs)),
+	}
+	if len(d.locs) > 0 {
+		s.BytesPerLocation = float64(d.BytesPerLocation())
+	}
+	return s
 }

@@ -169,3 +169,33 @@ func TestMaxRaces(t *testing.T) {
 		t.Fatalf("count=%d retained=%d", d.Count(), len(d.Races()))
 	}
 }
+
+func TestStats(t *testing.T) {
+	d := New()
+	_, err := spawnsync.Run(func(p *spawnsync.Proc) {
+		p.Spawn(func(c *spawnsync.Proc) { c.Write(1) })
+		p.Write(1) // races with the spawned write
+		p.Sync()
+		p.Read(1)
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Errorf("reads/writes = %d/%d, want 1/2", s.Reads, s.Writes)
+	}
+	// Root pair + 4 per fork + 2 per join.
+	if s.ListInserts != 2+4+2 {
+		t.Errorf("list inserts = %d, want 8", s.ListInserts)
+	}
+	if s.OrderQueries == 0 {
+		t.Error("no order queries counted")
+	}
+	if s.Races != uint64(d.Count()) || s.Races == 0 {
+		t.Errorf("stats races = %d, detector count = %d", s.Races, d.Count())
+	}
+	if s.Locations != 1 || s.BytesPerLocation != 16 {
+		t.Errorf("locations = %d bytes/loc = %v", s.Locations, s.BytesPerLocation)
+	}
+}

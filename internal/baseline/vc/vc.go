@@ -8,6 +8,7 @@ package vc
 import (
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/obs"
 )
 
 // Clock is a vector clock: entry u holds the latest known logical clock of
@@ -76,6 +77,14 @@ type Detector struct {
 	MaxRaces int
 	races    []core.Race
 	count    int
+
+	// Operation counters: clockJoins counts pointwise merges,
+	// clockEntries counts clock entries touched by merges, copies and
+	// race checks — the Θ(n)-per-operation factor the 2D detector's
+	// union-find counters replace with Θ(α).
+	reads, writes uint64
+	clockJoins    uint64
+	clockEntries  uint64
 }
 
 // New returns an empty detector.
@@ -128,27 +137,35 @@ func (d *Detector) Event(e fj.Event) {
 	case fj.EvFork:
 		parent := d.clock(e.T)
 		child := parent.Copy().Set(e.U, 1)
+		d.clockEntries += uint64(len(parent))
 		for len(d.clocks) <= e.U {
 			d.clocks = append(d.clocks, nil)
 		}
 		d.clocks[e.U] = child
 		parent[e.T]++
 	case fj.EvJoin:
-		joiner := d.clock(e.T).Join(d.clock(e.U))
+		other := d.clock(e.U)
+		d.clockJoins++
+		d.clockEntries += uint64(len(other))
+		joiner := d.clock(e.T).Join(other)
 		joiner[e.T]++
 		d.clocks[e.T] = joiner
 	case fj.EvHalt:
 		// No clock action: the final clock is consumed at join time.
 	case fj.EvRead:
+		d.reads++
 		ct := d.clock(e.T)
 		st := d.loc(e.Loc)
+		d.clockEntries += uint64(len(st.writes))
 		if u := raceWith(st.writes, ct); u >= 0 {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: u, Kind: core.WriteRead})
 		}
 		st.reads = st.reads.Set(e.T, ct.Get(e.T))
 	case fj.EvWrite:
+		d.writes++
 		ct := d.clock(e.T)
 		st := d.loc(e.Loc)
+		d.clockEntries += uint64(len(st.reads) + len(st.writes))
 		if u := raceWith(st.reads, ct); u >= 0 {
 			d.report(core.Race{Loc: e.Loc, Current: e.T, Prior: u, Kind: core.ReadWrite})
 		}
@@ -199,4 +216,23 @@ func (d *Detector) EventBatch(events []fj.Event) {
 	for i := range events {
 		d.Event(events[i])
 	}
+}
+
+// Stats reports the detector's operation counts: the clock merges and
+// the Θ(n) clock-entry scans race checking costs here, next to the
+// memop and race totals, so cross-engine comparisons in bench2d report
+// work done and not just wall time.
+func (d *Detector) Stats() obs.Stats {
+	s := obs.Stats{
+		Reads:        d.reads,
+		Writes:       d.writes,
+		ClockJoins:   d.clockJoins,
+		ClockEntries: d.clockEntries,
+		Races:        uint64(d.count),
+		Locations:    uint64(len(d.locs)),
+	}
+	if n := len(d.locs); n > 0 {
+		s.BytesPerLocation = float64(d.LocationBytes()) / float64(n)
+	}
+	return s
 }

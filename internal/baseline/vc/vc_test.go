@@ -128,3 +128,24 @@ func TestMemoryBytesPositive(t *testing.T) {
 		t.Fatal("memory accounting empty")
 	}
 }
+
+func TestStats(t *testing.T) {
+	d := New()
+	runFigure2(d)
+	s := d.Stats()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Errorf("reads/writes = %d/%d, want 2/1", s.Reads, s.Writes)
+	}
+	if s.ClockJoins != 2 { // Figure 2 has two joins
+		t.Errorf("clock joins = %d, want 2", s.ClockJoins)
+	}
+	if s.ClockEntries == 0 {
+		t.Error("no clock entries counted")
+	}
+	if s.Races != uint64(d.Count()) || s.Races == 0 {
+		t.Errorf("stats races = %d, detector count = %d", s.Races, d.Count())
+	}
+	if s.Locations != 1 || s.BytesPerLocation <= 0 {
+		t.Errorf("locations = %d bytes/loc = %v", s.Locations, s.BytesPerLocation)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Addr identifies a monitored memory location.
 type Addr uint64
@@ -128,6 +132,14 @@ type Detector struct {
 
 	races []Race
 	count int
+
+	// Operation counters (plain uint64s on the serial hot path) and the
+	// batch-size histogram; Stats() snapshots them together with the
+	// walker and storage counters.
+	reads     uint64
+	writes    uint64
+	mapProbes uint64 // map-storage lookups (the other backends count internally)
+	batches   obs.Histogram
 }
 
 // NewDetector returns a detector expecting about n vertices/threads
@@ -183,6 +195,7 @@ func (d *Detector) loc(a Addr) *locState {
 	if d.shadow != nil {
 		return d.shadow.get(a)
 	}
+	d.mapProbes++
 	st, ok := d.state[a]
 	if !ok {
 		st = &locState{read: noAccess, write: noAccess}
@@ -210,6 +223,7 @@ func (d *Detector) report(r Race) {
 // sup{t, t} = t can neither race nor change the accumulated state. This
 // is the common repeated-access-by-one-task case in real traces.
 func (d *Detector) OnRead(t int, loc Addr) {
+	d.reads++
 	st := d.loc(loc)
 	tt := int32(t)
 	if w := st.write; w != noAccess && w != tt {
@@ -229,6 +243,7 @@ func (d *Detector) OnRead(t int, loc Addr) {
 // The write-write check and the write-supremum update pose the same
 // query Sup(W[loc], t), so one union-find lookup serves both.
 func (d *Detector) OnWrite(t int, loc Addr) {
+	d.writes++
 	st := d.loc(loc)
 	tt := int32(t)
 	if r := st.read; r != noAccess && r != tt {
@@ -255,6 +270,7 @@ func (d *Detector) OnWrite(t int, loc Addr) {
 // equivalent to the corresponding Visit+OnRead/OnWrite sequence.
 // Control events (fork/join/halt) delimit batches; see fj.EventBuffer.
 func (d *Detector) OnAccessBatch(batch []Access) {
+	d.batches.Observe(len(batch))
 	w := d.W
 	for i := range batch {
 		a := &batch[i]

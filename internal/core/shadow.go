@@ -27,6 +27,12 @@ type shadowTable struct {
 	last    *shadowPage
 
 	touched int // distinct locations ever accessed
+
+	// Operation counters: probes counts page lookups that missed the
+	// one-entry cache (the constant-factor work per access), grows
+	// counts pages allocated.
+	probes uint64
+	grows  uint64
 }
 
 func newShadowTable() *shadowTable {
@@ -38,6 +44,7 @@ func (s *shadowTable) get(a Addr) *locState {
 	key := uint64(a) >> shadowShift
 	page := s.last
 	if page == nil || key != s.lastKey {
+		s.probes++
 		var ok bool
 		page, ok = s.pages[key]
 		if !ok {
@@ -46,6 +53,7 @@ func (s *shadowTable) get(a Addr) *locState {
 				page[i] = locState{read: noAccess, write: noAccess}
 			}
 			s.pages[key] = page
+			s.grows++
 		}
 		s.lastKey, s.last = key, page
 	}
@@ -60,6 +68,10 @@ func (s *shadowTable) get(a Addr) *locState {
 
 // locations returns the number of distinct locations ever touched.
 func (s *shadowTable) locations() int { return s.touched }
+
+// stats returns the table's operation counters (cache-missing page
+// lookups and allocated pages).
+func (s *shadowTable) stats() (probes, grows uint64) { return s.probes, s.grows }
 
 // bytes reports the table's real memory footprint: whole pages.
 func (s *shadowTable) bytes() int {

@@ -54,6 +54,15 @@ type locTable struct {
 	hasZero bool
 	top     locState // state for ^Addr(0)
 	hasTop  bool
+
+	// Operation counters (plain uint64s, serial structure): probes
+	// counts slots examined across all lookups, rehashSteps counts
+	// old-slab slots migrated incrementally, grows counts slab
+	// doublings. They expose the table's constant factors next to the
+	// union-find counts in core.Stats.
+	probes      uint64
+	rehashSteps uint64
+	grows       uint64
 }
 
 // newLocTable returns a table presized for about locHint locations.
@@ -83,6 +92,7 @@ func tableHash(a Addr) uint64 {
 func (t *locTable) get(a Addr) *locState {
 	switch a {
 	case 0:
+		t.probes++
 		if !t.hasZero {
 			t.zero = locState{read: noAccess, write: noAccess}
 			t.hasZero = true
@@ -90,6 +100,7 @@ func (t *locTable) get(a Addr) *locState {
 		}
 		return &t.zero
 	case ^Addr(0):
+		t.probes++
 		if !t.hasTop {
 			t.top = locState{read: noAccess, write: noAccess}
 			t.hasTop = true
@@ -104,12 +115,16 @@ func (t *locTable) get(a Addr) *locState {
 		t.grow()
 	}
 	i := tableHash(a) & t.mask
+	probed := uint64(0) // accumulated locally; one store on exit keeps the loop tight
 	for {
+		probed++
 		e := &t.entries[i]
 		if e.addr == a {
+			t.probes += probed
 			return &e.state
 		}
 		if e.addr == 0 {
+			t.probes += probed
 			if t.old != nil {
 				if st, ok := t.lookupOld(a); ok {
 					// Move the still-unmigrated entry over; the stale
@@ -131,12 +146,16 @@ func (t *locTable) get(a Addr) *locState {
 // lookupOld probes the pre-rehash slab for a.
 func (t *locTable) lookupOld(a Addr) (locState, bool) {
 	i := tableHash(a) & t.oldMask
+	probed := uint64(0)
 	for {
+		probed++
 		e := &t.old[i]
 		if e.addr == a {
+			t.probes += probed
 			return e.state, true
 		}
 		if e.addr == 0 {
+			t.probes += probed
 			return locState{}, false
 		}
 		i = (i + 1) & t.oldMask
@@ -149,6 +168,7 @@ func (t *locTable) grow() {
 	if t.old != nil {
 		t.migrate(len(t.old)) // finish the in-flight rehash first
 	}
+	t.grows++
 	t.old = t.entries
 	t.oldMask = t.mask
 	t.migrated = 0
@@ -163,6 +183,7 @@ func (t *locTable) migrate(steps int) {
 	for ; steps > 0 && t.migrated < len(t.old); steps-- {
 		e := t.old[t.migrated]
 		t.migrated++
+		t.rehashSteps++
 		if e.addr != 0 {
 			t.insertIfAbsent(e)
 		}
@@ -191,6 +212,11 @@ func (t *locTable) insertIfAbsent(src locEntry) {
 
 // locations returns the number of distinct locations ever touched.
 func (t *locTable) locations() int { return t.count }
+
+// stats returns the table's operation counters.
+func (t *locTable) stats() (probes, rehashSteps, grows uint64) {
+	return t.probes, t.rehashSteps, t.grows
+}
 
 // bytes reports the table's real memory footprint (both slabs while a
 // rehash is in flight).

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/traversal"
 	"repro/internal/unionfind"
 )
@@ -22,6 +23,13 @@ type Walker struct {
 	uf      *unionfind.Forest
 	visited []bool
 	current int // the most recent loop vertex, -1 initially
+
+	// Operation counters: queries is the paper's m (Sup calls posed),
+	// visits counts loop steps. Together with the forest's counters they
+	// make the Theorem 3 accounting — exactly m finds, at most n−1
+	// unions — checkable on every run (obs.CheckAccounting).
+	queries uint64
+	visits  uint64
 }
 
 // NewWalker returns a walker prepared for n vertices (more may be added
@@ -63,6 +71,7 @@ func (w *Walker) Visit(t int) {
 	}
 	w.visited[t] = true
 	w.current = t
+	w.visits++
 }
 
 // LastArc performs the last-arc step (s, t): attach s's tree under t
@@ -92,6 +101,7 @@ func (w *Walker) StopArc(s int) {
 // delayed traversals it satisfies the relaxed conditions (6)–(7)
 // (Theorem 4), which is precisely what race detection needs.
 func (w *Walker) Sup(x, t int) int {
+	w.queries++
 	r := w.uf.Find(x)
 	if w.visited[r] {
 		return t
@@ -123,12 +133,28 @@ func (w *Walker) Feed(it traversal.Item) {
 	}
 }
 
-// Stats reports the union-find operation counts, used by the Theorem 3 and
-// Theorem 5 cost experiments.
-func (w *Walker) Stats() (finds, unions int) { return w.uf.Stats() }
+// Stats reports the walker's live operation counts — supremum queries
+// posed (the paper's m), loop visits, and the union-find finds, unions
+// and path-compression steps answering them. Theorem 3 promises
+// Finds == SupQueries and Unions ≤ n−1; CheckAccounting asserts it.
+func (w *Walker) Stats() obs.Stats {
+	s := w.uf.Stats()
+	s.SupQueries = w.queries
+	s.Visits = w.visits
+	return s
+}
 
-// ResetStats zeroes the union-find operation counters.
-func (w *Walker) ResetStats() { w.uf.ResetStats() }
+// CheckAccounting verifies the Theorem 3/5 operation accounting on the
+// walker's live counters; nil means the counts match the theorems.
+func (w *Walker) CheckAccounting() error {
+	return obs.CheckAccounting(w.Stats(), w.Len())
+}
+
+// ResetStats zeroes the walker and union-find operation counters.
+func (w *Walker) ResetStats() {
+	w.uf.ResetStats()
+	w.queries, w.visits = 0, 0
+}
 
 // MemoryBytes reports the walker's state size: Θ(1) per vertex/thread.
 func (w *Walker) MemoryBytes() int {

@@ -248,12 +248,15 @@ func TestWalkFunctionCallback(t *testing.T) {
 	if w.Current() != seen[len(seen)-1] {
 		t.Fatal("Current out of sync with callback")
 	}
-	finds, unions := w.Stats()
-	if finds < 0 || unions == 0 {
-		t.Fatalf("stats implausible: %d finds, %d unions", finds, unions)
+	s := w.Stats()
+	if s.Unions == 0 || s.Visits == 0 {
+		t.Fatalf("stats implausible: %+v", s)
+	}
+	if err := w.CheckAccounting(); err != nil {
+		t.Fatalf("accounting violated on a plain walk: %v", err)
 	}
 	w.ResetStats()
-	if f, u := w.Stats(); f != 0 || u != 0 {
+	if s := w.Stats(); s.UnionFindOps() != 0 || s.SupQueries != 0 || s.Visits != 0 || s.PathSteps != 0 {
 		t.Fatal("ResetStats failed")
 	}
 }

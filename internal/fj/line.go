@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrStructure is wrapped by all line-discipline violations.
@@ -22,6 +23,14 @@ type Line struct {
 	right  []int32 // right[x]: id of x's right neighbor, -1 at the right end
 	halted []bool
 	gone   []bool // joined and removed from the line
+
+	// Event counters by kind — the runtime half of the observability
+	// layer (Stats), counted where the events are emitted.
+	forks  uint64
+	joins  uint64
+	halts  uint64
+	reads  uint64
+	writes uint64
 }
 
 func NewLine(sink Sink) *Line {
@@ -74,6 +83,7 @@ func (l *Line) Fork(parent ID) (ID, error) {
 		l.right[pl] = int32(child)
 	}
 	l.left[parent] = int32(child)
+	l.forks++
 	l.sink.Event(Event{Kind: EvFork, T: parent, U: child})
 	l.sink.Event(Event{Kind: EvBegin, T: child})
 	return child, nil
@@ -102,6 +112,7 @@ func (l *Line) Join(x, y ID) error {
 		l.right[yl] = int32(x)
 	}
 	l.gone[y] = true
+	l.joins++
 	l.sink.Event(Event{Kind: EvJoin, T: x, U: y})
 	return nil
 }
@@ -112,6 +123,7 @@ func (l *Line) Halt(x ID) error {
 		return err
 	}
 	l.halted[x] = true
+	l.halts++
 	l.sink.Event(Event{Kind: EvHalt, T: x})
 	return nil
 }
@@ -121,6 +133,7 @@ func (l *Line) Read(x ID, loc core.Addr) error {
 	if err := l.check(x, "read"); err != nil {
 		return err
 	}
+	l.reads++
 	l.sink.Event(Event{Kind: EvRead, T: x, Loc: loc})
 	return nil
 }
@@ -130,9 +143,22 @@ func (l *Line) Write(x ID, loc core.Addr) error {
 	if err := l.check(x, "write"); err != nil {
 		return err
 	}
+	l.writes++
 	l.sink.Event(Event{Kind: EvWrite, T: x, Loc: loc})
 	return nil
 }
 
 // leftNeighbor returns x's current immediate left neighbor, or -1.
 func (l *Line) LeftNeighbor(x ID) ID { return int(l.left[x]) }
+
+// Stats reports the line's event counts by kind — the runtime's side of
+// the observability layer, counted at the emission points.
+func (l *Line) Stats() obs.Stats {
+	return obs.Stats{
+		Forks:  l.forks,
+		Joins:  l.joins,
+		Halts:  l.halts,
+		Reads:  l.reads,
+		Writes: l.writes,
+	}
+}

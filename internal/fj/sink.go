@@ -104,3 +104,11 @@ func (s *DetectorSink) Races() []core.Race { return s.D.Races() }
 
 // Racy reports whether any race was detected.
 func (s *DetectorSink) Racy() bool { return s.D.Racy() }
+
+// Stats exposes the detector's operation-count snapshot (memops,
+// suprema/union-find counts, storage probes, batch histogram).
+func (s *DetectorSink) Stats() core.Stats { return s.D.Stats() }
+
+// CheckAccounting verifies the Theorem 3/5 operation accounting on the
+// detector's live counters; see core.Detector.CheckAccounting.
+func (s *DetectorSink) CheckAccounting() error { return s.D.CheckAccounting() }

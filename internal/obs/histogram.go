@@ -1,0 +1,67 @@
+package obs
+
+import "math/bits"
+
+// histBuckets covers batch sizes up to 2^31 in power-of-two buckets;
+// bucket i counts observations with ⌊log₂(size)⌋ == i (bucket 0 holds
+// sizes 0 and 1).
+const histBuckets = 32
+
+// Histogram is a power-of-two bucketed size histogram. The zero value
+// is ready to use; Observe is a two-instruction hot-path operation
+// (bit-length plus an increment) and never allocates, so it can sit on
+// the batched ingestion path.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+// bucketOf returns the bucket index for size n.
+func bucketOf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(n)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one occurrence of size n.
+func (h *Histogram) Observe(n int) {
+	h.counts[bucketOf(n)]++
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// BucketMin returns the smallest size falling into bucket i.
+func BucketMin(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return 1 << i
+}
+
+// Snapshot returns the bucket counts trimmed of trailing empty buckets
+// (nil when nothing was observed): element i counts observations of
+// sizes in [BucketMin(i), BucketMin(i+1)).
+func (h *Histogram) Snapshot() []uint64 {
+	last := -1
+	for i, c := range h.counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]uint64, last+1)
+	copy(out, h.counts[:last+1])
+	return out
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }

@@ -1,0 +1,205 @@
+// Package obs is the detector observability layer: a flat snapshot of
+// operation counters shared by every engine, turning the paper's
+// accounting theorems into live numbers.
+//
+// Theorems 2/3/5 are accounting claims — m supremum queries cost exactly
+// m union-find finds and at most n−1 unions, so the amortized cost per
+// memory operation is Θ(α). The counters here make those claims
+// observable on every run instead of reconstructed offline: each engine
+// exposes a Stats() snapshot, cmd/bench2d embeds it in every
+// BENCH_race2d.json cell, and CheckAccounting asserts the bounds online
+// so tests and CI gate on them directly.
+//
+// The counters themselves are plain uint64 fields on the hot structures
+// (no atomics: the detector is serial by construction), so the steady
+// state stays allocation-free and the cost per memory operation is a
+// handful of integer increments.
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats is a snapshot of operation counters. It is a union of the
+// fields every engine family reports; an engine fills the counters it
+// tracks and leaves the rest zero (omitted from JSON). All counts are
+// cumulative since the engine was created.
+type Stats struct {
+	// Memory operations observed by the engine.
+	Reads  uint64 `json:"reads,omitempty"`
+	Writes uint64 `json:"writes,omitempty"`
+
+	// Fork-join structure events (reported by the runtime's line).
+	Forks uint64 `json:"forks,omitempty"`
+	Joins uint64 `json:"joins,omitempty"`
+	Halts uint64 `json:"halts,omitempty"`
+
+	// Suprema walker (the 2D detector's Figure 5/8 state).
+	SupQueries uint64 `json:"sup_queries,omitempty"` // Sup(x, t) queries posed — the paper's m
+	Visits     uint64 `json:"visits,omitempty"`      // loop steps (t, t)
+
+	// Union-find (Theorem 3: exactly m finds, at most n−1 unions).
+	Finds     uint64 `json:"finds,omitempty"`
+	Unions    uint64 `json:"unions,omitempty"`
+	PathSteps uint64 `json:"path_steps,omitempty"` // parent rewrites during path halving
+
+	// Open-addressing / shadow location storage.
+	TableProbes      uint64 `json:"table_probes,omitempty"`       // slots examined across all lookups
+	TableRehashSteps uint64 `json:"table_rehash_steps,omitempty"` // old-slab slots migrated incrementally
+	TableGrows       uint64 `json:"table_grows,omitempty"`        // slab doublings (shadow: pages allocated)
+
+	// Vector-clock family (vc, fasttrack, naive).
+	ClockJoins   uint64 `json:"clock_joins,omitempty"`           // pointwise clock merges
+	ClockEntries uint64 `json:"clock_entries_scanned,omitempty"` // entries touched by merges and race checks — the Θ(n) factor
+	EpochHits    uint64 `json:"epoch_hits,omitempty"`            // FastTrack same-epoch fast paths
+	ReadShares   uint64 `json:"read_shares,omitempty"`           // FastTrack epoch→vector promotions
+	SetScans     uint64 `json:"accesses_scanned,omitempty"`      // naive R/W-set elements compared
+
+	// Order-maintenance family (sporder). SP-bags reports its bag
+	// operations through Finds/Unions: its bags are union-find sets.
+	ListInserts  uint64 `json:"list_inserts,omitempty"`  // OM list insertions (two per segment)
+	OrderQueries uint64 `json:"order_queries,omitempty"` // OM precedence queries (two Before calls each)
+
+	// Common reporting surface.
+	Races            uint64  `json:"races,omitempty"`
+	Locations        uint64  `json:"locations,omitempty"`
+	BytesPerLocation float64 `json:"bytes_per_location,omitempty"`
+
+	// Batched ingestion: histogram of OnAccessBatch run lengths in
+	// power-of-two buckets (see Histogram.Snapshot).
+	Batches    uint64   `json:"batches,omitempty"`
+	BatchSizes []uint64 `json:"batch_size_hist,omitempty"`
+}
+
+// MemOps returns the total memory operations observed.
+func (s Stats) MemOps() uint64 { return s.Reads + s.Writes }
+
+// UnionFindOps returns the total union-find operations (Theorem 3's
+// m + n accounting unit).
+func (s Stats) UnionFindOps() uint64 { return s.Finds + s.Unions }
+
+// AmortizedSteps returns the union-find work (finds + unions + path
+// compression steps) per memory operation — the quantity Theorem 5
+// bounds by Θ(α). Zero when no memory operations were observed.
+func (s Stats) AmortizedSteps() float64 {
+	ops := s.MemOps()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Finds+s.Unions+s.PathSteps) / float64(ops)
+}
+
+// Add accumulates other into s field by field (histogram buckets
+// included), for aggregating shards of a fleet.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Forks += other.Forks
+	s.Joins += other.Joins
+	s.Halts += other.Halts
+	s.SupQueries += other.SupQueries
+	s.Visits += other.Visits
+	s.Finds += other.Finds
+	s.Unions += other.Unions
+	s.PathSteps += other.PathSteps
+	s.TableProbes += other.TableProbes
+	s.TableRehashSteps += other.TableRehashSteps
+	s.TableGrows += other.TableGrows
+	s.ClockJoins += other.ClockJoins
+	s.ClockEntries += other.ClockEntries
+	s.EpochHits += other.EpochHits
+	s.ReadShares += other.ReadShares
+	s.SetScans += other.SetScans
+	s.ListInserts += other.ListInserts
+	s.OrderQueries += other.OrderQueries
+	s.Races += other.Races
+	s.Locations += other.Locations
+	s.Batches += other.Batches
+	for len(s.BatchSizes) < len(other.BatchSizes) {
+		s.BatchSizes = append(s.BatchSizes, 0)
+	}
+	for i, v := range other.BatchSizes {
+		s.BatchSizes[i] += v
+	}
+}
+
+// String renders the non-zero counters compactly, in declaration order.
+func (s Stats) String() string {
+	var b strings.Builder
+	put := func(name string, v uint64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	put("reads", s.Reads)
+	put("writes", s.Writes)
+	put("forks", s.Forks)
+	put("joins", s.Joins)
+	put("halts", s.Halts)
+	put("sup-queries", s.SupQueries)
+	put("visits", s.Visits)
+	put("finds", s.Finds)
+	put("unions", s.Unions)
+	put("path-steps", s.PathSteps)
+	put("table-probes", s.TableProbes)
+	put("rehash-steps", s.TableRehashSteps)
+	put("grows", s.TableGrows)
+	put("clock-joins", s.ClockJoins)
+	put("clock-entries", s.ClockEntries)
+	put("epoch-hits", s.EpochHits)
+	put("read-shares", s.ReadShares)
+	put("set-scans", s.SetScans)
+	put("list-inserts", s.ListInserts)
+	put("order-queries", s.OrderQueries)
+	put("races", s.Races)
+	put("locations", s.Locations)
+	put("batches", s.Batches)
+	if s.MemOps() > 0 && s.UnionFindOps() > 0 {
+		fmt.Fprintf(&b, " amortized-uf-steps/op=%.2f", s.AmortizedSteps())
+	}
+	return b.String()
+}
+
+// Source is the common observability surface: anything that can report
+// an operation-count snapshot.
+type Source interface {
+	Stats() Stats
+}
+
+// AlphaSlack bounds the amortized union-find steps per operation that
+// CheckAccounting accepts. Tarjan's bound is α(m, n) per operation with
+// α ≤ 4 for every feasible input; path halving rewrites at most one
+// parent per node visited, so total steps stay within a small constant
+// of (m + n)·α. The slack is deliberately generous — it catches a
+// broken structure (linear chains), not a lost micro-optimization.
+const AlphaSlack = 8
+
+// CheckAccounting verifies the paper's operation-accounting claims on a
+// snapshot from the 2D detector family:
+//
+//   - Theorem 2/3: answering the m supremum queries posed so far cost
+//     exactly m union-find finds (Finds == SupQueries) and at most n−1
+//     unions for n tracked vertices.
+//   - Theorem 5 (amortization): total union-find work, including path
+//     compression steps, is within AlphaSlack·(m + n).
+//
+// n is the number of vertices the walker tracks. A nil error means the
+// live counters match the theorems' accounting.
+func CheckAccounting(s Stats, n int) error {
+	if s.Finds != s.SupQueries {
+		return fmt.Errorf("obs: finds = %d, want exactly m = %d sup queries (Theorem 3)", s.Finds, s.SupQueries)
+	}
+	if n > 0 && s.Unions > uint64(n-1) {
+		return fmt.Errorf("obs: unions = %d exceeds n-1 = %d for n = %d vertices (Theorem 3)", s.Unions, n-1, n)
+	}
+	if budget := AlphaSlack * (s.Finds + s.Unions + uint64(n)); s.PathSteps > budget {
+		return fmt.Errorf("obs: path compression steps = %d exceed %d·(m+n) = %d (Theorem 5 amortization)",
+			s.PathSteps, AlphaSlack, budget)
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 // the inverse-Ackermann bound of Tarjan's analysis (references [19, 20]).
 package unionfind
 
+import "repro/internal/obs"
+
 // Forest is a union-find structure over dense integer elements with named
 // set labels. The zero value is empty; Grow (or New) adds elements.
 type Forest struct {
@@ -17,10 +19,13 @@ type Forest struct {
 	rank   []uint8
 	name   []int32 // name[r] = logical label of the set whose physical root is r
 
-	// Operation counters, used by the Theorem 3/5 experiments to report
-	// the number of union-find operations actually executed.
-	finds  int
-	unions int
+	// Operation counters (plain uint64s: the structure is serial), the
+	// live form of the Theorem 3/5 accounting — finds and unions count
+	// the operations the theorems bound, pathSteps counts the parent
+	// rewrites path halving performs while answering them.
+	finds     uint64
+	unions    uint64
+	pathSteps uint64
 }
 
 // New returns a forest over n singleton sets, each labeled by itself.
@@ -90,10 +95,13 @@ func (f *Forest) Add() int {
 func (f *Forest) findRoot(x int) int32 {
 	p := f.parent
 	i := int32(x)
+	steps := uint64(0)
 	for p[i] != i {
 		p[i] = p[p[i]] // path halving
 		i = p[i]
+		steps++
 	}
+	f.pathSteps += steps
 	return i
 }
 
@@ -136,11 +144,14 @@ func (f *Forest) Relabel(x, label int) {
 	f.name[f.findRoot(x)] = int32(label)
 }
 
-// Stats returns the number of Find and Union operations executed so far.
-func (f *Forest) Stats() (finds, unions int) { return f.finds, f.unions }
+// Stats returns the operation counters executed so far: Finds, Unions
+// and PathSteps (Theorem 3's accounting, live).
+func (f *Forest) Stats() obs.Stats {
+	return obs.Stats{Finds: f.finds, Unions: f.unions, PathSteps: f.pathSteps}
+}
 
 // ResetStats zeroes the operation counters.
-func (f *Forest) ResetStats() { f.finds, f.unions = 0, 0 }
+func (f *Forest) ResetStats() { f.finds, f.unions, f.pathSteps = 0, 0, 0 }
 
 // MemoryBytes reports the heap bytes used by the forest's arrays. It feeds
 // the Theorem 3 space measurements (Θ(n)).

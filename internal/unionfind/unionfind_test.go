@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func TestSingletons(t *testing.T) {
@@ -89,13 +91,38 @@ func TestStats(t *testing.T) {
 	f.ResetStats()
 	f.Find(0)
 	f.Union(0, 1)
-	finds, unions := f.Stats()
-	if finds != 1 || unions != 1 {
-		t.Fatalf("stats = %d, %d", finds, unions)
+	s := f.Stats()
+	if s.Finds != 1 || s.Unions != 1 {
+		t.Fatalf("stats = %d, %d", s.Finds, s.Unions)
 	}
 	f.ResetStats()
-	if fi, un := f.Stats(); fi != 0 || un != 0 {
+	if s := f.Stats(); s.Finds != 0 || s.Unions != 0 || s.PathSteps != 0 {
 		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestStatsPathSteps(t *testing.T) {
+	// Build a chain by always unioning into the higher-rank side, then
+	// Find from the deep end: halving must record its parent rewrites.
+	f := New(64)
+	for i := 1; i < 64; i++ {
+		f.Union(0, i)
+	}
+	f.ResetStats()
+	for i := 0; i < 64; i++ {
+		f.Find(i)
+	}
+	s := f.Stats()
+	if s.Finds != 64 {
+		t.Fatalf("finds = %d, want 64", s.Finds)
+	}
+	// Rank-2 trees exist after the unions, so at least one find walks.
+	if s.PathSteps == 0 {
+		t.Fatal("path steps not counted")
+	}
+	if err := obs.CheckAccounting(obs.Stats{SupQueries: s.Finds, Finds: s.Finds,
+		Unions: s.Unions, PathSteps: s.PathSteps}, 64); err != nil {
+		t.Fatalf("accounting violated on a plain union-find run: %v", err)
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"repro/internal/fj"
 	"repro/internal/future"
 	"repro/internal/goinstr"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
@@ -55,6 +56,18 @@ type Addr = core.Addr
 
 // Race is one race report; see core.Race for field semantics.
 type Race = core.Race
+
+// Stats is a snapshot of an engine's operation counters — the
+// observability surface backing the paper's accounting theorems (see
+// internal/obs). Every engine reports the counters it tracks; zero
+// fields are omitted from JSON.
+type Stats = obs.Stats
+
+// CheckAccounting verifies the paper's Theorem 3/5 operation-accounting
+// bounds on a 2D-family stats snapshot: exactly one union-find find per
+// supremum query, at most n−1 unions for n task vertices, and amortized
+// union-find work within a constant of the Θ(α) budget.
+func CheckAccounting(s Stats, tasks int) error { return obs.CheckAccounting(s, tasks) }
 
 // Task is the fork-join task capability (fork, join, read, write).
 type Task = fj.Task
@@ -131,6 +144,7 @@ func New2DSink(s Storage) interface {
 	Racy() bool
 	Locations() int
 	MemoryBytes() int
+	Stats() Stats
 } {
 	return detectorSinkAdapter{fj.NewDetectorSinkStorage(16, s)}
 }
@@ -203,6 +217,7 @@ type detector interface {
 	Racy() bool
 	Locations() int
 	MemoryBytes() int
+	Stats() obs.Stats
 }
 
 // detectorSinkAdapter lets the 2D DetectorSink satisfy detector.
@@ -221,6 +236,7 @@ func NewEngineSink(e Engine) interface {
 	Racy() bool
 	Locations() int
 	MemoryBytes() int
+	Stats() Stats
 } {
 	return newDetector(e)
 }
@@ -258,6 +274,9 @@ type Report struct {
 	MemoryBytes int
 	// Engine identifies the detector used.
 	Engine Engine
+	// Stats is the engine's operation-count snapshot at the end of the
+	// run (see Stats and internal/obs).
+	Stats Stats
 }
 
 // Racy reports whether any race was detected.
@@ -284,6 +303,7 @@ func report(e Engine, d detector, tasks int) *Report {
 		Locations:   d.Locations(),
 		MemoryBytes: d.MemoryBytes(),
 		Engine:      e,
+		Stats:       d.Stats(),
 	}
 }
 

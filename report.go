@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+
+	"repro/internal/core"
 )
 
 // raceJSON is the JSON shape of one race report.
@@ -23,6 +26,7 @@ type reportJSON struct {
 	RaceCount   int        `json:"race_count"`
 	Races       []raceJSON `json:"races"`
 	MemoryBytes int        `json:"memory_bytes"`
+	Stats       Stats      `json:"stats"`
 }
 
 // MarshalJSON renders the report for tooling. Location names are hex
@@ -39,6 +43,7 @@ func (r *Report) marshal(locName func(Addr) string) ([]byte, error) {
 		RaceCount:   r.Count,
 		Races:       make([]raceJSON, 0, len(r.Races)),
 		MemoryBytes: r.MemoryBytes,
+		Stats:       r.Stats,
 	}
 	for i, race := range r.Races {
 		out.Races = append(out.Races, raceJSON{
@@ -50,6 +55,47 @@ func (r *Report) marshal(locName func(Addr) string) ([]byte, error) {
 		})
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON restores a report from its MarshalJSON form, so stats
+// pipelines can round-trip reports through files. Locations rendered as
+// hex addresses parse back exactly; symbolic names (from a WriteJSON
+// resolver) have no inverse and leave the race's Loc zero.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	engine, err := ParseEngine(in.Engine)
+	if err != nil {
+		return err
+	}
+	*r = Report{
+		Count:       in.RaceCount,
+		Tasks:       in.Tasks,
+		Locations:   in.Locations,
+		MemoryBytes: in.MemoryBytes,
+		Engine:      engine,
+		Stats:       in.Stats,
+	}
+	for _, race := range in.Races {
+		out := Race{Current: race.Current, Prior: race.Prior}
+		if a, err := strconv.ParseUint(race.Location, 0, 64); err == nil {
+			out.Loc = Addr(a)
+		}
+		switch race.Kind {
+		case core.ReadWrite.String():
+			out.Kind = core.ReadWrite
+		case core.WriteWrite.String():
+			out.Kind = core.WriteWrite
+		case core.WriteRead.String():
+			out.Kind = core.WriteRead
+		default:
+			return fmt.Errorf("race2d: unknown race kind %q", race.Kind)
+		}
+		r.Races = append(r.Races, out)
+	}
+	return nil
 }
 
 // WriteJSON writes the report as indented JSON, resolving location names
