@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke fuzz fuzz-smoke clean
+.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -53,6 +53,18 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj
 	$(MAKE) fuzz
+
+# Diff the exported API of the root package against the previous commit
+# (golang.org/x/exp/cmd/apidiff; installed on demand). Incompatible
+# changes are reported but do not fail the build — this repo is
+# pre-1.0 and deliberately evolving its API; the diff is for reviewers.
+apidiff:
+	@command -v apidiff >/dev/null 2>&1 || $(GO) install golang.org/x/exp/cmd/apidiff@latest
+	@tmp=$$(mktemp -d) && trap 'git worktree remove --force '$$tmp'; rm -rf '$$tmp'' EXIT && \
+		git worktree add --detach $$tmp HEAD~1 >/dev/null 2>&1 && \
+		(cd $$tmp && apidiff -w /tmp/apidiff.base .) && \
+		apidiff -incompatible /tmp/apidiff.base . | tee /tmp/apidiff.out; \
+		if [ -s /tmp/apidiff.out ]; then echo "apidiff: incompatible changes above (informational)"; fi
 
 clean:
 	$(GO) clean ./...

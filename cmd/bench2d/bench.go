@@ -162,13 +162,14 @@ func (c *benchCell) replay(d benchSink) {
 
 // benchReport is the top-level BENCH_race2d.json document.
 type benchReport struct {
-	GoVersion  string      `json:"go_version"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Parallel   int         `json:"parallel_workers"`
-	Quick      bool        `json:"quick"`
-	WallMs     float64     `json:"replay_wall_ms"`
-	EventsPerS float64     `json:"aggregate_events_per_s"`
-	Results    []benchCell `json:"results"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Parallel   int          `json:"parallel_workers"`
+	Quick      bool         `json:"quick"`
+	WallMs     float64      `json:"replay_wall_ms"`
+	EventsPerS float64      `json:"aggregate_events_per_s"`
+	Results    []benchCell  `json:"results"`
+	Ingest     []ingestCell `json:"ingest,omitempty"`
 }
 
 // eBench runs the matrix and writes jsonPath (when non-empty). With
@@ -342,6 +343,10 @@ func eBench(quick bool, workers int, jsonPath string, checkAllocs bool) int {
 		}
 	}
 
+	// The E13 concurrent-ingestion cells ride along in the same JSON
+	// document, so the performance trajectory covers ingestion too.
+	ingest := e13(quick)
+
 	if jsonPath != "" {
 		report := benchReport{
 			GoVersion:  runtime.Version(),
@@ -350,6 +355,7 @@ func eBench(quick bool, workers int, jsonPath string, checkAllocs bool) int {
 			Quick:      quick,
 			WallMs:     float64(wall.Microseconds()) / 1e3,
 			EventsPerS: float64(totalEvents) / wall.Seconds(),
+			Ingest:     ingest,
 		}
 		for _, c := range cells {
 			report.Results = append(report.Results, *c)

@@ -1,0 +1,154 @@
+// The E13 experiment: end-to-end concurrent ingestion (bounded
+// backpressure pipeline, internal/goinstr) against the serialized
+// fork-first frontend, on instrumented producers whose per-item work the
+// detector cannot see.
+//
+// Two payload shapes are measured. "block" models I/O-bound producers
+// (each item sleeps briefly, as a service handler or file scanner
+// would): the pipeline overlaps the blocked time across producers, so
+// it wins even on a single CPU. "spin" models CPU-bound producers: its
+// speedup is bounded by the machine's core count (≈1× on one core,
+// since the merge stage and the detector share the CPU with the
+// producers) and is reported for honesty, not headline.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fj"
+	"repro/internal/goinstr"
+	"repro/internal/workload"
+)
+
+// ingestCell is one measured producers × payload point, serialized into
+// BENCH_race2d.json under "ingest".
+type ingestCell struct {
+	Payload   string `json:"payload"` // "block" or "spin"
+	Producers int    `json:"producers"`
+	Items     int    `json:"items_per_producer"`
+	Events    int    `json:"events"`
+
+	SerialMs     float64 `json:"serial_ms"`
+	ConcurrentMs float64 `json:"concurrent_ms"`
+	Speedup      float64 `json:"speedup"`
+	EventsPerSec float64 `json:"events_per_s"` // concurrent run, end to end
+
+	Stalls   uint64 `json:"producer_stalls"`
+	MaxDepth uint64 `json:"max_queue_depth"`
+	Racy     bool   `json:"racy"`
+}
+
+// medianOf3 runs f three times and returns the median duration.
+func medianOf3(f func() time.Duration) time.Duration {
+	durs := []time.Duration{f(), f(), f()}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[1]
+}
+
+// ingestQueueCap bounds each producer's queue in the measured runs —
+// small enough that fast (spin) producers hit backpressure, proving the
+// memory bound, without throttling the slow (block) producers.
+const ingestQueueCap = 256
+
+// runIngest executes the fanout under the 2D detector on the given
+// schedule and returns the wall time plus the run's result and verdict.
+func runIngest(w workload.IngestFanout, opt goinstr.Options) (time.Duration, goinstr.Result, bool, int) {
+	d := fj.NewDetectorSink(w.Producers + 1)
+	start := time.Now()
+	res, err := goinstr.RunPipeline(w.GoProgram(), d, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("bench: ingest (serial=%v): %v", opt.Serial, err))
+	}
+	return elapsed, res, d.Racy(), len(d.Races())
+}
+
+// ingestCells measures the E13 matrix. Verdict parity between the
+// serialized and concurrent schedules is asserted on every cell.
+func ingestCells(quick bool) []ingestCell {
+	type point struct {
+		payload   string
+		producers int
+		items     int
+		block     time.Duration
+		spin      int
+	}
+	producers := []int{1, 2, 4, 8}
+	items := 300
+	if quick {
+		producers = []int{1, 2, 4}
+		items = 40
+	}
+	var pts []point
+	for _, p := range producers {
+		pts = append(pts, point{payload: "block", producers: p, items: items, block: 200 * time.Microsecond})
+	}
+	spinProducers := []int{1, 4}
+	spinItems := 2000
+	if quick {
+		spinItems = 300
+	}
+	for _, p := range spinProducers {
+		pts = append(pts, point{payload: "spin", producers: p, items: spinItems, spin: 2000})
+	}
+
+	var cells []ingestCell
+	for _, pt := range pts {
+		w := workload.IngestFanout{
+			Producers: pt.producers,
+			Items:     pt.items,
+			Block:     pt.block,
+			Spin:      pt.spin,
+			Racy:      true,
+		}
+		// Parity first: the schedules must agree exactly on the verdict.
+		_, resS, racyS, racesS := runIngest(w, goinstr.Options{Serial: true})
+		_, resC, racyC, racesC := runIngest(w, goinstr.Options{QueueCapacity: ingestQueueCap})
+		if racyS != racyC || racesS != racesC || resS.Tasks != resC.Tasks {
+			panic(fmt.Sprintf("bench: ingest parity violated at %s/p=%d: serial (racy=%v races=%d tasks=%d) vs concurrent (racy=%v races=%d tasks=%d)",
+				pt.payload, pt.producers, racyS, racesS, resS.Tasks, racyC, racesC, resC.Tasks))
+		}
+
+		serial := medianOf3(func() time.Duration {
+			d, _, _, _ := runIngest(w, goinstr.Options{Serial: true})
+			return d
+		})
+		var lastRes goinstr.Result
+		conc := medianOf3(func() time.Duration {
+			d, res, _, _ := runIngest(w, goinstr.Options{QueueCapacity: ingestQueueCap})
+			lastRes = res
+			return d
+		})
+		cells = append(cells, ingestCell{
+			Payload:      pt.payload,
+			Producers:    pt.producers,
+			Items:        pt.items,
+			Events:       w.Events(),
+			SerialMs:     float64(serial.Microseconds()) / 1e3,
+			ConcurrentMs: float64(conc.Microseconds()) / 1e3,
+			Speedup:      float64(serial) / float64(conc),
+			EventsPerSec: float64(w.Events()) / conc.Seconds(),
+			Stalls:       lastRes.Stats.ProducerStalls,
+			MaxDepth:     lastRes.Stats.MaxQueueDepth,
+			Racy:         racyC,
+		})
+	}
+	return cells
+}
+
+// e13 prints the concurrent-ingestion table (DESIGN.md §3, EXPERIMENTS
+// E13) and returns the cells for BENCH_race2d.json.
+func e13(quick bool) []ingestCell {
+	cells := ingestCells(quick)
+	w := table("\nE13: concurrent bounded-backpressure ingestion vs serialized frontend (2D detector end to end)")
+	fmt.Fprintln(w, "payload\tproducers\tevents\tserial ms\tconcurrent ms\tspeedup\tMevents/s\tstalls\tmax depth\tracy")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.2fx\t%.2f\t%d\t%d\t%v\n",
+			c.Payload, c.Producers, c.Events, c.SerialMs, c.ConcurrentMs, c.Speedup,
+			c.EventsPerSec/1e6, c.Stalls, c.MaxDepth, c.Racy)
+	}
+	w.Flush()
+	return cells
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench2d [-e all|1|2|3|4|5|6|7|8|9|10|bench] [-quick]
+//	bench2d [-e all|1|2|3|4|5|6|7|8|9|10|13|bench] [-quick]
 //	        [-parallel N] [-json file] [-cpuprofile file] [-memprofile file]
 //
 // `-e bench` runs the detector × workload replay matrix sharded across
@@ -41,7 +41,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("bench2d", flag.ContinueOnError)
-	exp := fs.String("e", "all", "experiment to run: all, 1-10, or bench")
+	exp := fs.String("e", "all", "experiment to run: all, 1-10, 13, or bench")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replay worker goroutines for -e bench")
 	jsonPath := fs.String("json", "BENCH_race2d.json", "output file for -e bench results (empty disables)")
@@ -119,8 +119,11 @@ func run(args []string) int {
 	if run("10") {
 		e10()
 	}
+	if run("13") {
+		e13(*quick)
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, or bench)\n", *exp)
+		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, 13, or bench)\n", *exp)
 		return 2
 	}
 	return 0
@@ -214,6 +217,15 @@ func locationBytes(d interface {
 	Locations() int
 	MemoryBytes() int
 }) int {
+	// StreamDetector wraps the engine; introspect the engine itself.
+	if u, ok := d.(interface{ Unwrap() any }); ok {
+		if lb, ok := u.Unwrap().(locBytes); ok {
+			return lb.LocationBytes()
+		}
+		if pl, ok := u.Unwrap().(perLocBytes); ok {
+			return pl.BytesPerLocation() * d.Locations()
+		}
+	}
 	if lb, ok := d.(locBytes); ok {
 		return lb.LocationBytes()
 	}

@@ -93,12 +93,10 @@ func run(args []string) int {
 			return 2
 		}
 		if *jsonOut {
-			rep := &race2d.Report{
-				Races: d.Races(), Count: d.Count(), Tasks: res.Tasks,
-				Locations: d.Locations(), MemoryBytes: d.MemoryBytes(), Engine: e,
-				Stats: d.Stats(),
-			}
-			if err := rep.WriteJSON(os.Stdout, res.LocName); err != nil {
+			rep := d.Report()
+			rep.Tasks = res.Tasks
+			rep.AddrName = res.LocName
+			if err := rep.WriteJSON(os.Stdout, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2
 			}

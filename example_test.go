@@ -2,6 +2,7 @@ package race2d_test
 
 import (
 	"fmt"
+	"strings"
 
 	race2d "repro"
 )
@@ -64,6 +65,67 @@ func ExampleDetectSpawnSync() {
 	fmt.Println("racy:", report.Racy())
 	// Output:
 	// racy: true
+}
+
+// Functional options are the single configuration surface: engine,
+// storage backend, event batching, cancellation context and stats
+// capture all thread through the same variadic parameter, on every
+// frontend.
+func ExampleDetect_options() {
+	var stats race2d.Stats
+	report, err := race2d.Detect(func(t *race2d.Task) {
+		h := t.Fork(func(c *race2d.Task) { c.Write(1) })
+		t.Write(1)
+		t.Join(h)
+	},
+		race2d.WithStorage(race2d.StorageShadow),
+		race2d.WithBatchSize(256),
+		race2d.WithStats(&stats),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("racy:", report.Racy(), "engine:", report.Engine)
+	fmt.Println("stats captured:", stats.MemOps() > 0)
+	// Output:
+	// racy: true engine: 2d
+	// stats captured: true
+}
+
+// Textual programs: DetectSource folds the source-level location names
+// into the report (Report.AddrName), so races print symbolically.
+func ExampleDetectSource() {
+	report, err := race2d.DetectSource(
+		strings.NewReader("fork a { write x } write x join a"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("racy:", report.Racy())
+	fmt.Println("location:", report.AddrName(report.Races[0].Loc))
+	// Output:
+	// racy: true
+	// location: x
+}
+
+// Goroutine tasks run truly concurrently; the bounded ingestion
+// pipeline merges their event streams back into the canonical serial
+// order, so the verdict is deterministic and the report carries the
+// backpressure counters.
+func ExampleDetectGoroutines() {
+	report, err := race2d.DetectGoroutines(func(t *race2d.GoTask) {
+		h := t.Go(func(c *race2d.GoTask) { c.Write(1) })
+		t.Write(1)
+		t.Join(h)
+	}, race2d.WithQueueCapacity(1024))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("racy:", report.Racy(), "producers:", report.Stats.Producers)
+	// Output:
+	// racy: true producers: 2
 }
 
 // Violating the left-neighbor discipline is an error, not a wrong answer:

@@ -2,11 +2,19 @@
 //
 // Go's goroutines carry no task-graph structure, which is what makes
 // applying the paper's detector to Go "less natural": the detector needs
-// the restricted fork-join discipline and a serial fork-first schedule.
-// The goinstr frontend imposes both: every task runs on a real goroutine,
-// creation and joining are instrumented, and execution is serialized in
-// the required order (the paper's Section 2.3: the algorithm is serial —
-// the price paid for Θ(1) space per location).
+// the restricted fork-join discipline and a single consumption order.
+// The goinstr frontend imposes the discipline while letting tasks run
+// truly concurrently: every task streams its events into a bounded
+// queue, and a merge stage linearizes the streams into the canonical
+// fork-first order before they reach the single-consumer detector (the
+// Theorem 4 delayed-traversal contract). Verdicts are identical to the
+// serialized schedule's, which remains available as an option
+// (race2d.WithSerialIngest).
+//
+// Migration note: frontends are configured through functional options —
+// race2d.DetectGoroutines(body, race2d.WithQueueCapacity(n),
+// race2d.WithContext(ctx), ...). The older fixed-signature entry points
+// (DetectWith, DetectProgram) still work but are deprecated.
 //
 // The example is a miniature parallel build system: workers compile
 // units, a linker joins the workers it depends on. One dependency edge is
@@ -28,6 +36,8 @@ func object(unit int) race2d.Addr { return race2d.Addr(0x0B0 + unit) }
 const binary = race2d.Addr(0xB1)
 
 func build(forgetDependency bool) (*race2d.Report, error) {
+	// Options configure the run: bounded per-task event queues keep
+	// memory flat no matter how fast the workers emit.
 	return race2d.DetectGoroutines(func(t *race2d.GoTask) {
 		// Compile three units on their own goroutines.
 		var workers []race2d.GoHandle
@@ -49,7 +59,7 @@ func build(forgetDependency bool) (*race2d.Report, error) {
 			t.Read(object(unit))
 		}
 		t.Write(binary)
-	})
+	}, race2d.WithQueueCapacity(256))
 }
 
 func main() {

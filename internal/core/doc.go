@@ -84,7 +84,25 @@
 // property tests confirm Equation 9 — identical verdicts — while the
 // walker footprints diverge as Θ(ops) vs Θ(tasks).
 //
-// ## 5. What is deliberately not here
+// ## 5. The single-consumer ingestion contract (Theorem 4, applied)
+//
+// The detector object is deliberately not thread-safe: Theorem 4 is a
+// statement about one traversal consumed in one order, and the walker's
+// state (visited marks, the last-arc forest) is that order. What the
+// theorem does license is *delay*: the stream fed to the detector need
+// not be produced by the serial schedule, only delivered as a delayed
+// non-separating traversal of the execution's 2D lattice. The
+// concurrent ingestion pipeline (internal/goinstr) exploits exactly
+// this split: instrumented tasks run on truly parallel goroutines,
+// buffer their events into per-task bounded queues, and a single merge
+// stage linearizes them — producing the canonical fork-first
+// linearization, one valid delayed traversal among many — before
+// handing the detector whole batches (OnAccessBatch). Concurrency ends
+// at the merge stage; the detector's Θ(α) amortized serial consumption
+// is the pipeline's drain, and verdicts are bit-identical to serial
+// replay because the merged order *is* the serial order.
+//
+// ## 6. What is deliberately not here
 //
 // The walker trusts its input to be a delayed non-separating traversal
 // of a 2D lattice; it does not re-verify that (the paper's precondition

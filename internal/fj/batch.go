@@ -21,6 +21,12 @@ type BatchSink interface {
 	EventBatch([]Event)
 }
 
+// Deliver feeds a batch to dst with a single dispatch when dst supports
+// the batched protocol, falling back to one Event call per element. It
+// is the delivery primitive shared by EventBuffer, the trace replayers,
+// and sink wrappers outside this package.
+func Deliver(dst Sink, events []Event) { deliver(dst, events) }
+
 // deliver feeds a batch to dst with a single dispatch when dst supports
 // it, falling back to the one-by-one protocol.
 func deliver(dst Sink, events []Event) {

@@ -1,6 +1,8 @@
 package fj
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -30,7 +32,20 @@ func (h Handle) ID() ID { return h.id }
 // usable; call Run.
 type Runtime struct {
 	line *Line
-	err  error // first structure violation, sticky
+	ctx  context.Context // optional; checked at structural operations
+	err  error           // first structure violation, sticky
+}
+
+// checkCtx aborts the run with the context's error at the next
+// structural operation once the context is done. Cancellation
+// granularity is a task boundary: access runs between forks/joins are
+// not interrupted (they are the detector's fast path).
+func (r *Runtime) checkCtx() {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+		}
+	}
 }
 
 // structurePanic carries a discipline error through the user's stack
@@ -48,6 +63,7 @@ func (r *Runtime) fail(err error) {
 // to completion (serial fork-first schedule), and returns its handle for a
 // later Join. The child's halt is emitted before Fork returns.
 func (t *Task) Fork(body func(*Task)) Handle {
+	t.rt.checkCtx()
 	child, err := t.rt.line.Fork(t.id)
 	if err != nil {
 		t.rt.fail(err)
@@ -65,6 +81,7 @@ func (t *Task) Fork(body func(*Task)) Handle {
 // the serial schedule, always) already halted; otherwise the program is
 // outside the 2D class and Run reports the violation.
 func (t *Task) Join(h Handle) {
+	t.rt.checkCtx()
 	if err := t.rt.line.Join(t.id, h.id); err != nil {
 		t.rt.fail(err)
 	}
@@ -107,6 +124,12 @@ type Options struct {
 	// BatchSink when implemented). The buffer is flushed before Run
 	// returns, including on structure violations.
 	BatchSize int
+
+	// Ctx, when non-nil, cancels the run: once the context is done the
+	// next structural operation (fork or join) aborts with ctx.Err().
+	// Run still returns the task count, so callers can report on the
+	// prefix that executed.
+	Ctx context.Context
 }
 
 // Run executes root as the main task of a fresh runtime, streaming events
@@ -118,7 +141,7 @@ func Run(root func(*Task), sink Sink, opt Options) (tasks int, err error) {
 		sink = buf
 		defer buf.Flush() // runs after the recover below (LIFO)
 	}
-	rt := &Runtime{line: NewLine(sink)}
+	rt := &Runtime{line: NewLine(sink), ctx: opt.Ctx}
 	main := &Task{id: 0, rt: rt}
 	defer func() {
 		if p := recover(); p != nil {

@@ -1,19 +1,24 @@
-// Package goinstr runs structured fork-join programs on real goroutines,
-// demonstrating how goroutine task graphs are instrumented for the paper's
-// detector. Each task executes in its own goroutine; execution is
-// serialized in the fork-first order the suprema algorithm requires by
-// having the parent block until the child goroutine halts — "this
-// requirement makes the algorithm serial, but that is the price we pay for
-// efficiency" (Section 2.3).
+// Package goinstr runs structured fork-join programs on real goroutines
+// and feeds the paper's detector through a concurrent ingestion
+// pipeline. Each task executes in its own goroutine, truly concurrently
+// scheduled; instrumented operations are appended to a per-task
+// sequenced buffer, and a bounded merge stage (see pipeline.go)
+// linearizes the per-task streams into a delayed non-separating
+// traversal — the order Theorem 4 proves the online walker tolerates —
+// before streaming batches into the single-consumer detector. The
+// emitted event stream is byte-for-byte the serial fork-first stream,
+// so every detector and baseline consumes it unchanged and verdicts are
+// bit-identical to serial replay.
 //
 // The instrumentation points are exactly the ones a compiler or runtime
 // shim would hook in instrumented Go code: goroutine creation (Go),
 // joining (Join, the done-channel idiom), and memory accesses
-// (Read/Write). The emitted event stream is identical to the serial
-// runtime's, so every detector and baseline consumes it unchanged. This is
-// the substitution for the paper's language-runtime integration: Go's
-// unrestricted goroutines carry no task-line structure, so the structure
-// is imposed by the API and violations surface as errors.
+// (Read/Write). Go's unrestricted goroutines carry no task-line
+// structure, so the structure is imposed by the API and violations
+// surface as errors. The pre-pipeline serialized fork-first schedule
+// ("the price we pay for efficiency", Section 2.3) remains available
+// via RunSerial or Options.Serial — it is the baseline the pipeline is
+// measured against.
 package goinstr
 
 import (
@@ -24,15 +29,20 @@ import (
 	"repro/internal/fj"
 )
 
-// ID identifies a task.
+// ID identifies a task. In concurrent mode IDs record creation order
+// (the order forks were executed), which may differ from the serial
+// fork-first numbering the detector reports; the merge stage renumbers
+// events onto the canonical serial IDs.
 type ID = fj.ID
 
 // Task is the per-goroutine capability. Methods must be called from the
-// goroutine that owns the task (the one its body runs on); ownership is
-// exclusive because parents block while children run.
+// goroutine that owns the task (the one its body runs on); tasks are
+// not shared between goroutines — concurrency comes from forking, not
+// from aliasing a Task.
 type Task struct {
 	id ID
-	rt *runtime
+	rt *serialRT // serial mode
+	pr *producer // concurrent pipeline mode
 }
 
 // ID returns the task identifier (0 for the root).
@@ -42,27 +52,12 @@ func (t *Task) ID() ID { return t.id }
 type Handle struct {
 	id   ID
 	done chan struct{}
+	node *node // concurrent mode: the task's position in the line
 }
 
-type runtime struct {
-	mu   sync.Mutex // guards err; the line itself is serialization-protected
-	line *fj.Line
-	err  error
-}
-
-func (rt *runtime) fail(err error) {
-	rt.mu.Lock()
-	if rt.err == nil {
-		rt.err = err
-	}
-	rt.mu.Unlock()
-}
-
-func (rt *runtime) failed() bool {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.err != nil
-}
+// ID returns the identifier of the task the handle names (-1 when the
+// fork itself was rejected).
+func (h Handle) ID() ID { return h.id }
 
 var closedChan = func() chan struct{} {
 	c := make(chan struct{})
@@ -70,10 +65,109 @@ var closedChan = func() chan struct{} {
 	return c
 }()
 
-// Go activates body as a new task on a fresh goroutine placed immediately
-// left of t and waits for it to halt before returning — the serial
-// fork-first schedule on real goroutines.
+// Go activates body as a new task on a fresh goroutine placed
+// immediately left of t. In concurrent mode parent and child proceed in
+// parallel; in serial mode the parent blocks until the child halts (the
+// serial fork-first schedule).
 func (t *Task) Go(body func(*Task)) Handle {
+	if t.pr != nil {
+		return t.pr.fork(t, body)
+	}
+	return t.goSerial(body)
+}
+
+// Join suspends t until the task named by h terminates, then emits the
+// discipline-checked join. Under the discipline h must name t's
+// immediate left neighbor in the line.
+func (t *Task) Join(h Handle) {
+	if t.pr != nil {
+		t.pr.join(t, h)
+		return
+	}
+	t.joinSerial(h)
+}
+
+// JoinLeft joins the current immediate left neighbor, if any, blocking
+// until it terminates. It returns false when t is leftmost.
+func (t *Task) JoinLeft() bool {
+	if t.pr != nil {
+		return t.pr.joinLeft(t)
+	}
+	return t.joinLeftSerial()
+}
+
+// Read performs an instrumented read of loc.
+func (t *Task) Read(loc core.Addr) {
+	if t.pr != nil {
+		t.pr.emit(fj.Event{Kind: fj.EvRead, T: t.id, Loc: loc})
+		return
+	}
+	t.readSerial(loc)
+}
+
+// Write performs an instrumented write of loc.
+func (t *Task) Write(loc core.Addr) {
+	if t.pr != nil {
+		t.pr.emit(fj.Event{Kind: fj.EvWrite, T: t.id, Loc: loc})
+		return
+	}
+	t.writeSerial(loc)
+}
+
+// Run executes root as the main task with every forked task on its own
+// concurrently-scheduled goroutine, streaming the linearized events to
+// sink. Remaining tasks are joined at the end. It returns the number of
+// tasks created and the first error (structure violation or task
+// panic). Use RunPipeline for cancellation, bounded-queue tuning, and
+// ingestion stats.
+func Run(root func(*Task), sink fj.Sink) (int, error) {
+	res, err := RunPipeline(root, sink, Options{})
+	return res.Tasks, err
+}
+
+// RunBuffered is Run with the merged event stream buffered through an
+// fj.EventBuffer of the given batch size (fj.DefaultBatchSize when
+// <= 0), so sink receives batches.
+func RunBuffered(root func(*Task), sink fj.Sink, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = fj.DefaultBatchSize
+	}
+	res, err := RunPipeline(root, sink, Options{BatchSize: batchSize})
+	return res.Tasks, err
+}
+
+// RunSerial executes root on the serialized fork-first schedule: each
+// Go blocks until the child goroutine halts, so exactly one task runs
+// at a time and events reach sink in the serial order directly. This is
+// the pre-pipeline behavior, kept as the measured baseline.
+func RunSerial(root func(*Task), sink fj.Sink) (int, error) {
+	res, err := RunPipeline(root, sink, Options{Serial: true})
+	return res.Tasks, err
+}
+
+// ---- serial fork-first schedule -----------------------------------------
+
+type serialRT struct {
+	mu   sync.Mutex // guards err; the line itself is serialization-protected
+	line *fj.Line
+	err  error
+}
+
+func (rt *serialRT) fail(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *serialRT) failed() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err != nil
+}
+
+func (t *Task) goSerial(body func(*Task)) Handle {
 	rt := t.rt
 	if rt.failed() {
 		return Handle{id: -1, done: closedChan}
@@ -101,10 +195,7 @@ func (t *Task) Go(body func(*Task)) Handle {
 	return Handle{id: child, done: done}
 }
 
-// Join performs the discipline-checked join of the task named by h. Under
-// the serial schedule the goroutine has already finished; Join still
-// receives on its done channel, mirroring the idiomatic Go join.
-func (t *Task) Join(h Handle) {
+func (t *Task) joinSerial(h Handle) {
 	rt := t.rt
 	if rt.failed() || h.id < 0 {
 		return
@@ -115,8 +206,7 @@ func (t *Task) Join(h Handle) {
 	}
 }
 
-// JoinLeft joins the current immediate left neighbor, if any.
-func (t *Task) JoinLeft() bool {
+func (t *Task) joinLeftSerial() bool {
 	rt := t.rt
 	if rt.failed() {
 		return false
@@ -132,8 +222,7 @@ func (t *Task) JoinLeft() bool {
 	return true
 }
 
-// Read performs an instrumented read of loc.
-func (t *Task) Read(loc core.Addr) {
+func (t *Task) readSerial(loc core.Addr) {
 	if t.rt.failed() {
 		return
 	}
@@ -142,8 +231,7 @@ func (t *Task) Read(loc core.Addr) {
 	}
 }
 
-// Write performs an instrumented write of loc.
-func (t *Task) Write(loc core.Addr) {
+func (t *Task) writeSerial(loc core.Addr) {
 	if t.rt.failed() {
 		return
 	}
@@ -152,33 +240,18 @@ func (t *Task) Write(loc core.Addr) {
 	}
 }
 
-// Run executes root as the main task, with every forked task on its own
-// goroutine, streaming events to sink. Remaining tasks are joined at the
-// end. It returns the number of tasks created and the first error
-// (structure violation or task panic).
-func Run(root func(*Task), sink fj.Sink) (int, error) {
-	return run(root, sink, 0)
-}
-
-// RunBuffered is Run with the event stream buffered through an
-// fj.EventBuffer of the given batch size (fj.DefaultBatchSize when
-// <= 0), so sink receives batches. The serial fork-first schedule means
-// events are still produced by one goroutine at a time, so the
-// unsynchronized buffer is safe here.
-func RunBuffered(root func(*Task), sink fj.Sink, batchSize int) (int, error) {
-	if batchSize <= 0 {
-		batchSize = fj.DefaultBatchSize
-	}
-	return run(root, sink, batchSize)
-}
-
-func run(root func(*Task), sink fj.Sink, batchSize int) (int, error) {
+func runSerial(root func(*Task), sink fj.Sink, opt Options) (Result, error) {
 	var buf *fj.EventBuffer
-	if batchSize > 0 && sink != nil {
-		buf = fj.NewEventBuffer(sink, batchSize)
+	if opt.BatchSize > 0 && sink != nil {
+		buf = fj.NewEventBuffer(sink, opt.BatchSize)
 		sink = buf
 	}
-	rt := &runtime{line: fj.NewLine(sink)}
+	rt := &serialRT{line: fj.NewLine(sink)}
+	if opt.Context != nil {
+		if stop := watchContext(opt.Context, rt); stop != nil {
+			defer stop()
+		}
+	}
 	main := &Task{id: 0, rt: rt}
 	root(main)
 	for main.JoinLeft() {
@@ -193,5 +266,5 @@ func run(root func(*Task), sink fj.Sink, batchSize int) (int, error) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.line.Tasks(), rt.err
+	return Result{Tasks: rt.line.Tasks()}, rt.err
 }

@@ -54,8 +54,11 @@ func TestRunsOnDistinctGoroutines(t *testing.T) {
 }
 
 func TestSerialForkFirstOrderOnGoroutines(t *testing.T) {
+	// RunSerial keeps the pre-pipeline serialized fork-first schedule:
+	// bodies themselves execute in the serial order, so an unsynchronized
+	// slice append observes it directly.
 	var order []ID
-	_, err := Run(func(t *Task) {
+	_, err := RunSerial(func(t *Task) {
 		order = append(order, t.ID())
 		t.Go(func(a *Task) {
 			order = append(order, a.ID())
@@ -191,11 +194,15 @@ func randomGoProgram(rng *rand.Rand, maxOps, maxDepth int) func(*Task) {
 }
 
 // TestGoroutineTraceParityProperty: for the same random decision stream,
-// the goroutine frontend and the serial runtime emit identical traces.
+// the goroutine frontend (on the serialized schedule — the generator
+// consumes one shared rng across task bodies, so bodies must run in the
+// serial order) and the serial runtime emit identical traces. Parity of
+// the concurrent pipeline is covered in pipeline_test.go with
+// schedule-independent pre-built plans.
 func TestGoroutineTraceParityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		var goTrace fj.Trace
-		if _, err := Run(randomGoProgram(rand.New(rand.NewSource(seed)), 30, 4), &goTrace); err != nil {
+		if _, err := RunSerial(randomGoProgram(rand.New(rand.NewSource(seed)), 30, 4), &goTrace); err != nil {
 			return false
 		}
 		var fjTrace fj.Trace

@@ -1,0 +1,404 @@
+package goinstr
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// forceParallel makes sure the scheduler can actually interleave
+// producer goroutines, restoring the previous setting on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 2 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+func tracesEqual(t *testing.T, label string, a, b *fj.Trace) {
+	t.Helper()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("%s: event %d differs: %v vs %v", label, i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestPipelineMatchesSerialOnFanout: the acceptance shape — ≥4 producer
+// tasks doing interleaved work, concurrent pipeline vs serial schedule,
+// traces (and hence verdicts) must be bit-identical.
+func TestPipelineMatchesSerialOnFanout(t *testing.T) {
+	forceParallel(t)
+	prog := func(t *Task) {
+		for p := 0; p < 6; p++ {
+			p := p
+			t.Go(func(w *Task) {
+				base := core.Addr(0x100 * (p + 1))
+				for i := 0; i < 50; i++ {
+					w.Write(base + core.Addr(i))
+					w.Read(base + core.Addr(i))
+					w.Read(core.Addr(1)) // shared read
+				}
+				if p == 0 {
+					w.Write(core.Addr(1)) // races with the other readers
+				}
+			})
+		}
+	}
+	var serial fj.Trace
+	if _, err := RunSerial(prog, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		var conc fj.Trace
+		res, err := RunPipeline(prog, &conc, Options{QueueCapacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracesEqual(t, "fanout", &serial, &conc)
+		if res.Stats.Producers != 7 { // root + 6 producers
+			t.Fatalf("producers = %d", res.Stats.Producers)
+		}
+		if res.Stats.EventsBuffered == 0 {
+			t.Fatal("no events accounted through the queues")
+		}
+	}
+}
+
+// TestPipelineVerdictParityRandomPrograms: 200 random plan-based
+// programs, concurrent pipeline vs serial fj runtime — identical traces
+// and identical detector verdicts.
+func TestPipelineVerdictParityRandomPrograms(t *testing.T) {
+	forceParallel(t)
+	type caseCfg struct{ ops, depth, locs, block int }
+	cfgs := []caseCfg{{40, 3, 6, 1}, {120, 5, 4, 3}, {250, 4, 10, 2}, {500, 6, 8, 1}}
+	runs := 0
+	for seed := int64(1); runs < 200; seed++ {
+		cfg := cfgs[int(seed)%len(cfgs)]
+		plan := planForTest(seed, cfg.ops, cfg.depth, cfg.locs, cfg.block)
+		var want fj.Trace
+		wantSink := fj.NewDetectorSink(8)
+		wantTasks, err := fj.Run(plan.fjBody, fj.MultiSink{&want, wantSink}, fj.Options{AutoJoin: true})
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		var got fj.Trace
+		gotSink := fj.NewDetectorSink(8)
+		res, err := RunPipeline(plan.goBody, fj.MultiSink{&got, gotSink}, Options{QueueCapacity: 128})
+		if err != nil {
+			t.Fatalf("seed %d: pipeline: %v", seed, err)
+		}
+		tracesEqual(t, "random program", &want, &got)
+		if res.Tasks != wantTasks {
+			t.Fatalf("seed %d: tasks %d vs %d", seed, res.Tasks, wantTasks)
+		}
+		if gotSink.Racy() != wantSink.Racy() || len(gotSink.Races()) != len(wantSink.Races()) {
+			t.Fatalf("seed %d: verdict diverged", seed)
+		}
+		runs++
+	}
+}
+
+// planForTest builds a deterministic random plan shared by both
+// frontends, mirroring workload.ForkJoin without importing it (workload
+// imports goinstr).
+type testPlan struct {
+	fjBody func(*fj.Task)
+	goBody func(*Task)
+}
+
+func planForTest(seed int64, ops, maxDepth, locs, block int) testPlan {
+	type op struct {
+		kind  int // 0 read, 1 write, 2 fork, 3 joinleft
+		loc   core.Addr
+		child []op
+	}
+	rng := newSplitMix(uint64(seed))
+	budget := ops
+	var build func(depth int) []op
+	build = func(depth int) []op {
+		var out []op
+		for budget > 0 {
+			budget--
+			switch r := rng.intn(10); {
+			case r < 4:
+				for i := 0; i < block; i++ {
+					kind := 0
+					if rng.intn(3) == 0 {
+						kind = 1
+					}
+					out = append(out, op{kind: kind, loc: core.Addr(1 + rng.intn(locs))})
+				}
+			case r < 7 && depth < maxDepth:
+				out = append(out, op{kind: 2, child: build(depth + 1)})
+			case r < 9:
+				out = append(out, op{kind: 3})
+			default:
+				return out
+			}
+		}
+		return out
+	}
+	plan := build(0)
+	var replayFJ func(t *fj.Task, ops []op)
+	replayFJ = func(t *fj.Task, ops []op) {
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				t.Read(o.loc)
+			case 1:
+				t.Write(o.loc)
+			case 2:
+				child := o.child
+				t.Fork(func(ct *fj.Task) { replayFJ(ct, child) })
+			case 3:
+				t.JoinLeft()
+			}
+		}
+	}
+	var replayGo func(t *Task, ops []op)
+	replayGo = func(t *Task, ops []op) {
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				t.Read(o.loc)
+			case 1:
+				t.Write(o.loc)
+			case 2:
+				child := o.child
+				t.Go(func(ct *Task) { replayGo(ct, child) })
+			case 3:
+				t.JoinLeft()
+			}
+		}
+	}
+	return testPlan{
+		fjBody: func(t *fj.Task) { replayFJ(t, plan) },
+		goBody: func(t *Task) { replayGo(t, plan) },
+	}
+}
+
+// splitMix is a tiny deterministic rng so the test does not depend on
+// math/rand's stream stability.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed*2654435769 + 1} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitMix) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// blockingSink blocks every event delivery until released — a stalled
+// consumer for the backpressure test.
+type blockingSink struct {
+	mu       sync.Mutex
+	release  chan struct{}
+	consumed int
+}
+
+func (b *blockingSink) Event(fj.Event) {
+	<-b.release
+	b.mu.Lock()
+	b.consumed++
+	b.mu.Unlock()
+}
+
+// TestPipelineBoundedUnderStalledConsumer: with the merge stage stuck,
+// a producer that keeps emitting must block on its bounded queue rather
+// than buffer without limit.
+func TestPipelineBoundedUnderStalledConsumer(t *testing.T) {
+	forceParallel(t)
+	const capacity = 64
+	const slab = 16
+	sink := &blockingSink{release: make(chan struct{})}
+	var emitted int
+	done := make(chan struct{})
+	var res Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = RunPipeline(func(t *Task) {
+			t.Go(func(w *Task) {
+				for i := 0; i < capacity*20; i++ {
+					w.Write(core.Addr(1 + i))
+					emitted = i + 1
+				}
+			})
+		}, sink, Options{QueueCapacity: capacity, SlabSize: slab})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("run finished with the consumer stalled")
+	default:
+	}
+	close(sink.release) // unstall; everything must drain
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not finish after the consumer was released")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if emitted != capacity*20 {
+		t.Fatalf("producer emitted %d of %d", emitted, capacity*20)
+	}
+	if res.Stats.MaxQueueDepth > capacity {
+		t.Fatalf("queue grew to %d events, bound is %d", res.Stats.MaxQueueDepth, capacity)
+	}
+	if res.Stats.ProducerStalls == 0 {
+		t.Fatal("producer never stalled against the bound")
+	}
+}
+
+// TestPipelineCancellationDrainsReport: a deadline context aborts a
+// long-running instrumented program promptly, and the run still returns
+// a consistent merged prefix (task count, no structure error).
+func TestPipelineCancellationDrainsReport(t *testing.T) {
+	forceParallel(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ds := fj.NewDetectorSink(8)
+	start := time.Now()
+	res, err := RunPipeline(func(t *Task) {
+		for p := 0; p < 4; p++ {
+			p := p
+			t.Go(func(w *Task) {
+				for i := 0; ctx.Err() == nil; i++ {
+					w.Write(core.Addr(0x1000*(p+1) + i%64))
+					time.Sleep(100 * time.Microsecond)
+				}
+			})
+		}
+	}, ds, Options{Context: ctx, QueueCapacity: 256})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if !IsCancellation(err) {
+		t.Fatal("IsCancellation(deadline) = false")
+	}
+	if res.Tasks < 1 {
+		t.Fatalf("drained result lost the task count: %d", res.Tasks)
+	}
+	// The merged prefix went through the ordinary line: the detector
+	// holds a consistent (race-free) report for it.
+	if ds.Racy() {
+		t.Fatalf("prefix misreported races: %v", ds.Races())
+	}
+}
+
+// TestPipelineCancellationDoesNotWaitForStragglers: once the deadline
+// expires, RunPipeline returns without waiting for a body that ignores
+// cancellation — instrumented ops become no-ops and the goroutine is
+// leaked, as with any cancelled goroutine in Go.
+func TestPipelineCancellationDoesNotWaitForStragglers(t *testing.T) {
+	forceParallel(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunPipeline(func(t *Task) {
+		h := t.Go(func(w *Task) {
+			w.Write(1)
+			time.Sleep(3 * time.Second) // uncooperative straggler
+		})
+		t.Join(h)
+	}, nil, Options{Context: ctx})
+	if !IsCancellation(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("RunPipeline waited %v for the straggler", elapsed)
+	}
+}
+
+// TestPipelineSerialOptionMatchesRunSerial: Options.Serial routes to the
+// serialized schedule.
+func TestPipelineSerialOptionMatchesRunSerial(t *testing.T) {
+	var a, b fj.Trace
+	prog := func(t *Task) {
+		h := t.Go(func(c *Task) { c.Write(1) })
+		t.Join(h)
+		t.Read(1)
+	}
+	if _, err := RunSerial(prog, &a); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := RunPipeline(prog, &b, Options{Serial: true}); err != nil || res.Tasks != 2 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	tracesEqual(t, "serial option", &a, &b)
+}
+
+// TestPipelineContextOnSerialSchedule: cancellation also reaches the
+// serialized schedule.
+func TestPipelineContextOnSerialSchedule(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunPipeline(func(t *Task) {
+		for i := 0; i < 1000; i++ {
+			t.Go(func(*Task) {})
+		}
+	}, nil, Options{Serial: true, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPipelineStructureViolationConcurrent: a wrong join is refused on
+// the producer side with the same error shape as the serial runtime.
+func TestPipelineStructureViolationConcurrent(t *testing.T) {
+	_, err := RunPipeline(func(t *Task) {
+		a := t.Go(func(*Task) {})
+		t.Go(func(*Task) {})
+		t.Join(a) // not the immediate left neighbor
+	}, nil, Options{})
+	if err == nil || !errors.Is(err, fj.ErrStructure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPipelineCrossTaskHandleJoin: Figure 2's c.Join(a) — joining a
+// handle forked by another task — works concurrently because handles
+// carry the task's line node.
+func TestPipelineCrossTaskHandleJoin(t *testing.T) {
+	forceParallel(t)
+	const r = core.Addr(0x10)
+	for round := 0; round < 50; round++ {
+		ds := fj.NewDetectorSink(4)
+		tasks, err := Run(func(t *Task) {
+			a := t.Go(func(a *Task) { a.Read(r) })
+			t.Read(r)
+			c := t.Go(func(c *Task) { c.Join(a) })
+			t.Write(r)
+			t.Join(c)
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tasks != 3 || !ds.Racy() || len(ds.Races()) != 1 {
+			t.Fatalf("tasks=%d racy=%v races=%v", tasks, ds.Racy(), ds.Races())
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Stats struct {
 	// power-of-two buckets (see Histogram.Snapshot).
 	Batches    uint64   `json:"batches,omitempty"`
 	BatchSizes []uint64 `json:"batch_size_hist,omitempty"`
+
+	// Concurrent ingestion pipeline (goinstr): backpressure accounting
+	// for the bounded per-producer queues feeding the merge stage.
+	Producers      uint64 `json:"producers,omitempty"`       // event queues created (tasks that produced)
+	EventsBuffered uint64 `json:"events_buffered,omitempty"` // events that passed through the queues
+	MaxQueueDepth  uint64 `json:"max_queue_depth,omitempty"` // high-water mark of any single queue (events)
+	ProducerStalls uint64 `json:"producer_stalls,omitempty"` // pushes that blocked on a full queue
 }
 
 // MemOps returns the total memory operations observed.
@@ -116,6 +123,12 @@ func (s *Stats) Add(other Stats) {
 	s.Races += other.Races
 	s.Locations += other.Locations
 	s.Batches += other.Batches
+	s.Producers += other.Producers
+	s.EventsBuffered += other.EventsBuffered
+	if other.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = other.MaxQueueDepth // a high-water mark, not a volume
+	}
+	s.ProducerStalls += other.ProducerStalls
 	for len(s.BatchSizes) < len(other.BatchSizes) {
 		s.BatchSizes = append(s.BatchSizes, 0)
 	}
@@ -159,6 +172,10 @@ func (s Stats) String() string {
 	put("races", s.Races)
 	put("locations", s.Locations)
 	put("batches", s.Batches)
+	put("producers", s.Producers)
+	put("events-buffered", s.EventsBuffered)
+	put("max-queue-depth", s.MaxQueueDepth)
+	put("producer-stalls", s.ProducerStalls)
 	if s.MemOps() > 0 && s.UnionFindOps() > 0 {
 		fmt.Fprintf(&b, " amortized-uf-steps/op=%.2f", s.AmortizedSteps())
 	}

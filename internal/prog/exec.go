@@ -1,6 +1,7 @@
 package prog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,7 +47,15 @@ func (r *Result) Locations() []string {
 // never forked is an error. Location names map to consecutive addresses
 // starting at 1, in order of first occurrence.
 func Exec(p *Program, sink fj.Sink) (*Result, error) {
+	return ExecContext(context.Background(), p, sink)
+}
+
+// ExecContext is Exec with cancellation: once ctx is done the
+// interpreter stops (checking every few statements) and returns
+// ctx.Err() along with the Result for the prefix it executed.
+func ExecContext(ctx context.Context, p *Program, sink fj.Sink) (*Result, error) {
 	l := fj.NewLine(sink)
+	var steps uint
 	res := &Result{Addr: map[string]core.Addr{}}
 	locOf := func(name string) core.Addr {
 		if a, ok := res.Addr[name]; ok {
@@ -112,6 +121,12 @@ func Exec(p *Program, sink fj.Sink) (*Result, error) {
 		}
 		st := f.body[f.pc]
 		f.pc++
+		if steps++; steps&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Tasks = l.Tasks()
+				return res, err
+			}
+		}
 		switch st.Op {
 		case OpFork:
 			child, err := l.Fork(f.task)

@@ -1,0 +1,144 @@
+package prog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/goinstr"
+)
+
+// ExecGoroutines interprets the program on the goroutine frontend: each
+// forked or spawned task runs its statement list on its own goroutine
+// through goinstr's concurrent ingestion pipeline, so the same textual
+// programs that drive the serial interpreter exercise true concurrency.
+// The merged event stream — and therefore the detector verdict — is
+// identical to Exec's.
+//
+// Location addresses are assigned by a static walk in first-occurrence
+// order, which coincides with Exec's dynamic assignment order (the
+// serial schedule executes statements in program order). Task names
+// still bind globally, most recent fork wins; programs that rebind a
+// name from concurrently-running tasks are outside the deterministic
+// fragment (the corpus and fuzz seeds bind each name from one task at a
+// time).
+func ExecGoroutines(p *Program, sink fj.Sink, opt goinstr.Options) (*Result, error) {
+	res := &Result{Addr: map[string]core.Addr{}}
+	assignAddrs(p.Body, res.Addr)
+
+	var (
+		ops     atomic.Int64
+		nameMu  sync.Mutex
+		names   = map[string]goinstr.Handle{}
+		errMu   sync.Mutex
+		execErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if execErr == nil {
+			execErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return execErr != nil
+	}
+
+	// run interprets one task's statement list; children collects
+	// spawned-but-unsynced handles for sync and the implicit task-end
+	// sync.
+	var run func(t *goinstr.Task, body []Stmt, children *[]goinstr.Handle)
+	syncChildren := func(t *goinstr.Task, children *[]goinstr.Handle) {
+		for i := len(*children) - 1; i >= 0; i-- {
+			t.Join((*children)[i])
+		}
+		*children = (*children)[:0]
+	}
+	run = func(t *goinstr.Task, body []Stmt, children *[]goinstr.Handle) {
+		for _, st := range body {
+			if failed() {
+				return
+			}
+			switch st.Op {
+			case OpFork:
+				st := st
+				h := t.Go(func(ct *goinstr.Task) {
+					var ch []goinstr.Handle
+					run(ct, st.Body, &ch)
+					syncChildren(ct, &ch)
+				})
+				nameMu.Lock()
+				names[st.Name] = h
+				nameMu.Unlock()
+			case OpSpawn:
+				st := st
+				h := t.Go(func(ct *goinstr.Task) {
+					var ch []goinstr.Handle
+					run(ct, st.Body, &ch)
+					syncChildren(ct, &ch)
+				})
+				nameMu.Lock()
+				names[st.Name] = h
+				nameMu.Unlock()
+				*children = append(*children, h)
+			case OpJoin:
+				nameMu.Lock()
+				h, ok := names[st.Name]
+				nameMu.Unlock()
+				if !ok {
+					fail(fmt.Errorf("prog: line %d: join of unknown task %q", st.Line, st.Name))
+					return
+				}
+				t.Join(h)
+			case OpSync:
+				syncChildren(t, children)
+			case OpRepeat:
+				for i := 0; i < st.Count; i++ {
+					run(t, st.Body, children)
+				}
+			case OpJoinLeft:
+				t.JoinLeft()
+			case OpRead:
+				t.Read(res.Addr[st.Name])
+				ops.Add(1)
+			case OpWrite:
+				t.Write(res.Addr[st.Name])
+				ops.Add(1)
+			}
+		}
+	}
+
+	result, err := goinstr.RunPipeline(func(t *goinstr.Task) {
+		var ch []goinstr.Handle
+		run(t, p.Body, &ch)
+		syncChildren(t, &ch)
+		// goinstr's runtime joins any remaining left neighbors and halts
+		// the root, mirroring Exec's trailing auto-join.
+	}, sink, opt)
+	res.Tasks = result.Tasks
+	res.Ops = int(ops.Load())
+	if e := func() error { errMu.Lock(); defer errMu.Unlock(); return execErr }(); e != nil {
+		return res, e
+	}
+	return res, err
+}
+
+// assignAddrs maps location names to consecutive addresses starting at
+// 1 in first-occurrence program order — the order Exec assigns them
+// dynamically.
+func assignAddrs(body []Stmt, addr map[string]core.Addr) {
+	for _, st := range body {
+		switch st.Op {
+		case OpRead, OpWrite:
+			if _, ok := addr[st.Name]; !ok {
+				addr[st.Name] = core.Addr(len(addr) + 1)
+			}
+		case OpFork, OpSpawn, OpRepeat:
+			assignAddrs(st.Body, addr)
+		}
+	}
+}

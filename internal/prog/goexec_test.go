@@ -1,0 +1,119 @@
+package prog
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fj"
+	"repro/internal/goinstr"
+)
+
+// corpusSources returns the .fj corpus plus the fuzz seed programs.
+func corpusSources(t *testing.T) map[string]string {
+	t.Helper()
+	srcs := map[string]string{
+		"seed-figure2":  "fork a { read r }\nread r\nfork c { join a }\nwrite r\njoin c\n",
+		"seed-empty":    "fork a { } join a",
+		"seed-straight": "read x write y",
+		"seed-nested":   "fork a { fork b { write z } join b }",
+		"seed-racy":     "fork a { write x } write x join a",
+		"seed-deep":     strings.Repeat("fork t { ", 50) + "write x" + strings.Repeat(" }", 50),
+	}
+	files, err := filepath.Glob(filepath.Join("..", "..", "cmd", "race2d", "testdata", "*.fj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[filepath.Base(f)] = string(b)
+	}
+	if len(srcs) < 11 {
+		t.Fatalf("corpus incomplete: %d sources", len(srcs))
+	}
+	return srcs
+}
+
+// TestExecGoroutinesCorpusParity: the concurrent goroutine interpreter
+// produces the identical trace, address assignment, op count, and
+// detector verdict as the serial interpreter on the whole corpus.
+func TestExecGoroutinesCorpusParity(t *testing.T) {
+	for name, src := range corpusSources(t) {
+		p, err := ParseString(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		var want fj.Trace
+		wantSink := fj.NewDetectorSink(8)
+		wantRes, err := Exec(p, fj.MultiSink{&want, wantSink})
+		if err != nil {
+			t.Fatalf("%s: serial exec: %v", name, err)
+		}
+		for round := 0; round < 5; round++ {
+			var got fj.Trace
+			gotSink := fj.NewDetectorSink(8)
+			gotRes, err := ExecGoroutines(p, fj.MultiSink{&got, gotSink}, goinstr.Options{})
+			if err != nil {
+				t.Fatalf("%s: goroutine exec: %v", name, err)
+			}
+			if len(got.Events) != len(want.Events) {
+				t.Fatalf("%s: trace lengths %d vs %d", name, len(got.Events), len(want.Events))
+			}
+			for i := range want.Events {
+				if got.Events[i] != want.Events[i] {
+					t.Fatalf("%s: event %d: %v vs %v", name, i, got.Events[i], want.Events[i])
+				}
+			}
+			if gotRes.Tasks != wantRes.Tasks || gotRes.Ops != wantRes.Ops {
+				t.Fatalf("%s: result %+v vs %+v", name, gotRes, wantRes)
+			}
+			if len(gotRes.Addr) != len(wantRes.Addr) {
+				t.Fatalf("%s: addr maps differ", name)
+			}
+			for n, a := range wantRes.Addr {
+				if gotRes.Addr[n] != a {
+					t.Fatalf("%s: addr[%q] = %v, want %v", name, n, gotRes.Addr[n], a)
+				}
+			}
+			if gotSink.Racy() != wantSink.Racy() || len(gotSink.Races()) != len(wantSink.Races()) {
+				t.Fatalf("%s: verdict diverged", name)
+			}
+		}
+	}
+}
+
+// TestExecGoroutinesUnknownJoin mirrors Exec's unknown-name error.
+func TestExecGoroutinesUnknownJoin(t *testing.T) {
+	p, err := ParseString("join ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecGoroutines(p, nil, goinstr.Options{}); err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestExecContextCancels: a cancelled context aborts the serial
+// interpreter mid-program.
+func TestExecContextCancels(t *testing.T) {
+	p, err := ParseString("repeat 1000000 { read x write x }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, execErr := ExecContext(ctx, p, nil)
+	if execErr != context.DeadlineExceeded {
+		t.Fatalf("err = %v", execErr)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation was not prompt")
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/goinstr"
+)
+
+// IngestFanout is the concurrent-ingestion workload (EXPERIMENTS E13):
+// the root forks Producers long-lived tasks; each processes Items work
+// items, paying a per-item cost (Spin iterations of integer work and/or
+// a Block latency wait, modeling a CPU-bound respectively I/O-bound
+// producer) and then performing a handful of instrumented accesses —
+// two on a private per-item location plus one read of the shared
+// location. With Racy set, producer 0's last item also writes the
+// shared location, planting a genuine cross-producer race.
+//
+// On the serial fork-first schedule the producers run one after
+// another; under the concurrent pipeline they overlap, so end-to-end
+// wall time improves by up to min(Producers, GOMAXPROCS) for Spin
+// payloads and up to Producers for Block payloads (waits overlap even
+// on a single CPU).
+type IngestFanout struct {
+	Producers int
+	Items     int
+	Spin      int           // integer-work iterations per item (CPU-bound payload)
+	Block     time.Duration // latency per item (I/O-bound payload)
+	Racy      bool
+}
+
+const ingestBase core.Addr = 1 << 23
+
+// spinSink keeps the Spin loop observable so the compiler cannot
+// delete it; atomic because producers run concurrently.
+var spinSink atomic.Uint64
+
+// Events returns the number of instrumented memory operations the
+// workload performs (excluding structure events).
+func (c IngestFanout) Events() int {
+	n := c.Producers * c.Items * 3
+	if c.Racy {
+		n++
+	}
+	return n
+}
+
+// GoProgram returns the program body for the goroutine frontend.
+func (c IngestFanout) GoProgram() func(*goinstr.Task) {
+	return func(t *goinstr.Task) {
+		for p := 0; p < c.Producers; p++ {
+			p := p
+			t.Go(func(w *goinstr.Task) {
+				base := ingestBase + core.Addr(p*c.Items)
+				acc := uint64(p) + 1
+				for i := 0; i < c.Items; i++ {
+					for k := 0; k < c.Spin; k++ {
+						acc = acc*6364136223846793005 + 1442695040888963407
+					}
+					if c.Block > 0 {
+						time.Sleep(c.Block)
+					}
+					loc := base + core.Addr(i)
+					w.Write(loc)
+					w.Read(loc)
+					w.Read(SharedLoc)
+					if c.Racy && p == 0 && i == c.Items-1 {
+						w.Write(SharedLoc)
+					}
+				}
+				spinSink.Add(acc)
+			})
+		}
+		// The runtime's auto-join collects the producers when the root
+		// body returns.
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/goinstr"
+)
+
+// Schedule-independent program plans. The random generators consume one
+// rng (and one op budget) across all task bodies, which is only
+// deterministic when bodies run in the serial fork-first order. A Plan
+// decouples generation from execution: the op tree is built up front —
+// consuming the rng in exactly the order the serial schedule would, so
+// every seed keeps its historical trace — and can then be replayed on
+// any frontend, including the concurrent goroutine pipeline where task
+// bodies run on truly parallel goroutines.
+
+type planKind uint8
+
+const (
+	planRead planKind = iota
+	planWrite
+	planFork
+	planJoinLeft
+)
+
+type planOp struct {
+	kind  planKind
+	loc   core.Addr
+	child *Plan // planFork only
+}
+
+// Plan is one task body: a fixed sequence of instrumented operations.
+type Plan struct {
+	ops []planOp
+}
+
+// Tasks returns the number of tasks the plan creates, including the
+// task running the plan itself.
+func (p *Plan) Tasks() int {
+	n := 1
+	for _, op := range p.ops {
+		if op.kind == planFork {
+			n += op.child.Tasks()
+		}
+	}
+	return n
+}
+
+// Plan builds the workload's op tree, consuming the seed's random
+// stream in the serial fork-first order (bit-identical to the former
+// on-the-fly generator).
+func (c ForkJoin) Plan() *Plan {
+	rng := rand.New(rand.NewSource(c.Seed))
+	budget := c.Ops
+	var build func(depth int) *Plan
+	build = func(depth int) *Plan {
+		p := &Plan{}
+		for budget > 0 {
+			budget--
+			switch r := rng.Intn(10); {
+			case r < 4:
+				n := c.Mix.Block
+				if n < 1 {
+					n = 1
+				}
+				for i := 0; i < n; i++ {
+					loc := core.Addr(1 + rng.Intn(c.Mix.Locs))
+					if rng.Float64() < c.Mix.ReadFrac {
+						p.ops = append(p.ops, planOp{kind: planRead, loc: loc})
+					} else {
+						p.ops = append(p.ops, planOp{kind: planWrite, loc: loc})
+					}
+				}
+			case r < 7 && depth < c.MaxDepth:
+				// The serial schedule runs the child to completion at the
+				// fork point, so the child's slice of the random stream is
+				// consumed here, before the parent continues.
+				p.ops = append(p.ops, planOp{kind: planFork, child: build(depth + 1)})
+			case r < 9:
+				p.ops = append(p.ops, planOp{kind: planJoinLeft})
+			default:
+				return p
+			}
+		}
+		return p
+	}
+	return build(0)
+}
+
+// Body replays the plan on the serial fork-join runtime.
+func (p *Plan) Body() func(*fj.Task) {
+	var replay func(t *fj.Task, p *Plan)
+	replay = func(t *fj.Task, p *Plan) {
+		for _, op := range p.ops {
+			switch op.kind {
+			case planRead:
+				t.Read(op.loc)
+			case planWrite:
+				t.Write(op.loc)
+			case planFork:
+				child := op.child
+				t.Fork(func(ct *fj.Task) { replay(ct, child) })
+			case planJoinLeft:
+				t.JoinLeft()
+			}
+		}
+	}
+	return func(t *fj.Task) { replay(t, p) }
+}
+
+// GoBody replays the plan on the goroutine frontend; each forked task
+// replays its subtree on its own goroutine, so under the concurrent
+// pipeline the bodies genuinely run in parallel.
+func (p *Plan) GoBody() func(*goinstr.Task) {
+	var replay func(t *goinstr.Task, p *Plan)
+	replay = func(t *goinstr.Task, p *Plan) {
+		for _, op := range p.ops {
+			switch op.kind {
+			case planRead:
+				t.Read(op.loc)
+			case planWrite:
+				t.Write(op.loc)
+			case planFork:
+				child := op.child
+				t.Go(func(ct *goinstr.Task) { replay(ct, child) })
+			case planJoinLeft:
+				t.JoinLeft()
+			}
+		}
+	}
+	return func(t *goinstr.Task) { replay(t, p) }
+}

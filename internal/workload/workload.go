@@ -14,6 +14,7 @@ import (
 	"repro/internal/asyncfinish"
 	"repro/internal/core"
 	"repro/internal/fj"
+	"repro/internal/goinstr"
 	"repro/internal/pipeline"
 	"repro/internal/spawnsync"
 )
@@ -58,27 +59,18 @@ type ForkJoin struct {
 	Mix      Mix
 }
 
-// Program returns the program body for fj.Run.
+// Program returns the program body for fj.Run. The body replays a
+// pre-built Plan, so the same seed produces the identical event stream
+// on every frontend and schedule.
 func (c ForkJoin) Program() func(*fj.Task) {
-	rng := rand.New(rand.NewSource(c.Seed))
-	budget := c.Ops
-	var body func(t *fj.Task, depth int)
-	body = func(t *fj.Task, depth int) {
-		for budget > 0 {
-			budget--
-			switch r := rng.Intn(10); {
-			case r < 4:
-				c.Mix.access(rng, t.Read, t.Write)
-			case r < 7 && depth < c.MaxDepth:
-				t.Fork(func(ct *fj.Task) { body(ct, depth+1) })
-			case r < 9:
-				t.JoinLeft()
-			default:
-				return
-			}
-		}
-	}
-	return func(t *fj.Task) { body(t, 0) }
+	return c.Plan().Body()
+}
+
+// GoProgram returns the program body for the goroutine frontend
+// (goinstr.Run / goinstr.RunPipeline), replaying the same plan as
+// Program with each task on its own goroutine.
+func (c ForkJoin) GoProgram() func(*goinstr.Task) {
+	return c.Plan().GoBody()
 }
 
 // Run executes the workload against sink.

@@ -1,0 +1,250 @@
+package race2d
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fj"
+	"repro/internal/workload"
+)
+
+// reportJSON renders a report for byte-level comparison.
+func reportJSONString(t *testing.T, rep *Report) string {
+	t.Helper()
+	if rep == nil {
+		return "<nil>"
+	}
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// corpusPrograms returns the .fj test corpus plus the fuzz seed
+// programs — the differential inputs for API-equivalence checks.
+func corpusPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	srcs := map[string]string{
+		"seed-figure2":  "fork a { read r }\nread r\nfork c { join a }\nwrite r\njoin c\n",
+		"seed-empty":    "fork a { } join a",
+		"seed-straight": "read x write y",
+		"seed-nested":   "fork a { fork b { write z } join b }",
+		"seed-racy":     "fork a { write x } write x join a",
+	}
+	files, err := filepath.Glob(filepath.Join("cmd", "race2d", "testdata", "*.fj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[filepath.Base(f)] = string(b)
+	}
+	if len(srcs) < 10 {
+		t.Fatalf("corpus incomplete: %d sources", len(srcs))
+	}
+	return srcs
+}
+
+// TestOptionsMatchLegacyOnWorkloads: Detect with WithEngine produces a
+// byte-identical report to the deprecated DetectWith, for every engine
+// over a sweep of random fork-join programs.
+func TestOptionsMatchLegacyOnWorkloads(t *testing.T) {
+	engines := []Engine{Engine2D, EngineVC, EngineFastTrack, EngineNaive}
+	for seed := int64(0); seed < 25; seed++ {
+		w := workload.ForkJoin{Seed: seed, Ops: 60, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 5, ReadFrac: 0.55}}
+		for _, e := range engines {
+			legacy, errL := DetectWith(e, w.Program())
+			opt, errO := Detect(w.Program(), WithEngine(e))
+			if (errL == nil) != (errO == nil) {
+				t.Fatalf("seed %d engine %v: legacy err %v, options err %v", seed, e, errL, errO)
+			}
+			if errL != nil {
+				continue
+			}
+			if l, o := reportJSONString(t, legacy), reportJSONString(t, opt); l != o {
+				t.Fatalf("seed %d engine %v: reports diverge\nlegacy: %s\noptions: %s", seed, e, l, o)
+			}
+		}
+	}
+}
+
+// TestDetectSourceMatchesDetectProgram: the one-value DetectSource and
+// the deprecated three-value DetectProgram agree on the whole corpus,
+// including the location-name resolver now carried by the report.
+func TestDetectSourceMatchesDetectProgram(t *testing.T) {
+	for name, src := range corpusPrograms(t) {
+		for _, e := range []Engine{Engine2D, EngineVC} {
+			legacy, locName, errL := DetectProgram(e, strings.NewReader(src))
+			opt, errO := DetectSource(strings.NewReader(src), WithEngine(e))
+			if (errL == nil) != (errO == nil) {
+				t.Fatalf("%s/%v: legacy err %v, options err %v", name, e, errL, errO)
+			}
+			if errL != nil {
+				continue
+			}
+			if l, o := reportJSONString(t, legacy), reportJSONString(t, opt); l != o {
+				t.Fatalf("%s/%v: reports diverge\nlegacy: %s\noptions: %s", name, e, l, o)
+			}
+			if opt.AddrName == nil {
+				t.Fatalf("%s/%v: DetectSource left AddrName nil", name, e)
+			}
+			for _, r := range opt.Races {
+				if got, want := opt.AddrName(r.Loc), locName(r.Loc); got != want {
+					t.Fatalf("%s/%v: AddrName(%v) = %q, resolver says %q", name, e, r.Loc, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWithBatchSizeInvariant: batching is a transport detail — verdicts
+// and every report field except the batch counters are unchanged.
+func TestWithBatchSizeInvariant(t *testing.T) {
+	w := workload.ForkJoin{Seed: 7, Ops: 200, MaxDepth: 6,
+		Mix: workload.Mix{Locs: 6, ReadFrac: 0.5}}
+	base, err := Detect(w.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 2, 64, 4096} {
+		rep, err := Detect(w.Program(), WithBatchSize(bs))
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		a, b := *base, *rep
+		a.Stats, b.Stats = Stats{}, Stats{}
+		if x, y := reportJSONString(t, &a), reportJSONString(t, &b); x != y {
+			t.Fatalf("batch %d changed the report\nbase: %s\nbatched: %s", bs, x, y)
+		}
+	}
+	if _, err := Detect(w.Program(), WithBatchSize(-1)); err == nil {
+		t.Fatal("negative batch size accepted")
+	}
+}
+
+// TestWithStorageBackends: every 2D storage backend reports the Figure 2
+// race; combining WithStorage with a non-2D engine is rejected.
+func TestWithStorageBackends(t *testing.T) {
+	for _, s := range []Storage{StorageOpenAddr, StorageMap, StorageShadow} {
+		rep, err := Detect(figure2, WithStorage(s))
+		if err != nil {
+			t.Fatalf("storage %v: %v", s, err)
+		}
+		if !rep.Racy() || rep.Count != 1 {
+			t.Fatalf("storage %v: report %+v", s, rep)
+		}
+	}
+	if _, err := Detect(figure2, WithStorage(StorageMap), WithEngine(EngineVC)); err == nil {
+		t.Fatal("WithStorage with EngineVC accepted")
+	}
+}
+
+// TestWithStatsSnapshot: WithStats receives exactly the report's Stats.
+func TestWithStatsSnapshot(t *testing.T) {
+	var st Stats
+	rep, err := Detect(figure2, WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemOps() == 0 {
+		t.Fatal("stats snapshot empty")
+	}
+	if !reflect.DeepEqual(st, rep.Stats) {
+		t.Fatalf("snapshot %+v != report stats %+v", st, rep.Stats)
+	}
+}
+
+// TestWithContextCancelsDetect: a cancelled context aborts the serial
+// frontend at the next structural operation, returning the drained
+// report alongside the context error.
+func TestWithContextCancelsDetect(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Detect(func(tk *Task) {
+		h := tk.Fork(func(*Task) {})
+		tk.Join(h)
+	}, WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if rep == nil {
+		t.Fatal("cancellation must still yield a drained report")
+	}
+}
+
+// TestDetectGoroutinesOptionsSurface: the concurrent frontend honors the
+// ingestion options, reports backpressure stats, and agrees with the
+// serialized schedule on the verdict.
+func TestDetectGoroutinesOptionsSurface(t *testing.T) {
+	body := func(root *GoTask) {
+		for p := 0; p < 4; p++ {
+			base := Addr(1000 + 100*p)
+			root.Go(func(c *GoTask) {
+				for i := 0; i < 50; i++ {
+					c.Write(base + Addr(i%8))
+					c.Read(base + Addr(i%8))
+				}
+			})
+		}
+	}
+	var st Stats
+	conc, err := DetectGoroutines(body, WithQueueCapacity(128), WithBatchSize(64), WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Stats.Producers != 5 || conc.Stats.EventsBuffered == 0 {
+		t.Fatalf("ingest stats missing: %+v", conc.Stats)
+	}
+	if !reflect.DeepEqual(st, conc.Stats) {
+		t.Fatal("WithStats snapshot diverges from report")
+	}
+	serial, err := DetectGoroutines(body, WithSerialIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Racy() != serial.Racy() || conc.Count != serial.Count ||
+		conc.Tasks != serial.Tasks || conc.Locations != serial.Locations {
+		t.Fatalf("concurrent %+v vs serial %+v", conc, serial)
+	}
+}
+
+// TestStreamDetectorSurface: the named interface replays a trace and
+// assembles a full report, and NewStreamDetector validates its options.
+func TestStreamDetectorSurface(t *testing.T) {
+	var tr Trace
+	if _, err := fj.Run(figure2, &tr, fj.Options{AutoJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStreamDetector(WithStorage(StorageMap), WithEngine(EngineVC)); err == nil {
+		t.Fatal("invalid stream options accepted")
+	}
+	s, err := NewStreamDetector(WithEngine(EngineVC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Replay(s)
+	rep := s.Report()
+	if !rep.Racy() || rep.Engine != EngineVC || rep.Tasks != 3 || rep.Locations != 1 {
+		t.Fatalf("stream report = %+v", rep)
+	}
+	// The batch path observes task ids too.
+	b := New2DSink(StorageShadow)
+	b.EventBatch(tr.Events)
+	if rep := b.Report(); !rep.Racy() || rep.Tasks != 3 || rep.Engine != Engine2D {
+		t.Fatalf("batched stream report = %+v", rep)
+	}
+	// Unwrap exposes the engine object behind the wrapper.
+	if u, ok := b.(interface{ Unwrap() any }); !ok || u.Unwrap() == nil {
+		t.Fatal("stream detector does not unwrap")
+	}
+}

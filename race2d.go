@@ -18,14 +18,27 @@
 //	})
 //	// report.Racy() == true
 //
+// Every frontend is configured through the same functional options:
+//
+//	report, err := race2d.Detect(body,
+//		race2d.WithEngine(race2d.EngineVC),
+//		race2d.WithBatchSize(256),
+//		race2d.WithContext(ctx),
+//	)
+//
 // Programs follow the paper's restricted fork-join discipline: a forked
 // task is placed immediately left of its parent in the task line, and a
 // task may join only its immediate left neighbor (Figure 9). The runtime
 // executes serially, fork-first, and reports violations of the discipline
 // as errors. Cilk-style spawn/sync (DetectSpawnSync), X10-style
-// async/finish (DetectAsyncFinish), linear pipelines (DetectPipeline) and
-// goroutine-based programs (DetectGoroutines) are provided as frontends
-// that always stay inside the discipline.
+// async/finish (DetectAsyncFinish), linear pipelines (DetectPipeline),
+// textual programs (DetectSource) and goroutine-based programs
+// (DetectGoroutines) are provided as frontends that always stay inside
+// the discipline. DetectGoroutines runs tasks truly concurrently: each
+// task streams its events into a bounded queue and a merge stage
+// linearizes them into the canonical fork-first order before they reach
+// the single-consumer detector, so verdicts match the serial schedule's
+// exactly (the Theorem 4 delayed-traversal contract; see internal/core).
 package race2d
 
 import (
@@ -134,19 +147,15 @@ type EventBuffer = fj.EventBuffer
 // of dst; Flush must be called (the runtimes' BatchSize option does so).
 func NewEventBuffer(dst Sink, size int) *EventBuffer { return fj.NewEventBuffer(dst, size) }
 
-// New2DSink returns the 2D detector as an event sink on an explicit
-// per-location storage backend, with the common reporting surface —
-// the entry point for the storage ablation and differential testing.
-func New2DSink(s Storage) interface {
-	Sink
-	Races() []Race
-	Count() int
-	Racy() bool
-	Locations() int
-	MemoryBytes() int
-	Stats() Stats
-} {
-	return detectorSinkAdapter{fj.NewDetectorSinkStorage(16, s)}
+// New2DSink returns the 2D detector as a StreamDetector on an explicit
+// per-location storage backend — the entry point for the storage
+// ablation and differential testing.
+func New2DSink(s Storage) StreamDetector {
+	return &streamDetector{
+		d:      detectorSinkAdapter{fj.NewDetectorSinkStorage(16, s)},
+		engine: Engine2D,
+		maxID:  -1,
+	}
 }
 
 // Engine selects a detector implementation. Engine2D is the paper's
@@ -227,18 +236,10 @@ func (a detectorSinkAdapter) Count() int       { return a.D.Count() }
 func (a detectorSinkAdapter) Locations() int   { return a.D.Locations() }
 func (a detectorSinkAdapter) MemoryBytes() int { return a.D.MemoryBytes() }
 
-// NewEngineSink returns a fresh detector for the engine as an event sink
-// with the common reporting surface.
-func NewEngineSink(e Engine) interface {
-	Sink
-	Races() []Race
-	Count() int
-	Racy() bool
-	Locations() int
-	MemoryBytes() int
-	Stats() Stats
-} {
-	return newDetector(e)
+// NewEngineSink returns a fresh detector for the engine as a
+// StreamDetector.
+func NewEngineSink(e Engine) StreamDetector {
+	return &streamDetector{d: newDetector(e), engine: e, maxID: -1}
 }
 
 func newDetector(e Engine) detector {
@@ -277,6 +278,10 @@ type Report struct {
 	// Stats is the engine's operation-count snapshot at the end of the
 	// run (see Stats and internal/obs).
 	Stats Stats
+	// AddrName, when non-nil, resolves monitored addresses to symbolic
+	// names — DetectSource sets it to the source-level location names.
+	// String, MarshalJSON and WriteJSON consult it; nil renders hex.
+	AddrName func(Addr) string `json:"-"`
 }
 
 // Racy reports whether any race was detected.
@@ -287,7 +292,12 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine=%s tasks=%d locations=%d races=%d", r.Engine, r.Tasks, r.Locations, r.Count)
 	for i, race := range r.Races {
-		fmt.Fprintf(&b, "\n  #%d %s", i+1, race)
+		if r.AddrName != nil {
+			fmt.Fprintf(&b, "\n  #%d %s race on %q: current %d vs prior rooted at %d",
+				i+1, race.Kind, r.AddrName(race.Loc), race.Current, race.Prior)
+		} else {
+			fmt.Fprintf(&b, "\n  #%d %s", i+1, race)
+		}
 		if i == 0 {
 			b.WriteString(" (precise)")
 		}
@@ -307,90 +317,133 @@ func report(e Engine, d detector, tasks int) *Report {
 	}
 }
 
-// Detect runs a structured fork-join program under the 2D detector.
-func Detect(root func(*Task)) (*Report, error) {
-	return DetectWith(Engine2D, root)
+// Detect runs a structured fork-join program under the configured
+// detector (2D by default; see Option). Batching (WithBatchSize) and
+// cancellation (WithContext) apply directly to the serial runtime.
+func Detect(root func(*Task), opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.newDetector()
+	tasks, err := fj.Run(root, d, fj.Options{AutoJoin: true, BatchSize: cfg.batch, Ctx: cfg.ctx})
+	return cfg.finish(d, tasks, nil, err)
 }
 
 // DetectWith runs a structured fork-join program under the chosen engine.
+//
+// Deprecated: use Detect with WithEngine.
 func DetectWith(e Engine, root func(*Task)) (*Report, error) {
-	d := newDetector(e)
-	tasks, err := fj.Run(root, d, fj.Options{AutoJoin: true})
-	if err != nil {
-		return nil, err
-	}
-	return report(e, d, tasks), nil
+	return Detect(root, WithEngine(e))
 }
 
-// DetectSpawnSync runs a Cilk-style spawn/sync program under the 2D
-// detector.
-func DetectSpawnSync(root func(*Proc)) (*Report, error) {
-	d := newDetector(Engine2D)
-	tasks, err := spawnsync.Run(root, d)
+// DetectSpawnSync runs a Cilk-style spawn/sync program under the
+// configured detector.
+func DetectSpawnSync(root func(*Proc), opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return report(Engine2D, d, tasks), nil
+	return cfg.run(func(s Sink) (int, error) { return spawnsync.Run(root, s) })
 }
 
-// DetectAsyncFinish runs an X10-style async/finish program under the 2D
-// detector.
-func DetectAsyncFinish(root func(*Act)) (*Report, error) {
-	d := newDetector(Engine2D)
-	tasks, err := asyncfinish.Run(root, d)
+// DetectAsyncFinish runs an X10-style async/finish program under the
+// configured detector.
+func DetectAsyncFinish(root func(*Act), opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return report(Engine2D, d, tasks), nil
+	return cfg.run(func(s Sink) (int, error) { return asyncfinish.Run(root, s) })
 }
 
-// DetectPipeline runs a linear pipeline under the 2D detector.
-func DetectPipeline(cfg Pipeline) (*Report, error) {
-	d := newDetector(Engine2D)
-	tasks, err := pipeline.Run(cfg, d)
+// DetectPipeline runs a linear pipeline under the configured detector.
+func DetectPipeline(cfg Pipeline, opts ...Option) (*Report, error) {
+	c, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return report(Engine2D, d, tasks), nil
+	return c.run(func(s Sink) (int, error) { return pipeline.Run(cfg, s) })
 }
 
 // DetectPipelineWhile runs an on-the-fly pipeline (pipe_while style, Lee
 // et al.): more is consulted before each item; the pipeline drains when
 // it returns false.
-func DetectPipelineWhile(stages int, more func(item int) bool, body func(*Cell)) (*Report, error) {
-	d := newDetector(Engine2D)
-	tasks, err := pipeline.RunWhile(stages, more, body, d)
+func DetectPipelineWhile(stages int, more func(item int) bool, body func(*Cell), opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return report(Engine2D, d, tasks), nil
+	return cfg.run(func(s Sink) (int, error) { return pipeline.RunWhile(stages, more, body, s) })
 }
 
-// DetectGoroutines runs a program whose tasks execute on real goroutines
-// (serialized fork-first) under the 2D detector.
-func DetectGoroutines(root func(*GoTask)) (*Report, error) {
-	d := newDetector(Engine2D)
-	tasks, err := goinstr.Run(root, d)
+// DetectGoroutines runs a program whose tasks execute on truly
+// concurrent goroutines under the configured detector: each task
+// buffers its events into a bounded queue (WithQueueCapacity) and a
+// merge stage linearizes the streams into the canonical fork-first
+// order, so verdicts are identical to the serial schedule's.
+// WithContext cancels the run gracefully (drained Report plus
+// ctx.Err()); WithSerialIngest restores the serialized schedule. The
+// report's Stats include the ingestion backpressure counters
+// (Producers, EventsBuffered, MaxQueueDepth, ProducerStalls).
+func DetectGoroutines(root func(*GoTask), opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return report(Engine2D, d, tasks), nil
+	d := cfg.newDetector()
+	res, err := goinstr.RunPipeline(root, d, goinstr.Options{
+		Context:       cfg.ctx,
+		QueueCapacity: cfg.queueCap,
+		BatchSize:     cfg.batch,
+		Serial:        cfg.serial,
+	})
+	return cfg.finish(d, res.Tasks, &res.Stats, err)
 }
 
-// DetectProgram parses a textual program (see internal/prog syntax) and
-// runs it under the chosen engine. Location names from the source are
-// resolved in the returned report via the names function.
-func DetectProgram(e Engine, src io.Reader) (*Report, func(Addr) string, error) {
+// DetectSource parses a textual program (see internal/prog syntax) and
+// runs it under the configured detector. Source-level location names
+// are folded into the report as Report.AddrName, so String and the JSON
+// renderings print symbolic names without a separate resolver.
+// WithContext cancels mid-interpretation with a drained Report.
+func DetectSource(src io.Reader, opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	p, err := prog.Parse(src)
 	if err != nil {
+		return nil, err
+	}
+	d := cfg.newDetector()
+	var sink Sink = d
+	var buf *fj.EventBuffer
+	if cfg.batch > 0 {
+		buf = fj.NewEventBuffer(d, cfg.batch)
+		sink = buf
+	}
+	res, runErr := prog.ExecContext(cfg.context(), p, sink)
+	if buf != nil {
+		buf.Flush()
+	}
+	rep, err := cfg.finish(d, res.Tasks, nil, runErr)
+	if rep != nil {
+		rep.AddrName = res.LocName
+	}
+	return rep, err
+}
+
+// DetectProgram parses and runs a textual program under the chosen
+// engine, returning the location-name resolver separately.
+//
+// Deprecated: use DetectSource; the resolver now lives on the report as
+// Report.AddrName.
+func DetectProgram(e Engine, src io.Reader) (*Report, func(Addr) string, error) {
+	rep, err := DetectSource(src, WithEngine(e))
+	if err != nil || rep == nil {
 		return nil, nil, err
 	}
-	d := newDetector(e)
-	res, err := prog.Exec(p, d)
-	if err != nil {
-		return nil, nil, err
-	}
-	return report(e, d, res.Tasks), res.LocName, nil
+	return rep, rep.AddrName, nil
 }
 
 // GroundTruth replays a recorded trace through the exhaustive
@@ -431,12 +484,11 @@ type Value = future.Value
 // DetectFutures runs a program written with restricted (left-neighbor)
 // futures — the construct the paper notes fork-join "naturally
 // capture[s]" (Section 2.2) and the idiom of Blelloch and Reid-Miller's
-// pipelining with futures — under the 2D detector.
-func DetectFutures(root func(*FutureCtx)) (*Report, error) {
-	d := newDetector(Engine2D)
-	tasks, err := future.Run(root, d)
+// pipelining with futures — under the configured detector.
+func DetectFutures(root func(*FutureCtx), opts ...Option) (*Report, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return report(Engine2D, d, tasks), nil
+	return cfg.run(func(s Sink) (int, error) { return future.Run(root, s) })
 }

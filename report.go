@@ -29,10 +29,19 @@ type reportJSON struct {
 	Stats       Stats      `json:"stats"`
 }
 
-// MarshalJSON renders the report for tooling. Location names are hex
-// addresses; use WriteJSON with a name resolver for symbolic names.
+// MarshalJSON renders the report for tooling. Locations are resolved
+// through Report.AddrName when set (DetectSource sets it to the
+// source-level names); otherwise they render as hex addresses.
 func (r *Report) MarshalJSON() ([]byte, error) {
-	return r.marshal(func(a Addr) string { return fmt.Sprintf("%#x", uint64(a)) })
+	return r.marshal(r.locName())
+}
+
+// locName returns the report's effective address resolver.
+func (r *Report) locName() func(Addr) string {
+	if r.AddrName != nil {
+		return r.AddrName
+	}
+	return func(a Addr) string { return fmt.Sprintf("%#x", uint64(a)) }
 }
 
 func (r *Report) marshal(locName func(Addr) string) ([]byte, error) {
@@ -98,11 +107,12 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// WriteJSON writes the report as indented JSON, resolving location names
-// through locName (may be nil for hex addresses).
+// WriteJSON writes the report as indented JSON, resolving location
+// names through locName; nil falls back to Report.AddrName and then to
+// hex addresses.
 func (r *Report) WriteJSON(w io.Writer, locName func(Addr) string) error {
 	if locName == nil {
-		locName = func(a Addr) string { return fmt.Sprintf("%#x", uint64(a)) }
+		locName = r.locName()
 	}
 	data, err := r.marshal(locName)
 	if err != nil {
