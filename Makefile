@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke serve-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -44,14 +44,23 @@ bench-smoke:
 	$(GO) run ./cmd/bench2d -e bench -quick -parallel 2 -json '' -checkallocs
 	$(GO) run ./cmd/bench2d -e all -quick
 
+# Mirrors the CI serve-smoke job: build raced and race2d under the Go
+# race detector, stream the corpus through a real server, assert remote
+# output byte-identical to local, probe /healthz and /metrics, and drain
+# a mid-stream SIGTERM gracefully.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
+	$(GO) test -fuzz=FuzzDecodeEventsBytes -fuzztime=30s ./internal/fj
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
 
 # Mirrors the CI fuzz-smoke job: seed corpora, then a short fuzz budget
 # per target.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj
+	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj ./internal/wire
 	$(MAKE) fuzz
 
 # Diff the exported API of the root package against the previous commit

@@ -1,0 +1,235 @@
+// Package client speaks the raced wire protocol (internal/wire) to a
+// streaming race-detection server. A Session is an event sink — plug it
+// anywhere an fj.Sink goes (prog.Exec, workload generators, trace
+// replay) — whose verdict is computed remotely: events are framed in
+// batches, streamed over TCP, and Finish returns the server engine's
+// Report.
+//
+// Mid-stream write errors are sticky but deliberately not fatal: a
+// server draining on SIGTERM stops reading and half-closes, yet still
+// owes the session a Report for the prefix it consumed. Finish therefore
+// always attempts to read the report and returns ErrPartial (with the
+// report) when the server flagged it partial.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/fj"
+	"repro/internal/wire"
+
+	race2d "repro"
+)
+
+// DefaultFrameEvents is how many events a Session packs per wire frame
+// before flushing, when Options leaves FrameEvents unset.
+const DefaultFrameEvents = 512
+
+// ErrPartial marks a report produced by a draining server: it is a
+// coherent verdict for the prefix of the stream the server consumed,
+// not for the whole execution.
+var ErrPartial = errors.New("client: partial report (server drained mid-stream)")
+
+// Options configures Dial.
+type Options struct {
+	// Engine names the detector engine the server should run (race2d
+	// engine vocabulary; empty selects the server default, "2d").
+	Engine string
+	// BatchSize asks the server to deliver events to its engine in
+	// batches of this size. Zero delivers per event, which keeps the
+	// remote Report's Stats identical to an unbuffered local run.
+	BatchSize int
+	// FrameEvents is the transport batch: events packed per wire frame
+	// (DefaultFrameEvents when <= 0). Purely a throughput knob; it does
+	// not affect the verdict.
+	FrameEvents int
+	// DialTimeout bounds the TCP dial and the handshake (10s when 0).
+	DialTimeout time.Duration
+}
+
+// Session is one open detection session. It implements fj.Sink and
+// fj.BatchSink; it is single-producer, like every detector sink.
+type Session struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	id      uint64
+	frameN  int
+	batch   []fj.Event
+	payload []byte // frame-encoding scratch
+	scratch []byte // frame-reading scratch
+	err     error  // first write-side error; sticky, resolved by Finish
+	closed  bool
+}
+
+// Dial connects to a raced server and opens a session.
+func Dial(addr string, opts Options) (*Session, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	s := &Session{
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 64<<10),
+		frameN: opts.FrameEvents,
+	}
+	if s.frameN <= 0 {
+		s.frameN = DefaultFrameEvents
+	}
+	s.batch = make([]fj.Event, 0, s.frameN)
+
+	conn.SetDeadline(time.Now().Add(timeout))
+	hello := wire.Hello{Engine: opts.Engine, BatchSize: opts.BatchSize}
+	if err := wire.WriteMagic(s.bw); err == nil {
+		err = wire.WriteFrame(s.bw, wire.FrameHello, wire.EncodeHello(hello))
+		if err == nil {
+			err = s.bw.Flush()
+		}
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	ft, payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch ft {
+	case wire.FrameWelcome:
+		w, err := wire.DecodeWelcome(payload)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("client: handshake: %w", err)
+		}
+		s.id = w.Session
+	case wire.FrameError:
+		conn.Close()
+		return nil, fmt.Errorf("client: server refused session: %s", payload)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %v frame", ft)
+	}
+	conn.SetDeadline(time.Time{})
+	return s, nil
+}
+
+// ID returns the server-assigned session identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Event buffers one event, flushing a frame when the transport batch
+// fills. Implements fj.Sink.
+func (s *Session) Event(e fj.Event) {
+	s.batch = append(s.batch, e)
+	if len(s.batch) >= s.frameN {
+		s.flushFrame()
+	}
+}
+
+// EventBatch buffers a slab of events. Implements fj.BatchSink.
+func (s *Session) EventBatch(events []fj.Event) {
+	for len(events) > 0 {
+		n := min(s.frameN-len(s.batch), len(events))
+		s.batch = append(s.batch, events[:n]...)
+		events = events[n:]
+		if len(s.batch) >= s.frameN {
+			s.flushFrame()
+		}
+	}
+}
+
+// flushFrame sends the buffered events as one Events frame. Errors are
+// sticky: a draining server legitimately stops reading mid-stream, so
+// failures here are reported by Finish, alongside (or subsumed by) the
+// report the server still owes us.
+func (s *Session) flushFrame() {
+	if len(s.batch) == 0 {
+		return
+	}
+	s.payload = wire.EncodeEvents(s.payload[:0], s.batch)
+	s.batch = s.batch[:0]
+	if s.err != nil {
+		return
+	}
+	if err := wire.WriteFrame(s.bw, wire.FrameEvents, s.payload); err != nil {
+		s.err = err
+	}
+}
+
+// Flush pushes all buffered events onto the wire.
+func (s *Session) Flush() error {
+	s.flushFrame()
+	if s.err == nil {
+		s.err = s.bw.Flush()
+	}
+	return s.err
+}
+
+// Finish declares the stream complete and waits for the server's
+// Report. When the server drained mid-stream the returned error wraps
+// ErrPartial and the Report (non-nil) covers the consumed prefix.
+func (s *Session) Finish() (*race2d.Report, error) {
+	s.flushFrame()
+	if s.err == nil {
+		if err := wire.WriteFrame(s.bw, wire.FrameFinish, nil); err != nil {
+			s.err = err
+		}
+	}
+	if s.err == nil {
+		s.err = s.bw.Flush()
+	}
+	writeErr := s.err
+	// Half-close: the server's drain loop sees EOF instead of waiting
+	// out its grace period.
+	if tc, ok := s.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	s.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	for {
+		ft, payload, err := wire.ReadFrame(s.conn, s.scratch)
+		if err != nil {
+			if writeErr != nil {
+				return nil, fmt.Errorf("client: stream failed (%v) and no report followed: %w", writeErr, err)
+			}
+			return nil, fmt.Errorf("client: awaiting report: %w", err)
+		}
+		s.scratch = payload[:0]
+		switch ft {
+		case wire.FrameReport:
+			flags, body, err := wire.DecodeReport(payload)
+			if err != nil {
+				return nil, fmt.Errorf("client: report: %w", err)
+			}
+			rep := &race2d.Report{}
+			if err := json.Unmarshal(body, rep); err != nil {
+				return nil, fmt.Errorf("client: report: %w", err)
+			}
+			if flags&wire.FlagPartial != 0 {
+				return rep, ErrPartial
+			}
+			return rep, nil
+		case wire.FrameError:
+			return nil, fmt.Errorf("client: server error: %s", payload)
+		default:
+			return nil, fmt.Errorf("client: awaiting report: unexpected %v frame", ft)
+		}
+	}
+}
+
+// Close releases the connection. Idempotent; safe after Finish and in
+// deferred cleanup alongside it.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.conn.Close()
+}

@@ -170,6 +170,7 @@ type benchReport struct {
 	EventsPerS float64      `json:"aggregate_events_per_s"`
 	Results    []benchCell  `json:"results"`
 	Ingest     []ingestCell `json:"ingest,omitempty"`
+	Serve      []serveCell  `json:"serve,omitempty"`
 }
 
 // eBench runs the matrix and writes jsonPath (when non-empty). With
@@ -343,9 +344,11 @@ func eBench(quick bool, workers int, jsonPath string, checkAllocs bool) int {
 		}
 	}
 
-	// The E13 concurrent-ingestion cells ride along in the same JSON
-	// document, so the performance trajectory covers ingestion too.
+	// The E13 concurrent-ingestion and E14 streaming-service cells ride
+	// along in the same JSON document, so the performance trajectory
+	// covers ingestion and the service too.
 	ingest := e13(quick)
+	serve := e14(quick)
 
 	if jsonPath != "" {
 		report := benchReport{
@@ -356,6 +359,7 @@ func eBench(quick bool, workers int, jsonPath string, checkAllocs bool) int {
 			WallMs:     float64(wall.Microseconds()) / 1e3,
 			EventsPerS: float64(totalEvents) / wall.Seconds(),
 			Ingest:     ingest,
+			Serve:      serve,
 		}
 		for _, c := range cells {
 			report.Results = append(report.Results, *c)

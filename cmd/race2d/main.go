@@ -4,18 +4,24 @@
 //
 // Usage:
 //
-//	race2d [-engine 2d|vc|fasttrack|spbags] [-all] [-truth] program.fj
+//	race2d [-engine 2d|vc|fasttrack|spbags] [-all] [-truth] [-remote addr] program.fj
+//
+// With -remote the program still executes locally, but its event stream
+// is shipped to a raced server (cmd/raced) and the verdict comes back
+// from the server's engine; output is identical to the in-process path.
 //
 // Exit status: 0 when race-free, 1 when races were detected, 2 on error.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/client"
 	"repro/internal/baseline/bruteforce"
 	"repro/internal/fj"
 	"repro/internal/prog"
@@ -36,6 +42,7 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	traceStats := fs.Bool("stats", false, "print trace shape and per-engine operation-count statistics")
 	viz := fs.Bool("viz", false, "render the task line's evolution (small programs)")
+	remote := fs.String("remote", "", "raced server address; detection runs remotely over the wire protocol")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,7 +59,7 @@ func run(args []string) int {
 	// Binary traces (recorded with -record) are replayed directly; any
 	// other input is parsed as a program.
 	if len(data) >= 4 && [4]byte(data[:4]) == fj.TraceMagic {
-		return runTrace(data, *engineName, *all, *truth, *traceStats)
+		return runTrace(data, *engineName, *remote, *all, *truth, *traceStats)
 	}
 	p, err := prog.Parse(bytes.NewReader(data))
 	if err != nil {
@@ -82,41 +89,38 @@ func run(args []string) int {
 	racy := false
 	var trace fj.Trace
 	for i, e := range engines {
-		d := race2d.NewEngineSink(e)
-		sink := race2d.Sink(d)
-		if i == 0 {
-			sink = fj.MultiSink{&trace, d}
+		// Both paths produce a *Report; everything below prints from it,
+		// so local and remote verdicts render identically.
+		var rep *race2d.Report
+		var res *prog.Result
+		if *remote != "" {
+			rep, res, err = execRemote(p, *remote, e, i == 0, &trace)
+		} else {
+			d := race2d.NewEngineSink(e)
+			sink := race2d.Sink(d)
+			if i == 0 {
+				sink = fj.MultiSink{&trace, d}
+			}
+			res, err = prog.Exec(p, sink)
+			if err == nil {
+				rep = d.Report()
+			}
 		}
-		res, err := prog.Exec(p, sink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "race2d:", err)
 			return 2
 		}
+		rep.Tasks = res.Tasks
+		rep.AddrName = res.LocName
+		racy = racy || rep.Count > 0
 		if *jsonOut {
-			rep := d.Report()
-			rep.Tasks = res.Tasks
-			rep.AddrName = res.LocName
 			if err := rep.WriteJSON(os.Stdout, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2
 			}
-			racy = racy || d.Racy()
 			continue
 		}
-		fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
-			e, res.Tasks, d.Locations(), d.Count())
-		if *traceStats {
-			fmt.Printf("  ops: %s\n", d.Stats())
-		}
-		for j, r := range d.Races() {
-			precise := ""
-			if j == 0 {
-				precise = " (precise)"
-			}
-			fmt.Printf("  #%d %s race on %q by task %d vs prior rooted at task %d%s\n",
-				j+1, kindName(r), res.LocName(r.Loc), r.Current, r.Prior, precise)
-		}
-		racy = racy || d.Racy()
+		printReport(e, rep, res.LocName, *traceStats)
 	}
 	if *truth && !*jsonOut {
 		rep := bruteforce.Analyze(&trace)
@@ -156,8 +160,54 @@ func run(args []string) int {
 	return 0
 }
 
-// runTrace replays a recorded binary trace under the requested engines.
-func runTrace(data []byte, engineName string, all, truth, stats bool) int {
+// printReport renders one engine's verdict as text.
+func printReport(e race2d.Engine, rep *race2d.Report, locName func(race2d.Addr) string, stats bool) {
+	fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
+		e, rep.Tasks, rep.Locations, rep.Count)
+	if stats {
+		fmt.Printf("  ops: %s\n", rep.Stats)
+	}
+	for j, r := range rep.Races {
+		precise := ""
+		if j == 0 {
+			precise = " (precise)"
+		}
+		fmt.Printf("  #%d %s race on %q by task %d vs prior rooted at task %d%s\n",
+			j+1, kindName(r), locName(r.Loc), r.Current, r.Prior, precise)
+	}
+}
+
+// execRemote executes p locally but streams its events to a raced
+// server; the Report comes back from the server's engine. When the
+// server drains mid-stream the partial report is used, with a warning.
+func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace) (*race2d.Report, *prog.Result, error) {
+	sess, err := client.Dial(addr, client.Options{Engine: e.String()})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sess.Close()
+	var sink fj.Sink = sess
+	if recordTrace {
+		sink = fj.MultiSink{trace, sess}
+	}
+	res, err := prog.Exec(p, sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := sess.Finish()
+	if errors.Is(err, client.ErrPartial) {
+		fmt.Fprintln(os.Stderr, "race2d: warning: partial report (server drained mid-stream)")
+		err = nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, res, nil
+}
+
+// runTrace replays a recorded binary trace under the requested engines,
+// locally or against a raced server.
+func runTrace(data []byte, engineName, remote string, all, truth, stats bool) int {
 	tr, err := fj.DecodeTrace(bytes.NewReader(data))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "race2d:", err)
@@ -182,23 +232,34 @@ func runTrace(data []byte, engineName string, all, truth, stats bool) int {
 	}
 	fmt.Printf("trace: %d events, %d tasks\n", len(tr.Events), tr.Tasks())
 	racy := false
+	hex := func(a race2d.Addr) string { return fmt.Sprintf("%#x", uint64(a)) }
 	for _, e := range engines {
-		d := race2d.NewEngineSink(e)
-		tr.Replay(d)
-		fmt.Printf("engine=%-9s tasks=%-5d locations=%-4d races=%d\n",
-			e, tr.Tasks(), d.Locations(), d.Count())
-		if stats {
-			fmt.Printf("  ops: %s\n", d.Stats())
-		}
-		for j, r := range d.Races() {
-			precise := ""
-			if j == 0 {
-				precise = " (precise)"
+		var rep *race2d.Report
+		if remote != "" {
+			sess, err := client.Dial(remote, client.Options{Engine: e.String()})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "race2d:", err)
+				return 2
 			}
-			fmt.Printf("  #%d %s race on %#x by task %d vs prior rooted at task %d%s\n",
-				j+1, kindName(r), uint64(r.Loc), r.Current, r.Prior, precise)
+			tr.Replay(sess)
+			rep, err = sess.Finish()
+			if errors.Is(err, client.ErrPartial) {
+				fmt.Fprintln(os.Stderr, "race2d: warning: partial report (server drained mid-stream)")
+				err = nil
+			}
+			sess.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "race2d:", err)
+				return 2
+			}
+		} else {
+			d := race2d.NewEngineSink(e)
+			tr.Replay(d)
+			rep = d.Report()
 		}
-		racy = racy || d.Racy()
+		rep.Tasks = tr.Tasks()
+		printReport(e, rep, hex, stats)
+		racy = racy || rep.Count > 0
 	}
 	if truth {
 		rep := bruteforce.Analyze(tr)

@@ -3,10 +3,13 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/server"
 )
 
 // capture redirects stdout around fn and returns what was printed.
@@ -209,5 +212,68 @@ func TestCorpusUnderAllEngines(t *testing.T) {
 		if !strings.Contains(out, engine) {
 			t.Errorf("missing %s:\n%s", engine, out)
 		}
+	}
+}
+
+// startRaced runs an in-process raced server for the -remote tests.
+func startRaced(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestRemoteMatchesLocalOutput is the acceptance bar at the CLI level:
+// for every corpus program, `race2d -remote addr` output — JSON and
+// text — is byte-identical to the in-process run.
+func TestRemoteMatchesLocalOutput(t *testing.T) {
+	addr := startRaced(t)
+	files, err := filepath.Glob(filepath.Join("testdata", "*.fj"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, file := range files {
+		for _, mode := range [][]string{{"-json"}, {"-stats"}} {
+			local, localCode := capture(t, func() int { return run(append(append([]string{}, mode...), file)) })
+			args := append(append([]string{"-remote", addr}, mode...), file)
+			remote, remoteCode := capture(t, func() int { return run(args) })
+			if localCode != remoteCode {
+				t.Errorf("%s %v: exit %d local vs %d remote", file, mode, localCode, remoteCode)
+			}
+			if local != remote {
+				t.Errorf("%s %v: remote output differs\nlocal:\n%s\nremote:\n%s", file, mode, local, remote)
+			}
+		}
+	}
+}
+
+// TestRemoteTraceReplay streams a recorded binary trace to the server.
+func TestRemoteTraceReplay(t *testing.T) {
+	addr := startRaced(t)
+	prog := writeProgram(t, figure2)
+	trace := filepath.Join(t.TempDir(), "run.trace")
+	if _, code := capture(t, func() int { return run([]string{"-record", trace, prog}) }); code != 1 {
+		t.Fatalf("record exit = %d", code)
+	}
+	local, localCode := capture(t, func() int { return run([]string{trace}) })
+	remote, remoteCode := capture(t, func() int { return run([]string{"-remote", addr, trace}) })
+	if localCode != remoteCode || local != remote {
+		t.Fatalf("trace replay differs (exit %d vs %d)\nlocal:\n%s\nremote:\n%s",
+			localCode, remoteCode, local, remote)
+	}
+}
+
+// TestRemoteUnreachable reports a clean error, not a hang.
+func TestRemoteUnreachable(t *testing.T) {
+	path := writeProgram(t, figure2)
+	if _, code := capture(t, func() int {
+		return run([]string{"-remote", "127.0.0.1:1", path})
+	}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
 	}
 }

@@ -1,0 +1,113 @@
+// Command raced is the streaming race-detection server: it accepts
+// concurrent wire-protocol sessions (see internal/wire), runs one
+// detector engine per session, and answers each event stream with the
+// engine's Report. Point race2d at it with -remote, or drive it with
+// the client package.
+//
+// Usage:
+//
+//	raced [-addr :7471] [-metrics :7472] [-max-sessions 64]
+//	      [-queue-cap 4096] [-idle-timeout 0] [-v]
+//
+// On SIGINT/SIGTERM the server drains gracefully: every open session
+// stops reading, finishes detecting what it buffered, and receives a
+// Report flagged partial.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("raced", flag.ContinueOnError)
+	addr := fs.String("addr", ":7471", "session listen address")
+	metrics := fs.String("metrics", "", "observability listen address for /healthz and /metrics (empty disables)")
+	maxSessions := fs.Int("max-sessions", server.DefaultMaxSessions, "live session cap; extra connections are refused")
+	queueCap := fs.Int("queue-cap", 0, "per-session event queue capacity in events (0 = default)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "evict sessions idle this long (0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before hard close")
+	verbose := fs.Bool("v", false, "log session lifecycle events")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "raced: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxSessions:   *maxSessions,
+		QueueCapacity: *queueCap,
+		IdleTimeout:   *idleTimeout,
+	}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	// Announce the resolved address (":0" picks a free port) on stdout so
+	// scripts and the serve-smoke harness can find it.
+	fmt.Printf("raced: listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	var obsSrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		fmt.Printf("raced: metrics on http://%s\n", mln.Addr())
+		obsSrv = &http.Server{Handler: srv.Handler()}
+		go obsSrv.Serve(mln)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var draining atomic.Bool
+	done := make(chan int, 1)
+	go func() {
+		sig := <-sigc
+		draining.Store(true)
+		logger.Printf("%v: draining (%v budget)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			srv.Close()
+			code = 1
+		}
+		if obsSrv != nil {
+			obsSrv.Close()
+		}
+		done <- code
+	}()
+
+	err = srv.Serve(ln)
+	if draining.Load() {
+		code := <-done
+		logger.Print("shut down")
+		return code
+	}
+	logger.Print(err)
+	return 2
+}

@@ -151,9 +151,16 @@ func (q *EventQueue) Recycle(slab []Event) {
 
 // Close marks the producer stream finished: pending slabs remain
 // poppable, further pushes fail, and a blocked Pop returns once the
-// queue drains. The free list is released.
+// queue drains. The free list is released. Close is idempotent — the
+// teardown paths of a session (clean finish, error, shutdown drain) may
+// each close the queue without coordinating, and later calls are
+// no-ops: buffered slabs are delivered exactly once.
 func (q *EventQueue) Close() {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.closed = true
 	q.free = nil
 	q.notEmpty.Broadcast()
@@ -164,8 +171,14 @@ func (q *EventQueue) Close() {
 // Cancel aborts the queue for shutdown: blocked producers and the
 // consumer are released, pending slabs stay poppable (so the consumer
 // may drain what was already buffered), and new pushes are dropped.
+// Like Close it is idempotent, and the two may arrive in either order
+// from racing teardown paths.
 func (q *EventQueue) Cancel() {
 	q.mu.Lock()
+	if q.canceled {
+		q.mu.Unlock()
+		return
+	}
 	q.canceled = true
 	q.notEmpty.Broadcast()
 	q.notFull.Broadcast()

@@ -1,0 +1,97 @@
+package fj
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression tests for idempotent stream teardown: a session's queue
+// may be closed (or canceled) by several independent paths — clean
+// finish, error handling, shutdown drain — and the second call must be
+// a no-op: no panic, no double-drain, no lost slabs.
+
+func TestEventQueueDoubleClose(t *testing.T) {
+	q := NewEventQueue(8, 4)
+	if err := q.Push([]Event{{Kind: EvBegin}}); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q.Close() // must be a no-op
+
+	// The single buffered slab is delivered exactly once.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("buffered slab lost after double Close")
+	}
+	if slab, ok := q.Pop(); ok {
+		t.Fatalf("double-drain: Pop returned a second slab %v", slab)
+	}
+	if err := q.Push([]Event{{Kind: EvHalt}}); err != ErrQueueClosed {
+		t.Fatalf("Push after double Close = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestEventQueueDoubleCancel(t *testing.T) {
+	q := NewEventQueue(8, 4)
+	if err := q.Push([]Event{{Kind: EvBegin}}); err != nil {
+		t.Fatal(err)
+	}
+	q.Cancel()
+	q.Cancel() // must be a no-op
+
+	// Cancel keeps buffered slabs poppable (the consumer drains what it
+	// already has) and drops new pushes without error.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("buffered slab lost after double Cancel")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("double-drain after double Cancel")
+	}
+	if err := q.Push([]Event{{Kind: EvHalt}}); err != nil {
+		t.Fatalf("Push after Cancel = %v, want nil (dropped)", err)
+	}
+}
+
+func TestEventQueueCloseCancelEitherOrder(t *testing.T) {
+	for _, order := range []string{"close-cancel", "cancel-close"} {
+		q := NewEventQueue(8, 4)
+		if err := q.Push([]Event{{Kind: EvBegin}}); err != nil {
+			t.Fatal(err)
+		}
+		if order == "close-cancel" {
+			q.Close()
+			q.Cancel()
+		} else {
+			q.Cancel()
+			q.Close()
+		}
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("%s: buffered slab lost", order)
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatalf("%s: double-drain", order)
+		}
+	}
+}
+
+// TestEventQueueCloseUnblocksConsumerOnce: a consumer blocked in Pop is
+// released by the first Close; a concurrent second Close must not
+// disturb it.
+func TestEventQueueCloseUnblocksConsumerOnce(t *testing.T) {
+	q := NewEventQueue(4, 2)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(time.Millisecond)
+	go q.Close()
+	go q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop returned a slab from an empty closed queue")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer still blocked after Close")
+	}
+}

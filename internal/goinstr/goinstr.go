@@ -22,6 +22,7 @@
 package goinstr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -150,6 +151,7 @@ func RunSerial(root func(*Task), sink fj.Sink) (int, error) {
 type serialRT struct {
 	mu   sync.Mutex // guards err; the line itself is serialization-protected
 	line *fj.Line
+	ctx  context.Context // nil when the run is not cancellable
 	err  error
 }
 
@@ -161,9 +163,17 @@ func (rt *serialRT) fail(err error) {
 	rt.mu.Unlock()
 }
 
+// failed also polls the context, so cancellation lands deterministically
+// at the next structural operation even when the run is too short for
+// the asynchronous AfterFunc watcher to be scheduled.
 func (rt *serialRT) failed() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.err == nil && rt.ctx != nil {
+		if err := rt.ctx.Err(); err != nil {
+			rt.err = err
+		}
+	}
 	return rt.err != nil
 }
 
@@ -246,7 +256,7 @@ func runSerial(root func(*Task), sink fj.Sink, opt Options) (Result, error) {
 		buf = fj.NewEventBuffer(sink, opt.BatchSize)
 		sink = buf
 	}
-	rt := &serialRT{line: fj.NewLine(sink)}
+	rt := &serialRT{line: fj.NewLine(sink), ctx: opt.Context}
 	if opt.Context != nil {
 		if stop := watchContext(opt.Context, rt); stop != nil {
 			defer stop()

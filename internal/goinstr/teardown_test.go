@@ -1,0 +1,63 @@
+package goinstr
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+)
+
+// Regression tests for idempotent pipeline teardown: the fail path can
+// be entered from several goroutines at once (a task panic, a context
+// cancellation, a structure violation), and each producer's queue is
+// Cancel()ed by fail and then Close()d by the task's own defer. None of
+// these repeated teardowns may panic or double-drain a queue.
+
+// TestPipelineTeardownRaces runs a fan-out where a task panic and a
+// context cancellation race each other, repeatedly; the run must always
+// return an error without panicking or deadlocking.
+func TestPipelineTeardownRaces(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // races with the task panic below
+		_, err := RunPipeline(func(tk *Task) {
+			for p := 0; p < 4; p++ {
+				p := p
+				tk.Go(func(w *Task) {
+					for j := 0; j < 64; j++ {
+						w.Write(core.Addr(1024 + p*64 + j))
+					}
+					if p == 3 {
+						panic("teardown race")
+					}
+				})
+			}
+		}, fj.NullSink{}, Options{QueueCapacity: 16, Context: ctx})
+		cancel()
+		if err == nil {
+			t.Fatalf("iteration %d: want a cancellation or panic error", i)
+		}
+	}
+}
+
+// TestPipelineDoubleFail triggers the fail path twice deterministically
+// — an illegal join (structure violation) inside a run whose context is
+// then cancelled — and checks the first error is kept.
+func TestPipelineDoubleFail(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunPipeline(func(tk *Task) {
+		a := tk.Go(func(w *Task) { w.Write(1) })
+		tk.Go(func(w *Task) { w.Write(2) })
+		tk.Join(a) // not the immediate left neighbor: structure violation
+		cancel()   // second teardown on an already-failed pipeline
+	}, fj.NullSink{}, Options{QueueCapacity: 8, Context: ctx})
+	if err == nil {
+		t.Fatal("want structure violation")
+	}
+	if !IsCancellation(err) && !errors.Is(err, fj.ErrStructure) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}

@@ -77,6 +77,16 @@ type Stats struct {
 	EventsBuffered uint64 `json:"events_buffered,omitempty"` // events that passed through the queues
 	MaxQueueDepth  uint64 `json:"max_queue_depth,omitempty"` // high-water mark of any single queue (events)
 	ProducerStalls uint64 `json:"producer_stalls,omitempty"` // pushes that blocked on a full queue
+
+	// Streaming detection service (internal/server): wire-level
+	// accounting, aggregated across sessions. Per-session detector
+	// reports leave these zero, so local and remote Report JSON stay
+	// byte-identical.
+	Sessions         uint64 `json:"sessions,omitempty"`          // sessions accepted over the server's lifetime
+	SessionsRejected uint64 `json:"sessions_rejected,omitempty"` // connections refused at the live-session cap
+	Evictions        uint64 `json:"evictions,omitempty"`         // idle sessions evicted
+	Frames           uint64 `json:"frames,omitempty"`            // event frames ingested
+	WireBytes        uint64 `json:"wire_bytes,omitempty"`        // frame payload bytes received
 }
 
 // MemOps returns the total memory operations observed.
@@ -129,6 +139,11 @@ func (s *Stats) Add(other Stats) {
 		s.MaxQueueDepth = other.MaxQueueDepth // a high-water mark, not a volume
 	}
 	s.ProducerStalls += other.ProducerStalls
+	s.Sessions += other.Sessions
+	s.SessionsRejected += other.SessionsRejected
+	s.Evictions += other.Evictions
+	s.Frames += other.Frames
+	s.WireBytes += other.WireBytes
 	for len(s.BatchSizes) < len(other.BatchSizes) {
 		s.BatchSizes = append(s.BatchSizes, 0)
 	}
@@ -176,6 +191,11 @@ func (s Stats) String() string {
 	put("events-buffered", s.EventsBuffered)
 	put("max-queue-depth", s.MaxQueueDepth)
 	put("producer-stalls", s.ProducerStalls)
+	put("sessions", s.Sessions)
+	put("sessions-rejected", s.SessionsRejected)
+	put("evictions", s.Evictions)
+	put("frames", s.Frames)
+	put("wire-bytes", s.WireBytes)
 	if s.MemOps() > 0 && s.UnionFindOps() > 0 {
 		fmt.Fprintf(&b, " amortized-uf-steps/op=%.2f", s.AmortizedSteps())
 	}

@@ -1,0 +1,512 @@
+// Package server is the raced session server: it accepts concurrent
+// wire-protocol sessions (internal/wire), runs one detector engine per
+// session, and answers each stream with the engine's Report.
+//
+// Every session is its own bounded pipeline. The connection reader
+// decodes event frames and pushes slabs into a per-session fj.EventQueue
+// — the same bounded SPSC machinery the goroutine frontend uses — and a
+// consumer goroutine drains the queue into the engine. The queue's
+// capacity is the session's entire buffering budget: a client that
+// outruns its detector fills the queue, the reader stops reading, TCP
+// flow control pushes back to the sender, and server memory stays
+// bounded at (live sessions) × (queue capacity) events no matter how
+// fast clients write.
+//
+// Admission control caps live sessions (extra connections are refused
+// with an Error frame, not queued), a janitor evicts sessions idle past
+// IdleTimeout, and Shutdown drains gracefully: every open session stops
+// reading, finishes detecting what it already buffered, and sends a
+// Report frame flagged Partial — a coherent verdict for the prefix of
+// the stream the detector consumed.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fj"
+	"repro/internal/obs"
+	"repro/internal/wire"
+
+	race2d "repro"
+)
+
+// Config tunes a Server. The zero value is usable: 64 sessions, the
+// default queue capacity, no idle eviction.
+type Config struct {
+	// MaxSessions caps concurrently live sessions; connections beyond
+	// the cap are refused with an Error frame. <= 0 means 64.
+	MaxSessions int
+	// QueueCapacity bounds each session's event queue, in events
+	// (fj.DefaultQueueCapacity when <= 0). This is the per-session
+	// memory budget for buffered, not-yet-detected events.
+	QueueCapacity int
+	// IdleTimeout evicts sessions that deliver no frame for this long.
+	// Zero disables eviction.
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxSessions is the live-session cap used when Config leaves
+// MaxSessions unset.
+const DefaultMaxSessions = 64
+
+// drainGrace bounds how long a draining or finishing session waits for
+// the peer while discarding its remaining input or writing the report.
+const drainGrace = 2 * time.Second
+
+// Server is a raced session server. Create with New, run with Serve,
+// stop with Shutdown (graceful) or Close (abrupt).
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	// Wire-level counters (atomic: bumped on every frame).
+	sessionsTotal    atomic.Uint64
+	sessionsRejected atomic.Uint64
+	evictions        atomic.Uint64
+	frames           atomic.Uint64
+	wireBytes        atomic.Uint64
+
+	// Queue backpressure accounting folded in as sessions retire.
+	retired obs.Stats // guarded by mu
+}
+
+// New returns an idle Server.
+func New(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		done:     make(chan struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts sessions on ln until Shutdown or Close. It always
+// returns a non-nil error; after a clean shutdown the error is
+// net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	if s.cfg.IdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listener address, once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting, asks every live session to drain — each
+// detects what it already buffered and sends a Partial report — and
+// waits for them to finish, up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginClose()
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.beginDrain(false)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close abruptly terminates the server and every live session.
+func (s *Server) Close() error {
+	s.beginClose()
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) beginClose() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// janitor evicts sessions that have been idle past IdleTimeout.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	period := s.cfg.IdleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			if sess.lastActive.Load() < cutoff {
+				sess.beginDrain(true)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// admit registers a new session, or refuses it at the cap.
+func (s *Server) admit(conn net.Conn) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, false
+	}
+	s.nextID++
+	sess := &session{
+		id:      s.nextID,
+		srv:     s,
+		conn:    conn,
+		queue:   fj.NewEventQueue(s.cfg.QueueCapacity, 0),
+		drained: make(chan struct{}),
+	}
+	sess.lastActive.Store(time.Now().UnixNano())
+	s.sessions[sess.id] = sess
+	s.sessionsTotal.Add(1)
+	return sess, true
+}
+
+// release retires a finished session, folding its queue accounting into
+// the server totals.
+func (s *Server) release(sess *session) {
+	qs := sess.queue.Stats()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.retired.Producers++
+	s.retired.EventsBuffered += qs.Pushed
+	s.retired.ProducerStalls += qs.Stalls
+	if qs.MaxDepth > s.retired.MaxQueueDepth {
+		s.retired.MaxQueueDepth = qs.MaxDepth
+	}
+	s.mu.Unlock()
+}
+
+// handle runs one connection's session from accept to close.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sess, ok := s.admit(conn)
+	if !ok {
+		s.sessionsRejected.Add(1)
+		conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(conn, wire.FrameError, []byte("raced: session limit reached"))
+		return
+	}
+	defer s.release(sess)
+	sess.run()
+}
+
+// Live returns the number of currently live sessions.
+func (s *Server) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Stats snapshots the server's wire-level and backpressure counters
+// (live sessions included).
+func (s *Server) Stats() obs.Stats {
+	s.mu.Lock()
+	st := s.retired
+	for _, sess := range s.sessions {
+		qs := sess.queue.Stats()
+		st.Producers++
+		st.EventsBuffered += qs.Pushed
+		st.ProducerStalls += qs.Stalls
+		if qs.MaxDepth > st.MaxQueueDepth {
+			st.MaxQueueDepth = qs.MaxDepth
+		}
+	}
+	s.mu.Unlock()
+	st.Sessions = s.sessionsTotal.Load()
+	st.SessionsRejected = s.sessionsRejected.Load()
+	st.Evictions = s.evictions.Load()
+	st.Frames = s.frames.Load()
+	st.WireBytes = s.wireBytes.Load()
+	return st
+}
+
+// Handler returns the observability endpoints: /healthz (liveness plus
+// a live-session count) and /metrics (Prometheus text exposition of the
+// Stats counters).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":        "ok",
+			"live_sessions": s.Live(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "raced_sessions_total %d\n", st.Sessions)
+		fmt.Fprintf(w, "raced_sessions_live %d\n", s.Live())
+		fmt.Fprintf(w, "raced_sessions_rejected_total %d\n", st.SessionsRejected)
+		fmt.Fprintf(w, "raced_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "raced_frames_total %d\n", st.Frames)
+		fmt.Fprintf(w, "raced_wire_bytes_total %d\n", st.WireBytes)
+		fmt.Fprintf(w, "raced_events_buffered_total %d\n", st.EventsBuffered)
+		fmt.Fprintf(w, "raced_producer_stalls_total %d\n", st.ProducerStalls)
+		fmt.Fprintf(w, "raced_queue_depth_max %d\n", st.MaxQueueDepth)
+	})
+	return mux
+}
+
+// ---- per-session pipeline ----------------------------------------------
+
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+
+	queue   *fj.EventQueue
+	drained chan struct{} // closed when the consumer finished feeding the engine
+
+	lastActive atomic.Int64 // unix nanos of the last frame
+	draining   atomic.Bool  // shutdown: stop reading, report the prefix
+	evicting   atomic.Bool  // idle: stop reading, refuse with an error
+}
+
+// beginDrain asks the session's reader to stop. The flag is set before
+// the read deadline so the reader, once unblocked, always observes why.
+// Safe to call multiple times and from the janitor and Shutdown
+// concurrently.
+func (sess *session) beginDrain(evict bool) {
+	if evict {
+		sess.evicting.Store(true)
+	} else {
+		sess.draining.Store(true)
+	}
+	sess.conn.SetReadDeadline(time.Now())
+}
+
+// interrupted reports whether a read error is the deadline poke from
+// beginDrain rather than a real peer failure.
+func (sess *session) interrupted(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded) &&
+		(sess.draining.Load() || sess.evicting.Load())
+}
+
+func (sess *session) run() {
+	srv := sess.srv
+	if err := wire.ReadMagic(sess.conn); err != nil {
+		srv.logf("session %d: %v", sess.id, err)
+		return
+	}
+	ft, payload, err := wire.ReadFrame(sess.conn, nil)
+	if err != nil || ft != wire.FrameHello {
+		srv.logf("session %d: expected hello, got %v (%v)", sess.id, ft, err)
+		return
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		srv.logf("session %d: %v", sess.id, err)
+		return
+	}
+	engineName := hello.Engine
+	if engineName == "" {
+		engineName = race2d.Engine2D.String()
+	}
+	eng, err := race2d.ParseEngine(engineName)
+	if err != nil {
+		wire.WriteFrame(sess.conn, wire.FrameError, []byte(err.Error()))
+		return
+	}
+	detector := race2d.NewEngineSink(eng)
+	if err := wire.WriteFrame(sess.conn, wire.FrameWelcome, wire.EncodeWelcome(wire.Welcome{Session: sess.id})); err != nil {
+		srv.logf("session %d: welcome: %v", sess.id, err)
+		return
+	}
+	srv.logf("session %d: open (engine=%s batch=%d) from %v", sess.id, eng, hello.BatchSize, sess.conn.RemoteAddr())
+
+	// Consumer: the queue's single reader, and the only goroutine that
+	// touches the engine until drained is closed.
+	go func() {
+		defer close(sess.drained)
+		var sink race2d.Sink = detector
+		var buf *race2d.EventBuffer
+		if hello.BatchSize > 0 {
+			buf = race2d.NewEventBuffer(detector, hello.BatchSize)
+			sink = buf
+		}
+		for {
+			slab, ok := sess.queue.Pop()
+			if !ok {
+				break
+			}
+			// Per-event delivery: with BatchSize == 0 the engine sees the
+			// exact call sequence of an unbuffered local run, so its Stats
+			// (batch histogram included) match byte for byte.
+			for _, e := range slab {
+				sink.Event(e)
+			}
+			sess.queue.Recycle(slab)
+		}
+		if buf != nil {
+			buf.Flush()
+		}
+	}()
+
+	finished := false
+	var readErr error
+	scratch := make([]byte, 0, 64<<10)
+frames:
+	for {
+		ft, payload, err := wire.ReadFrame(sess.conn, scratch)
+		if err != nil {
+			if !sess.interrupted(err) {
+				readErr = err
+			}
+			break
+		}
+		if cap(payload) > cap(scratch) {
+			scratch = payload[:0]
+		}
+		sess.lastActive.Store(time.Now().UnixNano())
+		switch ft {
+		case wire.FrameEvents:
+			slab, err := wire.DecodeEvents(sess.queue.NewSlab(), payload)
+			if err != nil {
+				readErr = err
+				break frames
+			}
+			srv.frames.Add(1)
+			srv.wireBytes.Add(uint64(len(payload)))
+			// Push blocks while the queue is full: backpressure reaches
+			// the client through TCP flow control.
+			if err := sess.queue.Push(slab); err != nil {
+				readErr = err
+				break frames
+			}
+		case wire.FrameFinish:
+			finished = true
+			break frames
+		default:
+			readErr = fmt.Errorf("server: unexpected %v frame mid-stream", ft)
+			break frames
+		}
+	}
+
+	// Feed what was buffered to the engine, then report. Close is
+	// idempotent, so this is safe however the loop above exited.
+	sess.queue.Close()
+	<-sess.drained
+
+	if sess.evicting.Load() && !finished {
+		srv.evictions.Add(1)
+		sess.conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(sess.conn, wire.FrameError, []byte("raced: session evicted (idle)"))
+		srv.logf("session %d: evicted (idle)", sess.id)
+		return
+	}
+	if readErr != nil {
+		srv.logf("session %d: %v", sess.id, readErr)
+		sess.conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(sess.conn, wire.FrameError, []byte(readErr.Error()))
+		return
+	}
+
+	rep := detector.Report()
+	body, err := json.Marshal(rep)
+	if err != nil {
+		srv.logf("session %d: marshal report: %v", sess.id, err)
+		return
+	}
+	var flags uint64
+	if !finished {
+		flags |= wire.FlagPartial
+	}
+	sess.conn.SetWriteDeadline(time.Now().Add(drainGrace))
+	if err := wire.WriteFrame(sess.conn, wire.FrameReport, wire.EncodeReport(flags, body)); err != nil {
+		srv.logf("session %d: report: %v", sess.id, err)
+		return
+	}
+	if !finished {
+		// Drain: the client may still be mid-write (possibly blocked on
+		// TCP backpressure). Half-close our side so it sees the stream
+		// end, then discard its remaining output so its blocked writes
+		// complete and it can read the partial report.
+		if tc, ok := sess.conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		sess.conn.SetReadDeadline(time.Now().Add(drainGrace))
+		io.Copy(io.Discard, sess.conn)
+	}
+	srv.logf("session %d: closed (finished=%v races=%d)", sess.id, finished, rep.Count)
+}

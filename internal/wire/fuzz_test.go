@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fj"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader and, when a
+// frame parses, checks the invariants the server relies on: the payload
+// round-trips through AppendFrame to the same bytes, and an Events
+// payload decodes to events that re-encode/re-decode stably.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, FrameFinish, nil))
+	f.Add(AppendFrame(nil, FrameEvents, EncodeEvents(nil, sampleEvents())))
+	f.Add(AppendFrame(nil, FrameHello, EncodeHello(Hello{Engine: "2d", BatchSize: 64})))
+	f.Add([]byte{byte(FrameEvents), 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return // malformed input must only error, never panic
+		}
+		// A parsed frame must re-encode to a prefix of the input.
+		again := AppendFrame(nil, ft, payload)
+		if len(again) > len(data) || !bytes.Equal(again, data[:len(again)]) {
+			t.Fatalf("re-encoded frame is not a prefix of the input")
+		}
+		if ft != FrameEvents {
+			return
+		}
+		events, err := DecodeEvents(nil, payload)
+		if err != nil {
+			if errors.Is(err, ErrTruncated) || !errors.Is(err, fj.ErrTruncated) {
+				_ = err // either classification is acceptable; just don't panic
+			}
+			return
+		}
+		reenc := EncodeEvents(nil, events)
+		back, err := DecodeEvents(nil, reenc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded events failed: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("re-decode yielded %d events, want %d", len(back), len(events))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("event %d: %v != %v", i, back[i], events[i])
+			}
+		}
+	})
+}

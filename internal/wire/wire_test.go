@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fj"
+)
+
+func sampleEvents() []fj.Event {
+	return []fj.Event{
+		{Kind: fj.EvBegin, T: 0},
+		{Kind: fj.EvFork, T: 0, U: 1},
+		{Kind: fj.EvBegin, T: 1},
+		{Kind: fj.EvWrite, T: 1, Loc: 0xdeadbeef},
+		{Kind: fj.EvHalt, T: 1},
+		{Kind: fj.EvJoin, T: 0, U: 1},
+		{Kind: fj.EvRead, T: 0, Loc: 7},
+		{Kind: fj.EvHalt, T: 0},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload := EncodeEvents(nil, sampleEvents())
+	if err := WriteFrame(&buf, FrameEvents, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameFinish, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ReadMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ft, got, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != FrameEvents {
+		t.Fatalf("frame type %v, want events", ft)
+	}
+	events, err := DecodeEvents(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEvents()
+	if len(events) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d: %v, want %v", i, events[i], want[i])
+		}
+	}
+	if ft, payload, err := ReadFrame(&buf, nil); err != nil || ft != FrameFinish || len(payload) != 0 {
+		t.Fatalf("finish frame: type=%v len=%d err=%v", ft, len(payload), err)
+	}
+}
+
+func TestTruncatedFrameIsSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameEvents, EncodeEvents(nil, sampleEvents())); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n++ {
+		_, _, err := ReadFrame(bytes.NewReader(data[:n]), nil)
+		if err == nil {
+			t.Fatalf("prefix %d/%d: read succeeded", n, len(data))
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d/%d: %v does not wrap ErrTruncated", n, len(data), err)
+		}
+		// The fj sentinel spans both layers.
+		if !errors.Is(err, fj.ErrTruncated) {
+			t.Fatalf("prefix %d/%d: %v does not wrap fj.ErrTruncated", n, len(data), err)
+		}
+	}
+}
+
+func TestChecksumCatchesCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameEvents, EncodeEvents(nil, sampleEvents())); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	corrupted := 0
+	for i := range data {
+		flip := append([]byte(nil), data...)
+		flip[i] ^= 0x40
+		_, _, err := ReadFrame(bytes.NewReader(flip), nil)
+		if errors.Is(err, ErrChecksum) {
+			corrupted++
+		}
+		if err == nil {
+			t.Fatalf("bit flip at %d went undetected", i)
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no flip ever reported ErrChecksum")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	hdr := []byte{byte(FrameEvents), 0xFF, 0xFF, 0xFF, 0xFF}
+	_, _, err := ReadFrame(bytes.NewReader(hdr), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(bytes.NewBuffer(nil), FrameEvents, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if err := ReadMagic(bytes.NewReader([]byte{'R', 'D', 'S', 99})); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("version mismatch: %v", err)
+	}
+	if err := ReadMagic(bytes.NewReader([]byte("HTTP"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("wrong protocol: %v", err)
+	}
+	if err := ReadMagic(bytes.NewReader([]byte("RD"))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short magic: %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, h := range []Hello{{}, {Engine: "2d"}, {Engine: "fasttrack", BatchSize: 256}} {
+		got, err := DecodeHello(EncodeHello(h))
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+	if _, err := DecodeHello([]byte{0xFF}); err == nil {
+		t.Fatal("malformed hello accepted")
+	}
+}
+
+func TestWelcomeReportRoundTrip(t *testing.T) {
+	w, err := DecodeWelcome(EncodeWelcome(Welcome{Session: 42}))
+	if err != nil || w.Session != 42 {
+		t.Fatalf("welcome: %+v err=%v", w, err)
+	}
+	flags, body, err := DecodeReport(EncodeReport(FlagPartial, []byte(`{"x":1}`)))
+	if err != nil || flags != FlagPartial || string(body) != `{"x":1}` {
+		t.Fatalf("report: flags=%d body=%q err=%v", flags, body, err)
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	var buf bytes.Buffer
+	payload := EncodeEvents(nil, sampleEvents())
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, FrameEvents, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch := make([]byte, 0, 1024)
+	for i := 0; i < 3; i++ {
+		_, got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("payload %d bytes, want %d", len(got), len(payload))
+		}
+		scratch = got[:cap(got)]
+	}
+}

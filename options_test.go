@@ -248,3 +248,55 @@ func TestStreamDetectorSurface(t *testing.T) {
 		t.Fatal("stream detector does not unwrap")
 	}
 }
+
+// TestOptionValidationDeterministic: negative WithBatchSize and
+// WithQueueCapacity values are configuration errors on every frontend —
+// reported deterministically, before any execution — while zero means
+// "use the documented default" and succeeds everywhere.
+func TestOptionValidationDeterministic(t *testing.T) {
+	frontends := map[string]func(opts ...Option) error{
+		"Detect": func(opts ...Option) error {
+			_, err := Detect(figure2, opts...)
+			return err
+		},
+		"DetectSource": func(opts ...Option) error {
+			_, err := DetectSource(strings.NewReader("read x write x"), opts...)
+			return err
+		},
+		"DetectGoroutines": func(opts ...Option) error {
+			_, err := DetectGoroutines(func(root *GoTask) { root.Write(1) }, opts...)
+			return err
+		},
+		"NewStreamDetector": func(opts ...Option) error {
+			_, err := NewStreamDetector(opts...)
+			return err
+		},
+	}
+	bad := map[string]Option{
+		"WithBatchSize(-1)":        WithBatchSize(-1),
+		"WithBatchSize(-1000)":     WithBatchSize(-1000),
+		"WithQueueCapacity(-1)":    WithQueueCapacity(-1),
+		"WithQueueCapacity(-4096)": WithQueueCapacity(-4096),
+	}
+	for fname, run := range frontends {
+		for oname, opt := range bad {
+			// Deterministic: the same configuration error on every call.
+			var first error
+			for trial := 0; trial < 3; trial++ {
+				err := run(opt)
+				if err == nil {
+					t.Fatalf("%s accepted %s", fname, oname)
+				}
+				if trial == 0 {
+					first = err
+				} else if err.Error() != first.Error() {
+					t.Fatalf("%s/%s: nondeterministic error: %q then %q", fname, oname, first, err)
+				}
+			}
+		}
+		// Zero selects the documented default and must succeed.
+		if err := run(WithBatchSize(0), WithQueueCapacity(0)); err != nil {
+			t.Fatalf("%s rejected zero options: %v", fname, err)
+		}
+	}
+}
