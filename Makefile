@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke serve-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke serve-smoke chaos-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -51,11 +51,19 @@ bench-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Mirrors the CI chaos-smoke job: raced and race2d built under the Go
+# race detector, corpus parity through a deliberately faulty transport
+# (raced -chaos), and a mid-stream SIGKILL + restart that the client
+# must ride out to a byte-identical verdict.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
 	$(GO) test -fuzz=FuzzDecodeEventsBytes -fuzztime=30s ./internal/fj
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzResume -fuzztime=30s ./internal/wire
 
 # Mirrors the CI fuzz-smoke job: seed corpora, then a short fuzz budget
 # per target.

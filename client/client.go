@@ -5,11 +5,29 @@
 // batches, streamed over TCP, and Finish returns the server engine's
 // Report.
 //
-// Mid-stream write errors are sticky but deliberately not fatal: a
-// server draining on SIGTERM stops reading and half-closes, yet still
-// owes the session a Report for the prefix it consumed. Finish therefore
-// always attempts to read the report and returns ErrPartial (with the
-// report) when the server flagged it partial.
+// # Fault tolerance
+//
+// The client speaks protocol v2: every Events frame carries a
+// monotonically increasing sequence number, and the server acknowledges
+// the highest contiguously ingested sequence. Batches stay in a bounded
+// replay window until acknowledged, so when the connection dies —
+// reset, corruption (caught by the frame CRC), truncation, a silent
+// drop — the client reconnects with exponential backoff plus full
+// jitter, presents its resume token, and resends exactly the batches
+// the server has not acknowledged. The server discards duplicate
+// sequences, so the detector ingests every event exactly once and the
+// verdict is byte-identical to an undisturbed run. With RetainAll the
+// window additionally keeps acknowledged batches, which lets the
+// client survive a full server restart (the resume token is unknown to
+// the new process) by opening a fresh session and replaying the stream
+// from the first batch. A per-connection heartbeat bounds dead-peer
+// detection; a retry budget bounds reconnection, after which the
+// session circuit-breaks and Finish reports ErrPartial rather than
+// hanging.
+//
+// Mid-stream server drains are still not fatal: a server draining on
+// SIGTERM stops reading and owes the session a Report for the prefix it
+// consumed. Finish returns ErrPartial (with that report) in that case.
 package client
 
 import (
@@ -17,10 +35,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fj"
+	"repro/internal/obs"
 	"repro/internal/wire"
 
 	race2d "repro"
@@ -30,10 +53,15 @@ import (
 // before flushing, when Options leaves FrameEvents unset.
 const DefaultFrameEvents = 512
 
-// ErrPartial marks a report produced by a draining server: it is a
-// coherent verdict for the prefix of the stream the server consumed,
-// not for the whole execution.
-var ErrPartial = errors.New("client: partial report (server drained mid-stream)")
+// DefaultWindowBatches bounds the replay window (unacknowledged batches
+// held for resend) when Options leaves WindowBatches unset.
+const DefaultWindowBatches = 64
+
+// ErrPartial marks an incomplete verdict: either a report produced by a
+// draining server (a coherent verdict for the prefix of the stream the
+// server consumed — the Report is non-nil), or a stream the client had
+// to abandon because its retry budget ran out (the Report may be nil).
+var ErrPartial = errors.New("client: partial report (stream did not complete)")
 
 // Options configures Dial.
 type Options struct {
@@ -48,88 +76,527 @@ type Options struct {
 	// (DefaultFrameEvents when <= 0). Purely a throughput knob; it does
 	// not affect the verdict.
 	FrameEvents int
-	// DialTimeout bounds the TCP dial and the handshake (10s when 0).
+	// DialTimeout bounds each TCP dial and handshake attempt (10s when 0).
 	DialTimeout time.Duration
+	// FinishTimeout bounds how long Finish waits for the server's Report
+	// and how long a full replay window waits for ack progress before
+	// the connection is declared dead (30s when 0).
+	FinishTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (10s when 0).
+	WriteTimeout time.Duration
+	// HeartbeatInterval is the keepalive cadence while the connection is
+	// otherwise quiet (10s when 0; < 0 disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals mark the peer dead
+	// and force a reconnect (3 when 0).
+	HeartbeatMisses int
+	// MaxAttempts is the consecutive connect-attempt budget; it resets
+	// after every successful handshake. When the budget runs out the
+	// session circuit-breaks: events are dropped and Finish returns an
+	// error wrapping ErrPartial. (5 when 0.)
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential reconnect backoff
+	// with full jitter: attempt k sleeps uniform(0, min(BackoffMax,
+	// BackoffBase<<k)). Defaults 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WindowBatches bounds the replay window, in batches
+	// (DefaultWindowBatches when <= 0). A full window blocks the
+	// producer until the server acknowledges progress.
+	WindowBatches int
+	// RetainAll keeps acknowledged batches in the window too, so the
+	// whole stream can replay into a fresh session if the server
+	// restarts and no longer knows the resume token. Memory grows with
+	// the stream; reserve it for runs that must survive server loss.
+	RetainAll bool
+}
+
+func (o Options) normalized() Options {
+	if o.FrameEvents <= 0 {
+		o.FrameEvents = DefaultFrameEvents
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.FinishTimeout <= 0 {
+		o.FinishTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 10 * time.Second
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.WindowBatches <= 0 {
+		o.WindowBatches = DefaultWindowBatches
+	}
+	return o
+}
+
+// pending is one sequenced batch awaiting acknowledgement (or retained
+// for restart replay).
+type pending struct {
+	seq    uint64
+	events []fj.Event
 }
 
 // Session is one open detection session. It implements fj.Sink and
-// fj.BatchSink; it is single-producer, like every detector sink.
+// fj.BatchSink; it is single-producer, like every detector sink. Two
+// background goroutines ride along per connection: a reader (acks,
+// report, errors) and a heartbeat.
 type Session struct {
-	conn    net.Conn
-	bw      *bufio.Writer
-	id      uint64
-	frameN  int
-	batch   []fj.Event
-	payload []byte // frame-encoding scratch
-	scratch []byte // frame-reading scratch
-	err     error  // first write-side error; sticky, resolved by Finish
-	closed  bool
+	addr string
+	opts Options
+
+	mu   sync.Mutex
+	cond sync.Cond
+	conn net.Conn      // nil while disconnected
+	bw   *bufio.Writer // paired with conn
+	gen  uint64        // connection generation; guards stale goroutines
+
+	id       uint64
+	token    uint64 // resume token (0 before the first Welcome)
+	nextSeq  uint64 // sequence for the next batch cut from the producer
+	acked    uint64 // highest server-acknowledged sequence
+	window   []pending
+	attempts int // consecutive failed connect attempts
+
+	report        *race2d.Report
+	reportPartial bool
+	srvErr        error // terminal server Error frame
+	broken        error // circuit open: retry budget exhausted or refusal
+	lastNetErr    error
+	finishing     bool // Finish sent; the server is allowed to be silent
+	everConnected bool
+	closed        bool
+
+	reconnects       uint64
+	resends          uint64
+	heartbeatsMissed uint64
+
+	lastRecv atomic.Int64 // unix nanos of the last server frame
+
+	wmu     sync.Mutex // serializes conn writes (producer vs heartbeat)
+	payload []byte     // frame-encoding scratch, under wmu
+
+	batch []fj.Event // producer-side accumulation
 }
 
-// Dial connects to a raced server and opens a session.
+// Dial connects to a raced server and opens a session. Transport
+// failures are retried within the MaxAttempts budget; server refusals
+// (unknown engine, session limit) fail immediately.
 func Dial(addr string, opts Options) (*Session, error) {
-	timeout := opts.DialTimeout
-	if timeout <= 0 {
-		timeout = 10 * time.Second
+	s := &Session{addr: addr, opts: opts.normalized(), nextSeq: 1}
+	s.cond.L = &s.mu
+	s.batch = make([]fj.Event, 0, s.opts.FrameEvents)
+	if err := s.connect(); err != nil {
+		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
-	s := &Session{
-		conn:   conn,
-		bw:     bufio.NewWriterSize(conn, 64<<10),
-		frameN: opts.FrameEvents,
-	}
-	if s.frameN <= 0 {
-		s.frameN = DefaultFrameEvents
-	}
-	s.batch = make([]fj.Event, 0, s.frameN)
-
-	conn.SetDeadline(time.Now().Add(timeout))
-	hello := wire.Hello{Engine: opts.Engine, BatchSize: opts.BatchSize}
-	if err := wire.WriteMagic(s.bw); err == nil {
-		err = wire.WriteFrame(s.bw, wire.FrameHello, wire.EncodeHello(hello))
-		if err == nil {
-			err = s.bw.Flush()
-		}
-	}
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
-	}
-	ft, payload, err := wire.ReadFrame(conn, nil)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
-	}
-	switch ft {
-	case wire.FrameWelcome:
-		w, err := wire.DecodeWelcome(payload)
-		if err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("client: handshake: %w", err)
-		}
-		s.id = w.Session
-	case wire.FrameError:
-		conn.Close()
-		return nil, fmt.Errorf("client: server refused session: %s", payload)
-	default:
-		conn.Close()
-		return nil, fmt.Errorf("client: handshake: unexpected %v frame", ft)
-	}
-	conn.SetDeadline(time.Time{})
 	return s, nil
 }
 
 // ID returns the server-assigned session identifier.
 func (s *Session) ID() uint64 { return s.id }
 
-// Event buffers one event, flushing a frame when the transport batch
-// fills. Implements fj.Sink.
+// Stats snapshots the session's fault-tolerance counters.
+func (s *Session) Stats() obs.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return obs.Stats{
+		Reconnects:       s.reconnects,
+		Resends:          s.resends,
+		HeartbeatsMissed: s.heartbeatsMissed,
+	}
+}
+
+// healthyLocked reports whether the stream is still worth feeding:
+// no verdict yet, no terminal error, not closed.
+func (s *Session) healthyLocked() bool {
+	return s.broken == nil && s.srvErr == nil && s.report == nil && !s.closed
+}
+
+// waitLocked waits on the session condition for at most d.
+func (s *Session) waitLocked(d time.Duration) {
+	t := time.AfterFunc(d, s.cond.Broadcast)
+	s.cond.Wait()
+	t.Stop()
+}
+
+// killConn declares generation gen's connection dead. Stale calls (an
+// old reader noticing its conn died after a reconnect) are no-ops.
+func (s *Session) killConn(gen uint64, err error) {
+	s.mu.Lock()
+	if s.gen == gen && s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.bw = nil
+		s.lastNetErr = err
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// connect establishes (or re-establishes) the connection: dial,
+// handshake, resume, and resend of everything unacknowledged. Producer
+// context only. Returns nil once connected or once the session reached
+// a terminal state (verdict or error); the caller re-checks.
+func (s *Session) connect() error {
+	for {
+		s.mu.Lock()
+		if !s.healthyLocked() {
+			err := s.broken
+			if err == nil {
+				err = s.srvErr
+			}
+			s.mu.Unlock()
+			return err
+		}
+		if s.conn != nil {
+			s.mu.Unlock()
+			return nil
+		}
+		attempt := s.attempts
+		s.attempts++
+		if attempt >= s.opts.MaxAttempts {
+			s.broken = fmt.Errorf("client: retry budget exhausted after %d attempts (last error: %v): %w",
+				attempt, s.lastNetErr, ErrPartial)
+			err := s.broken
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return err
+		}
+		token := s.token
+		s.mu.Unlock()
+
+		if attempt > 0 {
+			s.backoff(attempt)
+		}
+		conn, err := net.DialTimeout("tcp", s.addr, s.opts.DialTimeout)
+		if err != nil {
+			s.noteNetErr(fmt.Errorf("client: dial %s: %w", s.addr, err))
+			continue
+		}
+		if err := s.handshake(conn, token); err != nil {
+			conn.Close()
+			if terminal := s.terminalErr(); terminal != nil {
+				return terminal
+			}
+			s.noteNetErr(err)
+			continue
+		}
+		if s.resendWindow() {
+			return nil
+		}
+		// The fresh connection died during the resend; go around again.
+	}
+}
+
+func (s *Session) noteNetErr(err error) {
+	s.mu.Lock()
+	s.lastNetErr = err
+	s.mu.Unlock()
+}
+
+func (s *Session) terminalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	return s.srvErr
+}
+
+// backoff sleeps the full-jitter exponential delay for a retry attempt.
+func (s *Session) backoff(attempt int) {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	ceil := s.opts.BackoffBase << shift
+	if ceil > s.opts.BackoffMax || ceil <= 0 {
+		ceil = s.opts.BackoffMax
+	}
+	time.Sleep(time.Duration(rand.Int63n(int64(ceil) + 1)))
+}
+
+// handshake performs the v2 hello/welcome exchange on a fresh conn and,
+// on success, installs it as the session's current connection with its
+// reader and heartbeat goroutines.
+func (s *Session) handshake(conn net.Conn, token uint64) error {
+	conn.SetDeadline(time.Now().Add(s.opts.DialTimeout))
+	hello := wire.Hello{Engine: s.opts.Engine, BatchSize: s.opts.BatchSize, Token: token}
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	err := wire.WriteMagic(bw)
+	if err == nil {
+		err = wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHelloV2(hello))
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	ft, payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	var welcome wire.Welcome
+	switch ft {
+	case wire.FrameWelcome:
+		welcome, err = wire.DecodeWelcomeV2(payload)
+		if err != nil {
+			return fmt.Errorf("client: handshake: %w", err)
+		}
+	case wire.FrameError:
+		if token != 0 && string(payload) == wire.ErrUnknownResume.Error() {
+			// The server no longer knows this session — it restarted or
+			// the resume window lapsed.
+			if s.opts.RetainAll {
+				// The window holds the whole stream: fall back to a fresh
+				// session and replay from the first batch.
+				s.mu.Lock()
+				s.token = 0
+				s.acked = 0
+				s.mu.Unlock()
+				return fmt.Errorf("client: %s; replaying stream into a fresh session", payload)
+			}
+			s.mu.Lock()
+			s.broken = fmt.Errorf("client: session lost (%s) and RetainAll is off: %w", payload, ErrPartial)
+			err := s.broken
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return err
+		}
+		if strings.HasPrefix(string(payload), wire.HandshakeRefusedPrefix) {
+			// The server could not read our handshake — the bytes were
+			// garbled in transit, not the request itself. Retryable.
+			return fmt.Errorf("client: handshake refused: %s", payload)
+		}
+		refusal := fmt.Errorf("client: server refused session: %s", payload)
+		s.mu.Lock()
+		s.broken = refusal
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return refusal
+	default:
+		return fmt.Errorf("client: handshake: unexpected %v frame", ft)
+	}
+	conn.SetDeadline(time.Time{})
+
+	s.mu.Lock()
+	s.id = welcome.Session
+	s.token = welcome.Token
+	if welcome.NextSeq > 0 && welcome.NextSeq-1 > s.acked {
+		// The server ingested more than we saw acks for; trust it.
+		s.acked = welcome.NextSeq - 1
+	}
+	s.pruneLocked()
+	s.gen++
+	gen := s.gen
+	s.conn = conn
+	s.bw = bufio.NewWriterSize(conn, 64<<10)
+	if s.everConnected {
+		s.reconnects++
+	}
+	s.everConnected = true
+	s.mu.Unlock()
+
+	s.lastRecv.Store(time.Now().UnixNano())
+	go s.reader(conn, gen)
+	if s.opts.HeartbeatInterval > 0 {
+		go s.heartbeat(conn, gen)
+	}
+	return nil
+}
+
+// pruneLocked drops acknowledged batches from the window (kept under
+// RetainAll for restart replay).
+func (s *Session) pruneLocked() {
+	if s.opts.RetainAll {
+		return
+	}
+	i := 0
+	for i < len(s.window) && s.window[i].seq <= s.acked {
+		s.window[i].events = nil
+		i++
+	}
+	if i > 0 {
+		s.window = append(s.window[:0], s.window[i:]...)
+	}
+}
+
+// resendWindow pushes every unacknowledged batch onto the current
+// connection. Reports whether the connection survived.
+func (s *Session) resendWindow() bool {
+	s.mu.Lock()
+	conn, bw, gen := s.conn, s.bw, s.gen
+	var todo []pending
+	for _, p := range s.window {
+		if p.seq > s.acked {
+			todo = append(todo, p)
+		}
+	}
+	s.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	for _, p := range todo {
+		if err := s.writeFrame(conn, bw, wire.FrameEvents, func(dst []byte) []byte {
+			return wire.EncodeEventsSeq(dst, p.seq, p.events)
+		}); err != nil {
+			s.killConn(gen, err)
+			return false
+		}
+	}
+	if err := s.flushWire(conn, bw); err != nil {
+		s.killConn(gen, err)
+		return false
+	}
+	s.mu.Lock()
+	s.attempts = 0
+	s.resends += uint64(len(todo))
+	s.mu.Unlock()
+	return true
+}
+
+// writeFrame encodes (via enc, into the shared scratch) and writes one
+// frame under the write lock with a fresh write deadline.
+func (s *Session) writeFrame(conn net.Conn, bw *bufio.Writer, ft wire.FrameType, enc func([]byte) []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.payload = enc(s.payload[:0])
+	conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	return wire.WriteFrame(bw, ft, s.payload)
+}
+
+// flushWire drains the buffered writer under the write lock.
+func (s *Session) flushWire(conn net.Conn, bw *bufio.Writer) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	return bw.Flush()
+}
+
+// reader consumes server frames for one connection: acks advance the
+// window, a Report or Error resolves the session, heartbeats just
+// refresh liveness.
+func (s *Session) reader(conn net.Conn, gen uint64) {
+	var scratch []byte
+	for {
+		ft, payload, err := wire.ReadFrame(conn, scratch)
+		if err != nil {
+			s.killConn(gen, err)
+			return
+		}
+		scratch = payload[:0]
+		s.lastRecv.Store(time.Now().UnixNano())
+		switch ft {
+		case wire.FrameAck:
+			seq, err := wire.DecodeAck(payload)
+			if err != nil {
+				s.killConn(gen, err)
+				return
+			}
+			s.mu.Lock()
+			if seq > s.acked {
+				s.acked = seq
+				s.pruneLocked()
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case wire.FrameReport:
+			flags, body, err := wire.DecodeReport(payload)
+			rep := &race2d.Report{}
+			if err == nil {
+				err = json.Unmarshal(body, rep)
+			}
+			s.mu.Lock()
+			if err != nil {
+				s.srvErr = fmt.Errorf("client: report: %w", err)
+			} else {
+				s.report = rep
+				s.reportPartial = flags&wire.FlagPartial != 0
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		case wire.FrameError:
+			s.mu.Lock()
+			s.srvErr = fmt.Errorf("client: server error: %s", payload)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		case wire.FrameHeartbeat:
+			// Liveness only; the timestamp above is the point.
+		default:
+			s.killConn(gen, fmt.Errorf("client: unexpected %v frame from server", ft))
+			return
+		}
+	}
+}
+
+// heartbeat keeps one connection's liveness bounded: it sends a
+// Heartbeat frame every interval (the server answers with an Ack) and
+// declares the peer dead after HeartbeatMisses silent intervals. While
+// Finish is waiting on the Report the server is legitimately silent
+// (it may be draining a large queue), so the dead-peer verdict is
+// suspended and FinishTimeout rules instead.
+func (s *Session) heartbeat(conn net.Conn, gen uint64) {
+	interval := s.opts.HeartbeatInterval
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for range tick.C {
+		s.mu.Lock()
+		stale := s.gen != gen || s.conn == nil || s.closed
+		finishing := s.finishing
+		bw := s.bw
+		s.mu.Unlock()
+		if stale {
+			return
+		}
+		idle := time.Since(time.Unix(0, s.lastRecv.Load()))
+		if idle > interval && !finishing {
+			s.mu.Lock()
+			s.heartbeatsMissed++
+			s.mu.Unlock()
+			if idle > time.Duration(s.opts.HeartbeatMisses)*interval {
+				s.killConn(gen, fmt.Errorf("client: server silent for %v", idle.Round(time.Millisecond)))
+				return
+			}
+		}
+		if finishing {
+			// The server stopped reading after Finish; writing would only
+			// fill the socket buffer.
+			continue
+		}
+		err := s.writeFrame(conn, bw, wire.FrameHeartbeat, func(dst []byte) []byte { return dst })
+		if err == nil {
+			err = s.flushWire(conn, bw)
+		}
+		if err != nil {
+			s.killConn(gen, err)
+			return
+		}
+	}
+}
+
+// Event buffers one event, cutting a sequenced batch when the transport
+// batch fills. Implements fj.Sink.
 func (s *Session) Event(e fj.Event) {
 	s.batch = append(s.batch, e)
-	if len(s.batch) >= s.frameN {
+	if len(s.batch) >= s.opts.FrameEvents {
 		s.flushFrame()
 	}
 }
@@ -137,99 +604,195 @@ func (s *Session) Event(e fj.Event) {
 // EventBatch buffers a slab of events. Implements fj.BatchSink.
 func (s *Session) EventBatch(events []fj.Event) {
 	for len(events) > 0 {
-		n := min(s.frameN-len(s.batch), len(events))
+		n := min(s.opts.FrameEvents-len(s.batch), len(events))
 		s.batch = append(s.batch, events[:n]...)
 		events = events[n:]
-		if len(s.batch) >= s.frameN {
+		if len(s.batch) >= s.opts.FrameEvents {
 			s.flushFrame()
 		}
 	}
 }
 
-// flushFrame sends the buffered events as one Events frame. Errors are
-// sticky: a draining server legitimately stops reading mid-stream, so
-// failures here are reported by Finish, alongside (or subsumed by) the
-// report the server still owes us.
+// flushFrame cuts the accumulated events into a sequenced batch and
+// sends it.
 func (s *Session) flushFrame() {
 	if len(s.batch) == 0 {
 		return
 	}
-	s.payload = wire.EncodeEvents(s.payload[:0], s.batch)
+	events := append([]fj.Event(nil), s.batch...)
 	s.batch = s.batch[:0]
-	if s.err != nil {
+	s.sendBatch(events)
+}
+
+// sendBatch admits one batch into the replay window (blocking while the
+// window is full) and writes it to the wire. After the circuit breaks
+// or the server has already rendered a verdict, batches are dropped —
+// Finish will report what happened.
+func (s *Session) sendBatch(events []fj.Event) {
+	// Window admission, with a stall bound: a full window that sees no
+	// ack progress for FinishTimeout means the connection is dead in a
+	// way the transport has not surfaced; kill it and let the reconnect
+	// path resend.
+	s.mu.Lock()
+	stallStart := time.Now()
+	lastAcked := s.acked
+	for s.healthyLocked() && s.nextSeq-s.acked > uint64(s.opts.WindowBatches) {
+		if s.acked != lastAcked {
+			lastAcked = s.acked
+			stallStart = time.Now()
+		}
+		if s.conn == nil {
+			s.mu.Unlock()
+			s.connect()
+			s.mu.Lock()
+			continue
+		}
+		conn, bw, gen := s.conn, s.bw, s.gen
+		s.mu.Unlock()
+		// Acks can only arrive for frames the server has seen: push any
+		// buffered bytes out before sleeping.
+		if err := s.flushWire(conn, bw); err != nil {
+			s.killConn(gen, err)
+			s.mu.Lock()
+			continue
+		}
+		if time.Since(stallStart) > s.opts.FinishTimeout {
+			s.killConn(gen, fmt.Errorf("client: no ack progress for %v", s.opts.FinishTimeout))
+			s.mu.Lock()
+			continue
+		}
+		s.mu.Lock()
+		if s.healthyLocked() && s.nextSeq-s.acked > uint64(s.opts.WindowBatches) && s.conn != nil {
+			s.waitLocked(100 * time.Millisecond)
+		}
+	}
+	if !s.healthyLocked() {
+		s.mu.Unlock()
 		return
 	}
-	if err := wire.WriteFrame(s.bw, wire.FrameEvents, s.payload); err != nil {
-		s.err = err
+	p := pending{seq: s.nextSeq, events: events}
+	s.nextSeq++
+	s.window = append(s.window, p)
+	conn, bw, gen := s.conn, s.bw, s.gen
+	s.mu.Unlock()
+
+	if conn == nil {
+		// Disconnected: the batch is safely in the window; connect()
+		// resends it along with everything else outstanding.
+		s.connect()
+		return
+	}
+	if err := s.writeFrame(conn, bw, wire.FrameEvents, func(dst []byte) []byte {
+		return wire.EncodeEventsSeq(dst, p.seq, p.events)
+	}); err != nil {
+		s.killConn(gen, err)
+		s.connect()
 	}
 }
 
-// Flush pushes all buffered events onto the wire.
+// Flush pushes all buffered events onto the wire. A terminal session
+// error (circuit open, server refusal) is returned; transient transport
+// trouble is not — the replay window covers it.
 func (s *Session) Flush() error {
 	s.flushFrame()
-	if s.err == nil {
-		s.err = s.bw.Flush()
+	s.mu.Lock()
+	conn, bw, gen := s.conn, s.bw, s.gen
+	err := s.broken
+	if err == nil {
+		err = s.srvErr
 	}
-	return s.err
+	s.mu.Unlock()
+	if err != nil || conn == nil {
+		return err
+	}
+	if ferr := s.flushWire(conn, bw); ferr != nil {
+		s.killConn(gen, ferr)
+	}
+	return nil
 }
 
 // Finish declares the stream complete and waits for the server's
-// Report. When the server drained mid-stream the returned error wraps
-// ErrPartial and the Report (non-nil) covers the consumed prefix.
+// Report, reconnecting and resending through faults as needed. When the
+// server drained mid-stream the returned error wraps ErrPartial and the
+// Report (non-nil) covers the consumed prefix; when the retry budget
+// ran out the error wraps ErrPartial and the Report may be nil.
 func (s *Session) Finish() (*race2d.Report, error) {
 	s.flushFrame()
-	if s.err == nil {
-		if err := wire.WriteFrame(s.bw, wire.FrameFinish, nil); err != nil {
-			s.err = err
-		}
-	}
-	if s.err == nil {
-		s.err = s.bw.Flush()
-	}
-	writeErr := s.err
-	// Half-close: the server's drain loop sees EOF instead of waiting
-	// out its grace period.
-	if tc, ok := s.conn.(*net.TCPConn); ok {
-		tc.CloseWrite()
-	}
-	s.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	deadline := time.Now().Add(s.opts.FinishTimeout)
+	var finishedGen uint64 // generation the Finish frame was sent on
 	for {
-		ft, payload, err := wire.ReadFrame(s.conn, s.scratch)
-		if err != nil {
-			if writeErr != nil {
-				return nil, fmt.Errorf("client: stream failed (%v) and no report followed: %w", writeErr, err)
-			}
-			return nil, fmt.Errorf("client: awaiting report: %w", err)
-		}
-		s.scratch = payload[:0]
-		switch ft {
-		case wire.FrameReport:
-			flags, body, err := wire.DecodeReport(payload)
-			if err != nil {
-				return nil, fmt.Errorf("client: report: %w", err)
-			}
-			rep := &race2d.Report{}
-			if err := json.Unmarshal(body, rep); err != nil {
-				return nil, fmt.Errorf("client: report: %w", err)
-			}
-			if flags&wire.FlagPartial != 0 {
+		s.mu.Lock()
+		if s.report != nil {
+			rep, partial := s.report, s.reportPartial
+			s.mu.Unlock()
+			if partial {
 				return rep, ErrPartial
 			}
 			return rep, nil
-		case wire.FrameError:
-			return nil, fmt.Errorf("client: server error: %s", payload)
-		default:
-			return nil, fmt.Errorf("client: awaiting report: unexpected %v frame", ft)
 		}
+		if err := s.srvErr; err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if err := s.broken; err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return nil, errors.New("client: session closed")
+		}
+		if time.Now().After(deadline) {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("client: no report within %v (last error: %v): %w",
+				s.opts.FinishTimeout, s.lastNetErr, ErrPartial)
+		}
+		s.finishing = true
+		conn, bw, gen := s.conn, s.bw, s.gen
+		s.mu.Unlock()
+
+		if conn == nil {
+			s.connect()
+			continue
+		}
+		if finishedGen != gen {
+			// (Re)send Finish on this connection: a resumed server-side
+			// session needs it again if the original frame was lost.
+			err := s.writeFrame(conn, bw, wire.FrameFinish, func(dst []byte) []byte { return dst })
+			if err == nil {
+				err = s.flushWire(conn, bw)
+			}
+			if err != nil {
+				s.killConn(gen, err)
+				continue
+			}
+			finishedGen = gen
+		}
+		s.mu.Lock()
+		if s.report == nil && s.srvErr == nil && s.broken == nil && s.conn != nil && s.gen == gen {
+			s.waitLocked(100 * time.Millisecond)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// Close releases the connection. Idempotent; safe after Finish and in
-// deferred cleanup alongside it.
+// Close releases the connection and stops the background goroutines.
+// Idempotent; safe after Finish and in deferred cleanup alongside it.
 func (s *Session) Close() error {
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	return s.conn.Close()
+	conn := s.conn
+	s.conn = nil
+	s.bw = nil
+	s.gen++ // orphan any reader/heartbeat still running
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

@@ -177,11 +177,29 @@ func printReport(e race2d.Engine, rep *race2d.Report, locName func(race2d.Addr) 
 	}
 }
 
+// remoteOptions is the session configuration for every race2d remote
+// run: RetainAll keeps the whole stream replayable, so the verdict
+// survives not just dropped connections but a raced restart that forgot
+// the resume token (the stream replays into a fresh session).
+func remoteOptions(e race2d.Engine) client.Options {
+	return client.Options{Engine: e.String(), RetainAll: true}
+}
+
+// noteRecovery reports transport trouble the session rode out, on
+// stderr so piped verdict output stays byte-identical to a clean run.
+func noteRecovery(sess *client.Session) {
+	if st := sess.Stats(); st.Reconnects > 0 {
+		fmt.Fprintf(os.Stderr,
+			"race2d: note: recovered from %d disconnect(s) (%d batches resent, %d heartbeats missed)\n",
+			st.Reconnects, st.Resends, st.HeartbeatsMissed)
+	}
+}
+
 // execRemote executes p locally but streams its events to a raced
 // server; the Report comes back from the server's engine. When the
 // server drains mid-stream the partial report is used, with a warning.
 func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace) (*race2d.Report, *prog.Result, error) {
-	sess, err := client.Dial(addr, client.Options{Engine: e.String()})
+	sess, err := client.Dial(addr, remoteOptions(e))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -195,7 +213,8 @@ func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool,
 		return nil, nil, err
 	}
 	rep, err := sess.Finish()
-	if errors.Is(err, client.ErrPartial) {
+	noteRecovery(sess)
+	if errors.Is(err, client.ErrPartial) && rep != nil {
 		fmt.Fprintln(os.Stderr, "race2d: warning: partial report (server drained mid-stream)")
 		err = nil
 	}
@@ -236,14 +255,15 @@ func runTrace(data []byte, engineName, remote string, all, truth, stats bool) in
 	for _, e := range engines {
 		var rep *race2d.Report
 		if remote != "" {
-			sess, err := client.Dial(remote, client.Options{Engine: e.String()})
+			sess, err := client.Dial(remote, remoteOptions(e))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2
 			}
 			tr.Replay(sess)
 			rep, err = sess.Finish()
-			if errors.Is(err, client.ErrPartial) {
+			noteRecovery(sess)
+			if errors.Is(err, client.ErrPartial) && rep != nil {
 				fmt.Fprintln(os.Stderr, "race2d: warning: partial report (server drained mid-stream)")
 				err = nil
 			}

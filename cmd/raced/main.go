@@ -7,11 +7,19 @@
 // Usage:
 //
 //	raced [-addr :7471] [-metrics :7472] [-max-sessions 64]
-//	      [-queue-cap 4096] [-idle-timeout 0] [-v]
+//	      [-queue-cap 4096] [-idle-timeout 0] [-resume-window 1m]
+//	      [-chaos none] [-chaos-seed 1] [-chaos-rate 0.02] [-v]
 //
 // On SIGINT/SIGTERM the server drains gracefully: every open session
 // stops reading, finishes detecting what it buffered, and receives a
 // Report flagged partial.
+//
+// -chaos is a development flag: it wraps the session listener in the
+// internal/faults injector, so every accepted connection suffers
+// deterministic, seed-driven transport faults of the named classes
+// (delay|corrupt|partial|drop|reset|all). Protocol-v2 clients are
+// expected to ride the faults out and still produce verdicts identical
+// to a clean run; scripts/chaos_smoke.sh holds raced to exactly that.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -41,7 +50,11 @@ func run(args []string) int {
 	maxSessions := fs.Int("max-sessions", server.DefaultMaxSessions, "live session cap; extra connections are refused")
 	queueCap := fs.Int("queue-cap", 0, "per-session event queue capacity in events (0 = default)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "evict sessions idle this long (0 disables)")
+	resumeWindow := fs.Duration("resume-window", server.DefaultResumeWindow, "keep disconnected v2 sessions resumable this long")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before hard close")
+	chaos := fs.String("chaos", "", "inject transport faults of these classes on every session (delay|corrupt|partial|drop|reset|all; dev flag)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic fault schedule seed for -chaos")
+	chaosRate := fs.Float64("chaos-rate", 0, "per-I/O fault probability for -chaos (0 = default 0.02)")
 	verbose := fs.Bool("v", false, "log session lifecycle events")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,6 +65,7 @@ func run(args []string) int {
 		MaxSessions:   *maxSessions,
 		QueueCapacity: *queueCap,
 		IdleTimeout:   *idleTimeout,
+		ResumeWindow:  *resumeWindow,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf
@@ -62,6 +76,21 @@ func run(args []string) int {
 	if err != nil {
 		logger.Print(err)
 		return 2
+	}
+	if *chaos != "" {
+		classes, err := faults.ParseClass(*chaos)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		if classes != 0 {
+			ln = faults.New(faults.Config{
+				Seed:    *chaosSeed,
+				Classes: classes,
+				Rate:    *chaosRate,
+			}).Listener(ln)
+			logger.Printf("chaos: injecting %v faults (seed %d)", classes, *chaosSeed)
+		}
 	}
 	// Announce the resolved address (":0" picks a free port) on stdout so
 	// scripts and the serve-smoke harness can find it.

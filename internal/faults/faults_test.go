@@ -1,0 +1,250 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConn returns a connected TCP pair on loopback (net.Pipe has no
+// deadlines and unusual write semantics; real sockets behave like the
+// deployment target).
+func pipeConn(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return client, r.c
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{
+		"all":          All,
+		"none":         0,
+		"drop,delay":   Drop | Delay,
+		"corrupt|drop": Corrupt | Drop,
+	} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseClass("gremlins"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// TestDeterministicSchedule: the same seed must produce the same fault
+// script on a fresh injector.
+func TestDeterministicSchedule(t *testing.T) {
+	script := func(seed int64) []Class {
+		in := New(Config{Seed: seed, Classes: All, Rate: 0.5})
+		p := newPath(in, 1, 1)
+		var out []Class
+		for i := 0; i < 200; i++ {
+			c, _, _ := p.next(in)
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := script(7), script(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: schedule diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	faults := 0
+	for _, c := range a {
+		if c != 0 {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("rate 0.5 over 200 ops injected nothing")
+	}
+	diff := script(8)
+	same := 0
+	for i := range a {
+		if a[i] == diff[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestEverySchedules: Every gives exact scripting.
+func TestEverySchedules(t *testing.T) {
+	in := New(Config{Seed: 1, Classes: Delay, Every: 3})
+	p := newPath(in, 1, 0)
+	for i := 1; i <= 12; i++ {
+		c, _, _ := p.next(in)
+		if want := i%3 == 0; (c != 0) != want {
+			t.Fatalf("op %d: fault=%v, want %v", i, c != 0, want)
+		}
+	}
+}
+
+// TestMaxFaultsBudget: after MaxFaults faults the wrapped conn behaves
+// perfectly, so a retrying peer always gets a clean run eventually.
+func TestMaxFaultsBudget(t *testing.T) {
+	in := New(Config{Seed: 3, Classes: Delay, Every: 1, MaxFaults: 5, MaxDelay: time.Microsecond})
+	p := newPath(in, 1, 0)
+	injected := 0
+	for i := 0; i < 100; i++ {
+		if c, _, _ := p.next(in); c != 0 {
+			injected++
+		}
+	}
+	if injected != 5 {
+		t.Fatalf("injected %d faults, want exactly the budget of 5", injected)
+	}
+	if in.Injected() != 5 {
+		t.Fatalf("Injected() = %d, want 5", in.Injected())
+	}
+}
+
+// TestCorruptIsDetectable: a corrupting conn flips bytes in transit
+// without changing lengths.
+func TestCorruptIsDetectable(t *testing.T) {
+	a, b := pipeConn(t)
+	defer a.Close()
+	defer b.Close()
+	in := New(Config{Seed: 1, Classes: Corrupt, Every: 1})
+	fc := in.Conn(a)
+
+	msg := []byte("hello, detector")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupting conn delivered the bytes unchanged")
+	}
+	diffs := 0
+	for i := range msg {
+		if msg[i] != got[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 flipped", diffs)
+	}
+}
+
+// TestPartialWriteTruncates: a partial fault delivers a strict prefix
+// and severs the conn so the receiver sees EOF, not a hang.
+func TestPartialWriteTruncates(t *testing.T) {
+	a, b := pipeConn(t)
+	defer a.Close()
+	defer b.Close()
+	in := New(Config{Seed: 2, Classes: Partial, Every: 1})
+	fc := in.Conn(a)
+
+	msg := bytes.Repeat([]byte("x"), 4096)
+	n, err := fc.Write(msg)
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("partial write err = %v, want injected", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write wrote %d of %d bytes", n, len(msg))
+	}
+	got, _ := io.ReadAll(b)
+	if len(got) != n {
+		t.Fatalf("receiver saw %d bytes, sender claims %d", len(got), n)
+	}
+}
+
+// TestResetSevers: a reset fault fails the op and kills the transport.
+func TestResetSevers(t *testing.T) {
+	a, b := pipeConn(t)
+	defer a.Close()
+	defer b.Close()
+	in := New(Config{Seed: 4, Classes: Reset, Every: 1})
+	fc := in.Conn(a)
+	if _, err := fc.Write([]byte("boom")); !IsInjected(err) {
+		t.Fatalf("reset write err = %v, want injected", err)
+	}
+	if got, _ := io.ReadAll(b); len(got) != 0 {
+		t.Fatalf("receiver saw %d bytes after reset", len(got))
+	}
+}
+
+// TestDropSwallowsAndSevers: a drop fault reports success but delivers
+// nothing, then severs so the loss is observable.
+func TestDropSwallowsAndSevers(t *testing.T) {
+	a, b := pipeConn(t)
+	defer a.Close()
+	defer b.Close()
+	in := New(Config{Seed: 5, Classes: Drop, Every: 1})
+	fc := in.Conn(a)
+	msg := []byte("vanishes")
+	if n, err := fc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("drop write = %d, %v; want full claimed success", n, err)
+	}
+	if got, _ := io.ReadAll(b); len(got) != 0 {
+		t.Fatalf("receiver saw %d dropped bytes", len(got))
+	}
+}
+
+// TestListenerWraps: accepted conns inherit the injector.
+func TestListenerWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 6, Classes: Corrupt, Every: 1})
+	fln := in.Listener(ln)
+	defer fln.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		c, err := fln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		io.ReadFull(c, buf)
+		done <- buf
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("ping"))
+	got := <-done
+	if got == nil {
+		t.Fatal("accept failed")
+	}
+	if bytes.Equal(got, []byte("ping")) {
+		t.Fatal("listener-wrapped conn did not inject on read")
+	}
+}

@@ -87,6 +87,19 @@ type Stats struct {
 	Evictions        uint64 `json:"evictions,omitempty"`         // idle sessions evicted
 	Frames           uint64 `json:"frames,omitempty"`            // event frames ingested
 	WireBytes        uint64 `json:"wire_bytes,omitempty"`        // frame payload bytes received
+
+	// Fault tolerance (wire protocol v2). The client side reports its
+	// circuit-breaker surface (reconnects, resends, heartbeats missed);
+	// the server side reports resume traffic (sessions re-attached,
+	// duplicate batches discarded, handshakes refused). Per-session
+	// detector Reports leave all of these zero, preserving local/remote
+	// byte parity.
+	Reconnects        uint64 `json:"reconnects,omitempty"`         // connections re-established after a transport fault
+	Resends           uint64 `json:"resends,omitempty"`            // replay-buffer batches resent after resume
+	DupsDropped       uint64 `json:"dups_dropped,omitempty"`       // duplicate-sequence batches discarded (server)
+	HeartbeatsMissed  uint64 `json:"heartbeats_missed,omitempty"`  // dead-peer declarations from heartbeat silence
+	Resumes           uint64 `json:"resumes,omitempty"`            // sessions successfully re-attached (server)
+	HandshakeRefusals uint64 `json:"handshake_refusals,omitempty"` // connections refused before a session existed (server)
 }
 
 // MemOps returns the total memory operations observed.
@@ -144,6 +157,12 @@ func (s *Stats) Add(other Stats) {
 	s.Evictions += other.Evictions
 	s.Frames += other.Frames
 	s.WireBytes += other.WireBytes
+	s.Reconnects += other.Reconnects
+	s.Resends += other.Resends
+	s.DupsDropped += other.DupsDropped
+	s.HeartbeatsMissed += other.HeartbeatsMissed
+	s.Resumes += other.Resumes
+	s.HandshakeRefusals += other.HandshakeRefusals
 	for len(s.BatchSizes) < len(other.BatchSizes) {
 		s.BatchSizes = append(s.BatchSizes, 0)
 	}
@@ -196,6 +215,12 @@ func (s Stats) String() string {
 	put("evictions", s.Evictions)
 	put("frames", s.Frames)
 	put("wire-bytes", s.WireBytes)
+	put("reconnects", s.Reconnects)
+	put("resends", s.Resends)
+	put("dups-dropped", s.DupsDropped)
+	put("heartbeats-missed", s.HeartbeatsMissed)
+	put("resumes", s.Resumes)
+	put("handshake-refusals", s.HandshakeRefusals)
 	if s.MemOps() > 0 && s.UnionFindOps() > 0 {
 		fmt.Fprintf(&b, " amortized-uf-steps/op=%.2f", s.AmortizedSteps())
 	}

@@ -1,0 +1,499 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/faults"
+	"repro/internal/fj"
+	"repro/internal/prog"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+
+	race2d "repro"
+)
+
+// startChaosServer starts a raced server behind a fault-injecting
+// listener: every accepted connection is perturbed on fcfg's schedule.
+func startChaosServer(t *testing.T, cfg server.Config, fcfg faults.Config) (*server.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cfg)
+	go srv.Serve(faults.New(fcfg).Listener(ln))
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// chaosOpts tunes the client for fault-heavy tests: small frames so
+// sequencing is exercised, fast reconnects, and a budget generous
+// enough that the injector's MaxFaults — not the client — decides when
+// the weather clears.
+func chaosOpts() client.Options {
+	return client.Options{
+		FrameEvents: 64,
+		// Corruption can garble a handshake into a silent stall (the
+		// server blocks on a phantom length prefix); a short dial timeout
+		// turns each such stall into a quick retry on loopback.
+		DialTimeout:   250 * time.Millisecond,
+		FinishTimeout: 30 * time.Second,
+		WriteTimeout:  2 * time.Second,
+		// A fast heartbeat keeps the tests quick: a corrupted length
+		// prefix can leave a receiver blocked waiting for phantom bytes,
+		// and the next heartbeat (or its ack) is what unsticks it.
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMisses:   2,
+		MaxAttempts:       200,
+		BackoffBase:       time.Millisecond,
+		BackoffMax:        20 * time.Millisecond,
+		RetainAll:         true,
+	}
+}
+
+// TestChaosParity is the fault-tolerance acceptance bar: for every
+// fault class, across 20 seeded workloads each, a session streamed
+// through an aggressively faulty transport must produce a Report
+// byte-identical to the undisturbed local run. The injector's fault
+// budget guarantees the weather eventually clears, so Finish must
+// return a clean (non-partial) verdict.
+func TestChaosParity(t *testing.T) {
+	classes := []faults.Class{faults.Delay, faults.Corrupt, faults.Partial, faults.Drop, faults.Reset, faults.All}
+	for _, class := range classes {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 20; seed++ {
+				c := workload.ForkJoin{
+					Seed:     seed,
+					Ops:      600,
+					MaxDepth: 4,
+					Mix:      workload.Mix{Locs: 16, ReadFrac: 0.6},
+				}
+				d := race2d.NewEngineSink(race2d.Engine2D)
+				localTasks, err := c.Run(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				local := renderJSON(t, d.Report(), localTasks, nil)
+
+				_, addr := startChaosServer(t,
+					server.Config{ResumeWindow: 10 * time.Second},
+					faults.Config{Seed: seed, Classes: class, Every: 2, MaxFaults: 20, MaxDelay: 500 * time.Microsecond})
+				sess, err := client.Dial(addr, chaosOpts())
+				if err != nil {
+					t.Fatalf("seed %d: dial through %v faults: %v", seed, class, err)
+				}
+				remoteTasks, err := c.Run(sess)
+				if err != nil {
+					sess.Close()
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				rep, err := sess.Finish()
+				sess.Close()
+				if err != nil {
+					t.Fatalf("seed %d: Finish under %v faults: %v", seed, class, err)
+				}
+				remote := renderJSON(t, rep, remoteTasks, nil)
+				if local != remote {
+					t.Errorf("seed %d: %v faults changed the verdict\nlocal:\n%s\nremote:\n%s",
+						seed, class, local, remote)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosParityCorpus replays every corpus program through an
+// all-classes faulty transport and demands byte-identical reports.
+func TestChaosParityCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "cmd", "race2d", "testdata", "*.fj"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus programs: %v", err)
+	}
+	for _, file := range files {
+		for fseed := int64(1); fseed <= 3; fseed++ {
+			t.Run(fmt.Sprintf("%s/fault-seed-%d", filepath.Base(file), fseed), func(t *testing.T) {
+				data, err := os.ReadFile(file)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := prog.Parse(bytes.NewReader(data))
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := race2d.NewEngineSink(race2d.Engine2D)
+				localRes, err := prog.Exec(p, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				local := renderJSON(t, d.Report(), localRes.Tasks, localRes.LocName)
+
+				_, addr := startChaosServer(t,
+					server.Config{ResumeWindow: 10 * time.Second},
+					faults.Config{Seed: fseed, Classes: faults.All, Every: 2, MaxFaults: 15, MaxDelay: 500 * time.Microsecond})
+				sess, err := client.Dial(addr, chaosOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sess.Close()
+				remoteRes, err := prog.Exec(p, sess)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := sess.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				remote := renderJSON(t, rep, remoteRes.Tasks, remoteRes.LocName)
+				if local != remote {
+					t.Errorf("faults changed the verdict\nlocal:\n%s\nremote:\n%s", local, remote)
+				}
+			})
+		}
+	}
+}
+
+// TestRetryBudgetExhausted checks the circuit breaker: when the server
+// vanishes for good, Finish must come back with an error wrapping
+// ErrPartial — never hang.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	sess, err := client.Dial(addr, client.Options{
+		MaxAttempts:   3,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+		FinishTimeout: 10 * time.Second,
+		RetainAll:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	streamRacyPrefix(t, sess, 100)
+	srv.Close() // the server is gone and never coming back
+
+	done := make(chan struct{})
+	var rep *race2d.Report
+	var ferr error
+	go func() {
+		rep, ferr = sess.Finish()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Finish hung after the retry budget should have been exhausted")
+	}
+	if !errors.Is(ferr, client.ErrPartial) {
+		t.Fatalf("Finish err = %v, want ErrPartial", ferr)
+	}
+	if rep != nil {
+		t.Fatalf("no server ever reported, yet Finish returned %+v", rep)
+	}
+	if st := sess.Stats(); st.Reconnects == 0 && st.Resends == 0 {
+		t.Log("note: circuit opened before any reconnect succeeded (expected)")
+	}
+}
+
+// TestServerRestartResume checks the strongest recovery mode: the
+// server process is torn down completely (all session state lost) and a
+// fresh one binds the same address; a RetainAll client must notice its
+// resume token is unknown, open a fresh session, replay the entire
+// stream, and land on the byte-identical verdict.
+func TestServerRestartResume(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := server.New(server.Config{})
+	go srv1.Serve(ln)
+
+	c := workload.ForkJoin{
+		Seed:     42,
+		Ops:      1200,
+		MaxDepth: 5,
+		Mix:      workload.Mix{Locs: 24, ReadFrac: 0.6},
+	}
+	d := race2d.NewEngineSink(race2d.Engine2D)
+	localTasks, err := c.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := renderJSON(t, d.Report(), localTasks, nil)
+
+	sess, err := client.Dial(addr, client.Options{
+		FrameEvents:   64,
+		FinishTimeout: 30 * time.Second,
+		MaxAttempts:   100,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    20 * time.Millisecond,
+		RetainAll:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	remoteTasks, err := c.Run(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server outright — sessions, tokens, reports, all gone —
+	// and restart on the same address.
+	srv1.Close()
+	var ln2 net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv2 := server.New(server.Config{})
+	go srv2.Serve(ln2)
+	t.Cleanup(func() { srv2.Close() })
+
+	rep, err := sess.Finish()
+	if err != nil {
+		t.Fatalf("Finish across server restart: %v", err)
+	}
+	remote := renderJSON(t, rep, remoteTasks, nil)
+	if local != remote {
+		t.Errorf("restart changed the verdict\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+	st := sess.Stats()
+	if st.Reconnects == 0 {
+		t.Error("client claims it never reconnected across the restart")
+	}
+	if st.Resends == 0 {
+		t.Error("client claims it never resent the stream into the fresh session")
+	}
+	if got := srv2.Stats().Sessions; got != 1 {
+		t.Errorf("restarted server saw %d sessions, want 1", got)
+	}
+}
+
+// TestResumeAfterConnKill exercises token resume directly: exactly one
+// connection reset, injected deterministically mid-stream, severs the
+// transport while the server-side session survives suspended. The
+// client must reconnect with its token and land on the right verdict,
+// and both sides must count the recovery.
+func TestResumeAfterConnKill(t *testing.T) {
+	srv, addr := startChaosServer(t,
+		server.Config{ResumeWindow: 10 * time.Second},
+		faults.Config{Seed: 7, Classes: faults.Reset, Every: 5, MaxFaults: 1})
+	c := workload.ForkJoin{
+		Seed:     7,
+		Ops:      1000,
+		MaxDepth: 4,
+		Mix:      workload.Mix{Locs: 16, ReadFrac: 0.5},
+	}
+	d := race2d.NewEngineSink(race2d.Engine2D)
+	localTasks, err := c.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := renderJSON(t, d.Report(), localTasks, nil)
+
+	sess, err := client.Dial(addr, client.Options{
+		FrameEvents:   32,
+		FinishTimeout: 20 * time.Second,
+		MaxAttempts:   50,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	remoteTasks, err := c.Run(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Finish()
+	if err != nil {
+		t.Fatalf("Finish across a severed transport: %v", err)
+	}
+	remote := renderJSON(t, rep, remoteTasks, nil)
+	if local != remote {
+		t.Errorf("conn kill changed the verdict\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+	if st := srv.Stats(); st.Resumes == 0 {
+		t.Errorf("server stats count no resumes: %+v", st)
+	}
+	if st := sess.Stats(); st.Reconnects == 0 {
+		t.Errorf("client stats count no reconnects: %+v", st)
+	}
+}
+
+// collectSink gathers events so a test can replay them by hand.
+type collectSink struct{ into *[]fj.Event }
+
+func (c *collectSink) Event(e fj.Event) { *c.into = append(*c.into, e) }
+
+// TestV1ClientCompat drives the server with a hand-rolled protocol-v1
+// stream — v1 magic, tokenless Hello, unsequenced Events — and checks
+// the v2 server still answers it exactly like PR 4's server did.
+func TestV1ClientCompat(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	files, err := filepath.Glob(filepath.Join("..", "..", "cmd", "race2d", "testdata", "*.fj"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus programs: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := prog.Parse(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := race2d.NewEngineSink(race2d.Engine2D)
+			localRes, err := prog.Exec(p, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			local := renderJSON(t, d.Report(), localRes.Tasks, localRes.LocName)
+
+			var events []fj.Event
+			remoteRes, err := prog.Exec(p, &collectSink{into: &events})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if err := wire.WriteMagicVersion(conn, wire.V1); err != nil {
+				t.Fatal(err)
+			}
+			if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(wire.Hello{Engine: "2d"})); err != nil {
+				t.Fatal(err)
+			}
+			ft, payload, err := wire.ReadFrame(conn, nil)
+			if err != nil || ft != wire.FrameWelcome {
+				t.Fatalf("welcome: %v %v", ft, err)
+			}
+			if _, err := wire.DecodeWelcome(payload); err != nil {
+				t.Fatalf("v1 welcome decode: %v", err)
+			}
+			// The v1 welcome must not smuggle v2 fields.
+			if _, err := wire.DecodeWelcomeV2(payload); !errors.Is(err, wire.ErrTruncated) {
+				t.Fatalf("v1 welcome carries v2 fields (decode err = %v)", err)
+			}
+			for i := 0; i < len(events); i += 256 {
+				chunk := events[i:min(i+256, len(events))]
+				if err := wire.WriteFrame(conn, wire.FrameEvents, wire.EncodeEvents(nil, chunk)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := wire.WriteFrame(conn, wire.FrameFinish, nil); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			conn.SetReadDeadline(deadline)
+			ft, payload, err = wire.ReadFrame(conn, nil)
+			if err != nil || ft != wire.FrameReport {
+				t.Fatalf("report: %v %v", ft, err)
+			}
+			flags, body, err := wire.DecodeReport(payload)
+			if err != nil || flags != 0 {
+				t.Fatalf("report decode: flags=%d err=%v", flags, err)
+			}
+			rep := &race2d.Report{}
+			if err := json.Unmarshal(body, rep); err != nil {
+				t.Fatal(err)
+			}
+			remote := renderJSON(t, rep, remoteRes.Tasks, remoteRes.LocName)
+			if local != remote {
+				t.Errorf("v1 stream verdict differs\nlocal:\n%s\nremote:\n%s", local, remote)
+			}
+		})
+	}
+}
+
+// TestHandshakeFailureModes checks that each malformed-handshake class
+// is answered with a typed wire error and counted in the refusal
+// metric: wrong magic, unsupported version, garbage instead of a Hello
+// frame, and a structurally valid Hello frame with a truncated payload.
+func TestHandshakeFailureModes(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	magicV2 := wire.MagicFor(wire.V2)
+	badVersion := wire.MagicFor(99)
+	truncatedHello := wire.AppendFrame(nil, wire.FrameHello,
+		wire.EncodeHello(wire.Hello{Engine: "fasttrack", BatchSize: 64})[:1])
+
+	cases := []struct {
+		name string
+		send []byte
+		want string // substring of the Error frame payload
+	}{
+		{"wrong-magic", []byte("HTTP/1.1 GET /\r\n"), wire.ErrBadMagic.Error()},
+		{"unsupported-version", append(badVersion[:], wire.AppendFrame(nil, wire.FrameHello, wire.EncodeHello(wire.Hello{}))...), wire.ErrVersion.Error()},
+		{"garbage-before-hello", append(magicV2[:], bytes.Repeat([]byte{0xFF}, 64)...), "reading hello"},
+		{"hello-truncated", append(magicV2[:], truncatedHello...), "malformed hello"},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(c.send); err != nil {
+				t.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			ft, payload, err := wire.ReadFrame(conn, nil)
+			if err != nil || ft != wire.FrameError {
+				t.Fatalf("want an Error frame back, got %v (%v)", ft, err)
+			}
+			if !strings.HasPrefix(string(payload), wire.HandshakeRefusedPrefix) {
+				t.Errorf("refusal %q lacks the handshake prefix", payload)
+			}
+			if !strings.Contains(string(payload), c.want) {
+				t.Errorf("refusal %q does not name the failure %q", payload, c.want)
+			}
+			if got := srv.Stats().HandshakeRefusals; got != uint64(i+1) {
+				t.Errorf("HandshakeRefusals = %d, want %d", got, i+1)
+			}
+		})
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(body.String(), fmt.Sprintf("raced_handshake_refusals_total %d", len(cases))) {
+		t.Errorf("/metrics missing refusal counter:\n%s", body.String())
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConfigDefaults checks normalized() fills the documented defaults
+// and leaves explicit settings alone.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.MaxSessions != DefaultMaxSessions {
+		t.Fatalf("MaxSessions = %d, want %d", c.MaxSessions, DefaultMaxSessions)
+	}
+	if c.ResumeWindow != DefaultResumeWindow {
+		t.Fatalf("ResumeWindow = %v, want %v", c.ResumeWindow, DefaultResumeWindow)
+	}
+	c = Config{MaxSessions: 3, ResumeWindow: 7 * time.Second, IdleTimeout: time.Minute}.normalized()
+	if c.MaxSessions != 3 || c.ResumeWindow != 7*time.Second || c.IdleTimeout != time.Minute {
+		t.Fatalf("explicit config mangled: %+v", c)
+	}
+}
+
+// TestJanitorPeriodClamp checks the sweep period: a quarter of the
+// smallest enforced timeout, clamped so a tiny IdleTimeout cannot turn
+// the janitor into a spin loop and a huge window still expires with at
+// most a second of slack.
+func TestJanitorPeriodClamp(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want time.Duration
+	}{
+		{Config{IdleTimeout: time.Nanosecond}, minJanitorPeriod},
+		{Config{IdleTimeout: 8 * time.Millisecond}, minJanitorPeriod},
+		{Config{ResumeWindow: 40 * time.Millisecond}, minJanitorPeriod},
+		{Config{IdleTimeout: 200 * time.Millisecond}, 50 * time.Millisecond},
+		{Config{IdleTimeout: 2 * time.Second, ResumeWindow: 10 * time.Second}, 500 * time.Millisecond},
+		{Config{}, maxJanitorPeriod},                       // default 1m window / 4 = 15s, clamped down
+		{Config{IdleTimeout: time.Hour}, maxJanitorPeriod}, // idle longer than the default window
+		{Config{ResumeWindow: 24 * time.Hour}, maxJanitorPeriod},
+	}
+	for _, c := range cases {
+		if got := c.cfg.normalized().janitorPeriod(); got != c.want {
+			t.Errorf("janitorPeriod(%+v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}

@@ -18,10 +18,31 @@
 // reading, finishes detecting what it already buffered, and sends a
 // Report frame flagged Partial — a coherent verdict for the prefix of
 // the stream the detector consumed.
+//
+// # Fault tolerance (protocol v2)
+//
+// The server speaks wire protocol v1 and v2, negotiated by the magic's
+// version byte. A v2 session numbers its Events frames with contiguous
+// sequence numbers and the server acknowledges the highest contiguously
+// ingested sequence after every Events (and Heartbeat) frame. When a v2
+// connection dies mid-stream the session is not torn down: it is
+// suspended — queue, engine, and sequence cursor intact — for up to
+// ResumeWindow. A reconnecting client presents the resume token from
+// its Welcome; the server adopts the new connection, tells the client
+// the next sequence it expects, and the client resends from there.
+// Duplicate sequences (resent batches the server already ingested) are
+// discarded, so the engine sees every event exactly once and the
+// verdict is byte-identical to an undisturbed run — any prefix of the
+// stream is a coherent detector state, so re-extending it from the last
+// acknowledged point is always safe. Reports of finished v2 sessions
+// are cached for ResumeWindow so a client that lost the connection
+// after Finish but before the Report can resume and still collect it.
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,7 +62,7 @@ import (
 )
 
 // Config tunes a Server. The zero value is usable: 64 sessions, the
-// default queue capacity, no idle eviction.
+// default queue capacity, no idle eviction, one-minute resume window.
 type Config struct {
 	// MaxSessions caps concurrently live sessions; connections beyond
 	// the cap are refused with an Error frame. <= 0 means 64.
@@ -51,8 +72,13 @@ type Config struct {
 	// memory budget for buffered, not-yet-detected events.
 	QueueCapacity int
 	// IdleTimeout evicts sessions that deliver no frame for this long.
-	// Zero disables eviction.
+	// Zero disables eviction. (v2 clients send heartbeats, so a live
+	// but quiet v2 client is not evicted.)
 	IdleTimeout time.Duration
+	// ResumeWindow bounds how long a suspended v2 session (and the
+	// cached Report of a finished one) survives awaiting a resume.
+	// <= 0 means DefaultResumeWindow.
+	ResumeWindow time.Duration
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -61,43 +87,101 @@ type Config struct {
 // MaxSessions unset.
 const DefaultMaxSessions = 64
 
+// DefaultResumeWindow is the suspended-session / cached-report lifetime
+// used when Config leaves ResumeWindow unset.
+const DefaultResumeWindow = time.Minute
+
 // drainGrace bounds how long a draining or finishing session waits for
-// the peer while discarding its remaining input or writing the report.
+// the peer while discarding its remaining input or writing a frame.
 const drainGrace = 2 * time.Second
+
+// Janitor period clamp: the janitor wakes at a quarter of the smallest
+// timeout it enforces, but never busier than minJanitorPeriod (a tiny
+// IdleTimeout must not turn the janitor into a spin loop) and never
+// lazier than maxJanitorPeriod (so long windows still expire promptly
+// after their deadline).
+const (
+	minJanitorPeriod = 10 * time.Millisecond
+	maxJanitorPeriod = time.Second
+)
+
+// normalized fills Config defaults.
+func (c Config) normalized() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.ResumeWindow <= 0 {
+		c.ResumeWindow = DefaultResumeWindow
+	}
+	return c
+}
+
+// janitorPeriod is the eviction/expiry sweep interval for this config,
+// clamped to [minJanitorPeriod, maxJanitorPeriod].
+func (c Config) janitorPeriod() time.Duration {
+	shortest := c.ResumeWindow
+	if c.IdleTimeout > 0 && c.IdleTimeout < shortest {
+		shortest = c.IdleTimeout
+	}
+	period := shortest / 4
+	if period < minJanitorPeriod {
+		period = minJanitorPeriod
+	}
+	if period > maxJanitorPeriod {
+		period = maxJanitorPeriod
+	}
+	return period
+}
 
 // Server is a raced session server. Create with New, run with Serve,
 // stop with Shutdown (graceful) or Close (abrupt).
 type Server struct {
-	cfg Config
+	cfg       Config
+	tokenBase uint64
 
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[uint64]*session
+	finished map[uint64]*finishedReport // cached v2 reports by token
 	nextID   uint64
 	closed   bool
 	done     chan struct{}
 	wg       sync.WaitGroup
 
 	// Wire-level counters (atomic: bumped on every frame).
-	sessionsTotal    atomic.Uint64
-	sessionsRejected atomic.Uint64
-	evictions        atomic.Uint64
-	frames           atomic.Uint64
-	wireBytes        atomic.Uint64
+	sessionsTotal     atomic.Uint64
+	sessionsRejected  atomic.Uint64
+	evictions         atomic.Uint64
+	frames            atomic.Uint64
+	wireBytes         atomic.Uint64
+	handshakeRefusals atomic.Uint64
+	resumes           atomic.Uint64
+	dupsDropped       atomic.Uint64
 
 	// Queue backpressure accounting folded in as sessions retire.
 	retired obs.Stats // guarded by mu
 }
 
+// finishedReport is the cached outcome of a finished v2 session, kept
+// for ResumeWindow so a client that lost the Report can resume and
+// re-collect it.
+type finishedReport struct {
+	session uint64
+	nextSeq uint64
+	payload []byte // encoded Report frame payload
+	expires time.Time
+}
+
 // New returns an idle Server.
 func New(cfg Config) *Server {
-	if cfg.MaxSessions <= 0 {
-		cfg.MaxSessions = DefaultMaxSessions
-	}
+	var b [8]byte
+	rand.Read(b[:])
 	return &Server{
-		cfg:      cfg,
-		sessions: make(map[uint64]*session),
-		done:     make(chan struct{}),
+		cfg:       cfg.normalized(),
+		tokenBase: binary.LittleEndian.Uint64(b[:]),
+		sessions:  make(map[uint64]*session),
+		finished:  make(map[uint64]*finishedReport),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -119,10 +203,8 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 
-	if s.cfg.IdleTimeout > 0 {
-		s.wg.Add(1)
-		go s.janitor()
-	}
+	s.wg.Add(1)
+	go s.janitor()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -148,12 +230,17 @@ func (s *Server) Addr() net.Addr {
 
 // Shutdown stops accepting, asks every live session to drain — each
 // detects what it already buffered and sends a Partial report — and
-// waits for them to finish, up to ctx's deadline.
+// waits for them to finish, up to ctx's deadline. Suspended sessions
+// have no peer to report to and are discarded.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.beginClose()
 	s.mu.Lock()
 	for _, sess := range s.sessions {
-		sess.beginDrain(false)
+		if sess.state == stateSuspended {
+			s.abandonLocked(sess)
+		} else {
+			sess.beginDrain(false)
+		}
 	}
 	s.mu.Unlock()
 
@@ -175,7 +262,11 @@ func (s *Server) Close() error {
 	s.beginClose()
 	s.mu.Lock()
 	for _, sess := range s.sessions {
-		sess.conn.Close()
+		if sess.state == stateSuspended {
+			s.abandonLocked(sess)
+		} else if sess.conn != nil {
+			sess.conn.Close()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -194,14 +285,12 @@ func (s *Server) beginClose() {
 	s.mu.Unlock()
 }
 
-// janitor evicts sessions that have been idle past IdleTimeout.
+// janitor evicts sessions idle past IdleTimeout, expires suspended
+// sessions past their resume deadline, and purges expired cached
+// reports.
 func (s *Server) janitor() {
 	defer s.wg.Done()
-	period := s.cfg.IdleTimeout / 4
-	if period < time.Millisecond {
-		period = time.Millisecond
-	}
-	tick := time.NewTicker(period)
+	tick := time.NewTicker(s.cfg.janitorPeriod())
 	defer tick.Stop()
 	for {
 		select {
@@ -209,19 +298,49 @@ func (s *Server) janitor() {
 			return
 		case <-tick.C:
 		}
-		cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+		now := time.Now()
+		cutoff := now.Add(-s.cfg.IdleTimeout).UnixNano()
 		s.mu.Lock()
 		for _, sess := range s.sessions {
-			if sess.lastActive.Load() < cutoff {
+			switch {
+			case sess.state == stateSuspended:
+				if now.After(sess.resumeDeadline) {
+					s.logf("session %d: resume window expired", sess.id)
+					s.abandonLocked(sess)
+				}
+			case s.cfg.IdleTimeout > 0 && sess.lastActive.Load() < cutoff:
 				sess.beginDrain(true)
+			}
+		}
+		for token, fr := range s.finished {
+			if now.After(fr.expires) {
+				delete(s.finished, token)
 			}
 		}
 		s.mu.Unlock()
 	}
 }
 
+// abandonLocked discards a suspended session that can no longer be
+// resumed (window expired, or the server is going down). Caller holds
+// s.mu.
+func (s *Server) abandonLocked(sess *session) {
+	if sess.state == stateDone {
+		return
+	}
+	sess.state = stateDone
+	delete(s.sessions, sess.id)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		sess.queue.Close()
+		<-sess.drained
+		s.foldStats(sess)
+	}()
+}
+
 // admit registers a new session, or refuses it at the cap.
-func (s *Server) admit(conn net.Conn) (*session, bool) {
+func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
@@ -230,8 +349,13 @@ func (s *Server) admit(conn net.Conn) (*session, bool) {
 	s.nextID++
 	sess := &session{
 		id:      s.nextID,
+		token:   s.tokenBase ^ (s.nextID * 0x9E3779B97F4A7C15),
+		version: version,
+		hello:   hello,
 		srv:     s,
+		state:   stateRunning,
 		conn:    conn,
+		nextSeq: 1,
 		queue:   fj.NewEventQueue(s.cfg.QueueCapacity, 0),
 		drained: make(chan struct{}),
 	}
@@ -241,12 +365,20 @@ func (s *Server) admit(conn net.Conn) (*session, bool) {
 	return sess, true
 }
 
-// release retires a finished session, folding its queue accounting into
-// the server totals.
-func (s *Server) release(sess *session) {
+// retire removes a finished session and folds its accounting in.
+func (s *Server) retire(sess *session) {
+	s.mu.Lock()
+	sess.state = stateDone
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	s.foldStats(sess)
+}
+
+// foldStats folds a dead session's queue accounting into the server
+// totals.
+func (s *Server) foldStats(sess *session) {
 	qs := sess.queue.Stats()
 	s.mu.Lock()
-	delete(s.sessions, sess.id)
 	s.retired.Producers++
 	s.retired.EventsBuffered += qs.Pushed
 	s.retired.ProducerStalls += qs.Stalls
@@ -256,18 +388,116 @@ func (s *Server) release(sess *session) {
 	s.mu.Unlock()
 }
 
-// handle runs one connection's session from accept to close.
+// refuse answers a connection that failed the handshake with a typed
+// wire error and counts the refusal.
+func (s *Server) refuse(conn net.Conn, err error) {
+	s.handshakeRefusals.Add(1)
+	s.logf("handshake refused from %v: %v", conn.RemoteAddr(), err)
+	conn.SetWriteDeadline(time.Now().Add(drainGrace))
+	wire.WriteFrame(conn, wire.FrameError, []byte(wire.HandshakeRefusedPrefix+err.Error()))
+}
+
+// handshake reads the magic and Hello off a fresh connection and
+// negotiates the protocol version.
+func (s *Server) handshake(conn net.Conn) (int, wire.Hello, error) {
+	var hello wire.Hello
+	version, err := wire.ReadMagicVersion(conn)
+	if err != nil {
+		return 0, hello, err
+	}
+	ft, payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		return 0, hello, fmt.Errorf("raced: reading hello: %w", err)
+	}
+	if ft != wire.FrameHello {
+		return 0, hello, fmt.Errorf("raced: expected hello frame, got %v", ft)
+	}
+	if version >= wire.V2 {
+		hello, err = wire.DecodeHelloV2(payload)
+	} else {
+		hello, err = wire.DecodeHello(payload)
+	}
+	if err != nil {
+		return 0, hello, fmt.Errorf("raced: malformed hello: %w", err)
+	}
+	return version, hello, nil
+}
+
+// handle runs one connection from accept to close: handshake, then
+// either a fresh session, a resume of a suspended one, or a refusal.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	sess, ok := s.admit(conn)
+	version, hello, err := s.handshake(conn)
+	if err != nil {
+		s.refuse(conn, err)
+		return
+	}
+	if version >= wire.V2 && hello.Token != 0 {
+		s.resume(conn, hello)
+		return
+	}
+
+	engineName := hello.Engine
+	if engineName == "" {
+		engineName = race2d.Engine2D.String()
+	}
+	eng, err := race2d.ParseEngine(engineName)
+	if err != nil {
+		conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(conn, wire.FrameError, []byte(err.Error()))
+		return
+	}
+	sess, ok := s.admit(conn, version, hello)
 	if !ok {
 		s.sessionsRejected.Add(1)
 		conn.SetWriteDeadline(time.Now().Add(drainGrace))
 		wire.WriteFrame(conn, wire.FrameError, []byte("raced: session limit reached"))
 		return
 	}
-	defer s.release(sess)
-	sess.run()
+	sess.startConsumer(eng)
+	s.logf("session %d: open (v%d engine=%s batch=%d) from %v",
+		sess.id, version, eng, hello.BatchSize, conn.RemoteAddr())
+	sess.serve(conn)
+}
+
+// resume hands a reconnecting v2 client back its suspended session (or
+// its cached Report, if the session already finished).
+func (s *Server) resume(conn net.Conn, hello wire.Hello) {
+	s.mu.Lock()
+	if fr, ok := s.finished[hello.Token]; ok {
+		s.mu.Unlock()
+		s.resumes.Add(1)
+		s.logf("session %d: resume of finished session, re-sending report", fr.session)
+		conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		welcome := wire.Welcome{Session: fr.session, Token: hello.Token, NextSeq: fr.nextSeq}
+		if wire.WriteFrame(conn, wire.FrameWelcome, wire.EncodeWelcomeV2(welcome)) == nil {
+			wire.WriteFrame(conn, wire.FrameReport, fr.payload)
+		}
+		return
+	}
+	var target *session
+	for _, sess := range s.sessions {
+		if sess.token == hello.Token && sess.state == stateSuspended {
+			target = sess
+			break
+		}
+	}
+	if target != nil {
+		// Adopt: the suspended serve loop has fully exited (suspension is
+		// its last act, under this lock), so the session is ours.
+		target.state = stateRunning
+		target.conn = conn
+		s.mu.Unlock()
+		s.resumes.Add(1)
+		target.lastActive.Store(time.Now().UnixNano())
+		s.logf("session %d: resumed from %v (next seq %d)", target.id, conn.RemoteAddr(), target.nextSeq)
+		target.serve(conn)
+		return
+	}
+	s.mu.Unlock()
+	s.logf("resume refused from %v: unknown token", conn.RemoteAddr())
+	conn.SetWriteDeadline(time.Now().Add(drainGrace))
+	wire.WriteFrame(conn, wire.FrameError, []byte(wire.ErrUnknownResume.Error()))
 }
 
 // Live returns the number of currently live sessions.
@@ -297,6 +527,9 @@ func (s *Server) Stats() obs.Stats {
 	st.Evictions = s.evictions.Load()
 	st.Frames = s.frames.Load()
 	st.WireBytes = s.wireBytes.Load()
+	st.HandshakeRefusals = s.handshakeRefusals.Load()
+	st.Resumes = s.resumes.Load()
+	st.DupsDropped = s.dupsDropped.Load()
 	return st
 }
 
@@ -324,85 +557,58 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "raced_events_buffered_total %d\n", st.EventsBuffered)
 		fmt.Fprintf(w, "raced_producer_stalls_total %d\n", st.ProducerStalls)
 		fmt.Fprintf(w, "raced_queue_depth_max %d\n", st.MaxQueueDepth)
+		fmt.Fprintf(w, "raced_handshake_refusals_total %d\n", st.HandshakeRefusals)
+		fmt.Fprintf(w, "raced_resumes_total %d\n", st.Resumes)
+		fmt.Fprintf(w, "raced_dups_dropped_total %d\n", st.DupsDropped)
 	})
 	return mux
 }
 
 // ---- per-session pipeline ----------------------------------------------
 
-type session struct {
-	id   uint64
-	srv  *Server
-	conn net.Conn
+type sessState int
 
-	queue   *fj.EventQueue
-	drained chan struct{} // closed when the consumer finished feeding the engine
+const (
+	stateRunning   sessState = iota // a connection is attached and serving
+	stateSuspended                  // v2: connection lost, awaiting resume
+	stateDone                       // finished or torn down
+)
+
+type session struct {
+	id      uint64
+	token   uint64
+	version int
+	hello   wire.Hello
+	srv     *Server
+
+	queue    *fj.EventQueue
+	drained  chan struct{} // closed when the consumer finished feeding the engine
+	detector race2d.StreamDetector
 
 	lastActive atomic.Int64 // unix nanos of the last frame
 	draining   atomic.Bool  // shutdown: stop reading, report the prefix
 	evicting   atomic.Bool  // idle: stop reading, refuse with an error
+
+	// Guarded by srv.mu. nextSeq is only touched by the (single) serving
+	// goroutine while running; it is published under the lock at suspend
+	// and read back under it at adoption, which orders the handoff.
+	state          sessState
+	conn           net.Conn // nil while suspended
+	nextSeq        uint64   // next expected v2 events sequence
+	resumeDeadline time.Time
 }
 
-// beginDrain asks the session's reader to stop. The flag is set before
-// the read deadline so the reader, once unblocked, always observes why.
-// Safe to call multiple times and from the janitor and Shutdown
-// concurrently.
-func (sess *session) beginDrain(evict bool) {
-	if evict {
-		sess.evicting.Store(true)
-	} else {
-		sess.draining.Store(true)
-	}
-	sess.conn.SetReadDeadline(time.Now())
-}
-
-// interrupted reports whether a read error is the deadline poke from
-// beginDrain rather than a real peer failure.
-func (sess *session) interrupted(err error) bool {
-	return errors.Is(err, os.ErrDeadlineExceeded) &&
-		(sess.draining.Load() || sess.evicting.Load())
-}
-
-func (sess *session) run() {
-	srv := sess.srv
-	if err := wire.ReadMagic(sess.conn); err != nil {
-		srv.logf("session %d: %v", sess.id, err)
-		return
-	}
-	ft, payload, err := wire.ReadFrame(sess.conn, nil)
-	if err != nil || ft != wire.FrameHello {
-		srv.logf("session %d: expected hello, got %v (%v)", sess.id, ft, err)
-		return
-	}
-	hello, err := wire.DecodeHello(payload)
-	if err != nil {
-		srv.logf("session %d: %v", sess.id, err)
-		return
-	}
-	engineName := hello.Engine
-	if engineName == "" {
-		engineName = race2d.Engine2D.String()
-	}
-	eng, err := race2d.ParseEngine(engineName)
-	if err != nil {
-		wire.WriteFrame(sess.conn, wire.FrameError, []byte(err.Error()))
-		return
-	}
-	detector := race2d.NewEngineSink(eng)
-	if err := wire.WriteFrame(sess.conn, wire.FrameWelcome, wire.EncodeWelcome(wire.Welcome{Session: sess.id})); err != nil {
-		srv.logf("session %d: welcome: %v", sess.id, err)
-		return
-	}
-	srv.logf("session %d: open (engine=%s batch=%d) from %v", sess.id, eng, hello.BatchSize, sess.conn.RemoteAddr())
-
-	// Consumer: the queue's single reader, and the only goroutine that
-	// touches the engine until drained is closed.
+// startConsumer launches the queue's single reader — the only goroutine
+// that touches the engine until drained is closed. It outlives any one
+// connection: a suspended session keeps detecting what it buffered.
+func (sess *session) startConsumer(eng race2d.Engine) {
+	sess.detector = race2d.NewEngineSink(eng)
 	go func() {
 		defer close(sess.drained)
-		var sink race2d.Sink = detector
+		var sink race2d.Sink = sess.detector
 		var buf *race2d.EventBuffer
-		if hello.BatchSize > 0 {
-			buf = race2d.NewEventBuffer(detector, hello.BatchSize)
+		if sess.hello.BatchSize > 0 {
+			buf = race2d.NewEventBuffer(sess.detector, sess.hello.BatchSize)
 			sink = buf
 		}
 		for {
@@ -422,13 +628,86 @@ func (sess *session) run() {
 			buf.Flush()
 		}
 	}()
+}
+
+// beginDrain asks the session's reader to stop. The flag is set before
+// the read deadline so the reader, once unblocked, always observes why.
+// Called under srv.mu (never for suspended sessions), possibly from the
+// janitor and Shutdown concurrently.
+func (sess *session) beginDrain(evict bool) {
+	if evict {
+		sess.evicting.Store(true)
+	} else {
+		sess.draining.Store(true)
+	}
+	if sess.conn != nil {
+		sess.conn.SetReadDeadline(time.Now())
+	}
+}
+
+// interrupted reports whether a read error is the deadline poke from
+// beginDrain rather than a real peer failure.
+func (sess *session) interrupted(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded) &&
+		(sess.draining.Load() || sess.evicting.Load())
+}
+
+// suspend parks a v2 session whose connection died, keeping its
+// pipeline alive for ResumeWindow. Reports whether the session was
+// suspended; false means the server is closing and the caller must
+// tear down instead.
+func (sess *session) suspend(nextSeq uint64, cause error) bool {
+	srv := sess.srv
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return false
+	}
+	sess.state = stateSuspended
+	sess.conn = nil
+	sess.nextSeq = nextSeq
+	sess.resumeDeadline = time.Now().Add(srv.cfg.ResumeWindow)
+	srv.mu.Unlock()
+	srv.logf("session %d: suspended (%v), resumable for %v at seq %d",
+		sess.id, cause, srv.cfg.ResumeWindow, nextSeq)
+	return true
+}
+
+// serve runs the frame loop for one connection attached to this
+// session. For a v2 session it may be called again later with the next
+// connection after a suspend/resume cycle.
+func (sess *session) serve(conn net.Conn) {
+	srv := sess.srv
+
+	srv.mu.Lock()
+	nextSeq := sess.nextSeq
+	srv.mu.Unlock()
+
+	welcome := wire.Welcome{Session: sess.id}
+	var wpayload []byte
+	if sess.version >= wire.V2 {
+		welcome.Token, welcome.NextSeq = sess.token, nextSeq
+		wpayload = wire.EncodeWelcomeV2(welcome)
+	} else {
+		wpayload = wire.EncodeWelcome(welcome)
+	}
+	conn.SetWriteDeadline(time.Now().Add(drainGrace))
+	if err := wire.WriteFrame(conn, wire.FrameWelcome, wpayload); err != nil {
+		srv.logf("session %d: welcome: %v", sess.id, err)
+		if sess.version >= wire.V2 && sess.suspend(nextSeq, err) {
+			return
+		}
+		sess.teardown(conn, nil)
+		return
+	}
 
 	finished := false
+	protoErr := false // the peer broke the protocol; do not suspend
 	var readErr error
 	scratch := make([]byte, 0, 64<<10)
 frames:
 	for {
-		ft, payload, err := wire.ReadFrame(sess.conn, scratch)
+		ft, payload, err := wire.ReadFrame(conn, scratch)
 		if err != nil {
 			if !sess.interrupted(err) {
 				readErr = err
@@ -441,16 +720,57 @@ frames:
 		sess.lastActive.Store(time.Now().UnixNano())
 		switch ft {
 		case wire.FrameEvents:
-			slab, err := wire.DecodeEvents(sess.queue.NewSlab(), payload)
-			if err != nil {
+			srv.frames.Add(1)
+			srv.wireBytes.Add(uint64(len(payload)))
+			if sess.version >= wire.V2 {
+				seq, slab, err := wire.DecodeEventsSeq(sess.queue.NewSlab(), payload)
+				if err != nil {
+					readErr, protoErr = err, true
+					break frames
+				}
+				switch {
+				case seq < nextSeq:
+					// Duplicate of an already-ingested batch (a resend
+					// raced an ack): the engine must see it exactly once.
+					srv.dupsDropped.Add(1)
+				case seq == nextSeq:
+					// Push blocks while the queue is full: backpressure
+					// reaches the client through TCP flow control.
+					if err := sess.queue.Push(slab); err != nil {
+						readErr = err
+						break frames
+					}
+					nextSeq++
+				default:
+					readErr = fmt.Errorf("raced: sequence gap: got %d, want %d", seq, nextSeq)
+					protoErr = true
+					break frames
+				}
+			} else {
+				slab, err := wire.DecodeEvents(sess.queue.NewSlab(), payload)
+				if err != nil {
+					readErr, protoErr = err, true
+					break frames
+				}
+				if err := sess.queue.Push(slab); err != nil {
+					readErr = err
+					break frames
+				}
+				continue
+			}
+			if err := sess.writeAck(conn, nextSeq-1); err != nil {
 				readErr = err
 				break frames
 			}
-			srv.frames.Add(1)
-			srv.wireBytes.Add(uint64(len(payload)))
-			// Push blocks while the queue is full: backpressure reaches
-			// the client through TCP flow control.
-			if err := sess.queue.Push(slab); err != nil {
+		case wire.FrameHeartbeat:
+			if sess.version < wire.V2 {
+				readErr = fmt.Errorf("server: unexpected %v frame mid-stream", ft)
+				protoErr = true
+				break frames
+			}
+			// Keepalive: answer with the current ack so the client's
+			// dead-peer detector sees a live server.
+			if err := sess.writeAck(conn, nextSeq-1); err != nil {
 				readErr = err
 				break frames
 			}
@@ -459,41 +779,92 @@ frames:
 			break frames
 		default:
 			readErr = fmt.Errorf("server: unexpected %v frame mid-stream", ft)
+			protoErr = true
 			break frames
 		}
 	}
 
-	// Feed what was buffered to the engine, then report. Close is
-	// idempotent, so this is safe however the loop above exited.
+	// A dead v2 transport suspends the session — everything else tears
+	// it down (after the engine consumed what was buffered).
+	if readErr != nil && !finished && !protoErr && sess.version >= wire.V2 &&
+		!sess.evicting.Load() && !sess.draining.Load() {
+		if sess.suspend(nextSeq, readErr) {
+			return
+		}
+	}
+	sess.finish(conn, nextSeq, finished, readErr)
+}
+
+// writeAck sends an Ack frame naming the highest contiguously ingested
+// sequence (0 = nothing yet).
+func (sess *session) writeAck(conn net.Conn, seq uint64) error {
+	conn.SetWriteDeadline(time.Now().Add(drainGrace))
+	return wire.WriteFrame(conn, wire.FrameAck, wire.EncodeAck(seq))
+}
+
+// teardown closes the pipeline, lets the engine drain, and retires the
+// session, optionally sending errPayload as a final Error frame.
+func (sess *session) teardown(conn net.Conn, errPayload []byte) {
 	sess.queue.Close()
 	<-sess.drained
+	if errPayload != nil {
+		conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(conn, wire.FrameError, errPayload)
+	}
+	sess.srv.retire(sess)
+}
+
+// finish resolves the session on its terminal connection: eviction
+// notice, error report, or the engine's Report (flagged partial when
+// the stream was cut short by a drain).
+func (sess *session) finish(conn net.Conn, nextSeq uint64, finished bool, readErr error) {
+	srv := sess.srv
 
 	if sess.evicting.Load() && !finished {
 		srv.evictions.Add(1)
-		sess.conn.SetWriteDeadline(time.Now().Add(drainGrace))
-		wire.WriteFrame(sess.conn, wire.FrameError, []byte("raced: session evicted (idle)"))
 		srv.logf("session %d: evicted (idle)", sess.id)
+		sess.teardown(conn, []byte("raced: session evicted (idle)"))
 		return
 	}
 	if readErr != nil {
 		srv.logf("session %d: %v", sess.id, readErr)
-		sess.conn.SetWriteDeadline(time.Now().Add(drainGrace))
-		wire.WriteFrame(sess.conn, wire.FrameError, []byte(readErr.Error()))
+		sess.teardown(conn, []byte(readErr.Error()))
 		return
 	}
 
-	rep := detector.Report()
+	sess.queue.Close()
+	<-sess.drained
+
+	rep := sess.detector.Report()
 	body, err := json.Marshal(rep)
 	if err != nil {
 		srv.logf("session %d: marshal report: %v", sess.id, err)
+		sess.srv.retire(sess)
 		return
 	}
 	var flags uint64
 	if !finished {
 		flags |= wire.FlagPartial
 	}
-	sess.conn.SetWriteDeadline(time.Now().Add(drainGrace))
-	if err := wire.WriteFrame(sess.conn, wire.FrameReport, wire.EncodeReport(flags, body)); err != nil {
+	payload := wire.EncodeReport(flags, body)
+
+	// Cache the verdict of a cleanly finished v2 session before trying
+	// to deliver it: if the connection dies mid-Report, the client
+	// resumes and collects it from the cache.
+	if finished && sess.version >= wire.V2 {
+		srv.mu.Lock()
+		srv.finished[sess.token] = &finishedReport{
+			session: sess.id,
+			nextSeq: nextSeq,
+			payload: payload,
+			expires: time.Now().Add(srv.cfg.ResumeWindow),
+		}
+		srv.mu.Unlock()
+	}
+	sess.srv.retire(sess)
+
+	conn.SetWriteDeadline(time.Now().Add(drainGrace))
+	if err := wire.WriteFrame(conn, wire.FrameReport, payload); err != nil {
 		srv.logf("session %d: report: %v", sess.id, err)
 		return
 	}
@@ -502,11 +873,11 @@ frames:
 		// TCP backpressure). Half-close our side so it sees the stream
 		// end, then discard its remaining output so its blocked writes
 		// complete and it can read the partial report.
-		if tc, ok := sess.conn.(*net.TCPConn); ok {
+		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.CloseWrite()
 		}
-		sess.conn.SetReadDeadline(time.Now().Add(drainGrace))
-		io.Copy(io.Discard, sess.conn)
+		conn.SetReadDeadline(time.Now().Add(drainGrace))
+		io.Copy(io.Discard, conn)
 	}
 	srv.logf("session %d: closed (finished=%v races=%d)", sess.id, finished, rep.Count)
 }

@@ -18,6 +18,13 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, FrameEvents, EncodeEvents(nil, sampleEvents())))
 	f.Add(AppendFrame(nil, FrameHello, EncodeHello(Hello{Engine: "2d", BatchSize: 64})))
 	f.Add([]byte{byte(FrameEvents), 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})
+	// v2 vocabulary: sequenced events, resume handshake, acks,
+	// heartbeats.
+	f.Add(AppendFrame(nil, FrameEvents, EncodeEventsSeq(nil, 3, sampleEvents())))
+	f.Add(AppendFrame(nil, FrameHello, EncodeHelloV2(Hello{Engine: "2d", BatchSize: 64, Token: 0xabcdef})))
+	f.Add(AppendFrame(nil, FrameWelcome, EncodeWelcomeV2(Welcome{Session: 9, Token: 1 << 50, NextSeq: 17})))
+	f.Add(AppendFrame(nil, FrameAck, EncodeAck(1<<20)))
+	f.Add(AppendFrame(nil, FrameHeartbeat, nil))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, payload, err := ReadFrame(bytes.NewReader(data), nil)
@@ -50,6 +57,47 @@ func FuzzReadFrame(f *testing.F) {
 		for i := range events {
 			if back[i] != events[i] {
 				t.Fatalf("event %d: %v != %v", i, back[i], events[i])
+			}
+		}
+	})
+}
+
+// FuzzResume feeds arbitrary bytes to every v2 resume-protocol decoder
+// — the sequence/ack/token vocabulary a hostile or corrupted peer
+// controls — and checks the decoders only ever error, never panic, and
+// that anything they accept round-trips stably through the encoders.
+func FuzzResume(f *testing.F) {
+	f.Add(EncodeHelloV2(Hello{Engine: "2d", BatchSize: 64, Token: 42}))
+	f.Add(EncodeWelcomeV2(Welcome{Session: 1, Token: 0xdead, NextSeq: 2}))
+	f.Add(EncodeAck(7))
+	f.Add(EncodeEventsSeq(nil, 5, sampleEvents()))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := DecodeHelloV2(data); err == nil {
+			if got, err := DecodeHelloV2(EncodeHelloV2(h)); err != nil || got != h {
+				t.Fatalf("hello v2 round trip: %+v -> %+v (%v)", h, got, err)
+			}
+		}
+		if w, err := DecodeWelcomeV2(data); err == nil {
+			if got, err := DecodeWelcomeV2(EncodeWelcomeV2(w)); err != nil || got != w {
+				t.Fatalf("welcome v2 round trip: %+v -> %+v (%v)", w, got, err)
+			}
+		}
+		if seq, err := DecodeAck(data); err == nil {
+			if got, err := DecodeAck(EncodeAck(seq)); err != nil || got != seq {
+				t.Fatalf("ack round trip: %d -> %d (%v)", seq, got, err)
+			}
+		}
+		if seq, events, err := DecodeEventsSeq(nil, data); err == nil {
+			if seq == 0 {
+				t.Fatal("decoder accepted sequence 0")
+			}
+			again, back, err := DecodeEventsSeq(nil, EncodeEventsSeq(nil, seq, events))
+			if err != nil || again != seq || len(back) != len(events) {
+				t.Fatalf("events seq round trip: seq %d/%d, %d/%d events (%v)",
+					seq, again, len(events), len(back), err)
 			}
 		}
 	})

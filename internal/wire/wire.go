@@ -14,13 +14,36 @@
 // A session opens with the 4-byte stream magic ("RDS" + version), sent
 // by the client, followed by frames in both directions:
 //
-//	client → server: Hello, Events*, Finish
-//	server → client: Welcome, Report | Error
+//	client → server: Hello, (Events | Heartbeat)*, Finish
+//	server → client: Welcome, (Ack | Heartbeat)*, Report | Error
 //
 // A server draining on SIGTERM may send a Report frame with the Partial
 // flag before the client finishes; the report then covers the prefix of
 // the stream the detector consumed — a coherent verdict, not a torn
 // one.
+//
+// # Protocol versions
+//
+// The magic's fourth byte carries the protocol version. Version 1 is
+// the original fire-and-forget stream: unsequenced Events frames, no
+// acknowledgements, a dead connection kills the session. Version 2 is
+// the fault-tolerant stream, justified by the paper's Theorem 4: any
+// prefix of the event stream is a coherent detector state, so a session
+// resumed from the last acknowledged event batch replays to an
+// identical verdict. Concretely, in v2:
+//
+//   - Hello carries a resume token (zero for a fresh session) and
+//     Welcome answers with the token to present on reconnect plus the
+//     next sequence number the server expects;
+//   - every Events frame carries a monotonic sequence number, and the
+//     server answers with Ack frames naming the highest contiguously
+//     ingested sequence — the client may discard acknowledged batches
+//     from its replay buffer;
+//   - duplicate sequences (a client resending past an ack it never saw)
+//     are discarded, so replay after reconnect is idempotent;
+//   - Heartbeat frames flow both ways to bound dead-peer detection.
+//
+// A v2 server keeps speaking v1 to v1 clients unchanged.
 //
 // # Frame layout
 //
@@ -45,11 +68,24 @@ import (
 	"repro/internal/fj"
 )
 
-// Version is the protocol version spoken by this package.
-const Version = 1
+// Protocol versions. V1 is the original unacknowledged stream; V2 adds
+// sequence numbers, acks, heartbeats and session resume. Version is the
+// newest version this package speaks.
+const (
+	V1 = 1
+	V2 = 2
 
-// Magic opens every session stream: "RDS" + Version.
+	// Version is the current (newest) protocol version.
+	Version = V2
+)
+
+// Magic opens every current-version session stream: "RDS" + Version.
 var Magic = [4]byte{'R', 'D', 'S', Version}
+
+// MagicFor returns the stream-opening magic for a protocol version.
+func MagicFor(version byte) [4]byte {
+	return [4]byte{'R', 'D', 'S', version}
+}
 
 // FrameType tags a frame.
 type FrameType uint8
@@ -68,6 +104,14 @@ const (
 	FrameReport FrameType = 5
 	// FrameError carries a fatal session error as UTF-8 text.
 	FrameError FrameType = 6
+	// FrameAck (v2, server → client) names the highest contiguously
+	// ingested event sequence (EncodeAck payload). The client may drop
+	// acknowledged batches from its replay buffer.
+	FrameAck FrameType = 7
+	// FrameHeartbeat (v2, both directions) is a keepalive. The payload
+	// is empty; a peer that sees no frame for several heartbeat
+	// intervals may declare the connection dead.
+	FrameHeartbeat FrameType = 8
 )
 
 func (t FrameType) String() string {
@@ -84,6 +128,10 @@ func (t FrameType) String() string {
 		return "report"
 	case FrameError:
 		return "error"
+	case FrameAck:
+		return "ack"
+	case FrameHeartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("FrameType(%d)", uint8(t))
 }
@@ -103,32 +151,71 @@ var (
 	ErrChecksum = errors.New("wire: frame checksum mismatch")
 	// ErrFrameTooLarge reports a length prefix beyond MaxFrameSize.
 	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
-	// ErrBadMagic reports a stream that does not open with Magic (or
-	// opens with an unsupported version).
+	// ErrBadMagic reports a stream that does not open with the "RDS"
+	// protocol magic at all — the peer is not speaking this protocol.
 	ErrBadMagic = errors.New("wire: bad stream magic")
+	// ErrVersion reports an "RDS" stream whose version byte this
+	// endpoint does not speak.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrUnknownResume reports a resume token the server no longer (or
+	// never did) know — the session expired, finished and aged out, or
+	// the server restarted. Sent to clients as an Error frame carrying
+	// exactly this text, so both sides can classify it.
+	ErrUnknownResume = errors.New("raced: unknown resume token")
 )
+
+// HandshakeRefusedPrefix prefixes the Error-frame text a server sends
+// when a handshake failed at the transport layer (garbled magic,
+// unreadable Hello). Clients treat such refusals as retryable — the
+// bytes, not the request, were at fault — unlike application refusals
+// (session limit, unknown engine, unknown resume), which are terminal.
+const HandshakeRefusedPrefix = "raced: handshake: "
 
 const headerSize = 5 // type byte + uint32 length
 
-// WriteMagic sends the stream-opening magic.
+// WriteMagic sends the current-version stream-opening magic.
 func WriteMagic(w io.Writer) error {
 	_, err := w.Write(Magic[:])
 	return err
 }
 
-// ReadMagic consumes and verifies the stream-opening magic.
+// WriteMagicVersion sends the stream-opening magic for the given
+// protocol version (a v1 client writes WriteMagicVersion(w, V1)).
+func WriteMagicVersion(w io.Writer, version byte) error {
+	m := MagicFor(version)
+	_, err := w.Write(m[:])
+	return err
+}
+
+// ReadMagic consumes the stream-opening magic, accepting only the
+// current version. Version-negotiating servers use ReadMagicVersion.
 func ReadMagic(r io.Reader) error {
-	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return fmt.Errorf("wire: read magic: %w", wrapEOF(err))
+	v, err := ReadMagicVersion(r)
+	if err != nil {
+		return err
 	}
-	if m[0] != Magic[0] || m[1] != Magic[1] || m[2] != Magic[2] {
-		return fmt.Errorf("%w: %q", ErrBadMagic, m[:])
-	}
-	if m[3] != Version {
-		return fmt.Errorf("%w: version %d, want %d", ErrBadMagic, m[3], Version)
+	if v != Version {
+		return fmt.Errorf("%w: version %d, want %d", ErrVersion, v, Version)
 	}
 	return nil
+}
+
+// ReadMagicVersion consumes the stream-opening magic and returns the
+// protocol version it announces, which is one of V1..Version; anything
+// else is ErrBadMagic (not our protocol) or ErrVersion (our protocol,
+// a version we do not speak).
+func ReadMagicVersion(r io.Reader) (int, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return 0, fmt.Errorf("wire: read magic: %w", wrapEOF(err))
+	}
+	if m[0] != 'R' || m[1] != 'D' || m[2] != 'S' {
+		return 0, fmt.Errorf("%w: %q", ErrBadMagic, m[:])
+	}
+	if m[3] < V1 || m[3] > Version {
+		return 0, fmt.Errorf("%w: version %d, speak %d..%d", ErrVersion, m[3], V1, Version)
+	}
+	return int(m[3]), nil
 }
 
 // AppendFrame appends a complete frame (header, payload, CRC) to dst
@@ -205,6 +292,10 @@ type Hello struct {
 	// batches of this size. Zero delivers per event — the setting that
 	// keeps remote Stats byte-identical to an unbuffered local run.
 	BatchSize int
+	// Token (v2 only) resumes a suspended session: zero requests a
+	// fresh session, a non-zero value re-attaches to the session whose
+	// Welcome carried it. Not part of the v1 payload.
+	Token uint64
 }
 
 // EncodeHello renders h as a frame payload.
@@ -215,19 +306,47 @@ func EncodeHello(h Hello) []byte {
 	return buf
 }
 
-// DecodeHello parses an EncodeHello payload.
+// DecodeHello parses an EncodeHello (v1) payload.
 func DecodeHello(payload []byte) (Hello, error) {
+	h, _, err := decodeHello(payload)
+	return h, err
+}
+
+// decodeHello parses the v1 hello fields and returns the remaining
+// bytes (the v2 suffix, when present).
+func decodeHello(payload []byte) (Hello, []byte, error) {
 	n, k := binary.Uvarint(payload)
 	if k <= 0 || n > 1<<10 || uint64(len(payload)-k) < n {
-		return Hello{}, fmt.Errorf("wire: hello: malformed engine name: %w", ErrTruncated)
+		return Hello{}, nil, fmt.Errorf("wire: hello: malformed engine name: %w", ErrTruncated)
 	}
 	h := Hello{Engine: string(payload[k : k+int(n)])}
 	rest := payload[k+int(n):]
 	b, k2 := binary.Uvarint(rest)
 	if k2 <= 0 || b > 1<<20 {
-		return Hello{}, fmt.Errorf("wire: hello: malformed batch size: %w", ErrTruncated)
+		return Hello{}, nil, fmt.Errorf("wire: hello: malformed batch size: %w", ErrTruncated)
 	}
 	h.BatchSize = int(b)
+	return h, rest[k2:], nil
+}
+
+// EncodeHelloV2 renders h as a v2 frame payload: the v1 form followed
+// by the resume token (zero requests a fresh session).
+func EncodeHelloV2(h Hello) []byte {
+	buf := EncodeHello(h)
+	return binary.AppendUvarint(buf, h.Token)
+}
+
+// DecodeHelloV2 parses an EncodeHelloV2 payload.
+func DecodeHelloV2(payload []byte) (Hello, error) {
+	h, rest, err := decodeHello(payload)
+	if err != nil {
+		return Hello{}, err
+	}
+	tok, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return Hello{}, fmt.Errorf("wire: hello: malformed resume token: %w", ErrTruncated)
+	}
+	h.Token = tok
 	return h, nil
 }
 
@@ -236,20 +355,67 @@ type Welcome struct {
 	// Session is the server-assigned session identifier, echoed in logs
 	// and metrics.
 	Session uint64
+	// Token (v2) is the resume token a reconnecting client presents in
+	// Hello to re-attach to this session. Never zero in a v2 Welcome.
+	Token uint64
+	// NextSeq (v2) is the next Events sequence number the server
+	// expects: 1 for a fresh session, last-contiguously-ingested+1 on
+	// resume. The client resends its replay buffer from here; earlier
+	// sequences are already ingested and would be discarded.
+	NextSeq uint64
 }
 
-// EncodeWelcome renders w as a frame payload.
+// EncodeWelcome renders w as a v1 frame payload (session id only).
 func EncodeWelcome(w Welcome) []byte {
 	return binary.AppendUvarint(nil, w.Session)
 }
 
-// DecodeWelcome parses an EncodeWelcome payload.
+// DecodeWelcome parses an EncodeWelcome (v1) payload.
 func DecodeWelcome(payload []byte) (Welcome, error) {
 	id, k := binary.Uvarint(payload)
 	if k <= 0 {
 		return Welcome{}, fmt.Errorf("wire: welcome: %w", ErrTruncated)
 	}
 	return Welcome{Session: id}, nil
+}
+
+// EncodeWelcomeV2 renders w as a v2 frame payload: session id, resume
+// token, next expected sequence.
+func EncodeWelcomeV2(w Welcome) []byte {
+	buf := binary.AppendUvarint(nil, w.Session)
+	buf = binary.AppendUvarint(buf, w.Token)
+	return binary.AppendUvarint(buf, w.NextSeq)
+}
+
+// DecodeWelcomeV2 parses an EncodeWelcomeV2 payload.
+func DecodeWelcomeV2(payload []byte) (Welcome, error) {
+	var w Welcome
+	for _, field := range []*uint64{&w.Session, &w.Token, &w.NextSeq} {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return Welcome{}, fmt.Errorf("wire: welcome: %w", ErrTruncated)
+		}
+		*field = v
+		payload = payload[k:]
+	}
+	return w, nil
+}
+
+// ---- acknowledgement payload (v2) ---------------------------------------
+
+// EncodeAck renders the highest contiguously ingested sequence as an
+// Ack frame payload.
+func EncodeAck(seq uint64) []byte {
+	return binary.AppendUvarint(nil, seq)
+}
+
+// DecodeAck parses an EncodeAck payload.
+func DecodeAck(payload []byte) (uint64, error) {
+	seq, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, fmt.Errorf("wire: ack: %w", ErrTruncated)
+	}
+	return seq, nil
 }
 
 // ---- event payloads -----------------------------------------------------
@@ -279,6 +445,29 @@ func DecodeEvents(dst []fj.Event, payload []byte) ([]fj.Event, error) {
 		return dst, fmt.Errorf("wire: events: %d trailing bytes after %d events", len(rest), count)
 	}
 	return dst, nil
+}
+
+// EncodeEventsSeq appends a v2 Events frame payload to dst: the batch's
+// monotonic sequence number, then the v1 form (uvarint count + record
+// stream).
+func EncodeEventsSeq(dst []byte, seq uint64, events []fj.Event) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	return EncodeEvents(dst, events)
+}
+
+// DecodeEventsSeq parses an EncodeEventsSeq payload, appending the
+// events to dst. A zero sequence is a framing error: v2 batches are
+// numbered from 1 so that acks can name "nothing ingested" as 0.
+func DecodeEventsSeq(dst []fj.Event, payload []byte) (uint64, []fj.Event, error) {
+	seq, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, dst, fmt.Errorf("wire: events: sequence: %w", ErrTruncated)
+	}
+	if seq == 0 {
+		return 0, dst, errors.New("wire: events: zero sequence number")
+	}
+	dst, err := DecodeEvents(dst, payload[k:])
+	return seq, dst, err
 }
 
 // ---- report payload -----------------------------------------------------

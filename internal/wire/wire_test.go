@@ -118,7 +118,7 @@ func TestOversizedFrameRejected(t *testing.T) {
 }
 
 func TestBadMagic(t *testing.T) {
-	if err := ReadMagic(bytes.NewReader([]byte{'R', 'D', 'S', 99})); !errors.Is(err, ErrBadMagic) {
+	if err := ReadMagic(bytes.NewReader([]byte{'R', 'D', 'S', 99})); !errors.Is(err, ErrVersion) {
 		t.Fatalf("version mismatch: %v", err)
 	}
 	if err := ReadMagic(bytes.NewReader([]byte("HTTP"))); !errors.Is(err, ErrBadMagic) {
@@ -126,6 +126,28 @@ func TestBadMagic(t *testing.T) {
 	}
 	if err := ReadMagic(bytes.NewReader([]byte("RD"))); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("short magic: %v", err)
+	}
+}
+
+func TestMagicVersionNegotiation(t *testing.T) {
+	for _, v := range []byte{V1, V2} {
+		var buf bytes.Buffer
+		if err := WriteMagicVersion(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMagicVersion(&buf)
+		if err != nil || got != int(v) {
+			t.Fatalf("version %d: got %d err=%v", v, got, err)
+		}
+	}
+	if _, err := ReadMagicVersion(bytes.NewReader([]byte{'R', 'D', 'S', 0})); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 0: %v", err)
+	}
+	if _, err := ReadMagicVersion(bytes.NewReader([]byte{'R', 'D', 'S', Version + 1})); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+	if _, err := ReadMagicVersion(bytes.NewReader([]byte("GET "))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign protocol: %v", err)
 	}
 }
 
@@ -152,6 +174,71 @@ func TestWelcomeReportRoundTrip(t *testing.T) {
 	flags, body, err := DecodeReport(EncodeReport(FlagPartial, []byte(`{"x":1}`)))
 	if err != nil || flags != FlagPartial || string(body) != `{"x":1}` {
 		t.Fatalf("report: flags=%d body=%q err=%v", flags, body, err)
+	}
+}
+
+func TestHelloV2RoundTrip(t *testing.T) {
+	for _, h := range []Hello{{}, {Engine: "2d", Token: 7}, {Engine: "fasttrack", BatchSize: 256, Token: 1<<63 + 5}} {
+		got, err := DecodeHelloV2(EncodeHelloV2(h))
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+	// The v2 payload is the v1 payload plus a token: a v1 decoder must
+	// still read the common prefix, and a v2 decoder must reject a bare
+	// v1 payload as truncated.
+	h := Hello{Engine: "vc", BatchSize: 32, Token: 99}
+	v1, err := DecodeHello(EncodeHelloV2(h))
+	if err != nil || v1.Engine != "vc" || v1.BatchSize != 32 || v1.Token != 0 {
+		t.Fatalf("v1 view of v2 hello: %+v err=%v", v1, err)
+	}
+	if _, err := DecodeHelloV2(EncodeHello(h)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("v2 decode of v1 hello: %v, want ErrTruncated", err)
+	}
+}
+
+func TestWelcomeV2AckRoundTrip(t *testing.T) {
+	w := Welcome{Session: 12, Token: 0xfeedface, NextSeq: 4097}
+	got, err := DecodeWelcomeV2(EncodeWelcomeV2(w))
+	if err != nil || got != w {
+		t.Fatalf("welcome v2: %+v err=%v", got, err)
+	}
+	if _, err := DecodeWelcomeV2([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated welcome v2: %v", err)
+	}
+	seq, err := DecodeAck(EncodeAck(1 << 40))
+	if err != nil || seq != 1<<40 {
+		t.Fatalf("ack: %d err=%v", seq, err)
+	}
+	if _, err := DecodeAck(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty ack: %v", err)
+	}
+}
+
+func TestEventsSeqRoundTrip(t *testing.T) {
+	payload := EncodeEventsSeq(nil, 42, sampleEvents())
+	seq, events, err := DecodeEventsSeq(nil, payload)
+	if err != nil || seq != 42 {
+		t.Fatalf("seq=%d err=%v", seq, err)
+	}
+	want := sampleEvents()
+	if len(events) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d: %v, want %v", i, events[i], want[i])
+		}
+	}
+	// Sequence zero is reserved ("nothing ingested" in acks).
+	if _, _, err := DecodeEventsSeq(nil, EncodeEventsSeq(nil, 0, want)); err == nil {
+		t.Fatal("zero sequence accepted")
+	}
+	if _, _, err := DecodeEventsSeq(nil, nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty payload: %v", err)
 	}
 }
 

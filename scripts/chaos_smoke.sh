@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# chaos-smoke: end-to-end check of the fault-tolerance layer.
+#
+# Builds raced and race2d under the Go race detector and asserts:
+#   1. transport chaos parity: against a raced running with -chaos all
+#      (deterministic injected corruption, drops, delays, partial writes
+#      and resets), remote verdicts for every corpus program are
+#      byte-identical to the local run, with matching exit codes;
+#   2. SIGKILL resume: raced is killed with SIGKILL mid-stream and
+#      restarted on the same address; the in-flight client must ride
+#      the restart out (reconnect, resume or full replay) and land on
+#      output byte-identical to the local run, reporting the recovery
+#      on stderr.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+raced_pid=
+cleanup() {
+	[ -n "$raced_pid" ] && kill -9 "$raced_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "chaos-smoke: building raced and race2d (-race)"
+go build -race -o "$tmp/raced" ./cmd/raced
+go build -race -o "$tmp/race2d" ./cmd/race2d
+
+# wait_addr FILE: poll a raced stdout file for the announced address.
+wait_addr() {
+	local out=$1 a=
+	for _ in $(seq 1 100); do
+		a=$(sed -n 's/^raced: listening on //p' "$out")
+		[ -n "$a" ] && { echo "$a"; return 0; }
+		sleep 0.1
+	done
+	return 1
+}
+
+# 1. Chaos transport parity: every corpus program through a deliberately
+#    faulty transport must produce byte-identical output.
+"$tmp/raced" -addr 127.0.0.1:0 -chaos all -chaos-seed 3 -chaos-rate 0.01 -v \
+	>"$tmp/chaos.out" 2>"$tmp/chaos.err" &
+raced_pid=$!
+disown "$raced_pid" 2>/dev/null || true
+addr=$(wait_addr "$tmp/chaos.out") || {
+	echo "chaos-smoke: chaotic raced did not start" >&2
+	cat "$tmp/chaos.err" >&2
+	exit 1
+}
+echo "chaos-smoke: chaotic raced on $addr"
+
+for f in cmd/race2d/testdata/*.fj; do
+	lcode=0
+	"$tmp/race2d" -json "$f" >"$tmp/local.out" 2>/dev/null || lcode=$?
+	rcode=0
+	"$tmp/race2d" -remote "$addr" -json "$f" >"$tmp/remote.out" 2>/dev/null || rcode=$?
+	if [ "$lcode" != "$rcode" ]; then
+		echo "chaos-smoke: $f: exit $lcode local vs $rcode remote" >&2
+		exit 1
+	fi
+	if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
+		echo "chaos-smoke: $f: verdict differs under transport chaos" >&2
+		diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
+		exit 1
+	fi
+	echo "chaos-smoke: chaos parity ok: $f (exit $lcode)"
+done
+kill -9 "$raced_pid" 2>/dev/null || true
+wait "$raced_pid" 2>/dev/null || true
+raced_pid=
+
+# 2. SIGKILL + restart mid-stream. The stream is large enough that the
+#    kill lands while events are still in flight; the restarted server
+#    has no session state, so the client must replay the whole stream
+#    into a fresh session and still reach the local verdict.
+{
+	echo "repeat 400000 { read x write x }"
+} >"$tmp/big.fj"
+lcode=0
+"$tmp/race2d" -json "$tmp/big.fj" >"$tmp/local.out" 2>/dev/null || lcode=$?
+
+"$tmp/raced" -addr 127.0.0.1:0 -v >"$tmp/r1.out" 2>"$tmp/r1.err" &
+raced_pid=$!
+disown "$raced_pid" 2>/dev/null || true
+addr=$(wait_addr "$tmp/r1.out") || {
+	echo "chaos-smoke: raced did not start" >&2
+	cat "$tmp/r1.err" >&2
+	exit 1
+}
+echo "chaos-smoke: raced on $addr, streaming then SIGKILL"
+
+rcode=0
+"$tmp/race2d" -remote "$addr" -json "$tmp/big.fj" \
+	>"$tmp/remote.out" 2>"$tmp/client.err" &
+client_pid=$!
+sleep 0.4
+kill -9 "$raced_pid"
+wait "$raced_pid" 2>/dev/null || true
+raced_pid=
+
+# Restart on the same address before the client's retry budget runs out.
+"$tmp/raced" -addr "$addr" -v >"$tmp/r2.out" 2>"$tmp/r2.err" &
+raced_pid=$!
+disown "$raced_pid" 2>/dev/null || true
+wait_addr "$tmp/r2.out" >/dev/null || {
+	echo "chaos-smoke: raced did not restart on $addr" >&2
+	cat "$tmp/r2.err" >&2
+	exit 1
+}
+
+wait "$client_pid" || rcode=$?
+if [ "$lcode" != "$rcode" ]; then
+	echo "chaos-smoke: SIGKILL resume: exit $lcode local vs $rcode remote" >&2
+	cat "$tmp/client.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
+	echo "chaos-smoke: SIGKILL resume: verdict differs from local" >&2
+	diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
+	exit 1
+fi
+if ! grep -q 'recovered from' "$tmp/client.err"; then
+	echo "chaos-smoke: client never reported a recovery — did the kill land mid-stream?" >&2
+	cat "$tmp/client.err" >&2
+	exit 1
+fi
+echo "chaos-smoke: SIGKILL resume ok: $(grep 'recovered from' "$tmp/client.err" | head -1)"
+echo "chaos-smoke: PASS"
