@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet bench bench-json bench-smoke serve-smoke chaos-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet shard-parity bench bench-json bench-smoke serve-smoke chaos-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -20,10 +20,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Differential parity of the sharded detector backend: sharded verdicts
+# (2, 4 and 8 location shards) must be byte-identical to serial
+# detection over the corpus, every frontend's workloads, and random
+# seeds — plus the sharded session path through raced.
+shard-parity:
+	$(GO) test -run 'TestShard|TestWithShards' . ./internal/core ./internal/server
+
 # Mirrors the CI test job step for step (.github/workflows/ci.yml):
-# gofmt gate, vet, build, the full suite, and the full suite under the
-# Go race detector.
-verify: fmt-check vet build test race
+# gofmt gate, vet, build, the full suite, the full suite under the Go
+# race detector, and the sharded-vs-serial parity gate.
+verify: fmt-check vet build test race shard-parity
 
 # Detector hot-path benchmarks: storage backends (openaddr/map/shadow) ×
 # ingestion paths (per-event, batched, steady-state) on the pipeline and
@@ -43,6 +50,7 @@ bench-json:
 bench-smoke:
 	$(GO) run ./cmd/bench2d -e bench -quick -parallel 2 -json '' -checkallocs
 	$(GO) run ./cmd/bench2d -e all -quick
+	$(GO) run ./cmd/bench2d -e 16 -quick -checkallocs -json ''
 
 # Mirrors the CI serve-smoke job: build raced and race2d under the Go
 # race detector, stream the corpus through a real server, assert remote

@@ -8,6 +8,7 @@
 //
 //	raced [-addr :7471] [-metrics :7472] [-max-sessions 64]
 //	      [-queue-cap 4096] [-idle-timeout 0] [-resume-window 1m]
+//	      [-shards 1] [-shard-budget 0]
 //	      [-chaos none] [-chaos-seed 1] [-chaos-rate 0.02] [-v]
 //
 // On SIGINT/SIGTERM the server drains gracefully: every open session
@@ -51,6 +52,8 @@ func run(args []string) int {
 	queueCap := fs.Int("queue-cap", 0, "per-session event queue capacity in events (0 = default)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "evict sessions idle this long (0 disables)")
 	resumeWindow := fs.Duration("resume-window", server.DefaultResumeWindow, "keep disconnected v2 sessions resumable this long")
+	shards := fs.Int("shards", 0, "location shards per 2D session (0 or 1 = serial detection)")
+	shardBudget := fs.Int("shard-budget", 0, "global cap on live shard workers; over-budget sessions fall back to serial (0 = shards*max-sessions)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before hard close")
 	chaos := fs.String("chaos", "", "inject transport faults of these classes on every session (delay|corrupt|partial|drop|reset|all; dev flag)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic fault schedule seed for -chaos")
@@ -66,6 +69,8 @@ func run(args []string) int {
 		QueueCapacity: *queueCap,
 		IdleTimeout:   *idleTimeout,
 		ResumeWindow:  *resumeWindow,
+		Shards:        *shards,
+		ShardBudget:   *shardBudget,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf

@@ -1,0 +1,236 @@
+package om
+
+import (
+	"sync/atomic"
+
+	"repro/internal/unionfind"
+)
+
+// Forest is an order-maintenance structure for the suprema walker that
+// concurrent readers can query without locking the writer, in the style
+// of DePa (Westrick, Wang, Acar: order maintenance for task parallelism
+// via immutable labels and maintenance-free queries). It exists so the
+// sharded detector backend can split detection into a serial *structure*
+// stage (the single walker consumer, preserving the Theorem 4 delayed
+// traversal contract) and parallel *location* shards that answer
+// Sup(x, t) queries on their own goroutines.
+//
+// The key observation is that the walker's observable state — the
+// logical label Find(x) of each last-arc tree and the visited mark of
+// each root — changes only at *joins* (a delayed last-arc merges two
+// trees) and *halts* (a stop-arc unmarks a root). Begins and forks never
+// flip the answer of any query the detector can pose, because queries
+// only mention vertices that were recorded in location state by an
+// earlier access, and such vertices' chains always end at already-begun
+// roots. So the writer maintains a single monotone epoch counter, bumped
+// exactly at joins and halts, and publishes each observable change as a
+// write-once word stamped with the epoch that introduced it:
+//
+//   - parent[a] = stamp<<32 | (b+1): at the join that absorbed the set
+//     labeled a into the set labeled b. Named-root union-find guarantees
+//     a label is absorbed at most once (labels are never re-minted), so
+//     each slot is written at most once — the DePa-style immutability
+//     that makes lock-free historical reads trivial.
+//   - life[t] = halt<<32 | begin: the epoch window in which t is a
+//     visited root. Begin stamps the current epoch (no bump — see
+//     above); halt bumps and stamps.
+//
+// A reader resolves Find_e(x) by following parent edges whose stamp is
+// ≤ e and reproduces visited_e(r) from r's life window, yielding exactly
+// the walker's Sup answer at epoch e. Readers load a published Snapshot
+// (the arrays behind an atomic pointer) and never write, so the writer
+// runs ahead freely: no fences, no locks, no reader-induced stalls.
+// Cross-goroutine visibility of all words with stamp ≤ e is established
+// by the SPSC queue handoff that delivered the epoch-e work item.
+type Forest struct {
+	uf *unionfind.Forest // writer-private: fast current-label lookups
+
+	epoch atomic.Uint32
+	snap  atomic.Pointer[Snapshot]
+
+	joins uint64 // edges published (observable unions)
+	len   int
+}
+
+// Snapshot is a published view of the forest's write-once words. It is
+// safe for any number of concurrent readers; queries at any epoch ≤ the
+// epoch current when the snapshot was obtained (and delivered with
+// proper happens-before, e.g. through an spsc.Queue) are exact.
+type Snapshot struct {
+	parent []uint64 // stamp<<32 | (label+1); 0 = no outgoing edge yet
+	life   []uint64 // haltEpoch<<32 | beginEpoch; begin 0 = never begun
+}
+
+// NewForest returns a forest prepared for n vertices (more may be added
+// with Grow). The epoch counter starts at 1 so a zero stamp always means
+// "never written".
+func NewForest(n int) *Forest {
+	f := &Forest{uf: unionfind.New(n)}
+	f.epoch.Store(1)
+	s := &Snapshot{parent: make([]uint64, n), life: make([]uint64, n)}
+	f.snap.Store(s)
+	f.len = n
+	return f
+}
+
+// Len returns the number of tracked vertices.
+func (f *Forest) Len() int { return f.len }
+
+// Epoch returns the current structural epoch. The writer's callers pass
+// it alongside dispatched work so readers know which prefix of the
+// structure to query.
+func (f *Forest) Epoch() uint32 { return f.epoch.Load() }
+
+// Snapshot returns the current published view for readers. Load it
+// after receiving work through a synchronizing handoff and every word
+// stamped at or before the work's epoch is visible.
+func (f *Forest) Snapshot() *Snapshot { return f.snap.Load() }
+
+// Grow ensures the forest tracks at least n vertices. Writer side only.
+func (f *Forest) Grow(n int) {
+	f.uf.Grow(n)
+	if n <= f.len {
+		return
+	}
+	old := f.snap.Load()
+	var ns *Snapshot
+	if n <= cap(old.parent) && n <= cap(old.life) {
+		// Extend within capacity: readers holding the old header are
+		// bounds-limited to the old length, so the fresh slots are not
+		// observable until the new header is published below.
+		ns = &Snapshot{parent: old.parent[:n], life: old.life[:n]}
+		for i := f.len; i < n; i++ {
+			ns.parent[i] = 0
+			ns.life[i] = 0
+		}
+	} else {
+		c := 2 * cap(old.parent)
+		if c < n {
+			c = n
+		}
+		ns = &Snapshot{parent: make([]uint64, n, c), life: make([]uint64, n, c)}
+		copy(ns.parent, old.parent)
+		copy(ns.life, old.life)
+	}
+	f.snap.Store(ns)
+	f.len = n
+}
+
+// Begin marks t begun (the loop step of its begin event): t becomes a
+// visited root from the current epoch on. Begins never bump the epoch —
+// they cannot change the answer of any query already in flight, because
+// queries only mention vertices recorded by earlier accesses. Idempotent.
+func (f *Forest) Begin(t int) {
+	if t >= f.len {
+		f.Grow(t + 1)
+	}
+	s := f.snap.Load()
+	w := atomic.LoadUint64(&s.life[t])
+	if uint32(w) != 0 {
+		return // already begun; keep the first stamp
+	}
+	atomic.StoreUint64(&s.life[t], w|uint64(f.epoch.Load()))
+}
+
+// Begun reports whether Begin(t) has been recorded. Writer side only.
+func (f *Forest) Begun(t int) bool {
+	if t >= f.len {
+		return false
+	}
+	return uint32(atomic.LoadUint64(&f.snap.Load().life[t])) != 0
+}
+
+// Join performs the delayed last-arc (u, t): the set containing u is
+// merged into the set containing t under t's label, and the change is
+// published under a fresh epoch. Mirrors Walker.LastArc(u, t).
+func (f *Forest) Join(t, u int) {
+	if m := max(t, u); m >= f.len {
+		f.Grow(m + 1)
+	}
+	a := f.uf.Find(u)
+	b := f.uf.Find(t)
+	e := f.epoch.Load() + 1
+	f.epoch.Store(e)
+	if a == b {
+		return // already one set: no observable change to publish
+	}
+	f.uf.Union(t, u)
+	f.joins++
+	s := f.snap.Load()
+	atomic.StoreUint64(&s.parent[a], uint64(e)<<32|uint64(b+1))
+}
+
+// Halt performs the stop-arc for t: t stops being a visited root from a
+// fresh epoch on. Mirrors Walker.StopArc. The first halt wins.
+func (f *Forest) Halt(t int) {
+	if t >= f.len {
+		f.Grow(t + 1)
+	}
+	e := f.epoch.Load() + 1
+	f.epoch.Store(e)
+	s := f.snap.Load()
+	w := atomic.LoadUint64(&s.life[t])
+	if w>>32 != 0 {
+		return
+	}
+	atomic.StoreUint64(&s.life[t], uint64(e)<<32|w)
+}
+
+// Joins returns the number of observable unions published (for the
+// Theorem 3 accounting: at most n−1).
+func (f *Forest) Joins() uint64 { return f.joins }
+
+// MemoryBytes estimates the forest's state size: the published words
+// plus the writer-private union-find.
+func (f *Forest) MemoryBytes() int {
+	s := f.snap.Load()
+	return len(s.parent)*8 + len(s.life)*8 + f.uf.MemoryBytes()
+}
+
+// LabelAt resolves the logical label of x's set at epoch e — the value
+// Walker's Find(x) returned when the structural prefix was e — by
+// following published edges with stamp ≤ e. Vertices beyond the
+// snapshot are their own (unregistered) labels.
+func (s *Snapshot) LabelAt(x int, e uint32) int {
+	for {
+		if x < 0 || x >= len(s.parent) {
+			return x
+		}
+		w := atomic.LoadUint64(&s.parent[x])
+		if w == 0 || uint32(w>>32) > e {
+			return x
+		}
+		x = int(uint32(w)) - 1
+	}
+}
+
+// VisitedAt reports whether r was a visited root at epoch e: begun at or
+// before e and not halted at or before e.
+func (s *Snapshot) VisitedAt(r int, e uint32) bool {
+	if r < 0 || r >= len(s.life) {
+		return false
+	}
+	w := atomic.LoadUint64(&s.life[r])
+	begin := uint32(w)
+	halt := uint32(w >> 32)
+	return begin != 0 && begin <= e && (halt == 0 || halt > e)
+}
+
+// SupAt answers the walker query Sup(x, t) as it stood at epoch e: the
+// root r of x's tree if r was not visited, else t (Figures 5 and 8).
+// The precondition is the detector's own: x was recorded by an access
+// that precedes epoch e's work in canonical order (in particular x had
+// begun), t is the vertex whose access poses the query.
+func (s *Snapshot) SupAt(x, t int, e uint32) int {
+	r := s.LabelAt(x, e)
+	if s.VisitedAt(r, e) {
+		return t
+	}
+	return r
+}
+
+// OrderedAt reports x ⊑ t at epoch e: the comparison SupAt(x, t, e) == t
+// the race detector uses (Equation 3).
+func (s *Snapshot) OrderedAt(x, t int, e uint32) bool {
+	return s.SupAt(x, t, e) == t
+}

@@ -1,0 +1,309 @@
+package om_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/om"
+	"repro/internal/order"
+	"repro/internal/prog"
+	"repro/internal/spsc"
+	"repro/internal/workload"
+)
+
+// forestReplay feeds one structural event to the forest using exactly
+// the DetectorSink event mapping (begin → Begin, fork → Grow, join →
+// Join + Begin, halt → Halt); accesses touch no structure.
+func forestReplay(f *om.Forest, e fj.Event) {
+	switch e.Kind {
+	case fj.EvBegin:
+		f.Begin(e.T)
+	case fj.EvFork:
+		f.Grow(e.U + 1)
+	case fj.EvJoin:
+		f.Join(e.T, e.U)
+		f.Begin(e.T)
+	case fj.EvHalt:
+		f.Halt(e.T)
+	}
+}
+
+// walkerReplay is the serial-walker half of the same mapping.
+func walkerReplay(w *core.Walker, e fj.Event) {
+	switch e.Kind {
+	case fj.EvBegin:
+		w.Visit(e.T)
+	case fj.EvFork:
+		w.Grow(e.U + 1)
+	case fj.EvJoin:
+		w.LastArc(e.U, e.T)
+		w.Visit(e.T)
+	case fj.EvHalt:
+		w.StopArc(e.T)
+	case fj.EvRead, fj.EvWrite:
+		w.Visit(e.T)
+	}
+}
+
+// checkTrace replays tr through the serial walker and the forest in
+// lockstep. At every access by t it poses Sup(x, t) for every task x
+// begun strictly earlier and asserts the forest's epoch answer matches
+// the walker's; it also replicates the detector's location-state folds
+// so the exact queries the detector poses are among those checked.
+func checkTrace(t *testing.T, label string, tr *fj.Trace) {
+	t.Helper()
+	w := core.NewWalker(4)
+	f := om.NewForest(4)
+	var seen []int
+	read := map[core.Addr]int{}
+	write := map[core.Addr]int{}
+	for i, e := range tr.Events {
+		isAccess := e.Kind == fj.EvRead || e.Kind == fj.EvWrite
+		if isAccess {
+			w.Visit(e.T) // the access's loop step, before queries
+			s := f.Snapshot()
+			epoch := f.Epoch()
+			for _, x := range seen {
+				want := w.Sup(x, e.T)
+				got := s.SupAt(x, e.T, epoch)
+				if got != want {
+					t.Fatalf("%s: event %d (%v): SupAt(%d, %d, %d) = %d, walker says %d",
+						label, i, e, x, e.T, epoch, got, want)
+				}
+			}
+			// Replicate the detector's folds so recorded suprema (join
+			// roots, not just raw tasks) become future query subjects.
+			if e.Kind == fj.EvRead {
+				if r, ok := read[e.Loc]; !ok || r == e.T {
+					read[e.Loc] = e.T
+				} else {
+					read[e.Loc] = w.Sup(r, e.T)
+				}
+			} else {
+				if ww, ok := write[e.Loc]; !ok || ww == e.T {
+					write[e.Loc] = e.T
+				} else {
+					write[e.Loc] = w.Sup(ww, e.T)
+				}
+			}
+		} else {
+			walkerReplay(w, e)
+			forestReplay(f, e)
+		}
+		if e.Kind == fj.EvBegin {
+			seen = append(seen, e.T)
+		}
+	}
+	if n := uint64(f.Len()); n > 0 && f.Joins() > n-1 {
+		t.Fatalf("%s: %d published joins exceed n-1 = %d", label, f.Joins(), n-1)
+	}
+}
+
+// TestForestMatchesWalkerRandom: om.Forest must answer every epoch query
+// exactly as the serial walker over random structured fork-join and
+// spawn-sync programs.
+func TestForestMatchesWalkerRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		fjw := workload.ForkJoin{Seed: seed, Ops: 70, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 5, ReadFrac: 0.55}}
+		var tr fj.Trace
+		if _, err := fjw.Run(&tr); err != nil {
+			t.Fatal(err)
+		}
+		checkTrace(t, fmt.Sprintf("forkjoin seed %d", seed), &tr)
+
+		ssw := workload.SpawnSync{Seed: seed, Ops: 70, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 4, ReadFrac: 0.55, Block: 2}}
+		tr = fj.Trace{}
+		if _, err := ssw.Run(&tr); err != nil {
+			t.Fatal(err)
+		}
+		checkTrace(t, fmt.Sprintf("spawnsync seed %d", seed), &tr)
+	}
+}
+
+// TestForestMatchesWalkerCorpus replays the .fj corpus programs.
+func TestForestMatchesWalkerCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "cmd", "race2d", "testdata")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, fe := range files {
+		if !strings.HasSuffix(fe.Name(), ".fj") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, fe.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := prog.ParseString(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", fe.Name(), err)
+		}
+		var tr fj.Trace
+		if _, err := prog.Exec(p, &tr); err != nil {
+			t.Fatalf("%s: %v", fe.Name(), err)
+		}
+		checkTrace(t, fe.Name(), &tr)
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no .fj corpus files found")
+	}
+}
+
+// TestForestAgainstPoset checks the forest's ordering verdicts against
+// the naive internal/order poset: reachability in the op-granularity
+// task graph. Arcs of the built graph always point to later-created
+// vertices, so full-graph reachability to an existing vertex equals
+// prefix reachability, and OrderedAt(x, t, e) — "does x's executed
+// prefix precede t's current operation" — must agree with
+// Leq(latest(x), current(t)).
+func TestForestAgainstPoset(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		w := workload.ForkJoin{Seed: seed, Ops: 40, MaxDepth: 4,
+			Mix: workload.Mix{Locs: 4, ReadFrac: 0.5}}
+		var tr fj.Trace
+		if _, err := w.Run(&tr); err != nil {
+			t.Fatal(err)
+		}
+		full := fj.NewGraphBuilder()
+		tr.Replay(full)
+		p := order.NewPoset(full.Graph())
+
+		f := om.NewForest(4)
+		pre := fj.NewGraphBuilder() // prefix view: same vertex numbering
+		var seen []int
+		for i, e := range tr.Events {
+			if e.Kind == fj.EvRead || e.Kind == fj.EvWrite {
+				pre.Event(e) // t's current operation vertex
+				cur := pre.VertexOf[e.T]
+				s := f.Snapshot()
+				epoch := f.Epoch()
+				for _, x := range seen {
+					if x == e.T {
+						continue
+					}
+					latest := pre.VertexOf[x]
+					if latest < 0 {
+						continue
+					}
+					want := p.Leq(latest, cur)
+					got := s.OrderedAt(x, e.T, epoch)
+					if got != want {
+						t.Fatalf("seed %d event %d: OrderedAt(%d, %d, %d) = %v, poset says %v",
+							seed, i, x, e.T, epoch, got, want)
+					}
+				}
+			} else {
+				pre.Event(e)
+				forestReplay(f, e)
+			}
+			if e.Kind == fj.EvBegin {
+				seen = append(seen, e.T)
+			}
+		}
+	}
+}
+
+// TestForestConcurrentReaders drives the writer and several readers
+// concurrently under the sanctioned protocol: the writer replays the
+// structural events and, after each access, hands (x, t, epoch, want)
+// checkpoints to reader goroutines through bounded SPSC queues; readers
+// load a snapshot after each pop and must reproduce the serial walker's
+// answers. Run under -race this validates the write-once atomics
+// discipline end to end.
+func TestForestConcurrentReaders(t *testing.T) {
+	type query struct {
+		x, t  int
+		epoch uint32
+		want  int
+	}
+	w := workload.ForkJoin{Seed: 11, Ops: 400, MaxDepth: 6,
+		Mix: workload.Mix{Locs: 6, ReadFrac: 0.5}}
+	var tr fj.Trace
+	if _, err := w.Run(&tr); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	f := om.NewForest(4)
+	queues := make([]*spsc.Queue[query], readers)
+	errs := make(chan error, readers)
+	for i := range queues {
+		queues[i] = spsc.New[query](1024, 64)
+		go func(q *spsc.Queue[query]) {
+			var err error
+			for {
+				slab, ok := q.Pop()
+				if !ok {
+					break
+				}
+				s := f.Snapshot()
+				for _, qu := range slab {
+					if got := s.SupAt(qu.x, qu.t, qu.epoch); got != qu.want && err == nil {
+						err = fmt.Errorf("SupAt(%d, %d, %d) = %d, want %d", qu.x, qu.t, qu.epoch, got, qu.want)
+					}
+				}
+				q.Recycle(slab)
+			}
+			errs <- err
+		}(queues[i])
+	}
+
+	// Writer: serial walker computes the expected answers; every reader
+	// receives every checkpoint batch.
+	oracle := core.NewWalker(4)
+	var seen []int
+	slabs := make([][]query, readers)
+	for i := range slabs {
+		slabs[i] = queues[i].NewSlab()
+	}
+	for _, e := range tr.Events {
+		if e.Kind == fj.EvRead || e.Kind == fj.EvWrite {
+			oracle.Visit(e.T)
+			epoch := f.Epoch()
+			for j, x := range seen {
+				if j%3 != 0 && x != e.T { // sample: keep batches small
+					continue
+				}
+				qu := query{x: x, t: e.T, epoch: epoch, want: oracle.Sup(x, e.T)}
+				for i := range slabs {
+					slabs[i] = append(slabs[i], qu)
+					if len(slabs[i]) == cap(slabs[i]) {
+						if err := queues[i].Push(slabs[i]); err != nil {
+							t.Fatal(err)
+						}
+						slabs[i] = queues[i].NewSlab()
+					}
+				}
+			}
+		} else {
+			walkerReplay(oracle, e)
+			forestReplay(f, e)
+		}
+		if e.Kind == fj.EvBegin {
+			seen = append(seen, e.T)
+		}
+	}
+	for i := range queues {
+		if len(slabs[i]) > 0 {
+			if err := queues[i].Push(slabs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		queues[i].Close()
+	}
+	for i := 0; i < readers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -79,6 +79,17 @@ type Config struct {
 	// cached Report of a finished one) survives awaiting a resume.
 	// <= 0 means DefaultResumeWindow.
 	ResumeWindow time.Duration
+	// Shards requests sharded 2D detection per session: each Engine2D
+	// session's per-location checks fan out across this many location
+	// workers (race2d.WithShards), fed from the session's single
+	// structure stage. 0 or 1 keeps every session serial; other engines
+	// always run serial regardless.
+	Shards int
+	// ShardBudget caps the total shard workers live across sessions. A
+	// session that cannot acquire its full grant of Shards workers falls
+	// back to serial detection — verdict-identical, just not parallel.
+	// <= 0 means Shards × MaxSessions (never a constraint).
+	ShardBudget int
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -112,6 +123,12 @@ func (c Config) normalized() Config {
 	}
 	if c.ResumeWindow <= 0 {
 		c.ResumeWindow = DefaultResumeWindow
+	}
+	if c.Shards < 0 {
+		c.Shards = 0
+	}
+	if c.ShardBudget <= 0 {
+		c.ShardBudget = c.Shards * c.MaxSessions
 	}
 	return c
 }
@@ -157,6 +174,12 @@ type Server struct {
 	handshakeRefusals atomic.Uint64
 	resumes           atomic.Uint64
 	dupsDropped       atomic.Uint64
+
+	// Shard-worker budget accounting: live is the gauge of currently
+	// granted workers, the counters classify session admissions.
+	shardWorkersLive atomic.Int64
+	shardSessions    atomic.Uint64
+	shardFallbacks   atomic.Uint64
 
 	// Queue backpressure accounting folded in as sessions retire.
 	retired obs.Stats // guarded by mu
@@ -378,6 +401,15 @@ func (s *Server) retire(sess *session) {
 // totals.
 func (s *Server) foldStats(sess *session) {
 	qs := sess.queue.Stats()
+	var shardStats obs.Stats
+	if sess.shards > 1 {
+		// Every caller has already waited on sess.drained, so the
+		// consumer is done and reading Stats here is safe; on a sharded
+		// backend it also flushes and joins the location workers, which
+		// must happen before their budget grant is released.
+		shardStats = sess.detector.Stats()
+		s.shardWorkersLive.Add(-int64(sess.shards))
+	}
 	s.mu.Lock()
 	s.retired.Producers++
 	s.retired.EventsBuffered += qs.Pushed
@@ -385,7 +417,37 @@ func (s *Server) foldStats(sess *session) {
 	if qs.MaxDepth > s.retired.MaxQueueDepth {
 		s.retired.MaxQueueDepth = qs.MaxDepth
 	}
+	if sess.shards > 1 {
+		s.retired.CrossShardHandoffs += shardStats.CrossShardHandoffs
+		s.retired.ShardStalls += shardStats.ShardStalls
+		if shardStats.ShardEventsMax > s.retired.ShardEventsMax {
+			s.retired.ShardEventsMax = shardStats.ShardEventsMax
+		}
+	}
 	s.mu.Unlock()
+}
+
+// acquireShards reserves a shard-worker grant for a new session under
+// the global budget. It returns 0 (serial detection) when sharding is
+// off, the engine cannot shard, or the budget has no room for the full
+// grant — a partial grant would change the verdict-affecting shard
+// count mid-fleet for no throughput win on an oversubscribed host.
+func (s *Server) acquireShards(eng race2d.Engine) int {
+	n := s.cfg.Shards
+	if n <= 1 || eng != race2d.Engine2D {
+		return 0
+	}
+	for {
+		live := s.shardWorkersLive.Load()
+		if live+int64(n) > int64(s.cfg.ShardBudget) {
+			s.shardFallbacks.Add(1)
+			return 0
+		}
+		if s.shardWorkersLive.CompareAndSwap(live, live+int64(n)) {
+			s.shardSessions.Add(1)
+			return n
+		}
+	}
 }
 
 // refuse answers a connection that failed the handshake with a typed
@@ -454,9 +516,10 @@ func (s *Server) handle(conn net.Conn) {
 		wire.WriteFrame(conn, wire.FrameError, []byte("raced: session limit reached"))
 		return
 	}
+	sess.shards = s.acquireShards(eng)
 	sess.startConsumer(eng)
-	s.logf("session %d: open (v%d engine=%s batch=%d) from %v",
-		sess.id, version, eng, hello.BatchSize, conn.RemoteAddr())
+	s.logf("session %d: open (v%d engine=%s batch=%d shards=%d) from %v",
+		sess.id, version, eng, hello.BatchSize, sess.shards, conn.RemoteAddr())
 	sess.serve(conn)
 }
 
@@ -530,6 +593,9 @@ func (s *Server) Stats() obs.Stats {
 	st.HandshakeRefusals = s.handshakeRefusals.Load()
 	st.Resumes = s.resumes.Load()
 	st.DupsDropped = s.dupsDropped.Load()
+	if s.cfg.Shards > 1 {
+		st.Shards = uint64(s.cfg.Shards)
+	}
 	return st
 }
 
@@ -560,6 +626,12 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "raced_handshake_refusals_total %d\n", st.HandshakeRefusals)
 		fmt.Fprintf(w, "raced_resumes_total %d\n", st.Resumes)
 		fmt.Fprintf(w, "raced_dups_dropped_total %d\n", st.DupsDropped)
+		fmt.Fprintf(w, "raced_shard_workers_live %d\n", s.shardWorkersLive.Load())
+		fmt.Fprintf(w, "raced_shard_workers_budget %d\n", s.cfg.ShardBudget)
+		fmt.Fprintf(w, "raced_shard_sessions_total %d\n", s.shardSessions.Load())
+		fmt.Fprintf(w, "raced_shard_fallbacks_total %d\n", s.shardFallbacks.Load())
+		fmt.Fprintf(w, "raced_shard_handoffs_total %d\n", st.CrossShardHandoffs)
+		fmt.Fprintf(w, "raced_shard_stalls_total %d\n", st.ShardStalls)
 	})
 	return mux
 }
@@ -584,6 +656,7 @@ type session struct {
 	queue    *fj.EventQueue
 	drained  chan struct{} // closed when the consumer finished feeding the engine
 	detector race2d.StreamDetector
+	shards   int // granted shard workers (0 = serial detection)
 
 	lastActive atomic.Int64 // unix nanos of the last frame
 	draining   atomic.Bool  // shutdown: stop reading, report the prefix
@@ -602,7 +675,23 @@ type session struct {
 // that touches the engine until drained is closed. It outlives any one
 // connection: a suspended session keeps detecting what it buffered.
 func (sess *session) startConsumer(eng race2d.Engine) {
-	sess.detector = race2d.NewEngineSink(eng)
+	if sess.shards > 1 {
+		d, err := race2d.NewStreamDetector(
+			race2d.WithEngine(eng),
+			race2d.WithShards(sess.shards),
+			race2d.WithQueueCapacity(sess.srv.cfg.QueueCapacity))
+		if err != nil {
+			// Cannot happen for a granted Engine2D session; keep the
+			// session alive serially rather than dropping it.
+			sess.srv.logf("session %d: sharded detector: %v", sess.id, err)
+			sess.srv.shardWorkersLive.Add(-int64(sess.shards))
+			sess.shards = 0
+			d = race2d.NewEngineSink(eng)
+		}
+		sess.detector = d
+	} else {
+		sess.detector = race2d.NewEngineSink(eng)
+	}
 	go func() {
 		defer close(sess.drained)
 		var sink race2d.Sink = sess.detector

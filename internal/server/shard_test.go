@@ -1,0 +1,158 @@
+package server_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/workload"
+
+	race2d "repro"
+)
+
+// renderVerdict renders a report with Stats and MemoryBytes normalized
+// away: a sharded backend's operation counters legitimately differ in
+// shape from serial ones, the verdict may not.
+func renderVerdict(t *testing.T, rep *race2d.Report, tasks int) string {
+	t.Helper()
+	rep.Stats = obs.Stats{}
+	rep.MemoryBytes = 0
+	return renderJSON(t, rep, tasks, nil)
+}
+
+// TestShardedSessionsMatchSerial: a server granting every 2D session a
+// shard fleet returns verdicts byte-identical to local serial
+// detection.
+func TestShardedSessionsMatchSerial(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Shards: 4})
+	for seed := int64(1); seed <= 6; seed++ {
+		w := workload.ForkJoin{Seed: seed, Ops: 800, MaxDepth: 5,
+			Mix: workload.Mix{Locs: 16, ReadFrac: 0.6}}
+
+		d := race2d.NewEngineSink(race2d.Engine2D)
+		localTasks, err := w.Run(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := renderVerdict(t, d.Report(), localTasks)
+
+		sess, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		remoteTasks, err := w.Run(sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Stats.Shards != 4 {
+			t.Fatalf("seed %d: remote report ran %d shards, want 4", seed, rep.Stats.Shards)
+		}
+		remote := renderVerdict(t, rep, remoteTasks)
+		if local != remote {
+			t.Errorf("seed %d: sharded remote verdict differs from serial local\nlocal:\n%s\nremote:\n%s",
+				seed, local, remote)
+		}
+	}
+	if live := srv.Stats(); live.Shards != 4 {
+		t.Fatalf("server stats shards = %d, want 4", live.Shards)
+	}
+}
+
+// TestShardBudgetFallback: once the global worker budget is exhausted,
+// additional sessions run serial — same verdict, no shard counters.
+func TestShardBudgetFallback(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Shards: 4, ShardBudget: 4})
+	w := workload.ForkJoin{Seed: 3, Ops: 400, MaxDepth: 5,
+		Mix: workload.Mix{Locs: 8, ReadFrac: 0.5}}
+
+	first, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := w.Run(first); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the only grant held by the first (still open) session, the
+	// second must fall back to serial detection.
+	second, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(second); err != nil {
+		t.Fatal(err)
+	}
+	repSerial, err := second.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSerial.Stats.Shards != 0 {
+		t.Fatalf("over-budget session ran %d shards, want serial", repSerial.Stats.Shards)
+	}
+
+	repSharded, err := first.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSharded.Stats.Shards != 4 {
+		t.Fatalf("granted session ran %d shards, want 4", repSharded.Stats.Shards)
+	}
+	if renderVerdict(t, repSharded, 0) != renderVerdict(t, repSerial, 0) {
+		t.Fatal("sharded and serial sessions disagree on the same workload")
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"raced_shard_workers_live 0",
+		"raced_shard_workers_budget 4",
+		"raced_shard_sessions_total 1",
+		"raced_shard_fallbacks_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "raced_shard_handoffs_total") ||
+		!strings.Contains(metrics, "raced_shard_stalls_total") {
+		t.Errorf("metrics missing shard handoff/stall counters:\n%s", metrics)
+	}
+}
+
+// TestShardGrantSkipsOtherEngines: only Engine2D sessions consume the
+// shard budget.
+func TestShardGrantSkipsOtherEngines(t *testing.T) {
+	_, addr := startServer(t, server.Config{Shards: 4, ShardBudget: 4})
+	w := workload.ForkJoin{Seed: 2, Ops: 200, MaxDepth: 4,
+		Mix: workload.Mix{Locs: 6, ReadFrac: 0.5}}
+	sess, err := client.Dial(addr, client.Options{Engine: race2d.EngineVC.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(sess); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Shards != 0 {
+		t.Fatalf("vector-clock session reports %d shards", rep.Stats.Shards)
+	}
+}

@@ -1,0 +1,89 @@
+package spsc_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/spsc"
+)
+
+// TestHandoff: slabs arrive in order, stats count pushes, Close drains.
+func TestHandoff(t *testing.T) {
+	q := spsc.New[int](64, 8)
+	const slabs = 100
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			slab, ok := q.Pop()
+			if !ok {
+				return
+			}
+			got = append(got, slab...)
+			q.Recycle(slab)
+		}
+	}()
+	n := 0
+	for i := 0; i < slabs; i++ {
+		slab := q.NewSlab()
+		for j := 0; j < cap(slab); j++ {
+			slab = append(slab, n)
+			n++
+		}
+		if err := q.Push(slab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("received %d values, sent %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (order lost)", i, v, i)
+		}
+	}
+	if st := q.Stats(); st.Pushed != uint64(n) {
+		t.Fatalf("stats pushed %d, want %d", st.Pushed, n)
+	}
+}
+
+// TestPushAfterCloseFails: the producer contract.
+func TestPushAfterCloseFails(t *testing.T) {
+	q := spsc.New[int](8, 2)
+	q.Close()
+	if err := q.Push([]int{1}); err != spsc.ErrClosed {
+		t.Fatalf("push on closed queue: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBackpressureStalls: a full queue blocks the producer and counts
+// the stall.
+func TestBackpressureStalls(t *testing.T) {
+	q := spsc.New[int](4, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			slab, ok := q.Pop()
+			if !ok {
+				return
+			}
+			q.Recycle(slab)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if err := q.Push([]int{i, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if st := q.Stats(); st.Stalls == 0 {
+		t.Fatal("expected producer stalls on a 4-element queue")
+	}
+}
