@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet shard-parity bench bench-json bench-smoke serve-smoke chaos-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet shard-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -45,12 +45,14 @@ bench-json:
 	$(GO) run ./cmd/bench2d -e bench -json BENCH_race2d.json
 
 # Mirrors the CI bench-smoke job: reduced sweeps, no JSON artifact,
-# failing on verdict disagreement, accounting violations, or steady-state
-# allocations in the 2D hot path.
+# failing on verdict disagreement, accounting violations, steady-state
+# allocations in the 2D hot path, or the e17 bandwidth gate (compressed
+# pipeline wire bytes/event over budget).
 bench-smoke:
 	$(GO) run ./cmd/bench2d -e bench -quick -parallel 2 -json '' -checkallocs
 	$(GO) run ./cmd/bench2d -e all -quick
 	$(GO) run ./cmd/bench2d -e 16 -quick -checkallocs -json ''
+	$(GO) run ./cmd/bench2d -e 17 -quick -json ''
 
 # Mirrors the CI serve-smoke job: build raced and race2d under the Go
 # race detector, stream the corpus through a real server, assert remote
@@ -66,11 +68,20 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+# Mirrors the CI compress-smoke job: byte-identical local/remote
+# verdicts with v3 block compression negotiated (the default), /metrics
+# proof that blocks flowed and saved bytes, downgrade parity against a
+# v2-capped server, -no-compress opt-out parity, and chaos parity with
+# compressed blocks on a faulty transport.
+compress-smoke:
+	./scripts/compress_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
 	$(GO) test -fuzz=FuzzDecodeEventsBytes -fuzztime=30s ./internal/fj
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzResume -fuzztime=30s ./internal/wire
 
 # Mirrors the CI fuzz-smoke job: seed corpora, then a short fuzz budget

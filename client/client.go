@@ -28,6 +28,18 @@
 // Mid-stream server drains are still not fatal: a server draining on
 // SIGTERM stops reading and owes the session a Report for the prefix it
 // consumed. Finish returns ErrPartial (with that report) in that case.
+//
+// # Wire compression
+//
+// By default the client opens at protocol v3 offering CapCompress; when
+// the server grants it, batches ship as compressed EventsBlock frames
+// (delta/varint plus copy-run encoding of the fork-join structure,
+// flate fallback — internal/wire's block codec), typically cutting
+// bytes on the wire several-fold. Against an older server the client
+// downgrades to v2 transparently; Options.NoCompress keeps v3 but
+// ships plain frames. Compression never touches verdicts: blocks decode
+// to the identical event stream, and Session.Stats reports the
+// blocks/bytes/ratio accounting.
 package client
 
 import (
@@ -109,6 +121,17 @@ type Options struct {
 	// restarts and no longer knows the resume token. Memory grows with
 	// the stream; reserve it for runs that must survive server loss.
 	RetainAll bool
+	// NoCompress withholds the CapCompress capability from the v3
+	// handshake, so batches ship as plain Events frames even against a
+	// willing server. The zero value negotiates compression.
+	NoCompress bool
+	// MaxVersion caps the wire protocol version the client opens with
+	// (0 or out of range means the newest, wire.Version; values below
+	// v2 are raised to v2 — the fault-tolerance machinery requires
+	// sequenced frames). Against a server capped lower still, the
+	// client downgrades automatically on the documented version
+	// refusal, so this knob mostly serves tests and staged rollouts.
+	MaxVersion int
 }
 
 func (o Options) normalized() Options {
@@ -142,6 +165,12 @@ func (o Options) normalized() Options {
 	if o.WindowBatches <= 0 {
 		o.WindowBatches = DefaultWindowBatches
 	}
+	if o.MaxVersion <= 0 || o.MaxVersion > wire.Version {
+		o.MaxVersion = wire.Version
+	}
+	if o.MaxVersion < wire.V2 {
+		o.MaxVersion = wire.V2
+	}
 	return o
 }
 
@@ -168,6 +197,8 @@ type Session struct {
 
 	id       uint64
 	token    uint64 // resume token (0 before the first Welcome)
+	ver      int    // protocol version to open with (downgraded on refusal)
+	caps     uint64 // capabilities granted on the current connection
 	nextSeq  uint64 // sequence for the next batch cut from the producer
 	acked    uint64 // highest server-acknowledged sequence
 	window   []pending
@@ -188,8 +219,9 @@ type Session struct {
 
 	lastRecv atomic.Int64 // unix nanos of the last server frame
 
-	wmu     sync.Mutex // serializes conn writes (producer vs heartbeat)
-	payload []byte     // frame-encoding scratch, under wmu
+	wmu     sync.Mutex        // serializes conn writes (producer vs heartbeat)
+	payload []byte            // frame-encoding scratch, under wmu
+	enc     wire.BlockEncoder // block compressor (scratch + counters), under wmu
 
 	batch []fj.Event // producer-side accumulation
 }
@@ -199,6 +231,7 @@ type Session struct {
 // (unknown engine, session limit) fail immediately.
 func Dial(addr string, opts Options) (*Session, error) {
 	s := &Session{addr: addr, opts: opts.normalized(), nextSeq: 1}
+	s.ver = s.opts.MaxVersion
 	s.cond.L = &s.mu
 	s.batch = make([]fj.Event, 0, s.opts.FrameEvents)
 	if err := s.connect(); err != nil {
@@ -210,15 +243,22 @@ func Dial(addr string, opts Options) (*Session, error) {
 // ID returns the server-assigned session identifier.
 func (s *Session) ID() uint64 { return s.id }
 
-// Stats snapshots the session's fault-tolerance counters.
+// Stats snapshots the session's fault-tolerance and wire-compression
+// counters.
 func (s *Session) Stats() obs.Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return obs.Stats{
+	st := obs.Stats{
 		Reconnects:       s.reconnects,
 		Resends:          s.resends,
 		HeartbeatsMissed: s.heartbeatsMissed,
 	}
+	s.mu.Unlock()
+	s.wmu.Lock()
+	st.WireBlocks = s.enc.Blocks
+	st.WireBytesBlocks = s.enc.WireBytes
+	st.WireBytesRaw = s.enc.RawBytes
+	s.wmu.Unlock()
+	return st
 }
 
 // healthyLocked reports whether the stream is still worth feeding:
@@ -277,7 +317,7 @@ func (s *Session) connect() error {
 			s.mu.Unlock()
 			return err
 		}
-		token := s.token
+		token, ver := s.token, s.ver
 		s.mu.Unlock()
 
 		if attempt > 0 {
@@ -288,7 +328,7 @@ func (s *Session) connect() error {
 			s.noteNetErr(fmt.Errorf("client: dial %s: %w", s.addr, err))
 			continue
 		}
-		if err := s.handshake(conn, token); err != nil {
+		if err := s.handshake(conn, ver, token); err != nil {
 			conn.Close()
 			if terminal := s.terminalErr(); terminal != nil {
 				return terminal
@@ -331,16 +371,26 @@ func (s *Session) backoff(attempt int) {
 	time.Sleep(time.Duration(rand.Int63n(int64(ceil) + 1)))
 }
 
-// handshake performs the v2 hello/welcome exchange on a fresh conn and,
-// on success, installs it as the session's current connection with its
-// reader and heartbeat goroutines.
-func (s *Session) handshake(conn net.Conn, token uint64) error {
+// handshake performs the hello/welcome exchange on a fresh conn at the
+// given protocol version and, on success, installs it as the session's
+// current connection with its reader and heartbeat goroutines. A server
+// refusing the version downgrades the session to v2 for the retry.
+func (s *Session) handshake(conn net.Conn, ver int, token uint64) error {
 	conn.SetDeadline(time.Now().Add(s.opts.DialTimeout))
 	hello := wire.Hello{Engine: s.opts.Engine, BatchSize: s.opts.BatchSize, Token: token}
+	var offered uint64
+	if ver >= wire.V3 && !s.opts.NoCompress {
+		offered = wire.CapCompress
+	}
+	hello.Caps = offered
+	hpayload := wire.EncodeHelloV2(hello)
+	if ver >= wire.V3 {
+		hpayload = wire.EncodeHelloV3(hello)
+	}
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	err := wire.WriteMagic(bw)
+	err := wire.WriteMagicVersion(bw, byte(ver))
 	if err == nil {
-		err = wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHelloV2(hello))
+		err = wire.WriteFrame(bw, wire.FrameHello, hpayload)
 	}
 	if err == nil {
 		err = bw.Flush()
@@ -355,7 +405,11 @@ func (s *Session) handshake(conn net.Conn, token uint64) error {
 	var welcome wire.Welcome
 	switch ft {
 	case wire.FrameWelcome:
-		welcome, err = wire.DecodeWelcomeV2(payload)
+		if ver >= wire.V3 {
+			welcome, err = wire.DecodeWelcomeV3(payload)
+		} else {
+			welcome, err = wire.DecodeWelcomeV2(payload)
+		}
 		if err != nil {
 			return fmt.Errorf("client: handshake: %w", err)
 		}
@@ -380,6 +434,18 @@ func (s *Session) handshake(conn net.Conn, token uint64) error {
 			return err
 		}
 		if strings.HasPrefix(string(payload), wire.HandshakeRefusedPrefix) {
+			if ver > wire.V2 && strings.Contains(string(payload), wire.ErrVersion.Error()) {
+				// The server speaks an older protocol: downgrade to v2 and
+				// retry. Negotiation is not a fault, so the attempt budget
+				// resets.
+				s.mu.Lock()
+				if s.ver > wire.V2 {
+					s.ver = wire.V2
+					s.attempts = 0
+				}
+				s.mu.Unlock()
+				return fmt.Errorf("client: server refused v%d (%s); downgrading to v%d", ver, payload, wire.V2)
+			}
 			// The server could not read our handshake — the bytes were
 			// garbled in transit, not the request itself. Retryable.
 			return fmt.Errorf("client: handshake refused: %s", payload)
@@ -398,6 +464,7 @@ func (s *Session) handshake(conn net.Conn, token uint64) error {
 	s.mu.Lock()
 	s.id = welcome.Session
 	s.token = welcome.Token
+	s.caps = welcome.Caps & offered // never use a capability we did not offer
 	if welcome.NextSeq > 0 && welcome.NextSeq-1 > s.acked {
 		// The server ingested more than we saw acks for; trust it.
 		s.acked = welcome.NextSeq - 1
@@ -442,6 +509,7 @@ func (s *Session) pruneLocked() {
 func (s *Session) resendWindow() bool {
 	s.mu.Lock()
 	conn, bw, gen := s.conn, s.bw, s.gen
+	compress := s.caps&wire.CapCompress != 0
 	var todo []pending
 	for _, p := range s.window {
 		if p.seq > s.acked {
@@ -453,9 +521,7 @@ func (s *Session) resendWindow() bool {
 		return false
 	}
 	for _, p := range todo {
-		if err := s.writeFrame(conn, bw, wire.FrameEvents, func(dst []byte) []byte {
-			return wire.EncodeEventsSeq(dst, p.seq, p.events)
-		}); err != nil {
+		if err := s.writeEvents(conn, bw, compress, p); err != nil {
 			s.killConn(gen, err)
 			return false
 		}
@@ -469,6 +535,22 @@ func (s *Session) resendWindow() bool {
 	s.resends += uint64(len(todo))
 	s.mu.Unlock()
 	return true
+}
+
+// writeEvents writes one sequenced batch, as a compressed block when
+// the connection negotiated CapCompress and as a plain v2 Events frame
+// otherwise. Resends re-encode: a batch first sent compressed can go
+// out uncompressed on a downgraded reconnect, and vice versa — the
+// sequence number, not the byte form, is the batch's identity.
+func (s *Session) writeEvents(conn net.Conn, bw *bufio.Writer, compress bool, p pending) error {
+	if compress {
+		return s.writeFrame(conn, bw, wire.FrameEventsBlock, func(dst []byte) []byte {
+			return s.enc.AppendBlock(dst, p.seq, p.events)
+		})
+	}
+	return s.writeFrame(conn, bw, wire.FrameEvents, func(dst []byte) []byte {
+		return wire.EncodeEventsSeq(dst, p.seq, p.events)
+	})
 }
 
 // writeFrame encodes (via enc, into the shared scratch) and writes one
@@ -674,6 +756,7 @@ func (s *Session) sendBatch(events []fj.Event) {
 	s.nextSeq++
 	s.window = append(s.window, p)
 	conn, bw, gen := s.conn, s.bw, s.gen
+	compress := s.caps&wire.CapCompress != 0
 	s.mu.Unlock()
 
 	if conn == nil {
@@ -682,9 +765,7 @@ func (s *Session) sendBatch(events []fj.Event) {
 		s.connect()
 		return
 	}
-	if err := s.writeFrame(conn, bw, wire.FrameEvents, func(dst []byte) []byte {
-		return wire.EncodeEventsSeq(dst, p.seq, p.events)
-	}); err != nil {
+	if err := s.writeEvents(conn, bw, compress, p); err != nil {
 		s.killConn(gen, err)
 		s.connect()
 	}

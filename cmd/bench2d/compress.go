@@ -1,0 +1,255 @@
+// The E17 experiment: wire compression end to end. One client session
+// streams a recorded workload trace to an in-process raced server with
+// block compression negotiated on or withheld, and the cell records
+// what the wire actually carried: bytes per event, the raw-to-block
+// compression ratio, and throughput, so the bandwidth win and its CPU
+// cost are measured side by side on the same trace.
+//
+// Two workload shapes bound the sweep: the pipeline grid (regular
+// fork-join structure — the compressible case the paper's traces look
+// like) and the randomized spawn tree (irregular task IDs and
+// addresses — the adversarial case). Verdict parity with an in-process
+// replay is asserted on every cell, compressed or not.
+//
+// e17 is also the bandwidth regression gate: it fails when the
+// compressed pipeline cell spends more than maxPipelineBytesPerEvent
+// wire bytes per event, which is how CI catches a codec regression
+// before it ships.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/client"
+	"repro/internal/fj"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/workload"
+
+	race2d "repro"
+)
+
+// maxPipelineBytesPerEvent is the regression gate: the block codec must
+// keep the compressed pipeline workload under this many wire bytes per
+// event (the plain record form spends ~4.4).
+const maxPipelineBytesPerEvent = 1.0
+
+// compressCell is one measured workload × compression point,
+// serialized into BENCH_race2d.json under "compress".
+type compressCell struct {
+	Workload string `json:"workload"`
+	Compress bool   `json:"compress"`
+	Events   int    `json:"events"`
+
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_s"`
+
+	// WireBytes is what the event stream actually occupied on the wire:
+	// block payloads when compressed, plain Events payloads otherwise.
+	WireBytes     uint64  `json:"wire_bytes"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	// Ratio is raw record-form bytes over wire bytes (1 uncompressed).
+	Ratio float64 `json:"compress_ratio"`
+
+	Racy bool `json:"racy"`
+}
+
+// compressFrameEvents is the transport batch e17 measures with: block
+// compression works per batch, so the sweep uses batches big enough to
+// fill DEFLATE's window instead of the latency-tuned default.
+const compressFrameEvents = 16384
+
+// compressTraces builds the two workload shapes the sweep measures.
+func compressTraces(quick bool) map[string]*fj.Trace {
+	items := 1200
+	if quick {
+		items = 60
+	}
+	pipe := &fj.Trace{}
+	if _, err := (workload.Pipeline{Stages: 8, Items: items, Shared: true, Payload: 4}).Run(pipe); err != nil {
+		panic(fmt.Sprintf("bench: compress pipeline workload: %v", err))
+	}
+	return map[string]*fj.Trace{
+		"pipeline":   pipe,
+		"spawn-tree": spawnTreeTrace(quick),
+	}
+}
+
+// spawnTreeTrace records a deterministic divide-and-conquer spawn tree:
+// a balanced binary fork tree whose leaves each scan a private chunk
+// (write then read back) and read one shared location — the shape of a
+// recursive array computation, and the regular structure the delta
+// layer is built to exploit.
+func spawnTreeTrace(quick bool) *fj.Trace {
+	depth := 11 // 2048 leaves
+	if quick {
+		depth = 6
+	}
+	const leafSpan = 32
+	const chunkBase = fj.Addr(1 << 22)
+	tr := &fj.Trace{}
+	var body func(t *fj.Task, d, idx int)
+	body = func(t *fj.Task, d, idx int) {
+		if d == 0 {
+			base := chunkBase + fj.Addr(idx*leafSpan)
+			for k := 0; k < leafSpan; k++ {
+				t.Write(base + fj.Addr(k))
+				t.Read(base + fj.Addr(k))
+			}
+			t.Read(1)
+			return
+		}
+		t.Fork(func(c *fj.Task) { body(c, d-1, 2*idx) })
+		t.Fork(func(c *fj.Task) { body(c, d-1, 2*idx+1) })
+		t.JoinLeft()
+		t.JoinLeft()
+	}
+	if _, err := fj.Run(func(t *fj.Task) { body(t, depth, 0) }, tr, fj.Options{}); err != nil {
+		panic(fmt.Sprintf("bench: compress spawn-tree workload: %v", err))
+	}
+	return tr
+}
+
+// runCompressCell streams tr through one session, with or without the
+// compress capability, asserts verdict parity against the in-process
+// baseline, and returns the wall time plus the server's accounting.
+func runCompressCell(tr *fj.Trace, compress bool, baseline *race2d.Report) (time.Duration, obs.Stats) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("bench: compress: %v", err))
+	}
+	// Queue headroom of a few batches keeps encode (client), decode
+	// (server) and detection pipelined; at the default capacity one
+	// big batch fills the queue and the session runs lock-step.
+	srv := server.New(server.Config{QueueCapacity: 4 * compressFrameEvents})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	start := time.Now()
+	sess, err := client.Dial(ln.Addr().String(),
+		client.Options{NoCompress: !compress, FrameEvents: compressFrameEvents})
+	if err != nil {
+		panic(fmt.Sprintf("bench: compress: %v", err))
+	}
+	defer sess.Close()
+	sess.EventBatch(tr.Events)
+	rep, err := sess.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("bench: compress: %v", err))
+	}
+	wall := time.Since(start)
+	if rep.Count != baseline.Count || rep.Stats.MemOps() != baseline.Stats.MemOps() ||
+		rep.Locations != baseline.Locations {
+		panic(fmt.Sprintf("bench: compress=%v: remote verdict (races=%d memops=%d locs=%d) != local (races=%d memops=%d locs=%d)",
+			compress, rep.Count, rep.Stats.MemOps(), rep.Locations,
+			baseline.Count, baseline.Stats.MemOps(), baseline.Locations))
+	}
+	st := srv.Stats()
+	if compress && st.WireBlocks == 0 {
+		panic("bench: compress cell negotiated no blocks")
+	}
+	if !compress && st.WireBlocks != 0 {
+		panic("bench: no-compress cell still shipped blocks")
+	}
+	return wall, st
+}
+
+// compressCells measures the E17 matrix: workload × {plain, blocks}.
+func compressCells(quick bool) []compressCell {
+	traces := compressTraces(quick)
+	var cells []compressCell
+	for _, name := range []string{"pipeline", "spawn-tree"} {
+		tr := traces[name]
+		d := race2d.NewEngineSink(race2d.Engine2D)
+		tr.Replay(d)
+		baseline := d.Report()
+		for _, compress := range []bool{false, true} {
+			// Best-of-5: the cells are milliseconds long, so on a busy
+			// host the distribution has a long scheduling tail; the
+			// minimum estimates the codec's actual cost.
+			var st obs.Stats
+			wall := time.Duration(1<<63 - 1)
+			for rep := 0; rep < 5; rep++ {
+				w, s := runCompressCell(tr, compress, baseline)
+				if w < wall {
+					wall, st = w, s
+				}
+			}
+			// The event stream's wire footprint: block payloads when
+			// compressed; otherwise total frame payloads, which the
+			// handshake and finish frames pad by only a few bytes.
+			wire := st.WireBytesBlocks
+			ratio := st.CompressRatio()
+			if !compress {
+				wire = st.WireBytes
+				ratio = 1
+			}
+			cells = append(cells, compressCell{
+				Workload:      name,
+				Compress:      compress,
+				Events:        len(tr.Events),
+				WallMs:        float64(wall.Microseconds()) / 1e3,
+				EventsPerSec:  float64(len(tr.Events)) / wall.Seconds(),
+				WireBytes:     wire,
+				BytesPerEvent: float64(wire) / float64(len(tr.Events)),
+				Ratio:         ratio,
+				Racy:          baseline.Count > 0,
+			})
+		}
+	}
+	return cells
+}
+
+// e17 prints the wire-compression table (EXPERIMENTS E17), returns the
+// cells for BENCH_race2d.json, and enforces the bandwidth gate: a
+// non-zero code when the compressed pipeline cell exceeds
+// maxPipelineBytesPerEvent.
+func e17(quick bool) ([]compressCell, int) {
+	cells := compressCells(quick)
+	w := table("\nE17: wire compression — bytes/event and throughput, blocks vs plain frames")
+	fmt.Fprintln(w, "workload\tcompress\tevents\twall ms\tMevents/s\twire KB\tbytes/event\tratio\tracy")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%.1f\t%.2f\t%.1f\t%.2f\t%.1fx\t%v\n",
+			c.Workload, c.Compress, c.Events, c.WallMs, c.EventsPerSec/1e6,
+			float64(c.WireBytes)/(1<<10), c.BytesPerEvent, c.Ratio, c.Racy)
+	}
+	w.Flush()
+	code := 0
+	for _, c := range cells {
+		if c.Workload == "pipeline" && c.Compress && c.BytesPerEvent > maxPipelineBytesPerEvent {
+			fmt.Fprintf(os.Stderr,
+				"bench2d: e17 bandwidth gate: compressed pipeline spends %.2f bytes/event, budget %.2f\n",
+				c.BytesPerEvent, maxPipelineBytesPerEvent)
+			code = 1
+		}
+	}
+	return cells, code
+}
+
+// mergeCompress lands freshly measured compression cells in jsonPath
+// without disturbing the rest of the document, mirroring mergeServe.
+func mergeCompress(jsonPath string, cells []compressCell) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("bench: %s: %w", jsonPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc["compress"] = cells
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (compress cells)\n", jsonPath)
+	return nil
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench2d [-e all|1|2|3|4|5|6|7|8|9|10|13|14|15|16|bench] [-quick]
+//	bench2d [-e all|1-10|13-17|bench] [-quick]
 //	        [-parallel N] [-json file] [-cpuprofile file] [-memprofile file]
 //
 // `-e bench` runs the detector × workload replay matrix sharded across
@@ -41,7 +41,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("bench2d", flag.ContinueOnError)
-	exp := fs.String("e", "all", "experiment to run: all, 1-10, 13, 14, 15, 16, or bench")
+	exp := fs.String("e", "all", "experiment to run: all, 1-10, 13, 14, 15, 16, 17, or bench")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replay worker goroutines for -e bench")
 	jsonPath := fs.String("json", "BENCH_race2d.json", "output file for -e bench results (empty disables)")
@@ -155,8 +155,20 @@ func run(args []string) int {
 			}
 		}
 	}
+	if run("17") {
+		cells, code := e17(*quick)
+		if code != 0 {
+			return code
+		}
+		if *exp == "17" && *jsonPath != "" {
+			if err := mergeCompress(*jsonPath, cells); err != nil {
+				fmt.Fprintln(os.Stderr, "bench2d:", err)
+				return 1
+			}
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, 13, 14, 15, 16, or bench)\n", *exp)
+		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, 13, 14, 15, 16, 17, or bench)\n", *exp)
 		return 2
 	}
 	return 0

@@ -44,6 +44,7 @@ func run(args []string) int {
 	traceStats := fs.Bool("stats", false, "print trace shape and per-engine operation-count statistics")
 	viz := fs.Bool("viz", false, "render the task line's evolution (small programs)")
 	remote := fs.String("remote", "", "raced server address; detection runs remotely over the wire protocol")
+	noCompress := fs.Bool("no-compress", false, "send plain event frames instead of negotiating v3 block compression (remote runs only)")
 	shards := fs.Int("shards", 0, "location shards for the 2d engine's access checks (0 or 1 = serial; local runs only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,7 +62,7 @@ func run(args []string) int {
 	// Binary traces (recorded with -record) are replayed directly; any
 	// other input is parsed as a program.
 	if len(data) >= 4 && [4]byte(data[:4]) == fj.TraceMagic {
-		return runTrace(data, *engineName, *remote, *shards, *all, *truth, *traceStats)
+		return runTrace(data, *engineName, *remote, *shards, *all, *truth, *traceStats, *noCompress)
 	}
 	p, err := prog.Parse(bytes.NewReader(data))
 	if err != nil {
@@ -96,7 +97,7 @@ func run(args []string) int {
 		var rep *race2d.Report
 		var res *prog.Result
 		if *remote != "" {
-			rep, res, err = execRemote(p, *remote, e, i == 0, &trace)
+			rep, res, err = execRemote(p, *remote, e, i == 0, &trace, *noCompress)
 		} else {
 			d, err2 := newSink(e, *shards)
 			if err2 != nil {
@@ -199,25 +200,32 @@ func printReport(e race2d.Engine, rep *race2d.Report, locName func(race2d.Addr) 
 // run: RetainAll keeps the whole stream replayable, so the verdict
 // survives not just dropped connections but a raced restart that forgot
 // the resume token (the stream replays into a fresh session).
-func remoteOptions(e race2d.Engine) client.Options {
-	return client.Options{Engine: e.String(), RetainAll: true}
+func remoteOptions(e race2d.Engine, noCompress bool) client.Options {
+	return client.Options{Engine: e.String(), RetainAll: true, NoCompress: noCompress}
 }
 
-// noteRecovery reports transport trouble the session rode out, on
-// stderr so piped verdict output stays byte-identical to a clean run.
+// noteRecovery reports transport trouble the session rode out and what
+// wire compression achieved, on stderr so piped verdict output stays
+// byte-identical to a clean run.
 func noteRecovery(sess *client.Session) {
-	if st := sess.Stats(); st.Reconnects > 0 {
+	st := sess.Stats()
+	if st.Reconnects > 0 {
 		fmt.Fprintf(os.Stderr,
 			"race2d: note: recovered from %d disconnect(s) (%d batches resent, %d heartbeats missed)\n",
 			st.Reconnects, st.Resends, st.HeartbeatsMissed)
+	}
+	if st.WireBlocks > 0 {
+		fmt.Fprintf(os.Stderr,
+			"race2d: note: wire compression %d block(s), %d -> %d bytes (%.1fx)\n",
+			st.WireBlocks, st.WireBytesRaw, st.WireBytesBlocks, st.CompressRatio())
 	}
 }
 
 // execRemote executes p locally but streams its events to a raced
 // server; the Report comes back from the server's engine. When the
 // server drains mid-stream the partial report is used, with a warning.
-func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace) (*race2d.Report, *prog.Result, error) {
-	sess, err := client.Dial(addr, remoteOptions(e))
+func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace, noCompress bool) (*race2d.Report, *prog.Result, error) {
+	sess, err := client.Dial(addr, remoteOptions(e, noCompress))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -244,7 +252,7 @@ func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool,
 
 // runTrace replays a recorded binary trace under the requested engines,
 // locally or against a raced server.
-func runTrace(data []byte, engineName, remote string, shards int, all, truth, stats bool) int {
+func runTrace(data []byte, engineName, remote string, shards int, all, truth, stats, noCompress bool) int {
 	tr, err := fj.DecodeTrace(bytes.NewReader(data))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "race2d:", err)
@@ -273,7 +281,7 @@ func runTrace(data []byte, engineName, remote string, shards int, all, truth, st
 	for _, e := range engines {
 		var rep *race2d.Report
 		if remote != "" {
-			sess, err := client.Dial(remote, remoteOptions(e))
+			sess, err := client.Dial(remote, remoteOptions(e, noCompress))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2

@@ -54,6 +54,8 @@ func run(args []string) int {
 	resumeWindow := fs.Duration("resume-window", server.DefaultResumeWindow, "keep disconnected v2 sessions resumable this long")
 	shards := fs.Int("shards", 0, "location shards per 2D session (0 or 1 = serial detection)")
 	shardBudget := fs.Int("shard-budget", 0, "global cap on live shard workers; over-budget sessions fall back to serial (0 = shards*max-sessions)")
+	noCompress := fs.Bool("no-compress", false, "withhold the v3 block-compression capability; clients fall back to plain event frames")
+	maxVersion := fs.Int("max-version", 0, "cap the wire protocol version spoken (0 = newest); newer clients are refused and downgrade")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before hard close")
 	chaos := fs.String("chaos", "", "inject transport faults of these classes on every session (delay|corrupt|partial|drop|reset|all; dev flag)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic fault schedule seed for -chaos")
@@ -71,6 +73,8 @@ func run(args []string) int {
 		ResumeWindow:  *resumeWindow,
 		Shards:        *shards,
 		ShardBudget:   *shardBudget,
+		NoCompress:    *noCompress,
+		MaxVersion:    *maxVersion,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf

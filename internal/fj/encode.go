@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // TraceMagic identifies the binary trace format ("FJT" + version 1).
@@ -174,6 +175,28 @@ func AppendEvents(dst []byte, events []Event) []byte {
 		}
 	}
 	return dst
+}
+
+// EventsSize returns len(AppendEvents(nil, events)) without building
+// the encoding — a size-only pass for callers (the wire block codec)
+// that need the record-form length but may never ship the record form.
+func EventsSize(events []Event) int {
+	n := 0
+	for _, e := range events {
+		n += 1 + uvarintSize(uint64(e.T))
+		switch e.Kind {
+		case EvFork, EvJoin:
+			n += uvarintSize(uint64(e.U))
+		case EvRead, EvWrite:
+			n += uvarintSize(uint64(e.Loc))
+		}
+	}
+	return n
+}
+
+// uvarintSize is the byte length binary.AppendUvarint would emit for v.
+func uvarintSize(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
 }
 
 // DecodeEventsBytes parses count events in record form from buf,

@@ -107,6 +107,25 @@ type Stats struct {
 	HeartbeatsMissed  uint64 `json:"heartbeats_missed,omitempty"`  // dead-peer declarations from heartbeat silence
 	Resumes           uint64 `json:"resumes,omitempty"`            // sessions successfully re-attached (server)
 	HandshakeRefusals uint64 `json:"handshake_refusals,omitempty"` // connections refused before a session existed (server)
+
+	// Block compression (wire protocol v3, CapCompress). Both ends
+	// report the same three counters: compressed event blocks carried,
+	// their payload bytes on the wire, and the raw record-form bytes
+	// they stand for — WireBytesRaw / WireBytesBlocks is the achieved
+	// compression ratio. Per-session detector Reports leave these zero,
+	// preserving local/remote byte parity.
+	WireBlocks      uint64 `json:"wire_blocks,omitempty"`       // compressed event blocks sent/received
+	WireBytesBlocks uint64 `json:"wire_bytes_blocks,omitempty"` // block payload bytes on the wire
+	WireBytesRaw    uint64 `json:"wire_bytes_raw,omitempty"`    // raw record-form bytes the blocks stand for
+}
+
+// CompressRatio returns the achieved wire compression ratio (raw bytes
+// per wire byte), or 1 when no blocks flowed.
+func (s Stats) CompressRatio() float64 {
+	if s.WireBytesBlocks == 0 {
+		return 1
+	}
+	return float64(s.WireBytesRaw) / float64(s.WireBytesBlocks)
 }
 
 // MemOps returns the total memory operations observed.
@@ -176,6 +195,9 @@ func (s *Stats) Add(other Stats) {
 	s.HeartbeatsMissed += other.HeartbeatsMissed
 	s.Resumes += other.Resumes
 	s.HandshakeRefusals += other.HandshakeRefusals
+	s.WireBlocks += other.WireBlocks
+	s.WireBytesBlocks += other.WireBytesBlocks
+	s.WireBytesRaw += other.WireBytesRaw
 	for len(s.BatchSizes) < len(other.BatchSizes) {
 		s.BatchSizes = append(s.BatchSizes, 0)
 	}
@@ -238,6 +260,12 @@ func (s Stats) String() string {
 	put("heartbeats-missed", s.HeartbeatsMissed)
 	put("resumes", s.Resumes)
 	put("handshake-refusals", s.HandshakeRefusals)
+	put("wire-blocks", s.WireBlocks)
+	put("wire-bytes-blocks", s.WireBytesBlocks)
+	put("wire-bytes-raw", s.WireBytesRaw)
+	if s.WireBlocks > 0 {
+		fmt.Fprintf(&b, " compress-ratio=%.1f", s.CompressRatio())
+	}
 	if s.MemOps() > 0 && s.UnionFindOps() > 0 {
 		fmt.Fprintf(&b, " amortized-uf-steps/op=%.2f", s.AmortizedSteps())
 	}

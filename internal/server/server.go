@@ -37,6 +37,18 @@
 // acknowledged point is always safe. Reports of finished v2 sessions
 // are cached for ResumeWindow so a client that lost the connection
 // after Finish but before the Report can resume and still collect it.
+//
+// # Wire compression (protocol v3)
+//
+// A v3 session negotiates capabilities in the handshake; when the
+// server grants CapCompress (the default — Config.NoCompress withholds
+// it) the client ships event batches as compressed EventsBlock frames.
+// Blocks carry the same sequence numbers as v2 Events frames and are
+// acked, deduplicated and resumed identically; each block is
+// self-contained, so a block resent to a restarted server decodes to
+// the same events. Config.MaxVersion pins the server to an older
+// protocol; newer clients are refused with the documented version
+// error, which they answer by downgrading.
 package server
 
 import (
@@ -90,6 +102,16 @@ type Config struct {
 	// back to serial detection — verdict-identical, just not parallel.
 	// <= 0 means Shards × MaxSessions (never a constraint).
 	ShardBudget int
+	// MaxVersion caps the wire protocol version the server speaks
+	// (0 or out of range means the newest, wire.Version). Connections
+	// announcing a newer version are refused with the documented
+	// version error, which v3+ clients answer by downgrading. The knob
+	// exists for staged fleet rollouts and the negotiation tests.
+	MaxVersion int
+	// NoCompress withholds the CapCompress capability: v3 sessions are
+	// accepted but granted no compression, so clients fall back to
+	// plain Events frames.
+	NoCompress bool
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -130,7 +152,19 @@ func (c Config) normalized() Config {
 	if c.ShardBudget <= 0 {
 		c.ShardBudget = c.Shards * c.MaxSessions
 	}
+	if c.MaxVersion <= 0 || c.MaxVersion > wire.Version {
+		c.MaxVersion = wire.Version
+	}
 	return c
+}
+
+// grantedCaps is the capability set this server is willing to grant a
+// v3 session.
+func (c Config) grantedCaps() uint64 {
+	if c.NoCompress {
+		return 0
+	}
+	return wire.CapCompress
 }
 
 // janitorPeriod is the eviction/expiry sweep interval for this config,
@@ -174,6 +208,13 @@ type Server struct {
 	handshakeRefusals atomic.Uint64
 	resumes           atomic.Uint64
 	dupsDropped       atomic.Uint64
+
+	// Block-compression accounting (v3 CapCompress sessions): block
+	// count, payload bytes on the wire, and the raw record-form bytes
+	// those blocks decoded to — the bandwidth the codec saved.
+	blocks          atomic.Uint64
+	wireBytesBlocks atomic.Uint64
+	wireBytesRaw    atomic.Uint64
 
 	// Shard-worker budget accounting: live is the gauge of currently
 	// granted workers, the counters classify session admissions.
@@ -370,10 +411,15 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, 
 		return nil, false
 	}
 	s.nextID++
+	var caps uint64
+	if version >= wire.V3 {
+		caps = hello.Caps & s.cfg.grantedCaps()
+	}
 	sess := &session{
 		id:      s.nextID,
 		token:   s.tokenBase ^ (s.nextID * 0x9E3779B97F4A7C15),
 		version: version,
+		caps:    caps,
 		hello:   hello,
 		srv:     s,
 		state:   stateRunning,
@@ -467,6 +513,12 @@ func (s *Server) handshake(conn net.Conn) (int, wire.Hello, error) {
 	if err != nil {
 		return 0, hello, err
 	}
+	if version > s.cfg.MaxVersion {
+		// Refuse with the documented version error; a newer client
+		// recognizes it in the refusal text and downgrades.
+		return 0, hello, fmt.Errorf("%w: version %d, speak %d..%d",
+			wire.ErrVersion, version, wire.V1, s.cfg.MaxVersion)
+	}
 	ft, payload, err := wire.ReadFrame(conn, nil)
 	if err != nil {
 		return 0, hello, fmt.Errorf("raced: reading hello: %w", err)
@@ -474,9 +526,12 @@ func (s *Server) handshake(conn net.Conn) (int, wire.Hello, error) {
 	if ft != wire.FrameHello {
 		return 0, hello, fmt.Errorf("raced: expected hello frame, got %v", ft)
 	}
-	if version >= wire.V2 {
+	switch {
+	case version >= wire.V3:
+		hello, err = wire.DecodeHelloV3(payload)
+	case version >= wire.V2:
 		hello, err = wire.DecodeHelloV2(payload)
-	} else {
+	default:
 		hello, err = wire.DecodeHello(payload)
 	}
 	if err != nil {
@@ -495,7 +550,7 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	if version >= wire.V2 && hello.Token != 0 {
-		s.resume(conn, hello)
+		s.resume(conn, version, hello)
 		return
 	}
 
@@ -523,9 +578,9 @@ func (s *Server) handle(conn net.Conn) {
 	sess.serve(conn)
 }
 
-// resume hands a reconnecting v2 client back its suspended session (or
+// resume hands a reconnecting v2+ client back its suspended session (or
 // its cached Report, if the session already finished).
-func (s *Server) resume(conn net.Conn, hello wire.Hello) {
+func (s *Server) resume(conn net.Conn, version int, hello wire.Hello) {
 	s.mu.Lock()
 	if fr, ok := s.finished[hello.Token]; ok {
 		s.mu.Unlock()
@@ -533,7 +588,14 @@ func (s *Server) resume(conn net.Conn, hello wire.Hello) {
 		s.logf("session %d: resume of finished session, re-sending report", fr.session)
 		conn.SetWriteDeadline(time.Now().Add(drainGrace))
 		welcome := wire.Welcome{Session: fr.session, Token: hello.Token, NextSeq: fr.nextSeq}
-		if wire.WriteFrame(conn, wire.FrameWelcome, wire.EncodeWelcomeV2(welcome)) == nil {
+		wpayload := wire.EncodeWelcomeV2(welcome)
+		if version >= wire.V3 {
+			// The resumed stream is done — no more event frames — so no
+			// capability needs granting, but the client decodes the
+			// Welcome in the shape of the version it reconnected with.
+			wpayload = wire.EncodeWelcomeV3(welcome)
+		}
+		if wire.WriteFrame(conn, wire.FrameWelcome, wpayload) == nil {
 			wire.WriteFrame(conn, wire.FrameReport, fr.payload)
 		}
 		return
@@ -547,9 +609,19 @@ func (s *Server) resume(conn net.Conn, hello wire.Hello) {
 	}
 	if target != nil {
 		// Adopt: the suspended serve loop has fully exited (suspension is
-		// its last act, under this lock), so the session is ours.
+		// its last act, under this lock), so the session is ours. The
+		// session re-pins to the version and capabilities of the new
+		// handshake (intersected with what was granted before), so a
+		// client that reconnected at a lower version gets a coherently
+		// shaped Welcome and no stale capability.
 		target.state = stateRunning
 		target.conn = conn
+		target.version = version
+		if version >= wire.V3 {
+			target.caps &= hello.Caps
+		} else {
+			target.caps = 0
+		}
 		s.mu.Unlock()
 		s.resumes.Add(1)
 		target.lastActive.Store(time.Now().UnixNano())
@@ -593,6 +665,9 @@ func (s *Server) Stats() obs.Stats {
 	st.HandshakeRefusals = s.handshakeRefusals.Load()
 	st.Resumes = s.resumes.Load()
 	st.DupsDropped = s.dupsDropped.Load()
+	st.WireBlocks = s.blocks.Load()
+	st.WireBytesBlocks = s.wireBytesBlocks.Load()
+	st.WireBytesRaw = s.wireBytesRaw.Load()
 	if s.cfg.Shards > 1 {
 		st.Shards = uint64(s.cfg.Shards)
 	}
@@ -626,6 +701,10 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "raced_handshake_refusals_total %d\n", st.HandshakeRefusals)
 		fmt.Fprintf(w, "raced_resumes_total %d\n", st.Resumes)
 		fmt.Fprintf(w, "raced_dups_dropped_total %d\n", st.DupsDropped)
+		fmt.Fprintf(w, "raced_wire_blocks_total %d\n", st.WireBlocks)
+		fmt.Fprintf(w, "raced_wire_bytes_blocks_total %d\n", st.WireBytesBlocks)
+		fmt.Fprintf(w, "raced_wire_bytes_raw_total %d\n", st.WireBytesRaw)
+		fmt.Fprintf(w, "raced_compress_ratio %g\n", st.CompressRatio())
 		fmt.Fprintf(w, "raced_shard_workers_live %d\n", s.shardWorkersLive.Load())
 		fmt.Fprintf(w, "raced_shard_workers_budget %d\n", s.cfg.ShardBudget)
 		fmt.Fprintf(w, "raced_shard_sessions_total %d\n", s.shardSessions.Load())
@@ -650,6 +729,7 @@ type session struct {
 	id      uint64
 	token   uint64
 	version int
+	caps    uint64 // granted v3 capabilities (0 below v3)
 	hello   wire.Hello
 	srv     *Server
 
@@ -774,10 +854,14 @@ func (sess *session) serve(conn net.Conn) {
 
 	welcome := wire.Welcome{Session: sess.id}
 	var wpayload []byte
-	if sess.version >= wire.V2 {
+	switch {
+	case sess.version >= wire.V3:
+		welcome.Token, welcome.NextSeq, welcome.Caps = sess.token, nextSeq, sess.caps
+		wpayload = wire.EncodeWelcomeV3(welcome)
+	case sess.version >= wire.V2:
 		welcome.Token, welcome.NextSeq = sess.token, nextSeq
 		wpayload = wire.EncodeWelcomeV2(welcome)
-	} else {
+	default:
 		wpayload = wire.EncodeWelcome(welcome)
 	}
 	conn.SetWriteDeadline(time.Now().Add(drainGrace))
@@ -793,6 +877,7 @@ func (sess *session) serve(conn net.Conn) {
 	finished := false
 	protoErr := false // the peer broke the protocol; do not suspend
 	var readErr error
+	var blockDec wire.BlockDecoder // per-connection; blocks are self-contained
 	scratch := make([]byte, 0, 64<<10)
 frames:
 	for {
@@ -808,35 +893,33 @@ frames:
 		}
 		sess.lastActive.Store(time.Now().UnixNano())
 		switch ft {
-		case wire.FrameEvents:
+		case wire.FrameEvents, wire.FrameEventsBlock:
 			srv.frames.Add(1)
 			srv.wireBytes.Add(uint64(len(payload)))
-			if sess.version >= wire.V2 {
-				seq, slab, err := wire.DecodeEventsSeq(sess.queue.NewSlab(), payload)
-				if err != nil {
-					readErr, protoErr = err, true
-					break frames
-				}
-				switch {
-				case seq < nextSeq:
-					// Duplicate of an already-ingested batch (a resend
-					// raced an ack): the engine must see it exactly once.
-					srv.dupsDropped.Add(1)
-				case seq == nextSeq:
-					// Push blocks while the queue is full: backpressure
-					// reaches the client through TCP flow control.
-					if err := sess.queue.Push(slab); err != nil {
-						readErr = err
-						break frames
-					}
-					nextSeq++
-				default:
-					readErr = fmt.Errorf("raced: sequence gap: got %d, want %d", seq, nextSeq)
+			var (
+				seq  uint64
+				slab []fj.Event
+				err  error
+			)
+			switch {
+			case ft == wire.FrameEventsBlock:
+				if sess.version < wire.V3 || sess.caps&wire.CapCompress == 0 {
+					readErr = errors.New("raced: compressed block on a session without the compress capability")
 					protoErr = true
 					break frames
 				}
-			} else {
-				slab, err := wire.DecodeEvents(sess.queue.NewSlab(), payload)
+				var rawLen int
+				seq, slab, rawLen, err = blockDec.DecodeBlockInto(sess.queue.NewSlab(), payload)
+				if err == nil {
+					srv.blocks.Add(1)
+					srv.wireBytesBlocks.Add(uint64(len(payload)))
+					srv.wireBytesRaw.Add(uint64(rawLen))
+				}
+			case sess.version >= wire.V2:
+				seq, slab, err = wire.DecodeEventsSeq(sess.queue.NewSlab(), payload)
+			default:
+				// v1: unsequenced, unacknowledged.
+				slab, err = wire.DecodeEvents(sess.queue.NewSlab(), payload)
 				if err != nil {
 					readErr, protoErr = err, true
 					break frames
@@ -846,6 +929,28 @@ frames:
 					break frames
 				}
 				continue
+			}
+			if err != nil {
+				readErr, protoErr = err, true
+				break frames
+			}
+			switch {
+			case seq < nextSeq:
+				// Duplicate of an already-ingested batch (a resend
+				// raced an ack): the engine must see it exactly once.
+				srv.dupsDropped.Add(1)
+			case seq == nextSeq:
+				// Push blocks while the queue is full: backpressure
+				// reaches the client through TCP flow control.
+				if err := sess.queue.Push(slab); err != nil {
+					readErr = err
+					break frames
+				}
+				nextSeq++
+			default:
+				readErr = fmt.Errorf("raced: sequence gap: got %d, want %d", seq, nextSeq)
+				protoErr = true
+				break frames
 			}
 			if err := sess.writeAck(conn, nextSeq-1); err != nil {
 				readErr = err

@@ -25,6 +25,10 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, FrameWelcome, EncodeWelcomeV2(Welcome{Session: 9, Token: 1 << 50, NextSeq: 17})))
 	f.Add(AppendFrame(nil, FrameAck, EncodeAck(1<<20)))
 	f.Add(AppendFrame(nil, FrameHeartbeat, nil))
+	// v3 vocabulary: capability handshakes and compressed blocks.
+	f.Add(AppendFrame(nil, FrameHello, EncodeHelloV3(Hello{Engine: "2d", BatchSize: 64, Token: 7, Caps: CapCompress})))
+	f.Add(AppendFrame(nil, FrameWelcome, EncodeWelcomeV3(Welcome{Session: 2, Token: 0xbeef, NextSeq: 1, Caps: CapCompress})))
+	f.Add(AppendFrame(nil, FrameEventsBlock, new(BlockEncoder).AppendBlock(nil, 11, sampleEvents())))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, payload, err := ReadFrame(bytes.NewReader(data), nil)
@@ -98,6 +102,55 @@ func FuzzResume(f *testing.F) {
 			if err != nil || again != seq || len(back) != len(events) {
 				t.Fatalf("events seq round trip: seq %d/%d, %d/%d events (%v)",
 					seq, again, len(events), len(back), err)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBlock feeds arbitrary bytes to the block decompressor — the
+// payload a hostile or corrupted v3 peer controls — and checks it only
+// ever errors, never panics, and that anything it accepts re-encodes to
+// a block that decodes back to the same events (the codec is stable
+// even if the accepted byte form differs from what our encoder emits).
+func FuzzDecodeBlock(f *testing.F) {
+	var enc BlockEncoder
+	f.Add(enc.AppendBlock(nil, 1, nil))
+	f.Add(enc.AppendBlock(nil, 2, sampleEvents()))
+	repetitive := make([]fj.Event, 300)
+	for i := range repetitive {
+		repetitive[i] = fj.Event{Kind: fj.EvRead + fj.EventKind(i%2), T: i % 3, Loc: fj.Addr(0x100 + i%7)}
+	}
+	f.Add(enc.AppendBlock(nil, 3, repetitive))
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 1, blockDelta, 2, 200})
+	f.Add([]byte{1, 1, 1, blockFlate, 0xff})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec BlockDecoder
+		seq, events, rawLen, err := dec.DecodeBlockInto(nil, data)
+		if err != nil {
+			return // malformed input must only error, never panic
+		}
+		if seq == 0 {
+			t.Fatal("decoder accepted sequence 0")
+		}
+		if rawLen > MaxFrameSize {
+			t.Fatalf("decoder accepted raw length %d", rawLen)
+		}
+		var enc2 BlockEncoder
+		again := enc2.AppendBlock(nil, seq, events)
+		var dec2 BlockDecoder
+		seq2, back, _, err := dec2.DecodeBlockInto(nil, again)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded block failed: %v", err)
+		}
+		if seq2 != seq || len(back) != len(events) {
+			t.Fatalf("block round trip: seq %d/%d, %d/%d events", seq, seq2, len(events), len(back))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("event %d: %v != %v", i, back[i], events[i])
 			}
 		}
 	})

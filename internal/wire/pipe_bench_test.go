@@ -1,0 +1,30 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/fj"
+	"repro/internal/workload"
+)
+
+// BenchmarkAppendBlockPipeline prices the encoder on the real pipeline
+// workload trace — the shape E17 gates on — cut into transport-sized
+// blocks, so codec regressions show up as MB/s here before they show
+// up as a failed bandwidth gate in CI.
+func BenchmarkAppendBlockPipeline(b *testing.B) {
+	tr := &fj.Trace{}
+	if _, err := (workload.Pipeline{Stages: 8, Items: 1200, Shared: true, Payload: 4}).Run(tr); err != nil {
+		b.Fatal(err)
+	}
+	const block = 16384
+	var enc BlockEncoder
+	var dst []byte
+	b.SetBytes(int64(fj.EventsSize(tr.Events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(tr.Events); off += block {
+			end := min(off+block, len(tr.Events))
+			dst = enc.AppendBlock(dst[:0], 1, tr.Events[off:end])
+		}
+	}
+}

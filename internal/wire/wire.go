@@ -45,6 +45,38 @@
 //
 // A v2 server keeps speaking v1 to v1 clients unchanged.
 //
+// Version 3 adds negotiated capabilities. Hello and Welcome grow a
+// capability bitmask; the session's capability set is the intersection
+// of what the client offered and what the server granted, so either
+// side can veto a feature without breaking the handshake. The one v3
+// capability today is CapCompress: event batches ship as EventsBlock
+// frames, each a self-contained compressed block (delta/varint encoding
+// of task IDs and addresses plus a copy-run layer exploiting the
+// repetitive fork-join structure, with a flate fallback for
+// incompressible blocks — see block.go). Blocks carry the same
+// monotonic sequence numbers as v2 Events frames and are acked,
+// deduplicated and resent identically, so resume semantics hold at
+// block boundaries; because every block resets its own delta state, a
+// block resent to a freshly restarted server decodes to the same
+// events.
+//
+// # Version and capability table
+//
+//	version  magic      hello payload            welcome payload          event frames
+//	V1       "RDS\x01"  engine, batch            session                  Events (unsequenced)
+//	V2       "RDS\x02"  + resume token           + token, next seq        Events (seq + acks)
+//	V3       "RDS\x03"  + capability bits        + granted capability     Events, and EventsBlock
+//	                                               bits (intersection)    when CapCompress granted
+//
+//	capability   bit     meaning
+//	CapCompress  1<<0    sender may use EventsBlock (compressed) frames
+//
+// A server capped below a client's version refuses the handshake with
+// an Error frame whose text carries both HandshakeRefusedPrefix and the
+// ErrVersion text; clients treat that refusal as "downgrade and retry",
+// so a v3 client lands on v2 against an older server instead of
+// failing.
+//
 // # Frame layout
 //
 //	1 byte  frame type
@@ -69,14 +101,25 @@ import (
 )
 
 // Protocol versions. V1 is the original unacknowledged stream; V2 adds
-// sequence numbers, acks, heartbeats and session resume. Version is the
+// sequence numbers, acks, heartbeats and session resume; V3 adds
+// negotiated capabilities (today: block compression). Version is the
 // newest version this package speaks.
 const (
 	V1 = 1
 	V2 = 2
+	V3 = 3
 
 	// Version is the current (newest) protocol version.
-	Version = V2
+	Version = V3
+)
+
+// Capability bits (v3). A session's capability set is the intersection
+// of the bits the client offered in Hello and the bits the server
+// granted back in Welcome.
+const (
+	// CapCompress lets the client send EventsBlock frames: event batches
+	// compressed with the trace-aware block codec in this package.
+	CapCompress uint64 = 1 << 0
 )
 
 // Magic opens every current-version session stream: "RDS" + Version.
@@ -112,6 +155,10 @@ const (
 	// is empty; a peer that sees no frame for several heartbeat
 	// intervals may declare the connection dead.
 	FrameHeartbeat FrameType = 8
+	// FrameEventsBlock (v3, CapCompress) carries a batch of events as a
+	// self-contained compressed block (BlockEncoder payload). Sequenced,
+	// acked and resent exactly like a v2 Events frame.
+	FrameEventsBlock FrameType = 9
 )
 
 func (t FrameType) String() string {
@@ -132,6 +179,8 @@ func (t FrameType) String() string {
 		return "ack"
 	case FrameHeartbeat:
 		return "heartbeat"
+	case FrameEventsBlock:
+		return "events-block"
 	}
 	return fmt.Sprintf("FrameType(%d)", uint8(t))
 }
@@ -296,6 +345,9 @@ type Hello struct {
 	// fresh session, a non-zero value re-attaches to the session whose
 	// Welcome carried it. Not part of the v1 payload.
 	Token uint64
+	// Caps (v3) is the capability bitmask the client offers
+	// (CapCompress and friends). Not part of the v1/v2 payloads.
+	Caps uint64
 }
 
 // EncodeHello renders h as a frame payload.
@@ -338,15 +390,43 @@ func EncodeHelloV2(h Hello) []byte {
 
 // DecodeHelloV2 parses an EncodeHelloV2 payload.
 func DecodeHelloV2(payload []byte) (Hello, error) {
+	h, _, err := decodeHelloV2(payload)
+	return h, err
+}
+
+// decodeHelloV2 parses the v2 hello fields and returns the remaining
+// bytes (the v3 suffix, when present).
+func decodeHelloV2(payload []byte) (Hello, []byte, error) {
 	h, rest, err := decodeHello(payload)
 	if err != nil {
-		return Hello{}, err
+		return Hello{}, nil, err
 	}
 	tok, k := binary.Uvarint(rest)
 	if k <= 0 {
-		return Hello{}, fmt.Errorf("wire: hello: malformed resume token: %w", ErrTruncated)
+		return Hello{}, nil, fmt.Errorf("wire: hello: malformed resume token: %w", ErrTruncated)
 	}
 	h.Token = tok
+	return h, rest[k:], nil
+}
+
+// EncodeHelloV3 renders h as a v3 frame payload: the v2 form followed
+// by the offered capability bitmask.
+func EncodeHelloV3(h Hello) []byte {
+	buf := EncodeHelloV2(h)
+	return binary.AppendUvarint(buf, h.Caps)
+}
+
+// DecodeHelloV3 parses an EncodeHelloV3 payload.
+func DecodeHelloV3(payload []byte) (Hello, error) {
+	h, rest, err := decodeHelloV2(payload)
+	if err != nil {
+		return Hello{}, err
+	}
+	caps, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return Hello{}, fmt.Errorf("wire: hello: malformed capability bits: %w", ErrTruncated)
+	}
+	h.Caps = caps
 	return h, nil
 }
 
@@ -363,6 +443,10 @@ type Welcome struct {
 	// resume. The client resends its replay buffer from here; earlier
 	// sequences are already ingested and would be discarded.
 	NextSeq uint64
+	// Caps (v3) is the granted capability bitmask: the intersection of
+	// what the client offered and what the server allows. The client
+	// must not use a capability the Welcome did not grant.
+	Caps uint64
 }
 
 // EncodeWelcome renders w as a v1 frame payload (session id only).
@@ -391,6 +475,27 @@ func EncodeWelcomeV2(w Welcome) []byte {
 func DecodeWelcomeV2(payload []byte) (Welcome, error) {
 	var w Welcome
 	for _, field := range []*uint64{&w.Session, &w.Token, &w.NextSeq} {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return Welcome{}, fmt.Errorf("wire: welcome: %w", ErrTruncated)
+		}
+		*field = v
+		payload = payload[k:]
+	}
+	return w, nil
+}
+
+// EncodeWelcomeV3 renders w as a v3 frame payload: the v2 form followed
+// by the granted capability bitmask.
+func EncodeWelcomeV3(w Welcome) []byte {
+	buf := EncodeWelcomeV2(w)
+	return binary.AppendUvarint(buf, w.Caps)
+}
+
+// DecodeWelcomeV3 parses an EncodeWelcomeV3 payload.
+func DecodeWelcomeV3(payload []byte) (Welcome, error) {
+	var w Welcome
+	for _, field := range []*uint64{&w.Session, &w.Token, &w.NextSeq, &w.Caps} {
 		v, k := binary.Uvarint(payload)
 		if k <= 0 {
 			return Welcome{}, fmt.Errorf("wire: welcome: %w", ErrTruncated)

@@ -12,63 +12,20 @@
 #      output byte-identical to the local run, reporting the recovery
 #      on stderr.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+SMOKE=chaos-smoke
+. "$(dirname "$0")/lib.sh"
 
-tmp=$(mktemp -d)
-raced_pid=
-cleanup() {
-	[ -n "$raced_pid" ] && kill -9 "$raced_pid" 2>/dev/null || true
-	rm -rf "$tmp"
-}
-trap cleanup EXIT
-
-echo "chaos-smoke: building raced and race2d (-race)"
-go build -race -o "$tmp/raced" ./cmd/raced
-go build -race -o "$tmp/race2d" ./cmd/race2d
-
-# wait_addr FILE: poll a raced stdout file for the announced address.
-wait_addr() {
-	local out=$1 a=
-	for _ in $(seq 1 100); do
-		a=$(sed -n 's/^raced: listening on //p' "$out")
-		[ -n "$a" ] && { echo "$a"; return 0; }
-		sleep 0.1
-	done
-	return 1
-}
+build_tools
 
 # 1. Chaos transport parity: every corpus program through a deliberately
 #    faulty transport must produce byte-identical output.
-"$tmp/raced" -addr 127.0.0.1:0 -chaos all -chaos-seed 3 -chaos-rate 0.01 -v \
-	>"$tmp/chaos.out" 2>"$tmp/chaos.err" &
-raced_pid=$!
-disown "$raced_pid" 2>/dev/null || true
-addr=$(wait_addr "$tmp/chaos.out") || {
-	echo "chaos-smoke: chaotic raced did not start" >&2
-	cat "$tmp/chaos.err" >&2
-	exit 1
-}
+start_raced chaos -addr 127.0.0.1:0 -chaos all -chaos-seed 3 -chaos-rate 0.01 -v
 echo "chaos-smoke: chaotic raced on $addr"
 
 for f in cmd/race2d/testdata/*.fj; do
-	lcode=0
-	"$tmp/race2d" -json "$f" >"$tmp/local.out" 2>/dev/null || lcode=$?
-	rcode=0
-	"$tmp/race2d" -remote "$addr" -json "$f" >"$tmp/remote.out" 2>/dev/null || rcode=$?
-	if [ "$lcode" != "$rcode" ]; then
-		echo "chaos-smoke: $f: exit $lcode local vs $rcode remote" >&2
-		exit 1
-	fi
-	if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
-		echo "chaos-smoke: $f: verdict differs under transport chaos" >&2
-		diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
-		exit 1
-	fi
-	echo "chaos-smoke: chaos parity ok: $f (exit $lcode)"
+	assert_parity "$f" -json "$f"
 done
-kill -9 "$raced_pid" 2>/dev/null || true
-wait "$raced_pid" 2>/dev/null || true
-raced_pid=
+stop_raced
 
 # 2. SIGKILL + restart mid-stream. The stream is large enough that the
 #    kill lands while events are still in flight; the restarted server
@@ -80,14 +37,7 @@ raced_pid=
 lcode=0
 "$tmp/race2d" -json "$tmp/big.fj" >"$tmp/local.out" 2>/dev/null || lcode=$?
 
-"$tmp/raced" -addr 127.0.0.1:0 -v >"$tmp/r1.out" 2>"$tmp/r1.err" &
-raced_pid=$!
-disown "$raced_pid" 2>/dev/null || true
-addr=$(wait_addr "$tmp/r1.out") || {
-	echo "chaos-smoke: raced did not start" >&2
-	cat "$tmp/r1.err" >&2
-	exit 1
-}
+start_raced r1 -addr 127.0.0.1:0 -v
 echo "chaos-smoke: raced on $addr, streaming then SIGKILL"
 
 rcode=0
@@ -95,17 +45,12 @@ rcode=0
 	>"$tmp/remote.out" 2>"$tmp/client.err" &
 client_pid=$!
 sleep 0.4
-kill -9 "$raced_pid"
-wait "$raced_pid" 2>/dev/null || true
-raced_pid=
+restart_addr=$addr
+stop_raced
 
 # Restart on the same address before the client's retry budget runs out.
-"$tmp/raced" -addr "$addr" -v >"$tmp/r2.out" 2>"$tmp/r2.err" &
-raced_pid=$!
-disown "$raced_pid" 2>/dev/null || true
-wait_addr "$tmp/r2.out" >/dev/null || {
-	echo "chaos-smoke: raced did not restart on $addr" >&2
-	cat "$tmp/r2.err" >&2
+start_raced r2 -addr "$restart_addr" -v || {
+	echo "chaos-smoke: raced did not restart on $restart_addr" >&2
 	exit 1
 }
 

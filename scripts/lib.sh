@@ -1,0 +1,100 @@
+# lib.sh: shared harness for the smoke scripts (serve, chaos,
+# compress). Source it after `set -euo pipefail` with $SMOKE set to the
+# script's log prefix:
+#
+#	SMOKE=serve-smoke
+#	. "$(dirname "$0")/lib.sh"
+#
+# Sourcing moves to the repo root and creates a temp dir ($tmp) with an
+# EXIT trap that kills whatever raced $raced_pid points at and removes
+# the dir. The helpers below share three globals: $tmp, $raced_pid (the
+# current raced process, empty when none) and $addr (the session
+# address the last start_raced announced).
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+raced_pid=
+addr=
+smoke_cleanup() {
+	if [ -n "$raced_pid" ]; then
+		kill -9 "$raced_pid" 2>/dev/null || true
+		wait "$raced_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap smoke_cleanup EXIT
+
+# build_tools: compile raced and race2d under the Go race detector into
+# $tmp, where every helper expects them.
+build_tools() {
+	echo "$SMOKE: building raced and race2d (-race)"
+	go build -race -o "$tmp/raced" ./cmd/raced
+	go build -race -o "$tmp/race2d" ./cmd/race2d
+}
+
+# wait_addr FILE: poll a raced stdout file for the announced session
+# address and print it; fails after ten seconds.
+wait_addr() {
+	local out=$1 a=
+	for _ in $(seq 1 100); do
+		a=$(sed -n 's/^raced: listening on //p' "$out")
+		[ -n "$a" ] && {
+			echo "$a"
+			return 0
+		}
+		sleep 0.1
+	done
+	return 1
+}
+
+# start_raced NAME ARGS...: start raced with the given flags, stdout
+# and stderr captured in $tmp/NAME.{out,err}, record its pid in
+# $raced_pid and the announced session address in $addr. Must not run
+# in a subshell ($raced_pid has to reach the cleanup trap), which is
+# why the address lands in a global instead of being printed.
+start_raced() {
+	local name=$1
+	shift
+	"$tmp/raced" "$@" >"$tmp/$name.out" 2>"$tmp/$name.err" &
+	raced_pid=$!
+	addr=$(wait_addr "$tmp/$name.out") || {
+		echo "$SMOKE: raced ($name) did not start" >&2
+		cat "$tmp/$name.err" >&2
+		return 1
+	}
+}
+
+# metrics_addr NAME: print the observability address a raced started
+# with -metrics announced (NAME as passed to start_raced).
+metrics_addr() {
+	sed -n 's|^raced: metrics on http://||p' "$tmp/$1.out"
+}
+
+# stop_raced: SIGKILL and reap the current raced, if any.
+stop_raced() {
+	[ -n "$raced_pid" ] || return 0
+	kill -9 "$raced_pid" 2>/dev/null || true
+	wait "$raced_pid" 2>/dev/null || true
+	raced_pid=
+}
+
+# assert_parity LABEL ARGS...: run race2d on ARGS locally and against
+# the raced at $addr; exit codes must match and stdout must be
+# byte-identical (stderr — recovery and compression notes — is free).
+assert_parity() {
+	local label=$1 lcode=0 rcode=0
+	shift
+	"$tmp/race2d" "$@" >"$tmp/local.out" 2>/dev/null || lcode=$?
+	"$tmp/race2d" -remote "$addr" "$@" >"$tmp/remote.out" 2>/dev/null || rcode=$?
+	if [ "$lcode" != "$rcode" ]; then
+		echo "$SMOKE: $label: exit $lcode local vs $rcode remote" >&2
+		exit 1
+	fi
+	if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
+		echo "$SMOKE: $label: remote output differs from local" >&2
+		diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
+		exit 1
+	fi
+	echo "$SMOKE: parity ok: $label (exit $lcode)"
+}

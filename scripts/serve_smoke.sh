@@ -10,72 +10,26 @@
 #   4. SIGTERM mid-stream drains gracefully: raced exits 0 and the
 #      in-flight client still gets a (possibly partial) report.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+SMOKE=serve-smoke
+. "$(dirname "$0")/lib.sh"
 
-tmp=$(mktemp -d)
-raced_pid=
-cleanup() {
-	[ -n "$raced_pid" ] && kill "$raced_pid" 2>/dev/null || true
-	rm -rf "$tmp"
-}
-trap cleanup EXIT
-
-echo "serve-smoke: building raced and race2d (-race)"
-go build -race -o "$tmp/raced" ./cmd/raced
-go build -race -o "$tmp/race2d" ./cmd/race2d
-
-"$tmp/raced" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 -v \
-	>"$tmp/raced.out" 2>"$tmp/raced.err" &
-raced_pid=$!
-
-addr=
-for _ in $(seq 1 100); do
-	addr=$(sed -n 's/^raced: listening on //p' "$tmp/raced.out")
-	[ -n "$addr" ] && break
-	sleep 0.1
-done
-if [ -z "$addr" ]; then
-	echo "serve-smoke: raced did not start" >&2
-	cat "$tmp/raced.err" >&2
-	exit 1
-fi
-maddr=$(sed -n 's|^raced: metrics on http://||p' "$tmp/raced.out")
+build_tools
+start_raced main -addr 127.0.0.1:0 -metrics 127.0.0.1:0 -v
+maddr=$(metrics_addr main)
 echo "serve-smoke: raced on $addr, metrics on $maddr"
 
 # 1. Remote output must be byte-identical to local, same exit code, for
 #    every corpus program in both JSON and text(+stats) modes.
 for f in cmd/race2d/testdata/*.fj; do
 	for mode in -json -stats; do
-		lcode=0
-		"$tmp/race2d" "$mode" "$f" >"$tmp/local.out" 2>/dev/null || lcode=$?
-		rcode=0
-		"$tmp/race2d" -remote "$addr" "$mode" "$f" >"$tmp/remote.out" 2>/dev/null || rcode=$?
-		if [ "$lcode" != "$rcode" ]; then
-			echo "serve-smoke: $f $mode: exit $lcode local vs $rcode remote" >&2
-			exit 1
-		fi
-		if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
-			echo "serve-smoke: $f $mode: remote output differs from local" >&2
-			diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
-			exit 1
-		fi
-		echo "serve-smoke: parity ok: $f $mode (exit $lcode)"
+		assert_parity "$f $mode" "$mode" "$f"
 	done
 done
 
 # 2. Recorded binary trace: replay locally and remotely, byte-compare.
 "$tmp/race2d" -record "$tmp/run.trace" cmd/race2d/testdata/figure2.fj \
 	>/dev/null 2>&1 || true
-lcode=0
-"$tmp/race2d" "$tmp/run.trace" >"$tmp/local.out" 2>/dev/null || lcode=$?
-rcode=0
-"$tmp/race2d" -remote "$addr" "$tmp/run.trace" >"$tmp/remote.out" 2>/dev/null || rcode=$?
-if [ "$lcode" != "$rcode" ] || ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
-	echo "serve-smoke: trace replay parity failed (exit $lcode vs $rcode)" >&2
-	diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
-	exit 1
-fi
-echo "serve-smoke: parity ok: recorded trace (exit $lcode)"
+assert_parity "recorded trace" "$tmp/run.trace"
 
 # 3. Observability endpoints.
 curl -fsS "http://$maddr/healthz" | grep -q '"status":"ok"' || {
@@ -106,7 +60,7 @@ wait "$raced_pid" || scode=$?
 raced_pid=
 if [ "$scode" != 0 ]; then
 	echo "serve-smoke: raced exit $scode after SIGTERM (want 0)" >&2
-	cat "$tmp/raced.err" >&2
+	cat "$tmp/main.err" >&2
 	exit 1
 fi
 if [ "$ccode" != 0 ]; then
