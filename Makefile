@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet shard-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet shard-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke cluster-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -76,6 +76,14 @@ chaos-smoke:
 compress-smoke:
 	./scripts/compress_smoke.sh
 
+# Mirrors the CI cluster-smoke job: three raced backends and one
+# racedctl gateway (all -race), corpus parity through the gateway with
+# the sessions spread over the fleet, then a mid-stream SIGKILL of the
+# backend carrying a live session — the client must finish with a
+# byte-identical verdict and /metrics must prove the re-route.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
@@ -90,16 +98,20 @@ fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj ./internal/wire
 	$(MAKE) fuzz
 
-# Diff the exported API of the root package against the previous commit
-# (golang.org/x/exp/cmd/apidiff; installed on demand). Incompatible
-# changes are reported but do not fail the build — this repo is
-# pre-1.0 and deliberately evolving its API; the diff is for reviewers.
+# Diff the exported API of the root package and the client package
+# against the previous commit (golang.org/x/exp/cmd/apidiff; installed
+# on demand). Incompatible changes are reported but do not fail the
+# build — this repo is pre-1.0 and deliberately evolving its API; the
+# diff is for reviewers.
 apidiff:
 	@command -v apidiff >/dev/null 2>&1 || $(GO) install golang.org/x/exp/cmd/apidiff@latest
 	@tmp=$$(mktemp -d) && trap 'git worktree remove --force '$$tmp'; rm -rf '$$tmp'' EXIT && \
 		git worktree add --detach $$tmp HEAD~1 >/dev/null 2>&1 && \
-		(cd $$tmp && apidiff -w /tmp/apidiff.base .) && \
-		apidiff -incompatible /tmp/apidiff.base . | tee /tmp/apidiff.out; \
+		: >/tmp/apidiff.out && \
+		for pkg in . ./client; do \
+			(cd $$tmp && apidiff -w /tmp/apidiff.base $$pkg) && \
+			apidiff -incompatible /tmp/apidiff.base $$pkg | sed "s|^|$$pkg: |" | tee -a /tmp/apidiff.out; \
+		done; \
 		if [ -s /tmp/apidiff.out ]; then echo "apidiff: incompatible changes above (informational)"; fi
 
 clean:

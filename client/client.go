@@ -75,105 +75,6 @@ const DefaultWindowBatches = 64
 // to abandon because its retry budget ran out (the Report may be nil).
 var ErrPartial = errors.New("client: partial report (stream did not complete)")
 
-// Options configures Dial.
-type Options struct {
-	// Engine names the detector engine the server should run (race2d
-	// engine vocabulary; empty selects the server default, "2d").
-	Engine string
-	// BatchSize asks the server to deliver events to its engine in
-	// batches of this size. Zero delivers per event, which keeps the
-	// remote Report's Stats identical to an unbuffered local run.
-	BatchSize int
-	// FrameEvents is the transport batch: events packed per wire frame
-	// (DefaultFrameEvents when <= 0). Purely a throughput knob; it does
-	// not affect the verdict.
-	FrameEvents int
-	// DialTimeout bounds each TCP dial and handshake attempt (10s when 0).
-	DialTimeout time.Duration
-	// FinishTimeout bounds how long Finish waits for the server's Report
-	// and how long a full replay window waits for ack progress before
-	// the connection is declared dead (30s when 0).
-	FinishTimeout time.Duration
-	// WriteTimeout is the per-frame write deadline (10s when 0).
-	WriteTimeout time.Duration
-	// HeartbeatInterval is the keepalive cadence while the connection is
-	// otherwise quiet (10s when 0; < 0 disables heartbeats).
-	HeartbeatInterval time.Duration
-	// HeartbeatMisses is how many silent intervals mark the peer dead
-	// and force a reconnect (3 when 0).
-	HeartbeatMisses int
-	// MaxAttempts is the consecutive connect-attempt budget; it resets
-	// after every successful handshake. When the budget runs out the
-	// session circuit-breaks: events are dropped and Finish returns an
-	// error wrapping ErrPartial. (5 when 0.)
-	MaxAttempts int
-	// BackoffBase and BackoffMax shape the exponential reconnect backoff
-	// with full jitter: attempt k sleeps uniform(0, min(BackoffMax,
-	// BackoffBase<<k)). Defaults 50ms and 2s.
-	BackoffBase time.Duration
-	BackoffMax  time.Duration
-	// WindowBatches bounds the replay window, in batches
-	// (DefaultWindowBatches when <= 0). A full window blocks the
-	// producer until the server acknowledges progress.
-	WindowBatches int
-	// RetainAll keeps acknowledged batches in the window too, so the
-	// whole stream can replay into a fresh session if the server
-	// restarts and no longer knows the resume token. Memory grows with
-	// the stream; reserve it for runs that must survive server loss.
-	RetainAll bool
-	// NoCompress withholds the CapCompress capability from the v3
-	// handshake, so batches ship as plain Events frames even against a
-	// willing server. The zero value negotiates compression.
-	NoCompress bool
-	// MaxVersion caps the wire protocol version the client opens with
-	// (0 or out of range means the newest, wire.Version; values below
-	// v2 are raised to v2 — the fault-tolerance machinery requires
-	// sequenced frames). Against a server capped lower still, the
-	// client downgrades automatically on the documented version
-	// refusal, so this knob mostly serves tests and staged rollouts.
-	MaxVersion int
-}
-
-func (o Options) normalized() Options {
-	if o.FrameEvents <= 0 {
-		o.FrameEvents = DefaultFrameEvents
-	}
-	if o.DialTimeout <= 0 {
-		o.DialTimeout = 10 * time.Second
-	}
-	if o.FinishTimeout <= 0 {
-		o.FinishTimeout = 30 * time.Second
-	}
-	if o.WriteTimeout <= 0 {
-		o.WriteTimeout = 10 * time.Second
-	}
-	if o.HeartbeatInterval == 0 {
-		o.HeartbeatInterval = 10 * time.Second
-	}
-	if o.HeartbeatMisses <= 0 {
-		o.HeartbeatMisses = 3
-	}
-	if o.MaxAttempts <= 0 {
-		o.MaxAttempts = 5
-	}
-	if o.BackoffBase <= 0 {
-		o.BackoffBase = 50 * time.Millisecond
-	}
-	if o.BackoffMax <= 0 {
-		o.BackoffMax = 2 * time.Second
-	}
-	if o.WindowBatches <= 0 {
-		o.WindowBatches = DefaultWindowBatches
-	}
-	if o.MaxVersion <= 0 || o.MaxVersion > wire.Version {
-		o.MaxVersion = wire.Version
-	}
-	if o.MaxVersion < wire.V2 {
-		o.MaxVersion = wire.V2
-	}
-	return o
-}
-
 // pending is one sequenced batch awaiting acknowledgement (or retained
 // for restart replay).
 type pending struct {
@@ -186,8 +87,9 @@ type pending struct {
 // background goroutines ride along per connection: a reader (acks,
 // report, errors) and a heartbeat.
 type Session struct {
-	addr string
-	opts Options
+	endpoints []string // dial targets, tried in rotation; [0] is the Dial addr
+	ep        int      // index of the endpoint the next dial tries
+	opts      Options
 
 	mu   sync.Mutex
 	cond sync.Cond
@@ -226,11 +128,41 @@ type Session struct {
 	batch []fj.Event // producer-side accumulation
 }
 
-// Dial connects to a raced server and opens a session. Transport
-// failures are retried within the MaxAttempts budget; server refusals
-// (unknown engine, session limit) fail immediately.
-func Dial(addr string, opts Options) (*Session, error) {
-	s := &Session{addr: addr, opts: opts.normalized(), nextSeq: 1}
+// Dial connects to a raced server (or racedctl gateway) and opens a
+// session, configured by functional options — see WithMaxAttempts,
+// WithBackoff, WithHeartbeat, WithEndpoints, and friends. An option
+// with an invalid value fails Dial immediately, before any network
+// traffic. Transport failures are retried within the MaxAttempts
+// budget, rotating through addr plus any WithEndpoints fallbacks;
+// server refusals (unknown engine, session limit) fail immediately.
+func Dial(addr string, opts ...Option) (*Session, error) {
+	var o Options
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	return DialOptions(addr, o)
+}
+
+// DialOptions connects like Dial but configured by the legacy Options
+// struct. Both paths resolve to the same normalized configuration, so
+// DialOptions(addr, Options{MaxAttempts: 3}) and Dial(addr,
+// WithMaxAttempts(3)) behave identically; the struct form skips the
+// constructors' eager validation, except that an out-of-range
+// MaxVersion is now an explicit error rather than a silent clamp.
+//
+// Deprecated: use Dial with functional options.
+func DialOptions(addr string, opts Options) (*Session, error) {
+	norm, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{opts: norm, nextSeq: 1}
+	s.endpoints = append([]string{addr}, norm.Endpoints...)
 	s.ver = s.opts.MaxVersion
 	s.cond.L = &s.mu
 	s.batch = make([]fj.Event, 0, s.opts.FrameEvents)
@@ -318,14 +250,16 @@ func (s *Session) connect() error {
 			return err
 		}
 		token, ver := s.token, s.ver
+		addr := s.endpoints[s.ep%len(s.endpoints)]
 		s.mu.Unlock()
 
 		if attempt > 0 {
 			s.backoff(attempt)
 		}
-		conn, err := net.DialTimeout("tcp", s.addr, s.opts.DialTimeout)
+		conn, err := net.DialTimeout("tcp", addr, s.opts.DialTimeout)
 		if err != nil {
-			s.noteNetErr(fmt.Errorf("client: dial %s: %w", s.addr, err))
+			s.noteNetErr(fmt.Errorf("client: dial %s: %w", addr, err))
+			s.nextEndpoint()
 			continue
 		}
 		if err := s.handshake(conn, ver, token); err != nil {
@@ -334,6 +268,7 @@ func (s *Session) connect() error {
 				return terminal
 			}
 			s.noteNetErr(err)
+			s.nextEndpoint()
 			continue
 		}
 		if s.resendWindow() {
@@ -346,6 +281,15 @@ func (s *Session) connect() error {
 func (s *Session) noteNetErr(err error) {
 	s.mu.Lock()
 	s.lastNetErr = err
+	s.mu.Unlock()
+}
+
+// nextEndpoint rotates the dial target after a failed attempt, so
+// retries spread across the WithEndpoints seed list. A no-op with a
+// single endpoint.
+func (s *Session) nextEndpoint() {
+	s.mu.Lock()
+	s.ep++
 	s.mu.Unlock()
 }
 
@@ -377,7 +321,7 @@ func (s *Session) backoff(attempt int) {
 // refusing the version downgrades the session to v2 for the retry.
 func (s *Session) handshake(conn net.Conn, ver int, token uint64) error {
 	conn.SetDeadline(time.Now().Add(s.opts.DialTimeout))
-	hello := wire.Hello{Engine: s.opts.Engine, BatchSize: s.opts.BatchSize, Token: token}
+	hello := wire.Hello{Engine: s.opts.Engine, BatchSize: s.opts.BatchSize, Token: token, RouteKey: s.opts.RouteKey}
 	var offered uint64
 	if ver >= wire.V3 && !s.opts.NoCompress {
 		offered = wire.CapCompress

@@ -1,0 +1,74 @@
+package client_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/client"
+	"repro/internal/fj"
+)
+
+// Dial configures a session with functional options, mirroring
+// race2d.Detect(root, opts...). Each constructor validates its
+// argument, so a zero heartbeat or a negative batch size fails at
+// Dial rather than silently misbehaving later. The examples compile
+// against an address nobody answers, so none of them produce output —
+// godoc shows the shapes, the test suite pins the behavior.
+func ExampleDial() {
+	sess, err := client.Dial("localhost:7471",
+		client.WithEngine("2d"),
+		client.WithFrameEvents(512),
+		client.WithHeartbeat(2*time.Second, 3),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sess.Close()
+	sess.Event(fj.Event{Kind: fj.EvWrite, T: 0, Loc: 0x10}) // fj.Sink
+	report, err := sess.Finish()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("races:", report.Count)
+}
+
+// Fault-tolerant sessions: a bounded replay window with reconnect
+// backoff rides out transport loss; RetainAll keeps acknowledged
+// batches too, so even losing the server process (or migrating across
+// a racedctl cluster backend) replays to the full verdict.
+func ExampleDial_resilient() {
+	sess, err := client.Dial("localhost:7470",
+		client.WithRetainAll(),
+		client.WithMaxAttempts(10),
+		client.WithBackoff(50*time.Millisecond, 2*time.Second),
+		client.WithEndpoints("gw2:7470", "gw3:7470"), // fallback gateways
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sess.Close()
+}
+
+// Migrating from the deprecated struct form: DialOptions(addr,
+// Options{...}) behaves byte-identically to Dial with the matching
+// constructors — Options fields map one-to-one onto With* options
+// (HeartbeatInterval/HeartbeatMisses onto WithHeartbeat, BackoffBase/
+// BackoffMax onto WithBackoff, WindowBatches onto WithReplayWindow).
+// New code should use Dial; DialOptions remains for existing callers.
+func ExampleDialOptions() {
+	structForm := client.Options{
+		Engine:            "2d",
+		FrameEvents:       512,
+		HeartbeatInterval: 2 * time.Second,
+		HeartbeatMisses:   3,
+	}
+	sess, err := client.DialOptions("localhost:7471", structForm)
+	if err != nil {
+		fmt.Println(err) // same failure Dial would report
+		return
+	}
+	defer sess.Close()
+}

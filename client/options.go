@@ -1,0 +1,361 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Option configures Dial, mirroring the functional-options style of
+// race2d.Detect: each constructor documents and validates one knob, and
+// invalid values (zero or negative where a positive count is required,
+// an unsupported protocol version) surface as errors from Dial instead
+// of being silently clamped. The zero configuration — Dial(addr) with
+// no options — is the fully defaulted fault-tolerant compressed client.
+type Option func(*Options) error
+
+// WithEngine names the detector engine the server should run (race2d
+// engine vocabulary; the default is the server's default, "2d").
+// Unknown names are the server's to refuse — the vocabulary is its.
+func WithEngine(name string) Option {
+	return func(o *Options) error {
+		o.Engine = name
+		return nil
+	}
+}
+
+// WithBatchSize asks the server to deliver events to its engine in
+// batches of n. Zero delivers per event, which keeps the remote
+// Report's Stats identical to an unbuffered local run. Negative sizes
+// are a configuration error.
+func WithBatchSize(n int) Option {
+	return func(o *Options) error {
+		if n < 0 {
+			return fmt.Errorf("client: negative batch size %d", n)
+		}
+		o.BatchSize = n
+		return nil
+	}
+}
+
+// WithFrameEvents sets the transport batch: events packed per wire
+// frame (default DefaultFrameEvents). Purely a throughput knob; it does
+// not affect the verdict. n must be positive.
+func WithFrameEvents(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return fmt.Errorf("client: frame events must be positive, got %d", n)
+		}
+		o.FrameEvents = n
+		return nil
+	}
+}
+
+// WithDialTimeout bounds each TCP dial and handshake attempt (default
+// 10s). d must be positive.
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *Options) error {
+		if d <= 0 {
+			return fmt.Errorf("client: dial timeout must be positive, got %v", d)
+		}
+		o.DialTimeout = d
+		return nil
+	}
+}
+
+// WithFinishTimeout bounds how long Finish waits for the server's
+// Report and how long a full replay window waits for ack progress
+// before the connection is declared dead (default 30s). d must be
+// positive.
+func WithFinishTimeout(d time.Duration) Option {
+	return func(o *Options) error {
+		if d <= 0 {
+			return fmt.Errorf("client: finish timeout must be positive, got %v", d)
+		}
+		o.FinishTimeout = d
+		return nil
+	}
+}
+
+// WithWriteTimeout sets the per-frame write deadline (default 10s).
+// d must be positive.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(o *Options) error {
+		if d <= 0 {
+			return fmt.Errorf("client: write timeout must be positive, got %v", d)
+		}
+		o.WriteTimeout = d
+		return nil
+	}
+}
+
+// WithHeartbeat sets the keepalive cadence while the connection is
+// otherwise quiet and how many silent intervals mark the peer dead and
+// force a reconnect (defaults 10s and 3). Both must be positive; use
+// WithoutHeartbeat to disable keepalives entirely.
+func WithHeartbeat(interval time.Duration, misses int) Option {
+	return func(o *Options) error {
+		if interval <= 0 {
+			return fmt.Errorf("client: heartbeat interval must be positive, got %v (use WithoutHeartbeat to disable)", interval)
+		}
+		if misses <= 0 {
+			return fmt.Errorf("client: heartbeat misses must be positive, got %d", misses)
+		}
+		o.HeartbeatInterval = interval
+		o.HeartbeatMisses = misses
+		return nil
+	}
+}
+
+// WithoutHeartbeat disables the keepalive goroutine; dead peers are
+// then detected only by failed writes and the Finish timeout.
+func WithoutHeartbeat() Option {
+	return func(o *Options) error {
+		o.HeartbeatInterval = -1
+		return nil
+	}
+}
+
+// WithMaxAttempts sets the consecutive connect-attempt budget; it
+// resets after every successful handshake. When the budget runs out the
+// session circuit-breaks and Finish returns an error wrapping
+// ErrPartial. (Default 5.) n must be positive.
+func WithMaxAttempts(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return fmt.Errorf("client: max attempts must be positive, got %d", n)
+		}
+		o.MaxAttempts = n
+		return nil
+	}
+}
+
+// WithBackoff shapes the exponential reconnect backoff with full
+// jitter: attempt k sleeps uniform(0, min(max, base<<k)). Defaults 50ms
+// and 2s. base must be positive and max at least base.
+func WithBackoff(base, max time.Duration) Option {
+	return func(o *Options) error {
+		if base <= 0 {
+			return fmt.Errorf("client: backoff base must be positive, got %v", base)
+		}
+		if max < base {
+			return fmt.Errorf("client: backoff max %v below base %v", max, base)
+		}
+		o.BackoffBase = base
+		o.BackoffMax = max
+		return nil
+	}
+}
+
+// WithReplayWindow bounds the replay window — unacknowledged batches
+// held for resend — in batches (default DefaultWindowBatches). A full
+// window blocks the producer until the server acknowledges progress.
+// n must be positive.
+func WithReplayWindow(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return fmt.Errorf("client: replay window must be positive, got %d batches", n)
+		}
+		o.WindowBatches = n
+		return nil
+	}
+}
+
+// WithRetainAll keeps acknowledged batches in the replay window too, so
+// the whole stream can replay into a fresh session if the server
+// restarts (or a cluster gateway migrates the session to a backend that
+// never saw it). Memory grows with the stream; reserve it for runs that
+// must survive server loss.
+func WithRetainAll() Option {
+	return func(o *Options) error {
+		o.RetainAll = true
+		return nil
+	}
+}
+
+// WithNoCompress withholds the CapCompress capability from the v3
+// handshake, so batches ship as plain Events frames even against a
+// willing server.
+func WithNoCompress() Option {
+	return func(o *Options) error {
+		o.NoCompress = true
+		return nil
+	}
+}
+
+// WithMaxVersion caps the wire protocol version the client opens with.
+// Versions below wire.V2 are unsupported — the fault-tolerance
+// machinery requires sequenced frames — and versions above wire.Version
+// do not exist yet; both are configuration errors. Against a server
+// capped lower still, the client downgrades automatically on the
+// documented version refusal, so this knob mostly serves tests and
+// staged rollouts.
+func WithMaxVersion(v int) Option {
+	return func(o *Options) error {
+		if v < wire.V2 || v > wire.Version {
+			return fmt.Errorf("client: %w: version %d (speak %d..%d)", wire.ErrVersion, v, wire.V2, wire.Version)
+		}
+		o.MaxVersion = v
+		return nil
+	}
+}
+
+// WithEndpoints adds fallback server or gateway addresses behind the
+// primary one passed to Dial. Connect attempts rotate through the seed
+// list, so a session survives the loss of one gateway out of a fleet.
+// The endpoints must share session state (several racedctl gateways in
+// front of one backend fleet, or interchangeable fresh servers under
+// WithRetainAll); a resume token presented to an endpoint that never
+// issued it is answered with the documented unknown-resume error, which
+// only a RetainAll session can ride out. At least one address is
+// required and none may be empty.
+func WithEndpoints(addrs ...string) Option {
+	return func(o *Options) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("client: WithEndpoints requires at least one address")
+		}
+		for _, a := range addrs {
+			if a == "" {
+				return fmt.Errorf("client: WithEndpoints: empty address")
+			}
+		}
+		o.Endpoints = append(o.Endpoints, addrs...)
+		return nil
+	}
+}
+
+// WithRouteKey pins the session's placement under a cluster gateway:
+// the gateway consistent-hashes a non-zero key over its backend ring,
+// so sessions sharing a key land on the same backend. Zero (the
+// default) lets the gateway pick. Direct raced servers ignore the key.
+func WithRouteKey(key uint64) Option {
+	return func(o *Options) error {
+		o.RouteKey = key
+		return nil
+	}
+}
+
+// Options configures DialOptions.
+//
+// Deprecated: Options is the legacy configuration struct; new code
+// should pass functional options to Dial (WithMaxAttempts, WithBackoff,
+// WithHeartbeat, ...), which validate their values instead of silently
+// defaulting them. The struct remains the single resolved configuration
+// both paths share, so DialOptions(addr, Options{...}) and Dial(addr,
+// opts...) with equivalent settings behave identically.
+type Options struct {
+	// Engine names the detector engine the server should run (race2d
+	// engine vocabulary; empty selects the server default, "2d").
+	Engine string
+	// BatchSize asks the server to deliver events to its engine in
+	// batches of this size. Zero delivers per event, which keeps the
+	// remote Report's Stats identical to an unbuffered local run.
+	BatchSize int
+	// FrameEvents is the transport batch: events packed per wire frame
+	// (DefaultFrameEvents when <= 0). Purely a throughput knob; it does
+	// not affect the verdict.
+	FrameEvents int
+	// DialTimeout bounds each TCP dial and handshake attempt (10s when 0).
+	DialTimeout time.Duration
+	// FinishTimeout bounds how long Finish waits for the server's Report
+	// and how long a full replay window waits for ack progress before
+	// the connection is declared dead (30s when 0).
+	FinishTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (10s when 0).
+	WriteTimeout time.Duration
+	// HeartbeatInterval is the keepalive cadence while the connection is
+	// otherwise quiet (10s when 0; < 0 disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals mark the peer dead
+	// and force a reconnect (3 when 0).
+	HeartbeatMisses int
+	// MaxAttempts is the consecutive connect-attempt budget; it resets
+	// after every successful handshake. When the budget runs out the
+	// session circuit-breaks: events are dropped and Finish returns an
+	// error wrapping ErrPartial. (5 when 0.)
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential reconnect backoff
+	// with full jitter: attempt k sleeps uniform(0, min(BackoffMax,
+	// BackoffBase<<k)). Defaults 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WindowBatches bounds the replay window, in batches
+	// (DefaultWindowBatches when <= 0). A full window blocks the
+	// producer until the server acknowledges progress.
+	WindowBatches int
+	// RetainAll keeps acknowledged batches in the window too, so the
+	// whole stream can replay into a fresh session if the server
+	// restarts and no longer knows the resume token. Memory grows with
+	// the stream; reserve it for runs that must survive server loss.
+	RetainAll bool
+	// NoCompress withholds the CapCompress capability from the v3
+	// handshake, so batches ship as plain Events frames even against a
+	// willing server. The zero value negotiates compression.
+	NoCompress bool
+	// MaxVersion caps the wire protocol version the client opens with.
+	// Zero means the newest, wire.Version; any other value outside
+	// wire.V2..wire.Version is a configuration error — the
+	// fault-tolerance machinery requires sequenced (v2+) frames, so
+	// unsupported versions are refused loudly rather than silently
+	// clamped. Against a server capped lower still, the client
+	// downgrades automatically on the documented version refusal.
+	MaxVersion int
+	// Endpoints are fallback server or gateway addresses tried in
+	// rotation after the address passed to Dial fails (see
+	// WithEndpoints for the session-state caveats).
+	Endpoints []string
+	// RouteKey, when non-zero, pins the session's placement under a
+	// cluster gateway (see WithRouteKey). Direct servers ignore it.
+	RouteKey uint64
+}
+
+// normalized fills defaults and validates the fields with a rejectable
+// domain. An unsupported MaxVersion is an explicit error — historically
+// it was clamped into range silently, which turned version-pinning
+// typos into mysterious downgrade behavior.
+func (o Options) normalized() (Options, error) {
+	if o.FrameEvents <= 0 {
+		o.FrameEvents = DefaultFrameEvents
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.FinishTimeout <= 0 {
+		o.FinishTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 10 * time.Second
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.WindowBatches <= 0 {
+		o.WindowBatches = DefaultWindowBatches
+	}
+	switch {
+	case o.MaxVersion == 0:
+		o.MaxVersion = wire.Version
+	case o.MaxVersion < wire.V2 || o.MaxVersion > wire.Version:
+		return Options{}, fmt.Errorf("client: %w: version %d (speak %d..%d)",
+			wire.ErrVersion, o.MaxVersion, wire.V2, wire.Version)
+	}
+	for _, a := range o.Endpoints {
+		if a == "" {
+			return Options{}, fmt.Errorf("client: empty endpoint address")
+		}
+	}
+	return o, nil
+}

@@ -65,20 +65,18 @@ func runChaosCell(tr *fj.Trace, rate float64, baseline *race2d.Report) (time.Dur
 	defer srv.Close()
 
 	start := time.Now()
-	sess, err := client.Dial(ln.Addr().String(), client.Options{
+	sess, err := client.Dial(ln.Addr().String(),
 		// Small wire frames: each frame is an I/O operation the injector
 		// can fault, so the sweep's per-I/O rate translates into a
 		// meaningful number of faults even for modest traces.
-		FrameEvents:       128,
-		DialTimeout:       250 * time.Millisecond,
-		FinishTimeout:     2 * time.Minute,
-		HeartbeatInterval: 50 * time.Millisecond,
-		HeartbeatMisses:   2,
-		MaxAttempts:       500,
-		BackoffBase:       time.Millisecond,
-		BackoffMax:        20 * time.Millisecond,
-		RetainAll:         true,
-	})
+		client.WithFrameEvents(128),
+		client.WithDialTimeout(250*time.Millisecond),
+		client.WithFinishTimeout(2*time.Minute),
+		client.WithHeartbeat(50*time.Millisecond, 2),
+		client.WithMaxAttempts(500),
+		client.WithBackoff(time.Millisecond, 20*time.Millisecond),
+		client.WithRetainAll(),
+	)
 	if err != nil {
 		panic(fmt.Sprintf("bench: chaos rate=%g: dial: %v", rate, err))
 	}

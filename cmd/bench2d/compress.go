@@ -130,8 +130,11 @@ func runCompressCell(tr *fj.Trace, compress bool, baseline *race2d.Report) (time
 	defer srv.Close()
 
 	start := time.Now()
-	sess, err := client.Dial(ln.Addr().String(),
-		client.Options{NoCompress: !compress, FrameEvents: compressFrameEvents})
+	copts := []client.Option{client.WithFrameEvents(compressFrameEvents)}
+	if !compress {
+		copts = append(copts, client.WithNoCompress())
+	}
+	sess, err := client.Dial(ln.Addr().String(), copts...)
 	if err != nil {
 		panic(fmt.Sprintf("bench: compress: %v", err))
 	}

@@ -81,7 +81,7 @@ func runServeCell(tr *fj.Trace, k int, baseline *race2d.Report) (time.Duration, 
 	for i := 0; i < k; i++ {
 		go func(i int) {
 			t0 := time.Now()
-			sess, err := client.Dial(addr, client.Options{})
+			sess, err := client.Dial(addr)
 			if err != nil {
 				errc <- err
 				return

@@ -225,7 +225,7 @@ func noteRecovery(sess *client.Session) {
 // server; the Report comes back from the server's engine. When the
 // server drains mid-stream the partial report is used, with a warning.
 func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace, noCompress bool) (*race2d.Report, *prog.Result, error) {
-	sess, err := client.Dial(addr, remoteOptions(e, noCompress))
+	sess, err := client.DialOptions(addr, remoteOptions(e, noCompress))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -281,7 +281,7 @@ func runTrace(data []byte, engineName, remote string, shards int, all, truth, st
 	for _, e := range engines {
 		var rep *race2d.Report
 		if remote != "" {
-			sess, err := client.Dial(remote, remoteOptions(e, noCompress))
+			sess, err := client.DialOptions(remote, remoteOptions(e, noCompress))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2

@@ -34,8 +34,8 @@ import (
 	"os/signal"
 	"sync/atomic"
 	"syscall"
-	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/faults"
 	"repro/internal/server"
 )
@@ -46,37 +46,34 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("raced", flag.ContinueOnError)
-	addr := fs.String("addr", ":7471", "session listen address")
-	metrics := fs.String("metrics", "", "observability listen address for /healthz and /metrics (empty disables)")
+	var common cliflags.Common
+	cliflags.Register(fs, ":7471", &common)
 	maxSessions := fs.Int("max-sessions", server.DefaultMaxSessions, "live session cap; extra connections are refused")
-	queueCap := fs.Int("queue-cap", 0, "per-session event queue capacity in events (0 = default)")
-	idleTimeout := fs.Duration("idle-timeout", 0, "evict sessions idle this long (0 disables)")
 	resumeWindow := fs.Duration("resume-window", server.DefaultResumeWindow, "keep disconnected v2 sessions resumable this long")
 	shards := fs.Int("shards", 0, "location shards per 2D session (0 or 1 = serial detection)")
 	shardBudget := fs.Int("shard-budget", 0, "global cap on live shard workers; over-budget sessions fall back to serial (0 = shards*max-sessions)")
 	noCompress := fs.Bool("no-compress", false, "withhold the v3 block-compression capability; clients fall back to plain event frames")
-	maxVersion := fs.Int("max-version", 0, "cap the wire protocol version spoken (0 = newest); newer clients are refused and downgrade")
-	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before hard close")
 	chaos := fs.String("chaos", "", "inject transport faults of these classes on every session (delay|corrupt|partial|drop|reset|all; dev flag)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic fault schedule seed for -chaos")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-I/O fault probability for -chaos (0 = default 0.02)")
-	verbose := fs.Bool("v", false, "log session lifecycle events")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	addr, metrics := &common.Addr, &common.Metrics
+	drainTimeout := &common.DrainTimeout
 
 	logger := log.New(os.Stderr, "raced: ", log.LstdFlags)
 	cfg := server.Config{
 		MaxSessions:   *maxSessions,
-		QueueCapacity: *queueCap,
-		IdleTimeout:   *idleTimeout,
+		QueueCapacity: common.QueueCap,
+		IdleTimeout:   common.IdleTimeout,
 		ResumeWindow:  *resumeWindow,
 		Shards:        *shards,
 		ShardBudget:   *shardBudget,
 		NoCompress:    *noCompress,
-		MaxVersion:    *maxVersion,
+		MaxVersion:    common.MaxVersion,
 	}
-	if *verbose {
+	if common.Verbose {
 		cfg.Logf = logger.Printf
 	}
 	srv := server.New(cfg)

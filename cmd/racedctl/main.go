@@ -1,0 +1,170 @@
+// Command racedctl is the cluster gateway for a fleet of raced
+// backends: it accepts ordinary wire-protocol sessions and routes each
+// one to a backend by consistent-hashing its routing key (the client's
+// Hello.RouteKey, or a gateway-picked key) over a health-check-driven
+// membership ring, then proxies frames bidirectionally without
+// decoding payloads — v3 compressed blocks cross the gateway
+// untouched. Resume tokens learned from backend Welcomes pin
+// reconnects to their home backend; when that backend drains or dies
+// the token is re-routed and a RetainAll client replays its stream
+// into a fresh session there, so failover is verdict-preserving and
+// invisible above client.Session.
+//
+// Usage:
+//
+//	racedctl -backends host:port[=healthhost:port],... [-addr :7470]
+//	         [-metrics :7473] [-replication 64] [-probe-interval 500ms]
+//	         [-probe-fails 3] [-session-ttl 10m] [-queue-cap 4096]
+//	         [-idle-timeout 0] [-drain-timeout 10s] [-max-version 0] [-v]
+//
+// Each -backends entry is a raced wire address, optionally followed by
+// =metricsaddr; with a metrics address the gateway probes HTTP
+// /healthz (and sees drains as they start), without one it falls back
+// to a bare TCP probe (liveness only).
+//
+// The shared flags (-queue-cap, -idle-timeout, -drain-timeout,
+// -max-version, -addr, -metrics, -v) spell and default exactly as in
+// raced — see internal/cliflags.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/cliflags"
+	"repro/internal/cluster"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// parseBackends parses the -backends list: comma-separated wire
+// addresses, each optionally suffixed with =healthaddr.
+func parseBackends(spec string) ([]cluster.Backend, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("racedctl: -backends is required (host:port[=healthaddr],...)")
+	}
+	var out []cluster.Backend
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		addr, health, _ := strings.Cut(item, "=")
+		if addr == "" {
+			return nil, fmt.Errorf("racedctl: empty backend address in %q", spec)
+		}
+		out = append(out, cluster.Backend{Addr: addr, Health: health})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("racedctl: -backends lists no backends")
+	}
+	return out, nil
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("racedctl", flag.ContinueOnError)
+	var common cliflags.Common
+	cliflags.Register(fs, ":7470", &common)
+	backendsSpec := fs.String("backends", "", "raced backends to route over: host:port[=healthaddr],... (required)")
+	replication := fs.Int("replication", 0, "consistent-hash points per backend (0 = default 64)")
+	probeInterval := fs.Duration("probe-interval", 0, "health probe cadence (0 = default 500ms)")
+	probeFails := fs.Int("probe-fails", 0, "consecutive probe failures before a backend is down (0 = default 3)")
+	sessionTTL := fs.Duration("session-ttl", 0, "forget resume-token routes unused this long (0 = default 10m)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "racedctl: ", log.LstdFlags)
+	backends, err := parseBackends(*backendsSpec)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+
+	cfg := cluster.Config{
+		Backends:      backends,
+		Replication:   *replication,
+		ProbeInterval: *probeInterval,
+		ProbeFails:    *probeFails,
+		SessionTTL:    *sessionTTL,
+		IdleTimeout:   common.IdleTimeout,
+		MaxVersion:    common.MaxVersion,
+		// -queue-cap counts events, like raced's engine queue; size the
+		// relay buffers for that many encoded events (~16 bytes each,
+		// generously, before compression).
+		BufBytes: common.QueueCap * 16,
+	}
+	if common.Verbose {
+		cfg.Logf = logger.Printf
+	}
+	gw, err := cluster.NewGateway(cfg)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", common.Addr)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	// Announce the resolved address (":0" picks a free port) on stdout so
+	// scripts and the cluster-smoke harness can find it.
+	fmt.Printf("racedctl: listening on %s\n", ln.Addr())
+	fmt.Printf("racedctl: routing over %d backend(s)\n", len(backends))
+	os.Stdout.Sync()
+
+	var obsSrv *http.Server
+	if common.Metrics != "" {
+		mln, err := net.Listen("tcp", common.Metrics)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		fmt.Printf("racedctl: metrics on http://%s\n", mln.Addr())
+		obsSrv = &http.Server{Handler: gw.Handler()}
+		go obsSrv.Serve(mln)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var draining atomic.Bool
+	done := make(chan int, 1)
+	go func() {
+		sig := <-sigc
+		draining.Store(true)
+		logger.Printf("%v: draining (%v budget)", sig, common.DrainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), common.DrainTimeout)
+		defer cancel()
+		code := 0
+		if err := gw.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			gw.Close()
+			code = 1
+		}
+		if obsSrv != nil {
+			obsSrv.Close()
+		}
+		done <- code
+	}()
+
+	err = gw.Serve(ln)
+	if draining.Load() {
+		code := <-done
+		logger.Print("shut down")
+		return code
+	}
+	logger.Print(err)
+	return 2
+}

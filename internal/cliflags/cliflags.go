@@ -1,0 +1,54 @@
+// Package cliflags is the single source of truth for the flag surface
+// the wire-protocol binaries (raced, racedctl) share. Both register
+// through it, so the shared knobs — -addr, -metrics, -queue-cap,
+// -idle-timeout, -drain-timeout, -max-version, -v — spell, default,
+// and document themselves identically in every binary; an operator who
+// knows one front-end knows them all.
+package cliflags
+
+import (
+	"flag"
+	"time"
+)
+
+// Default values for the shared flags. raced and racedctl differ only
+// in their default listen address (passed to Register), never in these.
+const (
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Common holds the parsed values of the flags every wire front-end
+// shares.
+type Common struct {
+	// Addr is the wire-protocol listen address.
+	Addr string
+	// Metrics is the observability listen address ("" disables).
+	Metrics string
+	// QueueCap is the per-session buffering capacity, in events
+	// (0 = the binary's default). raced sizes each session's engine
+	// queue with it; racedctl sizes its per-connection relay buffers
+	// from it.
+	QueueCap int
+	// IdleTimeout evicts sessions (raced) or proxied connections
+	// (racedctl) idle this long (0 disables).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown before hard close.
+	DrainTimeout time.Duration
+	// MaxVersion caps the wire protocol version spoken (0 = newest).
+	MaxVersion int
+	// Verbose enables lifecycle logging.
+	Verbose bool
+}
+
+// Register installs the shared flag set on fs. defaultAddr is the only
+// per-binary degree of freedom (raced and racedctl listen on different
+// well-known ports); everything else is identical by construction.
+func Register(fs *flag.FlagSet, defaultAddr string, c *Common) {
+	fs.StringVar(&c.Addr, "addr", defaultAddr, "session listen address")
+	fs.StringVar(&c.Metrics, "metrics", "", "observability listen address for /healthz and /metrics (empty disables)")
+	fs.IntVar(&c.QueueCap, "queue-cap", 0, "per-session buffering capacity in events (0 = default; raced: engine queue, racedctl: relay buffers)")
+	fs.DurationVar(&c.IdleTimeout, "idle-timeout", 0, "evict sessions idle this long (0 disables)")
+	fs.DurationVar(&c.DrainTimeout, "drain-timeout", DefaultDrainTimeout, "graceful shutdown budget before hard close")
+	fs.IntVar(&c.MaxVersion, "max-version", 0, "cap the wire protocol version spoken (0 = newest); newer clients are refused and downgrade")
+	fs.BoolVar(&c.Verbose, "v", false, "log session lifecycle events")
+}

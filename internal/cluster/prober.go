@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Backend names one raced instance: the wire address sessions are
+// proxied to, and optionally its metrics address for HTTP health
+// probes. Without a Health address the prober falls back to a bare TCP
+// connect of Addr — raced recognizes the immediately-closed connection
+// as a probe (wire.ErrEmptyHandshake) and stays quiet about it — which
+// proves liveness but cannot observe a drain in progress.
+type Backend struct {
+	Addr   string
+	Health string
+}
+
+// Probe defaults.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultProbeFails    = 3
+)
+
+// Prober drives a Ring's member states from periodic health checks:
+// HTTP /healthz when the backend exposes one (200 -> Up, 503/"draining"
+// -> Draining), a TCP connect otherwise. A member goes Down only after
+// Fails consecutive probe failures — one dropped probe is not an
+// outage — and comes back Up on the first success.
+type Prober struct {
+	ring     *Ring
+	backends []Backend
+	interval time.Duration
+	timeout  time.Duration
+	fails    int
+	onChange func(addr string, st MemberState)
+
+	httpc *http.Client
+
+	mu       sync.Mutex
+	failing  map[string]int
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewProber builds a prober over the given backends, registering each
+// in the ring (initially Up, so routing works before the first probe
+// round lands). onChange, if non-nil, fires after every state
+// transition the probes cause — the gateway uses it to detach sessions
+// from members that left rotation. Zero durations and counts take the
+// Default* values.
+func NewProber(ring *Ring, backends []Backend, interval, timeout time.Duration, fails int, onChange func(string, MemberState)) *Prober {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	if fails <= 0 {
+		fails = DefaultProbeFails
+	}
+	p := &Prober{
+		ring:     ring,
+		backends: backends,
+		interval: interval,
+		timeout:  timeout,
+		fails:    fails,
+		onChange: onChange,
+		httpc:    &http.Client{Timeout: timeout},
+		failing:  make(map[string]int),
+		stop:     make(chan struct{}),
+	}
+	for _, b := range backends {
+		ring.Add(b.Addr)
+	}
+	return p
+}
+
+// Start launches the probe loop: one immediate round, then one per
+// interval until Stop.
+func (p *Prober) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.ProbeAll()
+		tick := time.NewTicker(p.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				p.ProbeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// ProbeAll probes every backend once, concurrently, and applies the
+// resulting state transitions. Exported so tests (and the gateway's
+// drain path) can force a round instead of waiting out the interval.
+func (p *Prober) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b Backend) {
+			defer wg.Done()
+			p.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe runs one health check and folds it into the member's state.
+func (p *Prober) probe(b Backend) {
+	st, err := p.check(b)
+	p.mu.Lock()
+	if err != nil {
+		p.failing[b.Addr]++
+		if p.failing[b.Addr] < p.fails {
+			p.mu.Unlock()
+			return // not yet conclusive; keep the previous state
+		}
+		st = StateDown
+	} else {
+		p.failing[b.Addr] = 0
+	}
+	p.mu.Unlock()
+	if p.ring.SetState(b.Addr, st) && p.onChange != nil {
+		p.onChange(b.Addr, st)
+	}
+}
+
+// check performs the raw health check, returning the observed state or
+// an error when the backend could not be reached.
+func (p *Prober) check(b Backend) (MemberState, error) {
+	if b.Health == "" {
+		conn, err := net.DialTimeout("tcp", b.Addr, p.timeout)
+		if err != nil {
+			return StateDown, err
+		}
+		conn.Close()
+		return StateUp, nil
+	}
+	resp, err := p.httpc.Get("http://" + b.Health + "/healthz")
+	if err != nil {
+		return StateDown, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return StateUp, nil
+	case http.StatusServiceUnavailable:
+		// raced answers 503 {"status":"draining"} while it finishes its
+		// live sessions: alive, but take it out of rotation.
+		return StateDraining, nil
+	default:
+		return StateDown, fmt.Errorf("cluster: %s /healthz: unexpected status %d", b.Health, resp.StatusCode)
+	}
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingLookupStable(t *testing.T) {
+	r := NewRing(0)
+	for _, a := range []string{"a:1", "b:1", "c:1"} {
+		r.Add(a)
+	}
+	for key := uint64(1); key <= 1000; key++ {
+		first, ok := r.Lookup(key)
+		if !ok {
+			t.Fatalf("key %d: no member", key)
+		}
+		again, _ := r.Lookup(key)
+		if first != again {
+			t.Fatalf("key %d: lookup not deterministic (%s then %s)", key, first, again)
+		}
+	}
+	// The same placement must come out of an independently built ring
+	// (stability across gateway restarts).
+	r2 := NewRing(0)
+	for _, a := range []string{"c:1", "a:1", "b:1"} { // different add order
+		r2.Add(a)
+	}
+	for key := uint64(1); key <= 1000; key++ {
+		a1, _ := r.Lookup(key)
+		a2, _ := r2.Lookup(key)
+		if a1 != a2 {
+			t.Fatalf("key %d: placement depends on add order (%s vs %s)", key, a1, a2)
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	for _, a := range members {
+		r.Add(a)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for key := uint64(0); key < keys; key++ {
+		addr, ok := r.Lookup(key)
+		if !ok {
+			t.Fatal("no member")
+		}
+		counts[addr]++
+	}
+	for _, a := range members {
+		share := float64(counts[a]) / keys
+		if share < 0.10 {
+			t.Errorf("member %s owns only %.1f%% of the keyspace: %v", a, 100*share, counts)
+		}
+	}
+}
+
+func TestRingSkipsUnhealthy(t *testing.T) {
+	r := NewRing(0)
+	for _, a := range []string{"a:1", "b:1", "c:1"} {
+		r.Add(a)
+	}
+	// Record healthy placement, then drain one member: its keys must
+	// move, everyone else's must stay (consistent hashing's point).
+	before := map[uint64]string{}
+	for key := uint64(0); key < 2000; key++ {
+		addr, _ := r.Lookup(key)
+		before[key] = addr
+	}
+	if !r.SetState("b:1", StateDraining) {
+		t.Fatal("SetState reported no change")
+	}
+	moved := 0
+	for key := uint64(0); key < 2000; key++ {
+		addr, ok := r.Lookup(key)
+		if !ok {
+			t.Fatal("no member")
+		}
+		if addr == "b:1" {
+			t.Fatalf("key %d routed to a draining member", key)
+		}
+		if before[key] == "b:1" {
+			moved++
+		} else if addr != before[key] {
+			t.Fatalf("key %d moved from healthy %s to %s when b:1 drained", key, before[key], addr)
+		}
+	}
+	if moved == 0 {
+		t.Error("draining b:1 moved no keys — it owned nothing?")
+	}
+
+	r.SetState("a:1", StateDown)
+	r.SetState("c:1", StateDown)
+	if _, ok := r.Lookup(7); ok {
+		t.Error("lookup succeeded with no Up member")
+	}
+	if got := r.UpCount(); got != 0 {
+		t.Errorf("UpCount = %d, want 0", got)
+	}
+
+	// Recovery: back Up, keys flow again.
+	r.SetState("b:1", StateUp)
+	if addr, ok := r.Lookup(7); !ok || addr != "b:1" {
+		t.Errorf("lookup after recovery = %q, %v", addr, ok)
+	}
+}
+
+func TestRingRemove(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a:1")
+	r.Add("b:1")
+	r.Remove("a:1")
+	for key := uint64(0); key < 100; key++ {
+		addr, ok := r.Lookup(key)
+		if !ok || addr != "b:1" {
+			t.Fatalf("key %d: %q, %v after removing a:1", key, addr, ok)
+		}
+	}
+	if st := r.State("a:1"); st != StateDown {
+		t.Errorf("removed member State = %v, want down", st)
+	}
+	r.Remove("b:1")
+	if _, ok := r.Lookup(1); ok {
+		t.Error("lookup succeeded on an empty ring")
+	}
+}

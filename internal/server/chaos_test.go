@@ -92,7 +92,7 @@ func TestChaosParity(t *testing.T) {
 				_, addr := startChaosServer(t,
 					server.Config{ResumeWindow: 10 * time.Second},
 					faults.Config{Seed: seed, Classes: class, Every: 2, MaxFaults: 20, MaxDelay: 500 * time.Microsecond})
-				sess, err := client.Dial(addr, chaosOpts())
+				sess, err := client.DialOptions(addr, chaosOpts())
 				if err != nil {
 					t.Fatalf("seed %d: dial through %v faults: %v", seed, class, err)
 				}
@@ -144,7 +144,7 @@ func TestChaosParityCorpus(t *testing.T) {
 				_, addr := startChaosServer(t,
 					server.Config{ResumeWindow: 10 * time.Second},
 					faults.Config{Seed: fseed, Classes: faults.All, Every: 2, MaxFaults: 15, MaxDelay: 500 * time.Microsecond})
-				sess, err := client.Dial(addr, chaosOpts())
+				sess, err := client.DialOptions(addr, chaosOpts())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -171,7 +171,7 @@ func TestChaosParityCorpus(t *testing.T) {
 // ErrPartial — never hang.
 func TestRetryBudgetExhausted(t *testing.T) {
 	srv, addr := startServer(t, server.Config{})
-	sess, err := client.Dial(addr, client.Options{
+	sess, err := client.DialOptions(addr, client.Options{
 		MaxAttempts:   3,
 		BackoffBase:   time.Millisecond,
 		BackoffMax:    5 * time.Millisecond,
@@ -235,7 +235,7 @@ func TestServerRestartResume(t *testing.T) {
 	}
 	local := renderJSON(t, d.Report(), localTasks, nil)
 
-	sess, err := client.Dial(addr, client.Options{
+	sess, err := client.DialOptions(addr, client.Options{
 		FrameEvents:   64,
 		FinishTimeout: 30 * time.Second,
 		MaxAttempts:   100,
@@ -315,7 +315,7 @@ func TestResumeAfterConnKill(t *testing.T) {
 	}
 	local := renderJSON(t, d.Report(), localTasks, nil)
 
-	sess, err := client.Dial(addr, client.Options{
+	sess, err := client.DialOptions(addr, client.Options{
 		FrameEvents:   32,
 		FinishTimeout: 20 * time.Second,
 		MaxAttempts:   50,

@@ -31,7 +31,7 @@ func negotiationTrace(t *testing.T) *fj.Trace {
 // returns the remote report plus the client's transport accounting.
 func streamTrace(t *testing.T, addr string, opts client.Options, tr *fj.Trace) *race2d.Report {
 	t.Helper()
-	sess, err := client.Dial(addr, opts)
+	sess, err := client.DialOptions(addr, opts)
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}

@@ -403,12 +403,28 @@ func (s *Server) abandonLocked(sess *session) {
 	}()
 }
 
-// admit registers a new session, or refuses it at the cap.
-func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, bool) {
+// errDraining refuses fresh sessions on a draining (or closed) server.
+// It is sent in the retryable HandshakeRefusedPrefix class: during a
+// rolling drain the client should retry — a cluster gateway reroutes
+// the retry to a healthy backend once its prober notices the drain —
+// rather than treat the refusal as terminal.
+var errDraining = errors.New("raced: draining (not accepting sessions)")
+
+// errSessionLimit refuses fresh sessions at the MaxSessions cap. It is
+// terminal for the client: the server is healthy, just full, and
+// retrying the same server is the caller's (or gateway's) decision.
+var errSessionLimit = errors.New("raced: session limit reached")
+
+// admit registers a new session, or refuses it with errDraining /
+// errSessionLimit.
+func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
-		return nil, false
+	if s.closed {
+		return nil, errDraining
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, errSessionLimit
 	}
 	s.nextID++
 	var caps uint64
@@ -431,7 +447,7 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, 
 	sess.lastActive.Store(time.Now().UnixNano())
 	s.sessions[sess.id] = sess
 	s.sessionsTotal.Add(1)
-	return sess, true
+	return sess, nil
 }
 
 // retire removes a finished session and folds its accounting in.
@@ -546,6 +562,13 @@ func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	version, hello, err := s.handshake(conn)
 	if err != nil {
+		if errors.Is(err, wire.ErrEmptyHandshake) {
+			// A connect immediately closed is a TCP health probe (load
+			// balancers, cluster gateways without a metrics port), not a
+			// client that garbled its handshake: close silently instead
+			// of polluting the refusal counter and the log.
+			return
+		}
 		s.refuse(conn, err)
 		return
 	}
@@ -564,11 +587,15 @@ func (s *Server) handle(conn net.Conn) {
 		wire.WriteFrame(conn, wire.FrameError, []byte(err.Error()))
 		return
 	}
-	sess, ok := s.admit(conn, version, hello)
-	if !ok {
+	sess, err := s.admit(conn, version, hello)
+	if err != nil {
 		s.sessionsRejected.Add(1)
 		conn.SetWriteDeadline(time.Now().Add(drainGrace))
-		wire.WriteFrame(conn, wire.FrameError, []byte("raced: session limit reached"))
+		msg := err.Error()
+		if errors.Is(err, errDraining) {
+			msg = wire.HandshakeRefusedPrefix + msg
+		}
+		wire.WriteFrame(conn, wire.FrameError, []byte(msg))
 		return
 	}
 	sess.shards = s.acquireShards(eng)
@@ -635,6 +662,17 @@ func (s *Server) resume(conn net.Conn, version int, hello wire.Hello) {
 	wire.WriteFrame(conn, wire.FrameError, []byte(wire.ErrUnknownResume.Error()))
 }
 
+// Draining reports whether the server has stopped accepting fresh
+// sessions (Shutdown or Close has begun). Cluster gateways poll this —
+// via /healthz, which turns it into a 503 "draining" — to stop routing
+// new sessions to a backend that is on its way out while its live
+// sessions finish their drain reports.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Live returns the number of currently live sessions.
 func (s *Server) Live() int {
 	s.mu.Lock()
@@ -680,9 +718,18 @@ func (s *Server) Stats() obs.Stats {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		status := "ok"
+		if s.Draining() {
+			// 503 tells probers (and cluster gateways) to take this
+			// backend out of rotation; the body says why.
+			status = "draining"
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+		}
 		json.NewEncoder(w).Encode(map[string]any{
-			"status":        "ok",
+			"status":        status,
 			"live_sessions": s.Live(),
 		})
 	})
@@ -691,6 +738,11 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprintf(w, "raced_sessions_total %d\n", st.Sessions)
 		fmt.Fprintf(w, "raced_sessions_live %d\n", s.Live())
+		draining := 0
+		if s.Draining() {
+			draining = 1
+		}
+		fmt.Fprintf(w, "raced_draining %d\n", draining)
 		fmt.Fprintf(w, "raced_sessions_rejected_total %d\n", st.SessionsRejected)
 		fmt.Fprintf(w, "raced_evictions_total %d\n", st.Evictions)
 		fmt.Fprintf(w, "raced_frames_total %d\n", st.Frames)

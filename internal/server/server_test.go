@@ -75,7 +75,7 @@ func TestRemoteMatchesLocalCorpus(t *testing.T) {
 				}
 				local := renderJSON(t, d.Report(), localRes.Tasks, localRes.LocName)
 
-				sess, err := client.Dial(addr, client.Options{Engine: engine.String()})
+				sess, err := client.Dial(addr, client.WithEngine(engine.String()))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -117,7 +117,7 @@ func TestRemoteMatchesLocalRandom(t *testing.T) {
 		}
 		local := renderJSON(t, d.Report(), localTasks, nil)
 
-		sess, err := client.Dial(addr, client.Options{})
+		sess, err := client.Dial(addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +157,7 @@ func streamRacyPrefix(t *testing.T, sess *client.Session, n int) {
 // prefix the server consumed, flagged partial.
 func TestShutdownDeliversPartialReport(t *testing.T) {
 	srv, addr := startServer(t, server.Config{})
-	sess, err := client.Dial(addr, client.Options{})
+	sess, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,13 +206,13 @@ func TestShutdownDeliversPartialReport(t *testing.T) {
 // up when a session ends.
 func TestSessionCap(t *testing.T) {
 	srv, addr := startServer(t, server.Config{MaxSessions: 1})
-	first, err := client.Dial(addr, client.Options{})
+	first, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer first.Close()
 
-	if _, err := client.Dial(addr, client.Options{}); err == nil || !strings.Contains(err.Error(), "session limit") {
+	if _, err := client.Dial(addr); err == nil || !strings.Contains(err.Error(), "session limit") {
 		t.Fatalf("second dial: err = %v, want session-limit refusal", err)
 	}
 	if got := srv.Stats().SessionsRejected; got != 1 {
@@ -229,7 +229,7 @@ func TestSessionCap(t *testing.T) {
 	// The slot must come back.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		next, err := client.Dial(addr, client.Options{})
+		next, err := client.Dial(addr)
 		if err == nil {
 			next.Close()
 			break
@@ -245,7 +245,7 @@ func TestSessionCap(t *testing.T) {
 // frames is evicted and told so.
 func TestIdleEviction(t *testing.T) {
 	srv, addr := startServer(t, server.Config{IdleTimeout: 50 * time.Millisecond})
-	sess, err := client.Dial(addr, client.Options{})
+	sess, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestIdleEviction(t *testing.T) {
 // TestObservabilityEndpoints checks /healthz and /metrics.
 func TestObservabilityEndpoints(t *testing.T) {
 	srv, addr := startServer(t, server.Config{})
-	sess, err := client.Dial(addr, client.Options{})
+	sess, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestObservabilityEndpoints(t *testing.T) {
 // server-side detector.
 func TestEngineSelection(t *testing.T) {
 	_, addr := startServer(t, server.Config{})
-	sess, err := client.Dial(addr, client.Options{Engine: "fasttrack"})
+	sess, err := client.Dial(addr, client.WithEngine("fasttrack"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestEngineSelection(t *testing.T) {
 		t.Fatalf("engine = %v, want fasttrack", rep.Engine)
 	}
 
-	if _, err := client.Dial(addr, client.Options{Engine: "no-such-engine"}); err == nil {
+	if _, err := client.Dial(addr, client.WithEngine("no-such-engine")); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
 }
@@ -340,7 +340,7 @@ func TestConcurrentSessions(t *testing.T) {
 				errs <- err
 				return
 			}
-			sess, err := client.Dial(addr, client.Options{})
+			sess, err := client.Dial(addr)
 			if err != nil {
 				errs <- err
 				return

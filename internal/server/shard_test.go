@@ -40,7 +40,7 @@ func TestShardedSessionsMatchSerial(t *testing.T) {
 		}
 		local := renderVerdict(t, d.Report(), localTasks)
 
-		sess, err := client.Dial(addr, client.Options{})
+		sess, err := client.Dial(addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func TestShardBudgetFallback(t *testing.T) {
 	w := workload.ForkJoin{Seed: 3, Ops: 400, MaxDepth: 5,
 		Mix: workload.Mix{Locs: 8, ReadFrac: 0.5}}
 
-	first, err := client.Dial(addr, client.Options{})
+	first, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestShardBudgetFallback(t *testing.T) {
 
 	// With the only grant held by the first (still open) session, the
 	// second must fall back to serial detection.
-	second, err := client.Dial(addr, client.Options{})
+	second, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestShardGrantSkipsOtherEngines(t *testing.T) {
 	_, addr := startServer(t, server.Config{Shards: 4, ShardBudget: 4})
 	w := workload.ForkJoin{Seed: 2, Ops: 200, MaxDepth: 4,
 		Mix: workload.Mix{Locs: 6, ReadFrac: 0.5}}
-	sess, err := client.Dial(addr, client.Options{Engine: race2d.EngineVC.String()})
+	sess, err := client.Dial(addr, client.WithEngine(race2d.EngineVC.String()))
 	if err != nil {
 		t.Fatal(err)
 	}

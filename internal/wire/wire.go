@@ -203,6 +203,12 @@ var (
 	// ErrBadMagic reports a stream that does not open with the "RDS"
 	// protocol magic at all — the peer is not speaking this protocol.
 	ErrBadMagic = errors.New("wire: bad stream magic")
+	// ErrEmptyHandshake reports a connection closed before a single
+	// handshake byte arrived. Health probes (a TCP connect immediately
+	// closed) look exactly like this; servers treat it as a probe, not a
+	// refused handshake, so probing a raced does not pollute its
+	// refusal accounting.
+	ErrEmptyHandshake = errors.New("wire: connection closed before handshake")
 	// ErrVersion reports an "RDS" stream whose version byte this
 	// endpoint does not speak.
 	ErrVersion = errors.New("wire: unsupported protocol version")
@@ -256,6 +262,11 @@ func ReadMagic(r io.Reader) error {
 func ReadMagicVersion(r io.Reader) (int, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
+		if err == io.EOF {
+			// Zero bytes before EOF: a connect-and-close probe, not a
+			// garbled handshake.
+			return 0, fmt.Errorf("wire: read magic: %w", ErrEmptyHandshake)
+		}
 		return 0, fmt.Errorf("wire: read magic: %w", wrapEOF(err))
 	}
 	if m[0] != 'R' || m[1] != 'D' || m[2] != 'S' {
@@ -348,6 +359,15 @@ type Hello struct {
 	// Caps (v3) is the capability bitmask the client offers
 	// (CapCompress and friends). Not part of the v1/v2 payloads.
 	Caps uint64
+	// RouteKey (v3) is routing-relevant handshake metadata for session
+	// gateways: a client-chosen placement key. A cluster gateway
+	// (cmd/racedctl) consistent-hashes a non-zero RouteKey over its
+	// backend ring, so sessions that should co-locate (same workload,
+	// same tenant) can pin themselves to the same backend; zero lets the
+	// gateway pick a key. The field rides at the end of the v3 payload
+	// and is optional on decode, so pre-RouteKey v3 peers interoperate
+	// unchanged; direct raced servers ignore it.
+	RouteKey uint64
 }
 
 // EncodeHello renders h as a frame payload.
@@ -410,13 +430,16 @@ func decodeHelloV2(payload []byte) (Hello, []byte, error) {
 }
 
 // EncodeHelloV3 renders h as a v3 frame payload: the v2 form followed
-// by the offered capability bitmask.
+// by the offered capability bitmask and the routing key.
 func EncodeHelloV3(h Hello) []byte {
 	buf := EncodeHelloV2(h)
-	return binary.AppendUvarint(buf, h.Caps)
+	buf = binary.AppendUvarint(buf, h.Caps)
+	return binary.AppendUvarint(buf, h.RouteKey)
 }
 
-// DecodeHelloV3 parses an EncodeHelloV3 payload.
+// DecodeHelloV3 parses an EncodeHelloV3 payload. The trailing routing
+// key is optional: a v3 hello from a pre-RouteKey sender decodes with
+// RouteKey zero.
 func DecodeHelloV3(payload []byte) (Hello, error) {
 	h, rest, err := decodeHelloV2(payload)
 	if err != nil {
@@ -427,6 +450,14 @@ func DecodeHelloV3(payload []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("wire: hello: malformed capability bits: %w", ErrTruncated)
 	}
 	h.Caps = caps
+	rest = rest[k:]
+	if len(rest) > 0 {
+		key, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return Hello{}, fmt.Errorf("wire: hello: malformed route key: %w", ErrTruncated)
+		}
+		h.RouteKey = key
+	}
 	return h, nil
 }
 

@@ -16,11 +16,18 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 raced_pid=
 addr=
+# fleet_pids collects every process started through start_fleet_proc
+# (multi-backend smokes); the EXIT trap reaps them all.
+fleet_pids=()
 smoke_cleanup() {
 	if [ -n "$raced_pid" ]; then
 		kill -9 "$raced_pid" 2>/dev/null || true
 		wait "$raced_pid" 2>/dev/null || true
 	fi
+	for p in ${fleet_pids[@]+"${fleet_pids[@]}"}; do
+		kill -9 "$p" 2>/dev/null || true
+		wait "$p" 2>/dev/null || true
+	done
 	rm -rf "$tmp"
 }
 trap smoke_cleanup EXIT
@@ -33,12 +40,12 @@ build_tools() {
 	go build -race -o "$tmp/race2d" ./cmd/race2d
 }
 
-# wait_addr FILE: poll a raced stdout file for the announced session
-# address and print it; fails after ten seconds.
-wait_addr() {
-	local out=$1 a=
+# wait_line FILE PREFIX: poll a stdout file for a line starting with
+# PREFIX and print the remainder; fails after ten seconds.
+wait_line() {
+	local out=$1 prefix=$2 a=
 	for _ in $(seq 1 100); do
-		a=$(sed -n 's/^raced: listening on //p' "$out")
+		a=$(sed -n "s|^$prefix||p" "$out")
 		[ -n "$a" ] && {
 			echo "$a"
 			return 0
@@ -46,6 +53,12 @@ wait_addr() {
 		sleep 0.1
 	done
 	return 1
+}
+
+# wait_addr FILE: poll a raced stdout file for the announced session
+# address and print it; fails after ten seconds.
+wait_addr() {
+	wait_line "$1" 'raced: listening on '
 }
 
 # start_raced NAME ARGS...: start raced with the given flags, stdout
@@ -60,6 +73,24 @@ start_raced() {
 	raced_pid=$!
 	addr=$(wait_addr "$tmp/$name.out") || {
 		echo "$SMOKE: raced ($name) did not start" >&2
+		cat "$tmp/$name.err" >&2
+		return 1
+	}
+}
+
+# start_fleet_proc NAME PREFIX BIN ARGS...: start one process of a
+# multi-process smoke (a raced backend, a racedctl gateway). The pid
+# lands in $fleet_pid and in $fleet_pids for the EXIT trap; the
+# address announced as "PREFIX<addr>" on stdout lands in $addr. Must
+# not run in a subshell, like start_raced.
+start_fleet_proc() {
+	local name=$1 prefix=$2 bin=$3
+	shift 3
+	"$bin" "$@" >"$tmp/$name.out" 2>"$tmp/$name.err" &
+	fleet_pid=$!
+	fleet_pids+=("$fleet_pid")
+	addr=$(wait_line "$tmp/$name.out" "$prefix") || {
+		echo "$SMOKE: $name did not start" >&2
 		cat "$tmp/$name.err" >&2
 		return 1
 	}
