@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet shard-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke cluster-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet shard-parity store-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke cluster-smoke store-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -27,10 +27,19 @@ race:
 shard-parity:
 	$(GO) test -run 'TestShard|TestWithShards' . ./internal/core ./internal/server
 
+# Differential + adversarial gates on the durable report store: a
+# store-backed server must render verdicts byte-identical to the
+# in-memory one (corpus + random seeds), reports must survive a server
+# restart, and a single flipped byte anywhere in the log must be
+# detected and refused, never served.
+store-parity:
+	$(GO) test -run 'TestStore|TestTenant|TestLog|TestGatewayEdgeAuth' ./internal/server ./internal/store ./internal/cluster
+
 # Mirrors the CI test job step for step (.github/workflows/ci.yml):
 # gofmt gate, vet, build, the full suite, the full suite under the Go
-# race detector, and the sharded-vs-serial parity gate.
-verify: fmt-check vet build test race shard-parity
+# race detector, the sharded-vs-serial parity gate, and the durable
+# store's differential/tamper gates.
+verify: fmt-check vet build test race shard-parity store-parity
 
 # Detector hot-path benchmarks: storage backends (openaddr/map/shadow) ×
 # ingestion paths (per-event, batched, steady-state) on the pipeline and
@@ -84,6 +93,14 @@ compress-smoke:
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
+# Mirrors the CI store-smoke job: a store-backed raced (with tenant
+# auth) through the real binaries — durable fetch across SIGKILL,
+# terminal refusal of bad credentials, raced_store_* metrics, and a
+# flipped byte in the log detected with pre-damage reports still
+# serving.
+store-smoke:
+	./scripts/store_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/fj
@@ -91,11 +108,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzResume -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/store
 
 # Mirrors the CI fuzz-smoke job: seed corpora, then a short fuzz budget
 # per target.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj ./internal/wire
+	$(GO) test -run 'Fuzz' ./internal/prog ./internal/fj ./internal/wire ./internal/store
 	$(MAKE) fuzz
 
 # Diff the exported API of the root package and the client package

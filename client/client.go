@@ -175,6 +175,16 @@ func DialOptions(addr string, opts Options) (*Session, error) {
 // ID returns the server-assigned session identifier.
 func (s *Session) ID() uint64 { return s.id }
 
+// Token returns the session's resume token (zero before the first
+// Welcome). After a clean Finish against a persisting server the token
+// is the durable retrieval key: Fetch(addr, token) re-collects the
+// identical Report bytes, surviving a server restart.
+func (s *Session) Token() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.token
+}
+
 // Stats snapshots the session's fault-tolerance and wire-compression
 // counters.
 func (s *Session) Stats() obs.Stats {
@@ -326,6 +336,10 @@ func (s *Session) handshake(conn net.Conn, ver int, token uint64) error {
 	if ver >= wire.V3 && !s.opts.NoCompress {
 		offered = wire.CapCompress
 	}
+	if ver >= wire.V3 && s.opts.AuthToken != "" {
+		offered |= wire.CapTenant
+		hello.Auth = s.opts.AuthToken
+	}
 	hello.Caps = offered
 	hpayload := wire.EncodeHelloV2(hello)
 	if ver >= wire.V3 {
@@ -389,6 +403,18 @@ func (s *Session) handshake(conn net.Conn, ver int, token uint64) error {
 				}
 				s.mu.Unlock()
 				return fmt.Errorf("client: server refused v%d (%s); downgrading to v%d", ver, payload, wire.V2)
+			}
+			if strings.Contains(string(payload), wire.ErrAuth.Error()) ||
+				strings.Contains(string(payload), wire.ErrQuota.Error()) {
+				// Auth and quota refusals ride the handshake-refusal
+				// prefix but are terminal: resending the same credential
+				// (or piling onto an exhausted quota) cannot succeed.
+				refusal := fmt.Errorf("client: server refused session: %s", payload)
+				s.mu.Lock()
+				s.broken = refusal
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return refusal
 			}
 			// The server could not read our handshake — the bytes were
 			// garbled in transit, not the request itself. Retryable.

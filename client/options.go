@@ -2,6 +2,7 @@ package client
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/wire"
@@ -236,6 +237,23 @@ func WithRouteKey(key uint64) Option {
 	}
 }
 
+// WithAuthToken presents a tenant credential, spelled "tenant:key", in
+// the v3 handshake (wire.CapTenant). Required against a server running
+// with -tenant-keys; ignored by an open server. A server refusing the
+// credential (wire.ErrAuth) or the tenant's quota (wire.ErrQuota) is a
+// terminal error, not a retry: resending the same credential cannot
+// succeed. The token must name both parts.
+func WithAuthToken(token string) Option {
+	return func(o *Options) error {
+		tenant, key, ok := strings.Cut(token, ":")
+		if !ok || tenant == "" || key == "" {
+			return fmt.Errorf("client: auth token must be \"tenant:key\", got %q", token)
+		}
+		o.AuthToken = token
+		return nil
+	}
+}
+
 // Options configures DialOptions.
 //
 // Deprecated: Options is the legacy configuration struct; new code
@@ -308,6 +326,11 @@ type Options struct {
 	// RouteKey, when non-zero, pins the session's placement under a
 	// cluster gateway (see WithRouteKey). Direct servers ignore it.
 	RouteKey uint64
+	// AuthToken, when non-empty, is the "tenant:key" credential the v3
+	// handshake presents (see WithAuthToken). Empty authenticates
+	// nothing, which an open server accepts and a tenant-keyed server
+	// refuses terminally.
+	AuthToken string
 }
 
 // normalized fills defaults and validates the fields with a rejectable

@@ -41,7 +41,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("bench2d", flag.ContinueOnError)
-	exp := fs.String("e", "all", "experiment to run: all, 1-10, 13, 14, 15, 16, 17, 18, or bench")
+	exp := fs.String("e", "all", "experiment to run: all, 1-10, 13, 14, 15, 16, 17, 18, 19, or bench")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replay worker goroutines for -e bench")
 	jsonPath := fs.String("json", "BENCH_race2d.json", "output file for -e bench results (empty disables)")
@@ -176,8 +176,17 @@ func run(args []string) int {
 			}
 		}
 	}
+	if run("19") {
+		cells := e19(*quick)
+		if *exp == "19" && *jsonPath != "" {
+			if err := mergeStore(*jsonPath, cells); err != nil {
+				fmt.Fprintln(os.Stderr, "bench2d:", err)
+				return 1
+			}
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, 13, 14, 15, 16, 17, 18, or bench)\n", *exp)
+		fmt.Fprintf(os.Stderr, "bench2d: unknown experiment %q (want all, 1-10, 13, 14, 15, 16, 17, 18, 19, or bench)\n", *exp)
 		return 2
 	}
 	return 0

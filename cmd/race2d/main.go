@@ -5,11 +5,17 @@
 // Usage:
 //
 //	race2d [-engine 2d|vc|fasttrack|spbags] [-shards n] [-all] [-truth]
-//	       [-remote addr] program.fj
+//	       [-remote addr] [-auth name:key] [-fetch token] program.fj
 //
 // With -remote the program still executes locally, but its event stream
 // is shipped to a raced server (cmd/raced) and the verdict comes back
 // from the server's engine; output is identical to the in-process path.
+// -auth presents a tenant credential to servers started with
+// -tenant-keys. Remote runs note their resume token on stderr; against
+// a raced with -store-dir, -fetch (with that hex token) retrieves the
+// persisted verdict instead of re-detecting — the program still
+// executes locally so task counts and location names render, and the
+// output is byte-identical to the original run's.
 //
 // Exit status: 0 when race-free, 1 when races were detected, 2 on error.
 package main
@@ -20,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/client"
@@ -46,6 +53,8 @@ func run(args []string) int {
 	remote := fs.String("remote", "", "raced server address; detection runs remotely over the wire protocol")
 	noCompress := fs.Bool("no-compress", false, "send plain event frames instead of negotiating v3 block compression (remote runs only)")
 	shards := fs.Int("shards", 0, "location shards for the 2d engine's access checks (0 or 1 = serial; local runs only)")
+	auth := fs.String("auth", "", "tenant credential name:key for remote runs against a -tenant-keys server")
+	fetch := fs.String("fetch", "", "retrieve the persisted report under this resume token (hex) instead of detecting; requires -remote")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,10 +68,13 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "race2d:", err)
 		return 2
 	}
+	if *fetch != "" {
+		return runFetch(data, fs.Arg(0), *fetch, *remote, *auth, *engineName, *jsonOut, *traceStats)
+	}
 	// Binary traces (recorded with -record) are replayed directly; any
 	// other input is parsed as a program.
 	if len(data) >= 4 && [4]byte(data[:4]) == fj.TraceMagic {
-		return runTrace(data, *engineName, *remote, *shards, *all, *truth, *traceStats, *noCompress)
+		return runTrace(data, *engineName, *remote, *shards, *all, *truth, *traceStats, *noCompress, *auth)
 	}
 	p, err := prog.Parse(bytes.NewReader(data))
 	if err != nil {
@@ -97,7 +109,7 @@ func run(args []string) int {
 		var rep *race2d.Report
 		var res *prog.Result
 		if *remote != "" {
-			rep, res, err = execRemote(p, *remote, e, i == 0, &trace, *noCompress)
+			rep, res, err = execRemote(p, *remote, e, i == 0, &trace, *noCompress, *auth)
 		} else {
 			d, err2 := newSink(e, *shards)
 			if err2 != nil {
@@ -200,14 +212,19 @@ func printReport(e race2d.Engine, rep *race2d.Report, locName func(race2d.Addr) 
 // run: RetainAll keeps the whole stream replayable, so the verdict
 // survives not just dropped connections but a raced restart that forgot
 // the resume token (the stream replays into a fresh session).
-func remoteOptions(e race2d.Engine, noCompress bool) client.Options {
-	return client.Options{Engine: e.String(), RetainAll: true, NoCompress: noCompress}
+func remoteOptions(e race2d.Engine, noCompress bool, auth string) client.Options {
+	return client.Options{Engine: e.String(), RetainAll: true, NoCompress: noCompress, AuthToken: auth}
 }
 
 // noteRecovery reports transport trouble the session rode out and what
 // wire compression achieved, on stderr so piped verdict output stays
-// byte-identical to a clean run.
+// byte-identical to a clean run. It also notes the session's resume
+// token: against a raced with -store-dir that token retrieves the
+// persisted verdict later (-fetch), even across a server restart.
 func noteRecovery(sess *client.Session) {
+	if tok := sess.Token(); tok != 0 {
+		fmt.Fprintf(os.Stderr, "race2d: note: resume token %016x\n", tok)
+	}
 	st := sess.Stats()
 	if st.Reconnects > 0 {
 		fmt.Fprintf(os.Stderr,
@@ -224,8 +241,8 @@ func noteRecovery(sess *client.Session) {
 // execRemote executes p locally but streams its events to a raced
 // server; the Report comes back from the server's engine. When the
 // server drains mid-stream the partial report is used, with a warning.
-func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace, noCompress bool) (*race2d.Report, *prog.Result, error) {
-	sess, err := client.DialOptions(addr, remoteOptions(e, noCompress))
+func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace, noCompress bool, auth string) (*race2d.Report, *prog.Result, error) {
+	sess, err := client.DialOptions(addr, remoteOptions(e, noCompress, auth))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -252,7 +269,7 @@ func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool,
 
 // runTrace replays a recorded binary trace under the requested engines,
 // locally or against a raced server.
-func runTrace(data []byte, engineName, remote string, shards int, all, truth, stats, noCompress bool) int {
+func runTrace(data []byte, engineName, remote string, shards int, all, truth, stats, noCompress bool, auth string) int {
 	tr, err := fj.DecodeTrace(bytes.NewReader(data))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "race2d:", err)
@@ -281,7 +298,7 @@ func runTrace(data []byte, engineName, remote string, shards int, all, truth, st
 	for _, e := range engines {
 		var rep *race2d.Report
 		if remote != "" {
-			sess, err := client.DialOptions(remote, remoteOptions(e, noCompress))
+			sess, err := client.DialOptions(remote, remoteOptions(e, noCompress, auth))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2
@@ -319,3 +336,91 @@ func runTrace(data []byte, engineName, remote string, shards int, all, truth, st
 }
 
 func kindName(r race2d.Race) string { return r.Kind.String() }
+
+// runFetch retrieves the report a raced server persisted under a
+// resume token (see -store-dir) and renders it exactly as the original
+// run did. Detection does not rerun: the verdict is the stored one,
+// byte-identical across server restarts. The program (or trace) still
+// loads — and a program executes locally into a discard sink — only to
+// re-derive the rendering context a stored report lacks: the task
+// count, the location names, and the text header.
+func runFetch(data []byte, name, tokenHex, remote, auth, engineName string, jsonOut, stats bool) int {
+	if remote == "" {
+		fmt.Fprintln(os.Stderr, "race2d: -fetch requires -remote")
+		return 2
+	}
+	token, err := strconv.ParseUint(strings.TrimPrefix(tokenHex, "0x"), 16, 64)
+	if err != nil || token == 0 {
+		fmt.Fprintf(os.Stderr, "race2d: -fetch: bad resume token %q (want hex)\n", tokenHex)
+		return 2
+	}
+	e, err := race2d.ParseEngine(engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "race2d:", err)
+		return 2
+	}
+
+	var tasks int
+	locName := func(a race2d.Addr) string { return fmt.Sprintf("%#x", uint64(a)) }
+	if len(data) >= 4 && [4]byte(data[:4]) == fj.TraceMagic {
+		tr, err := fj.DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		tasks = tr.Tasks()
+		if !jsonOut {
+			fmt.Printf("trace: %d events, %d tasks\n", len(tr.Events), tasks)
+		}
+	} else {
+		p, err := prog.Parse(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		if !jsonOut {
+			st := p.Stats()
+			fmt.Printf("program: %s (%d forks, %d joins, %d reads, %d writes, locations %s)\n",
+				name, st.Forks, st.Joins, st.Reads, st.Writes,
+				strings.Join(st.Locations, " "))
+		}
+		res, err := prog.Exec(p, fj.MultiSink{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+		tasks = res.Tasks
+		locName = res.LocName
+	}
+
+	var opts []client.Option
+	if auth != "" {
+		opts = append(opts, client.WithAuthToken(auth))
+	}
+	f, err := client.Fetch(remote, token, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "race2d:", err)
+		return 2
+	}
+	if f.Partial {
+		fmt.Fprintln(os.Stderr, "race2d: warning: stored report is partial (server drained mid-stream)")
+	}
+	rep := f.Report
+	rep.Tasks = tasks
+	rep.AddrName = locName
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "race2d:", err)
+			return 2
+		}
+	} else {
+		printReport(e, rep, locName, stats)
+	}
+	if rep.Count > 0 {
+		return 1
+	}
+	if !jsonOut {
+		fmt.Println("no races detected")
+	}
+	return 0
+}

@@ -9,11 +9,27 @@
 //	raced [-addr :7471] [-metrics :7472] [-max-sessions 64]
 //	      [-queue-cap 4096] [-idle-timeout 0] [-resume-window 1m]
 //	      [-shards 1] [-shard-budget 0]
+//	      [-store-dir dir] [-retention 0] [-no-sync]
+//	      [-tenant-keys name=key[:maxSessions[:maxStoreBytes]],...]
 //	      [-chaos none] [-chaos-seed 1] [-chaos-rate 0.02] [-v]
 //
 // On SIGINT/SIGTERM the server drains gracefully: every open session
 // stops reading, finishes detecting what it buffered, and receives a
 // Report flagged partial.
+//
+// With -store-dir, finished Reports persist to a hash-chained
+// append-only log (internal/store) before the Finish is acked, so they
+// survive crashes and restarts and remain retrievable by resume token
+// (race2d -fetch, client.Fetch). -retention bounds how long persisted
+// reports are kept (0 = forever); expired whole segments are pruned by
+// the janitor. -no-sync skips the per-record fsync — faster, but a
+// host crash may lose the latest acked reports (a kill of raced alone
+// cannot). If the log fails verification at startup raced still
+// serves, refusing only the records at and past the damage.
+//
+// With -tenant-keys, every client must present a "name:key" credential
+// (race2d -auth, client.WithAuthToken); per-tenant session and storage
+// quotas are enforced at admission.
 //
 // -chaos is a development flag: it wraps the session listener in the
 // internal/faults injector, so every accepted connection suffers
@@ -38,6 +54,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/faults"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -53,6 +70,11 @@ func run(args []string) int {
 	shards := fs.Int("shards", 0, "location shards per 2D session (0 or 1 = serial detection)")
 	shardBudget := fs.Int("shard-budget", 0, "global cap on live shard workers; over-budget sessions fall back to serial (0 = shards*max-sessions)")
 	noCompress := fs.Bool("no-compress", false, "withhold the v3 block-compression capability; clients fall back to plain event frames")
+	storeDir := fs.String("store-dir", "", "persist finished reports to a hash-chained log in this directory (empty = in-memory, resume-window retention)")
+	retention := fs.Duration("retention", 0, "drop persisted reports older than this (0 = keep forever; requires -store-dir)")
+	noSync := fs.Bool("no-sync", false, "skip per-record fsync in the report log (faster; host crash may lose the latest acks)")
+	var tenantKeys string
+	cliflags.RegisterTenantKeys(fs, &tenantKeys)
 	chaos := fs.String("chaos", "", "inject transport faults of these classes on every session (delay|corrupt|partial|drop|reset|all; dev flag)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic fault schedule seed for -chaos")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-I/O fault probability for -chaos (0 = default 0.02)")
@@ -75,6 +97,39 @@ func run(args []string) int {
 	}
 	if common.Verbose {
 		cfg.Logf = logger.Printf
+	}
+	if tenants, err := cliflags.ParseTenantKeys(tenantKeys); err != nil {
+		logger.Print(err)
+		return 2
+	} else if len(tenants) > 0 {
+		cfg.Tenants = make(map[string]server.Tenant, len(tenants))
+		for _, t := range tenants {
+			cfg.Tenants[t.Name] = server.Tenant{
+				Key:           t.Key,
+				MaxSessions:   t.MaxSessions,
+				MaxStoreBytes: t.MaxStoreBytes,
+			}
+		}
+	}
+	if *storeDir != "" {
+		lg, err := store.OpenLog(store.LogConfig{
+			Dir:       *storeDir,
+			Retention: *retention,
+			NoSync:    *noSync,
+		})
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		// A tampered log is worth serving — everything before the damage
+		// is still verifiable — but the operator must know.
+		if terr := lg.Tampered(); terr != nil {
+			logger.Printf("WARNING: %v; serving the verified prefix, refusing writes", terr)
+		}
+		cfg.Store = lg
+	} else if *retention != 0 {
+		logger.Print("-retention requires -store-dir")
+		return 2
 	}
 	srv := server.New(cfg)
 

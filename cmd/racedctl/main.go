@@ -23,8 +23,12 @@
 // to a bare TCP probe (liveness only).
 //
 // The shared flags (-queue-cap, -idle-timeout, -drain-timeout,
-// -max-version, -addr, -metrics, -v) spell and default exactly as in
-// raced — see internal/cliflags.
+// -max-version, -addr, -metrics, -tenant-keys, -v) spell and default
+// exactly as in raced — see internal/cliflags. With -tenant-keys the
+// gateway refuses bad or missing tenant credentials at the edge,
+// before a backend connection is spent; the Hello still crosses
+// byte-identically, so backends sharing the keys re-verify (quota
+// enforcement stays with them).
 package main
 
 import (
@@ -81,12 +85,19 @@ func run(args []string) int {
 	probeInterval := fs.Duration("probe-interval", 0, "health probe cadence (0 = default 500ms)")
 	probeFails := fs.Int("probe-fails", 0, "consecutive probe failures before a backend is down (0 = default 3)")
 	sessionTTL := fs.Duration("session-ttl", 0, "forget resume-token routes unused this long (0 = default 10m)")
+	var tenantKeys string
+	cliflags.RegisterTenantKeys(fs, &tenantKeys)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	logger := log.New(os.Stderr, "racedctl: ", log.LstdFlags)
 	backends, err := parseBackends(*backendsSpec)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	tenants, err := cliflags.ParseTenantKeys(tenantKeys)
 	if err != nil {
 		logger.Print(err)
 		return 2
@@ -104,6 +115,14 @@ func run(args []string) int {
 		// relay buffers for that many encoded events (~16 bytes each,
 		// generously, before compression).
 		BufBytes: common.QueueCap * 16,
+	}
+	if len(tenants) > 0 {
+		cfg.Tenants = make(map[string]string, len(tenants))
+		for _, t := range tenants {
+			// The gateway checks credentials only; quotas are the
+			// backends' to enforce against their own stores.
+			cfg.Tenants[t.Name] = t.Key
+		}
 	}
 	if common.Verbose {
 		cfg.Logf = logger.Printf

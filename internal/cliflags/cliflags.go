@@ -1,13 +1,17 @@
 // Package cliflags is the single source of truth for the flag surface
 // the wire-protocol binaries (raced, racedctl) share. Both register
 // through it, so the shared knobs — -addr, -metrics, -queue-cap,
-// -idle-timeout, -drain-timeout, -max-version, -v — spell, default,
+// -idle-timeout, -drain-timeout, -max-version, -tenant-keys, -v —
+// spell, default,
 // and document themselves identically in every binary; an operator who
 // knows one front-end knows them all.
 package cliflags
 
 import (
 	"flag"
+	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -51,4 +55,85 @@ func Register(fs *flag.FlagSet, defaultAddr string, c *Common) {
 	fs.DurationVar(&c.DrainTimeout, "drain-timeout", DefaultDrainTimeout, "graceful shutdown budget before hard close")
 	fs.IntVar(&c.MaxVersion, "max-version", 0, "cap the wire protocol version spoken (0 = newest); newer clients are refused and downgrade")
 	fs.BoolVar(&c.Verbose, "v", false, "log session lifecycle events")
+}
+
+// RegisterTenantKeys installs the shared -tenant-keys flag. raced uses
+// it to require and verify tenant credentials; racedctl uses the same
+// spelling to refuse bad credentials at the gateway edge before a
+// backend connection is spent. ParseTenantKeys decodes the value.
+func RegisterTenantKeys(fs *flag.FlagSet, spec *string) {
+	fs.StringVar(spec, "tenant-keys", "",
+		"require tenant auth: name=key[:maxSessions[:maxStoreBytes]],... (empty = no auth)")
+}
+
+// TenantSpec is one parsed -tenant-keys entry. The quota fields are
+// zero when the entry omitted them (zero = unlimited); only raced
+// enforces quotas, racedctl ignores them and checks credentials alone.
+type TenantSpec struct {
+	// Name is the tenant identifier clients present as the left half of
+	// their "name:key" auth token.
+	Name string
+	// Key is the shared secret (the right half of the auth token).
+	Key string
+	// MaxSessions caps the tenant's concurrent live sessions (0 = no cap).
+	MaxSessions int
+	// MaxStoreBytes caps the tenant's persisted report bytes (0 = no cap).
+	MaxStoreBytes int64
+}
+
+// ParseTenantKeys decodes a -tenant-keys value: comma-separated
+// name=key[:maxSessions[:maxStoreBytes]] entries. Names and keys must
+// be non-empty; names must not contain ':' (the auth token separator),
+// and keys registered here must not contain ':' or ',' (the flag's own
+// separators). An empty spec parses to nil, meaning auth is off.
+func ParseTenantKeys(spec string) ([]TenantSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []TenantSpec
+	seen := make(map[string]bool)
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(item, "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("cliflags: -tenant-keys entry %q: want name=key[:maxSessions[:maxStoreBytes]]", item)
+		}
+		if strings.Contains(name, ":") {
+			return nil, fmt.Errorf("cliflags: -tenant-keys tenant %q: name must not contain ':'", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cliflags: -tenant-keys tenant %q listed twice", name)
+		}
+		seen[name] = true
+		parts := strings.Split(rest, ":")
+		t := TenantSpec{Name: name, Key: parts[0]}
+		if t.Key == "" {
+			return nil, fmt.Errorf("cliflags: -tenant-keys tenant %q: empty key", name)
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("cliflags: -tenant-keys entry %q: too many ':' fields", item)
+		}
+		if len(parts) >= 2 && parts[1] != "" {
+			n, err := strconv.Atoi(parts[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("cliflags: -tenant-keys tenant %q: bad maxSessions %q", name, parts[1])
+			}
+			t.MaxSessions = n
+		}
+		if len(parts) == 3 && parts[2] != "" {
+			n, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("cliflags: -tenant-keys tenant %q: bad maxStoreBytes %q", name, parts[2])
+			}
+			t.MaxStoreBytes = n
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliflags: -tenant-keys lists no tenants")
+	}
+	return out, nil
 }

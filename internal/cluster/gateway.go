@@ -3,12 +3,14 @@ package cluster
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,15 @@ type Config struct {
 	// BufBytes sizes the per-direction relay write buffers (64 KiB
 	// when <= 0).
 	BufBytes int
+	// Tenants maps tenant name -> shared key. When non-empty the
+	// gateway verifies each client's Hello.Auth credential at the edge
+	// and refuses bad or missing ones with the same terminal
+	// wire.ErrAuth refusal the backends use — no backend connection is
+	// spent on an unauthenticated session. The Hello still crosses the
+	// gateway byte-identical, so backends configured with the same keys
+	// re-verify independently (the edge check is an optimization and a
+	// blast-radius limit, not the trust boundary).
+	Tenants map[string]string
 	// Logf receives gateway logs (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -115,14 +126,15 @@ type Gateway struct {
 
 	keyBase atomic.Uint64 // generator for gateway-picked route keys
 
-	routed    atomic.Uint64 // fresh sessions placed
-	resumed   atomic.Uint64 // tokens routed back to their home backend
-	reroutes  atomic.Uint64 // tokens migrated off their home backend
-	detaches  atomic.Uint64 // conduits force-closed by drain/death
-	refusals  atomic.Uint64 // client handshakes the gateway refused
-	dialFails atomic.Uint64 // backend dials that failed
-	frames    atomic.Uint64 // frames proxied, both directions
-	bytes     atomic.Uint64 // frame bytes proxied, both directions
+	routed       atomic.Uint64 // fresh sessions placed
+	resumed      atomic.Uint64 // tokens routed back to their home backend
+	reroutes     atomic.Uint64 // tokens migrated off their home backend
+	detaches     atomic.Uint64 // conduits force-closed by drain/death
+	refusals     atomic.Uint64 // client handshakes the gateway refused
+	authRefusals atomic.Uint64 // handshakes refused at the edge for bad tenant credentials
+	dialFails    atomic.Uint64 // backend dials that failed
+	frames       atomic.Uint64 // frames proxied, both directions
+	bytes        atomic.Uint64 // frame bytes proxied, both directions
 }
 
 // NewGateway builds a gateway over cfg.Backends and starts its health
@@ -339,6 +351,26 @@ func (g *Gateway) refuse(conn net.Conn, retryable bool, format string, args ...a
 	wire.WriteFrame(conn, wire.FrameError, []byte(msg))
 }
 
+// authenticate verifies the client's tenant credential at the edge,
+// with exactly raced's rules (internal/server): no-op unless Tenants is
+// configured; pre-v3 clients and empty credentials are refused because
+// they cannot carry one; otherwise "name:key" must match in constant
+// time. The error text never says which part failed.
+func (g *Gateway) authenticate(version int, hello wire.Hello) error {
+	if len(g.cfg.Tenants) == 0 {
+		return nil
+	}
+	if version < wire.V3 || hello.Auth == "" {
+		return fmt.Errorf("%w (tenant credential required)", wire.ErrAuth)
+	}
+	name, key, ok := strings.Cut(hello.Auth, ":")
+	want, found := g.cfg.Tenants[name]
+	if !ok || !found || subtle.ConstantTimeCompare([]byte(key), []byte(want)) != 1 {
+		return wire.ErrAuth
+	}
+	return nil
+}
+
 // pick chooses the backend for a handshake. Tokens go home when home
 // is Up; otherwise (and for fresh sessions) the ring decides.
 func (g *Gateway) pick(hello wire.Hello) (addr string, migrated bool, err error) {
@@ -413,6 +445,14 @@ func (g *Gateway) handle(clientConn net.Conn) {
 	}
 	if err != nil {
 		g.refuse(clientConn, true, "racedctl: malformed hello: %v", err)
+		return
+	}
+	if err := g.authenticate(version, hello); err != nil {
+		g.authRefusals.Add(1)
+		// Retryable spelling (HandshakeRefusedPrefix) but terminal text:
+		// clients recognize wire.ErrAuth inside the refusal and stop, the
+		// same classification a backend refusal produces.
+		g.refuse(clientConn, true, "%v", err)
 		return
 	}
 
@@ -594,31 +634,33 @@ func (g *Gateway) relay(c *conduit, src, dst net.Conn, fromBackend bool) {
 
 // Stats is a snapshot of the gateway counters.
 type Stats struct {
-	Routed    uint64
-	Resumed   uint64
-	Reroutes  uint64
-	Detaches  uint64
-	Refusals  uint64
-	DialFails uint64
-	Frames    uint64
-	Bytes     uint64
-	Table     int
-	Conduits  int
-	RoutedBy  map[string]uint64
+	Routed       uint64
+	Resumed      uint64
+	Reroutes     uint64
+	Detaches     uint64
+	Refusals     uint64
+	AuthRefusals uint64
+	DialFails    uint64
+	Frames       uint64
+	Bytes        uint64
+	Table        int
+	Conduits     int
+	RoutedBy     map[string]uint64
 }
 
 // Stats snapshots the gateway's routing and relay counters.
 func (g *Gateway) Stats() Stats {
 	st := Stats{
-		Routed:    g.routed.Load(),
-		Resumed:   g.resumed.Load(),
-		Reroutes:  g.reroutes.Load(),
-		Detaches:  g.detaches.Load(),
-		Refusals:  g.refusals.Load(),
-		DialFails: g.dialFails.Load(),
-		Frames:    g.frames.Load(),
-		Bytes:     g.bytes.Load(),
-		RoutedBy:  make(map[string]uint64),
+		Routed:       g.routed.Load(),
+		Resumed:      g.resumed.Load(),
+		Reroutes:     g.reroutes.Load(),
+		Detaches:     g.detaches.Load(),
+		Refusals:     g.refusals.Load(),
+		AuthRefusals: g.authRefusals.Load(),
+		DialFails:    g.dialFails.Load(),
+		Frames:       g.frames.Load(),
+		Bytes:        g.bytes.Load(),
+		RoutedBy:     make(map[string]uint64),
 	}
 	g.mu.Lock()
 	st.Table = len(g.sessions)
@@ -667,6 +709,7 @@ func (g *Gateway) Handler() http.Handler {
 		fmt.Fprintf(w, "racedctl_reroutes_total %d\n", st.Reroutes)
 		fmt.Fprintf(w, "racedctl_detaches_total %d\n", st.Detaches)
 		fmt.Fprintf(w, "racedctl_refusals_total %d\n", st.Refusals)
+		fmt.Fprintf(w, "racedctl_auth_refusals_total %d\n", st.AuthRefusals)
 		fmt.Fprintf(w, "racedctl_backend_dial_failures_total %d\n", st.DialFails)
 		fmt.Fprintf(w, "racedctl_frames_proxied_total %d\n", st.Frames)
 		fmt.Fprintf(w, "racedctl_bytes_proxied_total %d\n", st.Bytes)

@@ -49,11 +49,34 @@
 // the same events. Config.MaxVersion pins the server to an older
 // protocol; newer clients are refused with the documented version
 // error, which they answer by downgrading.
+//
+// # Durable reports, tenants and quotas
+//
+// Every cleanly finished v2+ session's Report is persisted to
+// Config.Store before the Report frame is written, so an acked verdict
+// survives the process: a client that lost the Report — even to a
+// server SIGKILL — resumes by token against the restarted server and
+// collects the identical bytes. The default backend is the in-memory
+// store (the report cache this server always had, retained for
+// ResumeWindow); a raced started with -store-dir plugs in the durable
+// hash-chained log (internal/store), whose open-time scan refuses, with
+// a typed *store.TamperError, to serve anything at or past the first
+// damaged record. Retention is the store's: the janitor calls Compact
+// instead of sweeping a cache map.
+//
+// With Config.Tenants set the server requires a v3 "tenant:key"
+// credential in the Hello (wire.CapTenant); a missing or wrong
+// credential is refused with wire.ErrAuth, and per-tenant session and
+// storage quotas are enforced at admission with wire.ErrQuota — both
+// under wire.HandshakeRefusedPrefix but classified terminal by
+// clients. One tenant exhausting its quota never disturbs another:
+// admission counts sessions and stored bytes per tenant.
 package server
 
 import (
 	"context"
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -62,12 +85,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fj"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/wire"
 
 	race2d "repro"
@@ -112,8 +138,34 @@ type Config struct {
 	// accepted but granted no compression, so clients fall back to
 	// plain Events frames.
 	NoCompress bool
+	// Store persists finished Reports before they are acked and serves
+	// post-restart retrieval by resume token. Nil selects an in-memory
+	// store retained for ResumeWindow — the cache semantics this server
+	// always had. The server owns the store it is given and closes it on
+	// Close/Shutdown.
+	Store store.Store
+	// Tenants, when non-empty, turns on tenant auth: every v3 Hello must
+	// carry a "tenant:key" credential matching this table, and the named
+	// quotas are enforced at admission. Sessions below v3 (which cannot
+	// carry a credential) are refused. Empty runs the server open, with
+	// every session under the anonymous "" tenant.
+	Tenants map[string]Tenant
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
+}
+
+// Tenant is one tenant's credential and quotas.
+type Tenant struct {
+	// Key is the shared secret the client presents as "tenant:key".
+	Key string
+	// MaxSessions caps the tenant's concurrently live sessions
+	// (0 = unlimited). Exhaustion refuses the tenant's new sessions with
+	// wire.ErrQuota without disturbing other tenants.
+	MaxSessions int
+	// MaxStoreBytes caps the tenant's live stored report bytes
+	// (0 = unlimited). A tenant at the cap is refused new sessions until
+	// retention reclaims space.
+	MaxStoreBytes int64
 }
 
 // DefaultMaxSessions is the live-session cap used when Config leaves
@@ -189,15 +241,16 @@ func (c Config) janitorPeriod() time.Duration {
 type Server struct {
 	cfg       Config
 	tokenBase uint64
+	store     store.Store
 
-	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[uint64]*session
-	finished map[uint64]*finishedReport // cached v2 reports by token
-	nextID   uint64
-	closed   bool
-	done     chan struct{}
-	wg       sync.WaitGroup
+	mu             sync.Mutex
+	ln             net.Listener
+	sessions       map[uint64]*session
+	tenantSessions map[string]int // live sessions per tenant
+	nextID         uint64
+	closed         bool
+	done           chan struct{}
+	wg             sync.WaitGroup
 
 	// Wire-level counters (atomic: bumped on every frame).
 	sessionsTotal     atomic.Uint64
@@ -208,6 +261,9 @@ type Server struct {
 	handshakeRefusals atomic.Uint64
 	resumes           atomic.Uint64
 	dupsDropped       atomic.Uint64
+	authFailures      atomic.Uint64
+	quotaRefusals     atomic.Uint64
+	storePutErrors    atomic.Uint64
 
 	// Block-compression accounting (v3 CapCompress sessions): block
 	// count, payload bytes on the wire, and the raw record-form bytes
@@ -226,28 +282,30 @@ type Server struct {
 	retired obs.Stats // guarded by mu
 }
 
-// finishedReport is the cached outcome of a finished v2 session, kept
-// for ResumeWindow so a client that lost the Report can resume and
-// re-collect it.
-type finishedReport struct {
-	session uint64
-	nextSeq uint64
-	payload []byte // encoded Report frame payload
-	expires time.Time
-}
-
 // New returns an idle Server.
 func New(cfg Config) *Server {
 	var b [8]byte
 	rand.Read(b[:])
+	cfg = cfg.normalized()
+	st := cfg.Store
+	if st == nil {
+		// The default store is the finished-report cache this server
+		// always had: in-memory, retained for ResumeWindow.
+		st = store.NewMemory(cfg.ResumeWindow)
+	}
 	return &Server{
-		cfg:       cfg.normalized(),
-		tokenBase: binary.LittleEndian.Uint64(b[:]),
-		sessions:  make(map[uint64]*session),
-		finished:  make(map[uint64]*finishedReport),
-		done:      make(chan struct{}),
+		cfg:            cfg,
+		tokenBase:      binary.LittleEndian.Uint64(b[:]),
+		store:          st,
+		sessions:       make(map[uint64]*session),
+		tenantSessions: make(map[string]int),
+		done:           make(chan struct{}),
 	}
 }
+
+// Store returns the server's report store (the configured one, or the
+// default in-memory store).
+func (s *Server) Store() store.Store { return s.store }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -315,7 +373,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-finished:
-		return nil
+		return s.store.Close()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -334,7 +392,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return s.store.Close()
 }
 
 func (s *Server) beginClose() {
@@ -350,8 +408,9 @@ func (s *Server) beginClose() {
 }
 
 // janitor evicts sessions idle past IdleTimeout, expires suspended
-// sessions past their resume deadline, and purges expired cached
-// reports.
+// sessions past their resume deadline, and runs the store's retention
+// compaction — expired persisted reports stop being served by the
+// store's own Get filter; Compact reclaims their space.
 func (s *Server) janitor() {
 	defer s.wg.Done()
 	tick := time.NewTicker(s.cfg.janitorPeriod())
@@ -376,12 +435,10 @@ func (s *Server) janitor() {
 				sess.beginDrain(true)
 			}
 		}
-		for token, fr := range s.finished {
-			if now.After(fr.expires) {
-				delete(s.finished, token)
-			}
-		}
 		s.mu.Unlock()
+		if err := s.store.Compact(); err != nil && !errors.Is(err, store.ErrTampered) {
+			s.logf("store: compact: %v", err)
+		}
 	}
 }
 
@@ -393,7 +450,7 @@ func (s *Server) abandonLocked(sess *session) {
 		return
 	}
 	sess.state = stateDone
-	delete(s.sessions, sess.id)
+	s.dropSessionLocked(sess)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -415,9 +472,38 @@ var errDraining = errors.New("raced: draining (not accepting sessions)")
 // retrying the same server is the caller's (or gateway's) decision.
 var errSessionLimit = errors.New("raced: session limit reached")
 
-// admit registers a new session, or refuses it with errDraining /
-// errSessionLimit.
-func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, error) {
+// authenticate resolves the session's tenant from the Hello credential.
+// An open server (no Tenants configured) admits everyone under the
+// anonymous "" tenant and ignores the credential. A tenant-keyed server
+// requires a v3 "tenant:key" credential matching its table; anything
+// else is wire.ErrAuth. The error text never says which part of the
+// credential failed, and the key comparison is constant-time.
+func (s *Server) authenticate(version int, hello wire.Hello) (string, error) {
+	if len(s.cfg.Tenants) == 0 {
+		return "", nil
+	}
+	if version < wire.V3 || hello.Auth == "" {
+		s.authFailures.Add(1)
+		return "", fmt.Errorf("%w (tenant credential required)", wire.ErrAuth)
+	}
+	name, key, ok := strings.Cut(hello.Auth, ":")
+	tenant, found := s.cfg.Tenants[name]
+	if !ok || !found || subtle.ConstantTimeCompare([]byte(key), []byte(tenant.Key)) != 1 {
+		s.authFailures.Add(1)
+		return "", wire.ErrAuth
+	}
+	return name, nil
+}
+
+// admit registers a new session, or refuses it with errDraining,
+// errSessionLimit, or (per-tenant quota exhaustion) wire.ErrQuota.
+func (s *Server) admit(conn net.Conn, version int, hello wire.Hello, tenant string) (*session, error) {
+	// Storage quota reads the store outside s.mu: the store has its own
+	// lock and never calls back into the server.
+	var storedBytes int64
+	if t, ok := s.cfg.Tenants[tenant]; ok && t.MaxStoreBytes > 0 {
+		storedBytes = s.store.TenantBytes(tenant)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -426,10 +512,24 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, 
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		return nil, errSessionLimit
 	}
+	if t, ok := s.cfg.Tenants[tenant]; ok {
+		if t.MaxSessions > 0 && s.tenantSessions[tenant] >= t.MaxSessions {
+			s.quotaRefusals.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q at %d sessions", wire.ErrQuota, tenant, t.MaxSessions)
+		}
+		if t.MaxStoreBytes > 0 && storedBytes >= t.MaxStoreBytes {
+			s.quotaRefusals.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q at %d stored bytes", wire.ErrQuota, tenant, storedBytes)
+		}
+	}
 	s.nextID++
 	var caps uint64
 	if version >= wire.V3 {
-		caps = hello.Caps & s.cfg.grantedCaps()
+		granted := s.cfg.grantedCaps()
+		if len(s.cfg.Tenants) > 0 {
+			granted |= wire.CapTenant
+		}
+		caps = hello.Caps & granted
 	}
 	sess := &session{
 		id:      s.nextID,
@@ -437,6 +537,7 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, 
 		version: version,
 		caps:    caps,
 		hello:   hello,
+		tenant:  tenant,
 		srv:     s,
 		state:   stateRunning,
 		conn:    conn,
@@ -446,6 +547,7 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, 
 	}
 	sess.lastActive.Store(time.Now().UnixNano())
 	s.sessions[sess.id] = sess
+	s.tenantSessions[tenant]++
 	s.sessionsTotal.Add(1)
 	return sess, nil
 }
@@ -454,9 +556,23 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello) (*session, 
 func (s *Server) retire(sess *session) {
 	s.mu.Lock()
 	sess.state = stateDone
-	delete(s.sessions, sess.id)
+	s.dropSessionLocked(sess)
 	s.mu.Unlock()
 	s.foldStats(sess)
+}
+
+// dropSessionLocked removes a session from the live table and releases
+// its slot in the per-tenant session gauge. Caller holds s.mu.
+func (s *Server) dropSessionLocked(sess *session) {
+	if _, ok := s.sessions[sess.id]; !ok {
+		return
+	}
+	delete(s.sessions, sess.id)
+	if n := s.tenantSessions[sess.tenant] - 1; n > 0 {
+		s.tenantSessions[sess.tenant] = n
+	} else {
+		delete(s.tenantSessions, sess.tenant)
+	}
 }
 
 // foldStats folds a dead session's queue accounting into the server
@@ -572,8 +688,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.refuse(conn, err)
 		return
 	}
+	tenant, err := s.authenticate(version, hello)
+	if err != nil {
+		// Auth refusals ride the handshake-refusal prefix like every
+		// other pre-session refusal, but carry the ErrAuth text, which
+		// clients classify as terminal: resending the same credential
+		// cannot succeed.
+		s.sessionsRejected.Add(1)
+		s.logf("auth refused from %v: %v", conn.RemoteAddr(), err)
+		conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(conn, wire.FrameError, []byte(wire.HandshakeRefusedPrefix+err.Error()))
+		return
+	}
 	if version >= wire.V2 && hello.Token != 0 {
-		s.resume(conn, version, hello)
+		s.resume(conn, version, hello, tenant)
 		return
 	}
 
@@ -587,12 +715,14 @@ func (s *Server) handle(conn net.Conn) {
 		wire.WriteFrame(conn, wire.FrameError, []byte(err.Error()))
 		return
 	}
-	sess, err := s.admit(conn, version, hello)
+	sess, err := s.admit(conn, version, hello, tenant)
 	if err != nil {
 		s.sessionsRejected.Add(1)
 		conn.SetWriteDeadline(time.Now().Add(drainGrace))
 		msg := err.Error()
-		if errors.Is(err, errDraining) {
+		if errors.Is(err, errDraining) || errors.Is(err, wire.ErrQuota) {
+			// Quota refusals share the prefix but, like auth, carry a
+			// text clients classify as terminal.
 			msg = wire.HandshakeRefusedPrefix + msg
 		}
 		wire.WriteFrame(conn, wire.FrameError, []byte(msg))
@@ -606,15 +736,26 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // resume hands a reconnecting v2+ client back its suspended session (or
-// its cached Report, if the session already finished).
-func (s *Server) resume(conn net.Conn, version int, hello wire.Hello) {
-	s.mu.Lock()
-	if fr, ok := s.finished[hello.Token]; ok {
-		s.mu.Unlock()
+// its persisted Report, if the session already finished — served from
+// the store, so it survives a server restart).
+func (s *Server) resume(conn net.Conn, version int, hello wire.Hello, tenant string) {
+	rec, err := s.store.Get(hello.Token)
+	switch {
+	case err == nil:
+		if len(s.cfg.Tenants) > 0 && rec.Tenant != tenant {
+			// The token exists but belongs to another tenant: refuse as
+			// an auth failure, not a not-found — and certainly not with
+			// the other tenant's report.
+			s.authFailures.Add(1)
+			s.logf("resume refused from %v: token crosses tenants", conn.RemoteAddr())
+			conn.SetWriteDeadline(time.Now().Add(drainGrace))
+			wire.WriteFrame(conn, wire.FrameError, []byte(wire.HandshakeRefusedPrefix+wire.ErrAuth.Error()))
+			return
+		}
 		s.resumes.Add(1)
-		s.logf("session %d: resume of finished session, re-sending report", fr.session)
+		s.logf("session %d: resume of finished session, re-sending report", rec.Session)
 		conn.SetWriteDeadline(time.Now().Add(drainGrace))
-		welcome := wire.Welcome{Session: fr.session, Token: hello.Token, NextSeq: fr.nextSeq}
+		welcome := wire.Welcome{Session: rec.Session, Token: hello.Token, NextSeq: rec.NextSeq}
 		wpayload := wire.EncodeWelcomeV2(welcome)
 		if version >= wire.V3 {
 			// The resumed stream is done — no more event frames — so no
@@ -623,13 +764,23 @@ func (s *Server) resume(conn net.Conn, version int, hello wire.Hello) {
 			wpayload = wire.EncodeWelcomeV3(welcome)
 		}
 		if wire.WriteFrame(conn, wire.FrameWelcome, wpayload) == nil {
-			wire.WriteFrame(conn, wire.FrameReport, fr.payload)
+			wire.WriteFrame(conn, wire.FrameReport, wire.EncodeReport(rec.Flags, rec.JSON))
 		}
 		return
+	case errors.Is(err, store.ErrTampered):
+		// The store cannot prove anything about this token: the log is
+		// damaged at or before where the record would live. Refuse with
+		// the typed tamper text — a terminal, diagnosable error — rather
+		// than a misleading "unknown token" or a crash.
+		s.logf("resume refused from %v: %v", conn.RemoteAddr(), err)
+		conn.SetWriteDeadline(time.Now().Add(drainGrace))
+		wire.WriteFrame(conn, wire.FrameError, []byte(err.Error()))
+		return
 	}
+	s.mu.Lock()
 	var target *session
 	for _, sess := range s.sessions {
-		if sess.token == hello.Token && sess.state == stateSuspended {
+		if sess.token == hello.Token && sess.state == stateSuspended && sess.tenant == tenant {
 			target = sess
 			break
 		}
@@ -763,6 +914,47 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "raced_shard_fallbacks_total %d\n", s.shardFallbacks.Load())
 		fmt.Fprintf(w, "raced_shard_handoffs_total %d\n", st.CrossShardHandoffs)
 		fmt.Fprintf(w, "raced_shard_stalls_total %d\n", st.ShardStalls)
+		fmt.Fprintf(w, "raced_auth_failures_total %d\n", s.authFailures.Load())
+		fmt.Fprintf(w, "raced_quota_refusals_total %d\n", s.quotaRefusals.Load())
+
+		ss := s.store.Stats()
+		fmt.Fprintf(w, "raced_store_records %d\n", ss.Records)
+		fmt.Fprintf(w, "raced_store_bytes %d\n", ss.Bytes)
+		fmt.Fprintf(w, "raced_store_segments %d\n", ss.Segments)
+		fmt.Fprintf(w, "raced_store_puts_total %d\n", ss.Puts)
+		// The server-side counter, not ss.PutFailures: the store counts
+		// its own refusals too, and summing would double-count every
+		// failed persist the server observed.
+		fmt.Fprintf(w, "raced_store_put_failures_total %d\n", s.storePutErrors.Load())
+		fmt.Fprintf(w, "raced_store_gets_total %d\n", ss.Gets)
+		fmt.Fprintf(w, "raced_store_hits_total %d\n", ss.Hits)
+		fmt.Fprintf(w, "raced_store_compactions_total %d\n", ss.Compactions)
+		fmt.Fprintf(w, "raced_store_segments_pruned_total %d\n", ss.SegmentsPruned)
+		fmt.Fprintf(w, "raced_store_verify_failures_total %d\n", ss.VerifyFailures)
+
+		// Per-tenant gauges, sorted so the exposition is stable. Tenants
+		// appear once they have a live session or stored bytes; the
+		// anonymous tenant of an open server is labeled "".
+		s.mu.Lock()
+		tenants := make(map[string]bool, len(s.tenantSessions))
+		live := make(map[string]int, len(s.tenantSessions))
+		for t, n := range s.tenantSessions {
+			tenants[t], live[t] = true, n
+		}
+		s.mu.Unlock()
+		for t := range ss.TenantBytes {
+			tenants[t] = true
+		}
+		names := make([]string, 0, len(tenants))
+		for t := range tenants {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			fmt.Fprintf(w, "raced_tenant_sessions_live{tenant=%q} %d\n", t, live[t])
+			fmt.Fprintf(w, "raced_tenant_store_bytes{tenant=%q} %d\n", t, ss.TenantBytes[t])
+			fmt.Fprintf(w, "raced_tenant_store_records{tenant=%q} %d\n", t, ss.TenantRecords[t])
+		}
 	})
 	return mux
 }
@@ -783,6 +975,7 @@ type session struct {
 	version int
 	caps    uint64 // granted v3 capabilities (0 below v3)
 	hello   wire.Hello
+	tenant  string // authenticated tenant ("" on an open server)
 	srv     *Server
 
 	queue    *fj.EventQueue
@@ -1094,18 +1287,25 @@ func (sess *session) finish(conn net.Conn, nextSeq uint64, finished bool, readEr
 	}
 	payload := wire.EncodeReport(flags, body)
 
-	// Cache the verdict of a cleanly finished v2 session before trying
-	// to deliver it: if the connection dies mid-Report, the client
-	// resumes and collects it from the cache.
+	// Persist the verdict of a cleanly finished v2+ session before
+	// trying to deliver it: if the connection dies mid-Report — or the
+	// whole process dies — the client resumes and collects the identical
+	// bytes from the store. Delivery is never blocked on a store
+	// failure: the client holding the connection still gets its Report,
+	// and the failure is logged and counted.
 	if finished && sess.version >= wire.V2 {
-		srv.mu.Lock()
-		srv.finished[sess.token] = &finishedReport{
-			session: sess.id,
-			nextSeq: nextSeq,
-			payload: payload,
-			expires: time.Now().Add(srv.cfg.ResumeWindow),
+		err := srv.store.Put(store.Record{
+			Token:   sess.token,
+			Session: sess.id,
+			NextSeq: nextSeq,
+			Flags:   flags,
+			Tenant:  sess.tenant,
+			JSON:    body,
+		})
+		if err != nil {
+			srv.storePutErrors.Add(1)
+			srv.logf("session %d: persist report: %v", sess.id, err)
 		}
-		srv.mu.Unlock()
 	}
 	sess.srv.retire(sess)
 

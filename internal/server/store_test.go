@@ -1,0 +1,291 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/client"
+	"repro/internal/fj"
+	"repro/internal/prog"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// openLog opens (or reopens) the durable report log in dir. NoSync
+// keeps the tests fast; durability against a raced kill does not need
+// the fsync, only against a host crash.
+func openLog(t *testing.T, dir string) *store.Log {
+	t.Helper()
+	lg, err := store.OpenLog(store.LogConfig{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
+}
+
+// runWorkload drives one seeded workload through a session against
+// addr and returns the rendered report, the session's resume token,
+// and the workload's task count (a fetch needs it to re-render).
+func runWorkload(t *testing.T, addr string, seed int64, opts ...client.Option) (json string, token uint64, tasks int) {
+	t.Helper()
+	c := workload.ForkJoin{
+		Seed:     seed,
+		Ops:      900,
+		MaxDepth: 5,
+		Mix:      workload.Mix{Locs: 16, ReadFrac: 0.6},
+	}
+	sess, err := client.Dial(addr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	tasks, err = c.Run(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderJSON(t, rep, tasks, nil), sess.Token(), tasks
+}
+
+// TestStoreRestartRetrieval is the durability acceptance bar: a report
+// persisted by one server instance is retrievable byte-identically
+// from a fresh instance over the same log directory, by resume token
+// alone.
+func TestStoreRestartRetrieval(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startServer(t, server.Config{Store: openLog(t, dir)})
+	want, token, tasks := runWorkload(t, addr, 7)
+	if token == 0 {
+		t.Fatal("session has no resume token")
+	}
+	srv.Close() // closes the store; the "crash" loses all memory
+
+	_, addr2 := startServer(t, server.Config{Store: openLog(t, dir)})
+	f, err := client.Fetch(addr2, token)
+	if err != nil {
+		t.Fatalf("fetch after restart: %v", err)
+	}
+	// Render through the same path cmd/race2d -json uses; byte equality
+	// of the rendered JSON is the bar.
+	if got := renderJSON(t, f.Report, tasks, nil); got != want {
+		t.Errorf("fetched report differs after restart\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	if _, err := client.Fetch(addr2, token^0xdeadbeef); !client.IsUnknownToken(err) {
+		t.Fatalf("fetch of bogus token: err = %v, want unknown-token", err)
+	}
+}
+
+// TestStoreBackedMatchesMemory is the differential bar: a store-backed
+// server and the default in-memory one must render byte-identical
+// verdicts over the corpus programs and 20 seeded random workloads.
+func TestStoreBackedMatchesMemory(t *testing.T) {
+	_, addrStore := startServer(t, server.Config{Store: openLog(t, t.TempDir())})
+	_, addrMem := startServer(t, server.Config{})
+
+	files, err := filepath.Glob(filepath.Join("..", "..", "cmd", "race2d", "testdata", "*.fj"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus programs: %v", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := prog.Parse(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [2]string
+		for i, addr := range []string{addrStore, addrMem} {
+			sess, err := client.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := prog.Exec(p, sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sess.Finish()
+			sess.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = renderJSON(t, rep, res.Tasks, res.LocName)
+		}
+		if out[0] != out[1] {
+			t.Errorf("%s: store-backed verdict differs from in-memory\nstore:\n%s\nmemory:\n%s",
+				filepath.Base(file), out[0], out[1])
+		}
+	}
+
+	for seed := int64(1); seed <= 20; seed++ {
+		a, _, _ := runWorkload(t, addrStore, seed)
+		b, _, _ := runWorkload(t, addrMem, seed)
+		if a != b {
+			t.Errorf("seed %d: store-backed verdict differs from in-memory\nstore:\n%s\nmemory:\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestTenantAuth checks the credential gate: with -tenant-keys
+// semantics configured, missing and wrong credentials are refused with
+// the terminal wire.ErrAuth text, correct ones admit, and the auth
+// counters and per-tenant gauges show on /metrics.
+func TestTenantAuth(t *testing.T) {
+	srv, addr := startServer(t, server.Config{
+		Tenants: map[string]server.Tenant{"acme": {Key: "s3cret"}},
+	})
+
+	if _, err := client.Dial(addr); err == nil || !strings.Contains(err.Error(), "invalid tenant credentials") {
+		t.Fatalf("credential-less dial: err = %v, want auth refusal", err)
+	}
+	if _, err := client.Dial(addr, client.WithAuthToken("acme:wrong")); err == nil || !strings.Contains(err.Error(), "invalid tenant credentials") {
+		t.Fatalf("wrong-key dial: err = %v, want auth refusal", err)
+	}
+	if _, err := client.Dial(addr, client.WithAuthToken("ghost:s3cret")); err == nil || !strings.Contains(err.Error(), "invalid tenant credentials") {
+		t.Fatalf("unknown-tenant dial: err = %v, want auth refusal", err)
+	}
+
+	sess, err := client.Dial(addr, client.WithAuthToken("acme:s3cret"))
+	if err != nil {
+		t.Fatalf("valid credential refused: %v", err)
+	}
+	defer sess.Close()
+	sess.Event(fj.Event{Kind: fj.EvBegin, T: 0})
+	sess.Event(fj.Event{Kind: fj.EvHalt, T: 0})
+	if _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"raced_auth_failures_total 3",
+		`raced_tenant_store_records{tenant="acme"} 1`,
+		"raced_store_puts_total 1",
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("/metrics missing %q\n%s", want, body.String())
+		}
+	}
+}
+
+// TestTenantQuotas checks isolation: one tenant exhausting its session
+// or storage quota is refused with the terminal wire.ErrQuota text
+// while other tenants stay unaffected.
+func TestTenantQuotas(t *testing.T) {
+	_, addr := startServer(t, server.Config{
+		Store: openLog(t, t.TempDir()),
+		Tenants: map[string]server.Tenant{
+			"capped": {Key: "ck", MaxSessions: 1},
+			"tiny":   {Key: "tk", MaxStoreBytes: 1},
+			"free":   {Key: "fk"},
+		},
+	})
+
+	// Session quota: the second concurrent "capped" session is refused;
+	// "free" dials fine while "capped" is at its limit.
+	first, err := client.Dial(addr, client.WithAuthToken("capped:ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := client.Dial(addr, client.WithAuthToken("capped:ck")); err == nil || !strings.Contains(err.Error(), "tenant quota exceeded") {
+		t.Fatalf("second capped session: err = %v, want quota refusal", err)
+	}
+	other, err := client.Dial(addr, client.WithAuthToken("free:fk"))
+	if err != nil {
+		t.Fatalf("unrelated tenant refused during capped's quota exhaustion: %v", err)
+	}
+	other.Close()
+
+	// Storage quota: "tiny" can run once; after that report persists its
+	// stored bytes exceed the 1-byte budget and the next session is
+	// refused at admission. "free" keeps working.
+	if json, _, _ := runWorkload(t, addr, 3, client.WithAuthToken("tiny:tk")); json == "" {
+		t.Fatal("first tiny session produced no report")
+	}
+	if _, err := client.Dial(addr, client.WithAuthToken("tiny:tk")); err == nil || !strings.Contains(err.Error(), "tenant quota exceeded") {
+		t.Fatalf("over-storage-quota dial: err = %v, want quota refusal", err)
+	}
+	if json, _, _ := runWorkload(t, addr, 4, client.WithAuthToken("free:fk")); json == "" {
+		t.Fatal("free tenant broken by tiny's storage quota")
+	}
+}
+
+// TestStoreTamperServing checks honest degradation: after a byte flip
+// in the log, a restarted server still serves every report recorded
+// before the damage and refuses the ones at/past it with a typed
+// tamper error — it never silently serves altered bytes.
+func TestStoreTamperServing(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startServer(t, server.Config{Store: openLog(t, dir)})
+	okJSON, okToken, okTasks := runWorkload(t, addr, 11)
+	_, badToken, _ := runWorkload(t, addr, 12)
+	srv.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files: %v", err)
+	}
+	seg := segs[len(segs)-1]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40 // inside the second (last) record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lg := openLog(t, dir)
+	if lg.Tampered() == nil {
+		t.Fatal("tampered log opened clean")
+	}
+	srv2, addr2 := startServer(t, server.Config{Store: lg})
+
+	f, err := client.Fetch(addr2, okToken)
+	if err != nil {
+		t.Fatalf("pre-damage report refused: %v", err)
+	}
+	if got := renderJSON(t, f.Report, okTasks, nil); got != okJSON {
+		t.Errorf("pre-damage report altered\nwant:\n%s\ngot:\n%s", okJSON, got)
+	}
+	if _, err := client.Fetch(addr2, badToken); err == nil || !strings.Contains(err.Error(), "tampered") {
+		t.Fatalf("post-damage fetch: err = %v, want tamper refusal", err)
+	}
+
+	// New sessions still get verdicts (delivery beats durability); the
+	// failed persist is counted, not hidden.
+	if json, _, _ := runWorkload(t, addr2, 13); json == "" {
+		t.Fatal("tampered store broke live detection")
+	}
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(body.String(), "raced_store_put_failures_total 1") {
+		t.Errorf("/metrics does not count the refused persist:\n%s", body.String())
+	}
+}

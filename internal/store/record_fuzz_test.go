@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord hammers the record framing with arbitrary bytes.
+// The properties under test: DecodeRecord never panics; a successful
+// decode consumed a plausible span; and re-encoding what was decoded
+// and decoding it again yields the same record — so a decode that
+// slipped past the CRC still cannot smuggle out a record the encoder
+// would not produce.
+func FuzzDecodeRecord(f *testing.F) {
+	var prev [HashSize]byte
+	for i := range prev {
+		prev[i] = byte(i * 7)
+	}
+	rec := Record{
+		Token: 0xdead, Session: 3, NextSeq: 41, Flags: 1,
+		Unix: 1_700_000_000, Tenant: "acme",
+		JSON: []byte(`{"races":[{"a":1,"b":2}]}`),
+	}
+	valid := AppendRecord(nil, prev, rec)
+	f.Add(valid)
+	f.Add(AppendAnchor(nil, prev, 9))
+	f.Add(AppendRecord(AppendAnchor(nil, prev, 0), prev, Record{Token: 1}))
+	// Seeds the mutator tends to reach interesting branches from.
+	short := append([]byte(nil), valid...)
+	f.Add(short[:len(short)-3])
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0xff
+	f.Add(crcFlip)
+	lenFlip := append([]byte(nil), valid...)
+	lenFlip[0] ^= 0x04
+	f.Add(lenFlip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, rec, anc, prev, n, err := DecodeRecord(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("failed decode consumed %d bytes", n)
+			}
+			return
+		}
+		if n < recordOverhead || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		// Round-trip: whatever decoded must re-encode and decode to the
+		// same thing.
+		var reframed []byte
+		switch kind {
+		case KindReport:
+			reframed = AppendRecord(nil, prev, rec)
+		case KindAnchor:
+			reframed = AppendAnchor(nil, prev, anc.Records)
+			if anc.Chain != prev {
+				// A valid anchor's payload hash need not equal its link
+				// hash in adversarial input; rebuild with the decoded
+				// payload for comparison below.
+				reframed = nil
+			}
+		default:
+			t.Fatalf("decode returned unknown kind %d", kind)
+		}
+		if reframed == nil {
+			return
+		}
+		kind2, rec2, anc2, prev2, _, err := DecodeRecord(reframed)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded record failed: %v", err)
+		}
+		if kind2 != kind || prev2 != prev {
+			t.Fatalf("round trip changed kind/prev")
+		}
+		if kind == KindReport {
+			if rec2.Token != rec.Token || rec2.Session != rec.Session ||
+				rec2.NextSeq != rec.NextSeq || rec2.Flags != rec.Flags ||
+				rec2.Unix != rec.Unix || rec2.Tenant != rec.Tenant ||
+				!bytes.Equal(rec2.JSON, rec.JSON) {
+				t.Fatalf("report round trip mismatch")
+			}
+		} else if anc2.Records != anc.Records {
+			t.Fatalf("anchor round trip mismatch")
+		}
+	})
+}

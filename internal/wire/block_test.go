@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -217,6 +218,22 @@ func TestHelloWelcomeV3RoundTrip(t *testing.T) {
 	}
 	if gotV2.Engine != h.Engine || gotV2.Token != h.Token || gotV2.Caps != 0 {
 		t.Fatalf("v2 decode of v3 hello: %+v", gotV2)
+	}
+	// The trailing auth credential rides after RouteKey and round-trips;
+	// a hello without it decodes with Auth empty (older senders).
+	ha := Hello{Engine: "2d", Caps: CapCompress | CapTenant, RouteKey: 9, Auth: "acme:s3cret"}
+	gotA, err := DecodeHelloV3(EncodeHelloV3(ha))
+	if err != nil || gotA != ha {
+		t.Fatalf("hello v3 auth round trip: %+v -> %+v (%v)", ha, gotA, err)
+	}
+	// A pre-Auth v3 payload (v2 form + caps + routekey only) still
+	// decodes: both trailing fields are optional.
+	old := EncodeHelloV2(ha)
+	old = binary.AppendUvarint(old, ha.Caps)
+	old = binary.AppendUvarint(old, ha.RouteKey)
+	gotOld, err := DecodeHelloV3(old)
+	if err != nil || gotOld.Auth != "" || gotOld.RouteKey != ha.RouteKey {
+		t.Fatalf("pre-auth v3 hello: %+v (%v)", gotOld, err)
 	}
 
 	w := Welcome{Session: 3, Token: 0xbeef, NextSeq: 17, Caps: CapCompress}

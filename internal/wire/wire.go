@@ -70,12 +70,27 @@
 //
 //	capability   bit     meaning
 //	CapCompress  1<<0    sender may use EventsBlock (compressed) frames
+//	CapTenant    1<<1    hello carries a tenant auth token ("tenant:key")
 //
 // A server capped below a client's version refuses the handshake with
 // an Error frame whose text carries both HandshakeRefusedPrefix and the
 // ErrVersion text; clients treat that refusal as "downgrade and retry",
 // so a v3 client lands on v2 against an older server instead of
 // failing.
+//
+// # Tenant auth (v3, CapTenant)
+//
+// A v3 Hello may carry an auth token — the "tenant:key" credential the
+// server checks against its -tenant-keys table — as a trailing optional
+// field (after RouteKey), offered under the CapTenant bit. A server
+// running with tenant keys refuses a missing or wrong credential with
+// an Error frame whose text carries HandshakeRefusedPrefix plus the
+// ErrAuth text; a tenant over its session or storage quota is refused
+// with the ErrQuota text. Both refusals are terminal for clients —
+// resending the same bad credential cannot succeed — even though they
+// ride the handshake-refusal prefix (see HandshakeRefusedPrefix).
+// Servers running without tenant keys ignore the field, so an
+// authenticated client speaks to an open server unchanged.
 //
 // # Frame layout
 //
@@ -120,6 +135,11 @@ const (
 	// CapCompress lets the client send EventsBlock frames: event batches
 	// compressed with the trace-aware block codec in this package.
 	CapCompress uint64 = 1 << 0
+	// CapTenant marks a Hello carrying a tenant auth credential in its
+	// trailing Auth field. A server grants the bit back when it checked
+	// the credential (it runs with tenant keys); an open server leaves it
+	// ungranted and ignores the field.
+	CapTenant uint64 = 1 << 1
 )
 
 // Magic opens every current-version session stream: "RDS" + Version.
@@ -217,6 +237,15 @@ var (
 	// the server restarted. Sent to clients as an Error frame carrying
 	// exactly this text, so both sides can classify it.
 	ErrUnknownResume = errors.New("raced: unknown resume token")
+	// ErrAuth reports a missing or invalid tenant credential against a
+	// server that requires one. Sent as an Error frame whose text carries
+	// HandshakeRefusedPrefix plus exactly this text; clients classify the
+	// refusal as terminal (retrying the same credential cannot succeed).
+	ErrAuth = errors.New("invalid tenant credentials")
+	// ErrQuota reports a tenant at its session or storage quota. Same
+	// framing and classification as ErrAuth: refusal text under
+	// HandshakeRefusedPrefix, terminal for the client.
+	ErrQuota = errors.New("tenant quota exceeded")
 )
 
 // HandshakeRefusedPrefix prefixes the Error-frame text a server sends
@@ -368,6 +397,13 @@ type Hello struct {
 	// and is optional on decode, so pre-RouteKey v3 peers interoperate
 	// unchanged; direct raced servers ignore it.
 	RouteKey uint64
+	// Auth (v3, CapTenant) is the tenant credential, spelled
+	// "tenant:key". It rides at the end of the v3 payload after RouteKey
+	// and is optional on decode, so pre-Auth v3 peers interoperate
+	// unchanged; servers running without tenant keys ignore it. Gateways
+	// forward the Hello payload byte-identically, so the credential
+	// reaches the backend untouched.
+	Auth string
 }
 
 // EncodeHello renders h as a frame payload.
@@ -430,16 +466,21 @@ func decodeHelloV2(payload []byte) (Hello, []byte, error) {
 }
 
 // EncodeHelloV3 renders h as a v3 frame payload: the v2 form followed
-// by the offered capability bitmask and the routing key.
+// by the offered capability bitmask, the routing key, and the tenant
+// credential.
 func EncodeHelloV3(h Hello) []byte {
 	buf := EncodeHelloV2(h)
 	buf = binary.AppendUvarint(buf, h.Caps)
-	return binary.AppendUvarint(buf, h.RouteKey)
+	buf = binary.AppendUvarint(buf, h.RouteKey)
+	buf = binary.AppendUvarint(buf, uint64(len(h.Auth)))
+	return append(buf, h.Auth...)
 }
 
 // DecodeHelloV3 parses an EncodeHelloV3 payload. The trailing routing
-// key is optional: a v3 hello from a pre-RouteKey sender decodes with
-// RouteKey zero.
+// key and auth credential are each optional: a v3 hello from an older
+// sender decodes with RouteKey zero and Auth empty, and bytes past the
+// fields this version knows are ignored so future trailing fields keep
+// interoperating.
 func DecodeHelloV3(payload []byte) (Hello, error) {
 	h, rest, err := decodeHelloV2(payload)
 	if err != nil {
@@ -457,6 +498,14 @@ func DecodeHelloV3(payload []byte) (Hello, error) {
 			return Hello{}, fmt.Errorf("wire: hello: malformed route key: %w", ErrTruncated)
 		}
 		h.RouteKey = key
+		rest = rest[k:]
+	}
+	if len(rest) > 0 {
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || n > 1<<10 || uint64(len(rest)-k) < n {
+			return Hello{}, fmt.Errorf("wire: hello: malformed auth credential: %w", ErrTruncated)
+		}
+		h.Auth = string(rest[k : k+int(n)])
 	}
 	return h, nil
 }

@@ -10,7 +10,11 @@
 #      restarted on the same address; the in-flight client must ride
 #      the restart out (reconnect, resume or full replay) and land on
 #      output byte-identical to the local run, reporting the recovery
-#      on stderr.
+#      on stderr;
+#   3. durable reports: a verdict persisted with -store-dir survives a
+#      SIGKILL — a restarted server over the same directory serves it
+#      back by resume token (-fetch) byte-identical to the original
+#      run's output.
 set -euo pipefail
 SMOKE=chaos-smoke
 . "$(dirname "$0")/lib.sh"
@@ -71,4 +75,40 @@ if ! grep -q 'recovered from' "$tmp/client.err"; then
 	exit 1
 fi
 echo "chaos-smoke: SIGKILL resume ok: $(grep 'recovered from' "$tmp/client.err" | head -1)"
+stop_raced
+
+# 3. Durable reports across SIGKILL: finish a session against a
+#    store-backed raced, kill it, restart over the same log directory,
+#    and fetch the persisted verdict by resume token. The fetched bytes
+#    must match the original run's output exactly.
+store_dir=$tmp/reportlog
+prog=cmd/race2d/testdata/figure2.fj
+start_raced s1 -addr 127.0.0.1:0 -store-dir "$store_dir" -v
+echo "chaos-smoke: store-backed raced on $addr"
+
+scode=0
+"$tmp/race2d" -remote "$addr" -json "$prog" \
+	>"$tmp/stored.out" 2>"$tmp/stored.err" || scode=$?
+token=$(sed -n 's/^race2d: note: resume token //p' "$tmp/stored.err")
+if [ -z "$token" ]; then
+	echo "chaos-smoke: durable run announced no resume token" >&2
+	cat "$tmp/stored.err" >&2
+	exit 1
+fi
+stop_raced # SIGKILL; only the log directory survives
+
+start_raced s2 -addr 127.0.0.1:0 -store-dir "$store_dir" -v
+fcode=0
+"$tmp/race2d" -remote "$addr" -fetch "$token" -json "$prog" \
+	>"$tmp/fetched.out" 2>/dev/null || fcode=$?
+if [ "$scode" != "$fcode" ]; then
+	echo "chaos-smoke: durable fetch: exit $scode original vs $fcode fetched" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/stored.out" "$tmp/fetched.out"; then
+	echo "chaos-smoke: fetched report differs from the original verdict" >&2
+	diff "$tmp/stored.out" "$tmp/fetched.out" >&2 || true
+	exit 1
+fi
+echo "chaos-smoke: durable report survived SIGKILL byte-identical (token $token)"
 echo "chaos-smoke: PASS"
