@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fmt-check race vet shard-parity store-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke cluster-smoke store-smoke fuzz fuzz-smoke apidiff clean
+.PHONY: all build test verify fmt-check race vet shard-parity store-parity bench bench-json bench-smoke serve-smoke chaos-smoke compress-smoke cluster-smoke store-smoke replication-smoke fuzz fuzz-smoke apidiff clean
 
 all: build test
 
@@ -72,8 +72,10 @@ serve-smoke:
 
 # Mirrors the CI chaos-smoke job: raced and race2d built under the Go
 # race detector, corpus parity through a deliberately faulty transport
-# (raced -chaos), and a mid-stream SIGKILL + restart that the client
-# must ride out to a byte-identical verdict.
+# (raced -chaos), a mid-stream SIGKILL + restart that the client must
+# ride out to a byte-identical verdict, and a replication follower
+# outage the primary must absorb in degraded mode with the restarted
+# follower catching up.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
@@ -100,6 +102,14 @@ cluster-smoke:
 # serving.
 store-smoke:
 	./scripts/store_smoke.sh
+
+# Mirrors the CI replication-smoke job: a primary raced replicating to
+# two followers through the real binaries (-race) — the persisted
+# verdict survives a primary SIGKILL and fetches back byte-identically
+# from a follower and through racedctl, plus live tenant-key rotation
+# via PUT /admin/tenants and via SIGHUP of -tenant-keys-file.
+replication-smoke:
+	./scripts/replication_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/prog

@@ -52,6 +52,31 @@ func ExampleDial_resilient() {
 	defer sess.Close()
 }
 
+// Fetch retrieves a previously persisted verdict by resume token from
+// a store-backed raced (or a racedctl gateway, which fans the lookup
+// out over its backends). Transient failures retry under the same
+// bounded full-jitter backoff as Dial; an "unknown resume token"
+// answer rotates immediately to the next WithEndpoints fallback — a
+// replica may hold what the dead home backend cannot answer for — and
+// only becomes terminal once every endpoint has disclaimed the token
+// (IsUnknownToken reports that case). Refusals that retrying cannot
+// cure (bad credentials, quota, tampered store) fail fast.
+func ExampleFetch() {
+	rep, err := client.Fetch("gw1:7470", 0x0123456789abcdef,
+		client.WithAuthToken("acme:s3cret"),
+		client.WithEndpoints("gw2:7470", "gw3:7470"),
+		client.WithMaxAttempts(6),
+		client.WithBackoff(50*time.Millisecond, 2*time.Second),
+	)
+	if err != nil {
+		if client.IsUnknownToken(err) {
+			fmt.Println("no endpoint holds this verdict")
+		}
+		return
+	}
+	fmt.Println("races:", rep.Report.Count)
+}
+
 // Migrating from the deprecated struct form: DialOptions(addr,
 // Options{...}) behaves byte-identically to Dial with the matching
 // constructors — Options fields map one-to-one onto With* options

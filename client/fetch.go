@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"time"
@@ -36,10 +37,17 @@ type Fetched struct {
 // Against a raced with -store-dir this works across server restarts;
 // against the default in-memory store it works for the resume window.
 //
-// An unknown or expired token, a tampered store refusing the record,
-// and an auth refusal all surface as errors carrying the server's typed
-// text (wire.ErrUnknownResume, store tamper diagnostics, wire.ErrAuth).
-// Fetch does not retry: the interesting failures are all terminal.
+// Transient failures — a dead endpoint, a truncated read, a draining
+// server — are retried up to WithMaxAttempts times under the same
+// full-jitter exponential backoff the streaming session uses
+// (WithBackoff), rotating through WithEndpoints fallbacks between
+// attempts. Terminal refusals are not retried: an auth or quota
+// refusal (wire.ErrAuth, wire.ErrQuota), a version refusal, and a
+// tampered store's typed diagnostics all surface immediately with the
+// server's text. An unknown token (wire.ErrUnknownResume) is special:
+// with fallback endpoints configured the others are asked first — a
+// replica of a dead home backend can still answer — and the refusal is
+// terminal only once every endpoint has disclaimed the token.
 func Fetch(addr string, token uint64, opts ...Option) (*Fetched, error) {
 	if token == 0 {
 		return nil, fmt.Errorf("client: fetch: zero resume token")
@@ -57,6 +65,38 @@ func Fetch(addr string, token uint64, opts ...Option) (*Fetched, error) {
 	if err != nil {
 		return nil, err
 	}
+	endpoints := append([]string{addr}, norm.Endpoints...)
+	var lastErr error
+	for attempt := 1; attempt <= norm.MaxAttempts; attempt++ {
+		ep := endpoints[(attempt-1)%len(endpoints)]
+		f, err := fetchOnce(ep, token, norm)
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
+		if IsUnknownToken(err) {
+			// This endpoint does not hold the report, but a fallback
+			// might (a follower replicating the dead home backend).
+			// Rotate through the rest without backing off — the next
+			// attempt asks a different server — and give up only once
+			// every endpoint has answered.
+			if attempt >= len(endpoints) {
+				return nil, err
+			}
+			continue
+		}
+		if fetchTerminal(err) {
+			return nil, err
+		}
+		if attempt < norm.MaxAttempts {
+			time.Sleep(fetchBackoff(norm, attempt))
+		}
+	}
+	return nil, lastErr
+}
+
+// fetchOnce runs one dial + fetch handshake against one endpoint.
+func fetchOnce(addr string, token uint64, norm Options) (*Fetched, error) {
 	conn, err := net.DialTimeout("tcp", addr, norm.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: fetch: %w", err)
@@ -119,6 +159,40 @@ func Fetch(addr string, token uint64, opts ...Option) (*Fetched, error) {
 	default:
 		return nil, fmt.Errorf("client: fetch: unexpected %v frame", ft)
 	}
+}
+
+// fetchTerminal classifies a fetch failure as one no retry can cure:
+// the server answered coherently and said no. Everything else — dial
+// errors, truncated reads, draining refusals — is worth another
+// attempt. (Unknown-resume is classified separately in Fetch: it is
+// terminal per endpoint, not per fetch.)
+func fetchTerminal(err error) bool {
+	msg := err.Error()
+	for _, terminal := range []string{
+		wire.ErrAuth.Error(),
+		wire.ErrQuota.Error(),
+		wire.ErrVersion.Error(),
+		"store: log tampered",
+	} {
+		if strings.Contains(msg, terminal) {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchBackoff mirrors the streaming session's reconnect backoff: full
+// jitter under an exponential ceiling, uniform(0, min(max, base<<k)).
+func fetchBackoff(o Options, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	ceil := o.BackoffBase << shift
+	if ceil > o.BackoffMax || ceil <= 0 {
+		ceil = o.BackoffMax
+	}
+	return time.Duration(rand.Int63n(int64(ceil) + 1))
 }
 
 // IsUnknownToken reports whether a Fetch (or Dial resume) error is the

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	race2d [-engine 2d|vc|fasttrack|spbags] [-shards n] [-all] [-truth]
-//	       [-remote addr] [-auth name:key] [-fetch token] program.fj
+//	       [-remote addr[,addr...]] [-auth name:key] [-fetch token]
+//	       program.fj
 //
 // With -remote the program still executes locally, but its event stream
 // is shipped to a raced server (cmd/raced) and the verdict comes back
@@ -50,7 +51,7 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	traceStats := fs.Bool("stats", false, "print trace shape and per-engine operation-count statistics")
 	viz := fs.Bool("viz", false, "render the task line's evolution (small programs)")
-	remote := fs.String("remote", "", "raced server address; detection runs remotely over the wire protocol")
+	remote := fs.String("remote", "", "raced server address(es), comma-separated; detection runs remotely over the wire protocol, extra addresses are failover endpoints (and fetch fallbacks)")
 	noCompress := fs.Bool("no-compress", false, "send plain event frames instead of negotiating v3 block compression (remote runs only)")
 	shards := fs.Int("shards", 0, "location shards for the 2d engine's access checks (0 or 1 = serial; local runs only)")
 	auth := fs.String("auth", "", "tenant credential name:key for remote runs against a -tenant-keys server")
@@ -212,8 +213,23 @@ func printReport(e race2d.Engine, rep *race2d.Report, locName func(race2d.Addr) 
 // run: RetainAll keeps the whole stream replayable, so the verdict
 // survives not just dropped connections but a raced restart that forgot
 // the resume token (the stream replays into a fresh session).
-func remoteOptions(e race2d.Engine, noCompress bool, auth string) client.Options {
-	return client.Options{Engine: e.String(), RetainAll: true, NoCompress: noCompress, AuthToken: auth}
+func remoteOptions(e race2d.Engine, noCompress bool, auth string, endpoints []string) client.Options {
+	return client.Options{Engine: e.String(), RetainAll: true, NoCompress: noCompress, AuthToken: auth, Endpoints: endpoints}
+}
+
+// splitRemote splits a comma-separated -remote list into the primary
+// address and the fallback endpoints behind it.
+func splitRemote(spec string) (string, []string) {
+	var addrs []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	if len(addrs) == 0 {
+		return "", nil
+	}
+	return addrs[0], addrs[1:]
 }
 
 // noteRecovery reports transport trouble the session rode out and what
@@ -241,8 +257,9 @@ func noteRecovery(sess *client.Session) {
 // execRemote executes p locally but streams its events to a raced
 // server; the Report comes back from the server's engine. When the
 // server drains mid-stream the partial report is used, with a warning.
-func execRemote(p *prog.Program, addr string, e race2d.Engine, recordTrace bool, trace *fj.Trace, noCompress bool, auth string) (*race2d.Report, *prog.Result, error) {
-	sess, err := client.DialOptions(addr, remoteOptions(e, noCompress, auth))
+func execRemote(p *prog.Program, remote string, e race2d.Engine, recordTrace bool, trace *fj.Trace, noCompress bool, auth string) (*race2d.Report, *prog.Result, error) {
+	addr, extras := splitRemote(remote)
+	sess, err := client.DialOptions(addr, remoteOptions(e, noCompress, auth, extras))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -298,7 +315,8 @@ func runTrace(data []byte, engineName, remote string, shards int, all, truth, st
 	for _, e := range engines {
 		var rep *race2d.Report
 		if remote != "" {
-			sess, err := client.DialOptions(remote, remoteOptions(e, noCompress, auth))
+			addr, extras := splitRemote(remote)
+			sess, err := client.DialOptions(addr, remoteOptions(e, noCompress, auth, extras))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "race2d:", err)
 				return 2
@@ -393,11 +411,17 @@ func runFetch(data []byte, name, tokenHex, remote, auth, engineName string, json
 		locName = res.LocName
 	}
 
+	addr, extras := splitRemote(remote)
 	var opts []client.Option
 	if auth != "" {
 		opts = append(opts, client.WithAuthToken(auth))
 	}
-	f, err := client.Fetch(remote, token, opts...)
+	if len(extras) > 0 {
+		// Fallback endpoints: Fetch rotates through them, so the report
+		// of a dead backend is retrieved from a replicating follower.
+		opts = append(opts, client.WithEndpoints(extras...))
+	}
+	f, err := client.Fetch(addr, token, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "race2d:", err)
 		return 2

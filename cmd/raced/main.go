@@ -10,12 +10,42 @@
 //	      [-queue-cap 4096] [-idle-timeout 0] [-resume-window 1m]
 //	      [-shards 1] [-shard-budget 0]
 //	      [-store-dir dir] [-retention 0] [-no-sync]
+//	      [-replicate-to addr,...] [-repl-key key]
 //	      [-tenant-keys name=key[:maxSessions[:maxStoreBytes]],...]
+//	      [-tenant-keys-file path] [-admin-key key]
 //	      [-chaos none] [-chaos-seed 1] [-chaos-rate 0.02] [-v]
 //
 // On SIGINT/SIGTERM the server drains gracefully: every open session
 // stops reading, finishes detecting what it buffered, and receives a
 // Report flagged partial.
+//
+// # Replication
+//
+// With -replicate-to (requires -store-dir), every record appended to
+// the report log streams to the named follower raced instances over
+// their ordinary wire listeners, chain-hash-verified on apply; a
+// follower presents the catch-up position it already holds on
+// reconnect, so restarts resync automatically. A Finish ack waits
+// briefly for healthy followers but never fails because one is down —
+// a lagging follower is demoted to degraded (retry with backoff) until
+// it catches up, and dropped entirely only past the spill budget.
+// Every raced with -store-dir also HOSTS replicas: inbound replication
+// streams land under <store-dir>/replicas/<sourceID>/, -repl-key
+// gates them, and resume-by-token falls back to hosted replicas when
+// the home store does not know the token — so a fleet replicating
+// pairwise serves any member's reports after that member dies.
+//
+// # Live tenant reconfiguration
+//
+// -tenant-keys-file names a file of tenant entries (same grammar as
+// -tenant-keys, one per line, '#' comments; the two flags are mutually
+// exclusive). SIGHUP re-reads it and swaps the table live: rotated
+// keys and revoked tenants bite the very next handshake, no restart.
+// In-flight sessions of a removed tenant get a short grace window,
+// then the janitor evicts them. With -admin-key the same table is
+// readable and writable over the metrics listener —
+// GET/PUT /admin/tenants, plus GET /admin/reports?tenant=X[&token=hex]
+// — behind "Authorization: Bearer <key>".
 //
 // With -store-dir, finished Reports persist to a hash-chained
 // append-only log (internal/store) before the Finish is acked, so they
@@ -48,17 +78,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"syscall"
 
 	"repro/internal/cliflags"
 	"repro/internal/faults"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/store"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// tenantTable converts parsed tenant specs into the server's table
+// shape (nil when specs is empty, which means auth off).
+func tenantTable(specs []cliflags.TenantSpec) map[string]server.Tenant {
+	if len(specs) == 0 {
+		return nil
+	}
+	table := make(map[string]server.Tenant, len(specs))
+	for _, t := range specs {
+		table[t.Name] = server.Tenant{
+			Key:           t.Key,
+			MaxSessions:   t.MaxSessions,
+			MaxStoreBytes: t.MaxStoreBytes,
+		}
+	}
+	return table
 }
 
 func run(args []string) int {
@@ -73,8 +123,12 @@ func run(args []string) int {
 	storeDir := fs.String("store-dir", "", "persist finished reports to a hash-chained log in this directory (empty = in-memory, resume-window retention)")
 	retention := fs.Duration("retention", 0, "drop persisted reports older than this (0 = keep forever; requires -store-dir)")
 	noSync := fs.Bool("no-sync", false, "skip per-record fsync in the report log (faster; host crash may lose the latest acks)")
-	var tenantKeys string
+	replicateTo := fs.String("replicate-to", "", "comma-separated follower raced addresses to stream the report log to (requires -store-dir)")
+	replKey := fs.String("repl-key", "", "replication credential: presented to followers by -replicate-to, required of sources by this instance's replica hosting")
+	adminKey := fs.String("admin-key", "", "enable /admin endpoints on the metrics listener behind this bearer key (empty disables)")
+	var tenantKeys, tenantKeysFile string
 	cliflags.RegisterTenantKeys(fs, &tenantKeys)
+	cliflags.RegisterTenantKeysFile(fs, &tenantKeysFile)
 	chaos := fs.String("chaos", "", "inject transport faults of these classes on every session (delay|corrupt|partial|drop|reset|all; dev flag)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic fault schedule seed for -chaos")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-I/O fault probability for -chaos (0 = default 0.02)")
@@ -98,18 +152,34 @@ func run(args []string) int {
 	if common.Verbose {
 		cfg.Logf = logger.Printf
 	}
-	if tenants, err := cliflags.ParseTenantKeys(tenantKeys); err != nil {
+	if tenantKeys != "" && tenantKeysFile != "" {
+		logger.Print("-tenant-keys and -tenant-keys-file are mutually exclusive")
+		return 2
+	}
+	tenantSpec := tenantKeys
+	if tenantKeysFile != "" {
+		data, err := os.ReadFile(tenantKeysFile)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		specs, err := cliflags.ParseTenantKeysFile(data)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		cfg.Tenants = tenantTable(specs)
+	} else if tenants, err := cliflags.ParseTenantKeys(tenantSpec); err != nil {
 		logger.Print(err)
 		return 2
-	} else if len(tenants) > 0 {
-		cfg.Tenants = make(map[string]server.Tenant, len(tenants))
-		for _, t := range tenants {
-			cfg.Tenants[t.Name] = server.Tenant{
-				Key:           t.Key,
-				MaxSessions:   t.MaxSessions,
-				MaxStoreBytes: t.MaxStoreBytes,
-			}
-		}
+	} else {
+		cfg.Tenants = tenantTable(tenants)
+	}
+	cfg.AdminKey = *adminKey
+	cfg.ReplKey = *replKey
+	if *replicateTo != "" && *storeDir == "" {
+		logger.Print("-replicate-to requires -store-dir")
+		return 2
 	}
 	if *storeDir != "" {
 		lg, err := store.OpenLog(store.LogConfig{
@@ -127,11 +197,57 @@ func run(args []string) int {
 			logger.Printf("WARNING: %v; serving the verified prefix, refusing writes", terr)
 		}
 		cfg.Store = lg
+		// Every durable raced hosts replicas for its peers; the spill
+		// directory lives inside the store dir so one flag provisions
+		// both roles.
+		replicas, err := repl.OpenReplicaSet(filepath.Join(*storeDir, "replicas"), *noSync, logger.Printf)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		cfg.Replicas = replicas
+		if *replicateTo != "" {
+			followers := strings.Split(*replicateTo, ",")
+			for i := range followers {
+				followers[i] = strings.TrimSpace(followers[i])
+			}
+			src := repl.NewSource(repl.SourceConfig{
+				Log:       lg,
+				Followers: followers,
+				Key:       *replKey,
+				Logf:      logger.Printf,
+			})
+			cfg.Store = repl.NewReplicatedStore(lg, src)
+			logger.Printf("replicating %s (source %s) to %s", *storeDir, lg.ID(), strings.Join(followers, ", "))
+		}
 	} else if *retention != 0 {
 		logger.Print("-retention requires -store-dir")
 		return 2
 	}
 	srv := server.New(cfg)
+
+	// SIGHUP swaps the tenant table live from -tenant-keys-file: rotated
+	// keys and revoked tenants apply to the next handshake, no restart.
+	if tenantKeysFile != "" {
+		hupc := make(chan os.Signal, 1)
+		signal.Notify(hupc, syscall.SIGHUP)
+		go func() {
+			for range hupc {
+				data, err := os.ReadFile(tenantKeysFile)
+				if err != nil {
+					logger.Printf("SIGHUP: %v (keeping current tenant table)", err)
+					continue
+				}
+				specs, err := cliflags.ParseTenantKeysFile(data)
+				if err != nil {
+					logger.Printf("SIGHUP: %v (keeping current tenant table)", err)
+					continue
+				}
+				srv.SetTenants(tenantTable(specs))
+				logger.Printf("SIGHUP: tenant table reloaded (%d tenants)", len(specs))
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -23,12 +23,19 @@
 // to a bare TCP probe (liveness only).
 //
 // The shared flags (-queue-cap, -idle-timeout, -drain-timeout,
-// -max-version, -addr, -metrics, -tenant-keys, -v) spell and default
-// exactly as in raced — see internal/cliflags. With -tenant-keys the
+// -max-version, -addr, -metrics, -tenant-keys, -tenant-keys-file, -v)
+// spell and default exactly as in raced — see internal/cliflags. With
+// -tenant-keys (or -tenant-keys-file, which SIGHUP reloads live) the
 // gateway refuses bad or missing tenant credentials at the edge,
 // before a backend connection is spent; the Hello still crosses
 // byte-identically, so backends sharing the keys re-verify (quota
 // enforcement stays with them).
+//
+// When a resumed token's routed backend answers unknown-resume, the
+// gateway fans the fetch out to every other Up backend in parallel and
+// adopts the first Welcome — so a report persisted by a backend that
+// later died is still fetchable through the gateway from any follower
+// replicating that backend's store (raced -replicate-to).
 package main
 
 import (
@@ -85,8 +92,9 @@ func run(args []string) int {
 	probeInterval := fs.Duration("probe-interval", 0, "health probe cadence (0 = default 500ms)")
 	probeFails := fs.Int("probe-fails", 0, "consecutive probe failures before a backend is down (0 = default 3)")
 	sessionTTL := fs.Duration("session-ttl", 0, "forget resume-token routes unused this long (0 = default 10m)")
-	var tenantKeys string
+	var tenantKeys, tenantKeysFile string
 	cliflags.RegisterTenantKeys(fs, &tenantKeys)
+	cliflags.RegisterTenantKeysFile(fs, &tenantKeysFile)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,8 +105,23 @@ func run(args []string) int {
 		logger.Print(err)
 		return 2
 	}
-	tenants, err := cliflags.ParseTenantKeys(tenantKeys)
-	if err != nil {
+	if tenantKeys != "" && tenantKeysFile != "" {
+		logger.Print("-tenant-keys and -tenant-keys-file are mutually exclusive")
+		return 2
+	}
+	var tenants []cliflags.TenantSpec
+	if tenantKeysFile != "" {
+		data, err := os.ReadFile(tenantKeysFile)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		tenants, err = cliflags.ParseTenantKeysFile(data)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+	} else if tenants, err = cliflags.ParseTenantKeys(tenantKeys); err != nil {
 		logger.Print(err)
 		return 2
 	}
@@ -131,6 +154,33 @@ func run(args []string) int {
 	if err != nil {
 		logger.Print(err)
 		return 2
+	}
+
+	// SIGHUP swaps the edge tenant table live from -tenant-keys-file,
+	// mirroring raced: rotated keys bite the next handshake, no restart.
+	if tenantKeysFile != "" {
+		hupc := make(chan os.Signal, 1)
+		signal.Notify(hupc, syscall.SIGHUP)
+		go func() {
+			for range hupc {
+				data, err := os.ReadFile(tenantKeysFile)
+				if err != nil {
+					logger.Printf("SIGHUP: %v (keeping current tenant table)", err)
+					continue
+				}
+				specs, err := cliflags.ParseTenantKeysFile(data)
+				if err != nil {
+					logger.Printf("SIGHUP: %v (keeping current tenant table)", err)
+					continue
+				}
+				table := make(map[string]string, len(specs))
+				for _, t := range specs {
+					table[t.Name] = t.Key
+				}
+				gw.SetTenants(table)
+				logger.Printf("SIGHUP: tenant table reloaded (%d tenants)", len(specs))
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", common.Addr)

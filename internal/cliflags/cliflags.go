@@ -66,6 +66,16 @@ func RegisterTenantKeys(fs *flag.FlagSet, spec *string) {
 		"require tenant auth: name=key[:maxSessions[:maxStoreBytes]],... (empty = no auth)")
 }
 
+// RegisterTenantKeysFile installs the shared -tenant-keys-file flag:
+// the -tenant-keys grammar read from a file, so keys stay out of
+// process listings and the table can be swapped live — raced and
+// racedctl both re-read the file on SIGHUP, and raced's /admin/tenants
+// PUT accepts the same format as its request body.
+func RegisterTenantKeysFile(fs *flag.FlagSet, path *string) {
+	fs.StringVar(path, "tenant-keys-file", "",
+		"file of tenant auth entries, one name=key[:maxSessions[:maxStoreBytes]] per line ('#' comments); reloaded on SIGHUP; mutually exclusive with -tenant-keys")
+}
+
 // TenantSpec is one parsed -tenant-keys entry. The quota fields are
 // zero when the entry omitted them (zero = unlimited); only raced
 // enforces quotas, racedctl ignores them and checks credentials alone.
@@ -136,4 +146,28 @@ func ParseTenantKeys(spec string) ([]TenantSpec, error) {
 		return nil, fmt.Errorf("cliflags: -tenant-keys lists no tenants")
 	}
 	return out, nil
+}
+
+// ParseTenantKeysFile decodes the -tenant-keys-file format: the
+// -tenant-keys grammar spread over lines — one or more
+// name=key[:maxSessions[:maxStoreBytes]] entries per line (commas
+// still work within a line), '#' starts a comment, blank lines are
+// ignored. A file with no entries parses to nil, meaning auth is off:
+// unlike the flag (where an empty value just means "flag unset"), an
+// emptied file is an explicit operator statement.
+func ParseTenantKeysFile(data []byte) ([]TenantSpec, error) {
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			entries = append(entries, line)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	return ParseTenantKeys(strings.Join(entries, ","))
 }

@@ -1,0 +1,41 @@
+package cliflags
+
+import "testing"
+
+func TestParseTenantKeysFile(t *testing.T) {
+	specs, err := ParseTenantKeysFile([]byte(
+		"# fleet tenants\n" +
+			"acme=secret:4:1048576\n" +
+			"\n" +
+			"  beta=bk  # trailing comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs, want 2: %+v", len(specs), specs)
+	}
+	if specs[0].Name != "acme" || specs[0].Key != "secret" ||
+		specs[0].MaxSessions != 4 || specs[0].MaxStoreBytes != 1048576 {
+		t.Errorf("acme spec = %+v", specs[0])
+	}
+	if specs[1].Name != "beta" || specs[1].Key != "bk" {
+		t.Errorf("beta spec = %+v", specs[1])
+	}
+
+	// An empty (or all-comment) file is an explicit "auth off", not an
+	// error: nil specs, nil error.
+	for _, empty := range []string{"", "\n\n", "# only comments\n  # more\n"} {
+		specs, err := ParseTenantKeysFile([]byte(empty))
+		if err != nil || specs != nil {
+			t.Errorf("empty file %q: specs=%v err=%v, want nil/nil", empty, specs, err)
+		}
+	}
+
+	// Grammar errors surface, same as -tenant-keys.
+	if _, err := ParseTenantKeysFile([]byte("acme\n")); err == nil {
+		t.Error("keyless entry accepted")
+	}
+	if _, err := ParseTenantKeysFile([]byte("acme=k:notanumber\n")); err == nil {
+		t.Error("malformed quota accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package cliflags_test
+
+import (
+	"fmt"
+
+	"repro/internal/cliflags"
+)
+
+// The -tenant-keys-file grammar is one tenant per line,
+// name=key[:max-sessions[:max-store-bytes]], with #-comments and blank
+// lines ignored — the same spec syntax as the inline -tenant-keys
+// flag, one entry per line instead of comma-separated. raced and
+// racedctl re-read the file and swap the live table on SIGHUP, so
+// editing it and signalling the process rotates keys without a
+// restart. An empty (or all-comment) file parses to nil: an explicit
+// "auth off", not an error.
+func ExampleParseTenantKeysFile() {
+	specs, err := cliflags.ParseTenantKeysFile([]byte(`
+# fleet tenants — rotated 2026-08-08
+acme=s3cret:100:10485760
+dev=hunter2          # no quotas: unlimited sessions and bytes
+`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, t := range specs {
+		fmt.Printf("%s sessions=%d bytes=%d\n", t.Name, t.MaxSessions, t.MaxStoreBytes)
+	}
+	// Output:
+	// acme sessions=100 bytes=10485760
+	// dev sessions=0 bytes=0
+}

@@ -124,17 +124,25 @@ type Gateway struct {
 	wg       sync.WaitGroup
 	done     chan struct{}
 
+	// Live tenant table (tmu, not mu): SetTenants — the SIGHUP reload of
+	// -tenant-keys-file — swaps it without disturbing traffic.
+	tmu     sync.RWMutex
+	tenants map[string]string
+
 	keyBase atomic.Uint64 // generator for gateway-picked route keys
 
-	routed       atomic.Uint64 // fresh sessions placed
-	resumed      atomic.Uint64 // tokens routed back to their home backend
-	reroutes     atomic.Uint64 // tokens migrated off their home backend
-	detaches     atomic.Uint64 // conduits force-closed by drain/death
-	refusals     atomic.Uint64 // client handshakes the gateway refused
-	authRefusals atomic.Uint64 // handshakes refused at the edge for bad tenant credentials
-	dialFails    atomic.Uint64 // backend dials that failed
-	frames       atomic.Uint64 // frames proxied, both directions
-	bytes        atomic.Uint64 // frame bytes proxied, both directions
+	routed          atomic.Uint64 // fresh sessions placed
+	resumed         atomic.Uint64 // tokens routed back to their home backend
+	reroutes        atomic.Uint64 // tokens migrated off their home backend
+	detaches        atomic.Uint64 // conduits force-closed by drain/death
+	refusals        atomic.Uint64 // client handshakes the gateway refused
+	authRefusals    atomic.Uint64 // handshakes refused at the edge for bad tenant credentials
+	dialFails       atomic.Uint64 // backend dials that failed
+	frames          atomic.Uint64 // frames proxied, both directions
+	bytes           atomic.Uint64 // frame bytes proxied, both directions
+	fetchFanouts    atomic.Uint64 // unknown-resume answers that triggered a fan-out
+	fetchFanoutHits atomic.Uint64 // fan-outs some other backend answered with a Welcome
+	tenantReloads   atomic.Uint64 // SetTenants calls (SIGHUP reloads)
 }
 
 // NewGateway builds a gateway over cfg.Backends and starts its health
@@ -144,12 +152,17 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, errors.New("cluster: gateway needs at least one backend")
 	}
+	tenants := make(map[string]string, len(cfg.Tenants))
+	for name, key := range cfg.Tenants {
+		tenants[name] = key
+	}
 	g := &Gateway{
 		cfg:      cfg,
 		ring:     NewRing(cfg.Replication),
 		sessions: make(map[uint64]*route),
 		conduits: make(map[*conduit]struct{}),
 		routedBy: make(map[string]uint64),
+		tenants:  tenants,
 		done:     make(chan struct{}),
 	}
 	g.keyBase.Store(rand.Uint64())
@@ -351,20 +364,39 @@ func (g *Gateway) refuse(conn net.Conn, retryable bool, format string, args ...a
 	wire.WriteFrame(conn, wire.FrameError, []byte(msg))
 }
 
+// SetTenants atomically replaces the gateway's edge tenant table (the
+// SIGHUP reload of -tenant-keys-file). New handshakes are checked
+// against the new table immediately; established conduits keep
+// relaying — revocation of live sessions is the backends' job, where
+// the authoritative table lives. An empty table turns the edge check
+// off.
+func (g *Gateway) SetTenants(table map[string]string) {
+	next := make(map[string]string, len(table))
+	for name, key := range table {
+		next[name] = key
+	}
+	g.tmu.Lock()
+	g.tenants = next
+	g.tmu.Unlock()
+	g.tenantReloads.Add(1)
+}
+
 // authenticate verifies the client's tenant credential at the edge,
-// with exactly raced's rules (internal/server): no-op unless Tenants is
-// configured; pre-v3 clients and empty credentials are refused because
-// they cannot carry one; otherwise "name:key" must match in constant
-// time. The error text never says which part failed.
+// with exactly raced's rules (internal/server): no-op unless a tenant
+// table is live; pre-v3 clients and empty credentials are refused
+// because they cannot carry one; otherwise "name:key" must match in
+// constant time. The error text never says which part failed.
 func (g *Gateway) authenticate(version int, hello wire.Hello) error {
-	if len(g.cfg.Tenants) == 0 {
+	g.tmu.RLock()
+	defer g.tmu.RUnlock()
+	if len(g.tenants) == 0 {
 		return nil
 	}
 	if version < wire.V3 || hello.Auth == "" {
 		return fmt.Errorf("%w (tenant credential required)", wire.ErrAuth)
 	}
 	name, key, ok := strings.Cut(hello.Auth, ":")
-	want, found := g.cfg.Tenants[name]
+	want, found := g.tenants[name]
 	if !ok || !found || subtle.ConstantTimeCompare([]byte(key), []byte(want)) != 1 {
 		return wire.ErrAuth
 	}
@@ -482,7 +514,17 @@ func (g *Gateway) handle(clientConn net.Conn) {
 		g.refuse(clientConn, true, "racedctl: no healthy backend")
 		return
 	}
-	defer backendConn.Close()
+	// Deferred via closure: the fetch fan-out below may swap backendConn
+	// for a different backend's connection mid-handshake.
+	defer func() { backendConn.Close() }()
+
+	// Keep a copy of the hello payload for the fan-out: the sniff below
+	// reuses the buffer, and re-asking other backends means re-sending
+	// the hello byte-identically.
+	var helloCopy []byte
+	if hello.Token != 0 {
+		helloCopy = append([]byte(nil), payload...)
+	}
 
 	// Forward the handshake byte-identically: the version the client
 	// opened with and the Hello payload as received, so fields the
@@ -502,6 +544,21 @@ func (g *Gateway) handle(clientConn net.Conn) {
 	if err != nil {
 		g.refuse(clientConn, true, "racedctl: backend %s handshake: %v", addr, err)
 		return
+	}
+	// Fetch fan-out: the routed backend does not know this resume token.
+	// Before passing its unknown-resume refusal to the client, ask every
+	// other Up backend in parallel — a follower replicating the home
+	// backend's store can serve the identical report after the home
+	// backend died. First Welcome wins; if nobody answers, the original
+	// refusal stands (RetainAll clients ride it out by replaying).
+	if ft == wire.FrameError && hello.Token != 0 &&
+		strings.Contains(string(payload), wire.ErrUnknownResume.Error()) {
+		if waddr, wconn, wpayload := g.fetchFanOut(version, helloCopy, addr); wconn != nil {
+			g.logf("fetch fan-out: token %x answered by %s", hello.Token, waddr)
+			backendConn.Close()
+			backendConn, addr = wconn, waddr
+			ft, payload = wire.FrameWelcome, wpayload
+		}
 	}
 	var token uint64
 	if ft == wire.FrameWelcome {
@@ -580,6 +637,76 @@ func (g *Gateway) handle(clientConn net.Conn) {
 	wg.Wait()
 }
 
+// fetchFanOut asks every Up backend except exclude for a resume token
+// the routed backend did not know, by replaying the client's handshake
+// (same version, byte-identical hello) to each in parallel. Each probe
+// is bounded by DialTimeout; the first backend to answer with a
+// Welcome wins and its live connection is returned for the caller to
+// adopt — the losers are closed as their answers arrive. Returns a nil
+// conn when nobody knows the token.
+func (g *Gateway) fetchFanOut(version int, helloPayload []byte, exclude string) (string, net.Conn, []byte) {
+	g.fetchFanouts.Add(1)
+	var cands []string
+	for a, st := range g.ring.Members() {
+		if a != exclude && st == StateUp {
+			cands = append(cands, a)
+		}
+	}
+	if len(cands) == 0 {
+		return "", nil, nil
+	}
+	type answer struct {
+		addr    string
+		conn    net.Conn
+		payload []byte
+	}
+	results := make(chan answer, len(cands))
+	for _, a := range cands {
+		go func(addr string) {
+			conn, err := net.DialTimeout("tcp", addr, g.cfg.DialTimeout)
+			if err != nil {
+				g.dialFails.Add(1)
+				results <- answer{addr: addr}
+				return
+			}
+			conn.SetDeadline(time.Now().Add(g.cfg.DialTimeout))
+			if err := wire.WriteMagicVersion(conn, byte(version)); err == nil {
+				err = wire.WriteFrame(conn, wire.FrameHello, helloPayload)
+			}
+			if err != nil {
+				conn.Close()
+				results <- answer{addr: addr}
+				return
+			}
+			ft, payload, err := wire.ReadFrame(conn, nil)
+			if err != nil || ft != wire.FrameWelcome {
+				conn.Close()
+				results <- answer{addr: addr}
+				return
+			}
+			results <- answer{addr: addr, conn: conn, payload: payload}
+		}(a)
+	}
+	for i := 0; i < len(cands); i++ {
+		r := <-results
+		if r.conn == nil {
+			continue
+		}
+		g.fetchFanoutHits.Add(1)
+		// First good answer wins; close stragglers as they trickle in.
+		remaining := len(cands) - i - 1
+		go func() {
+			for j := 0; j < remaining; j++ {
+				if late := <-results; late.conn != nil {
+					late.conn.Close()
+				}
+			}
+		}()
+		return r.addr, r.conn, r.payload
+	}
+	return "", nil, nil
+}
+
 // relay pumps frames src -> dst until either side errors, re-emitting
 // each frame untouched (same type, same payload bytes — compressed
 // blocks are never decoded). The one exception is an unsolicited
@@ -634,33 +761,39 @@ func (g *Gateway) relay(c *conduit, src, dst net.Conn, fromBackend bool) {
 
 // Stats is a snapshot of the gateway counters.
 type Stats struct {
-	Routed       uint64
-	Resumed      uint64
-	Reroutes     uint64
-	Detaches     uint64
-	Refusals     uint64
-	AuthRefusals uint64
-	DialFails    uint64
-	Frames       uint64
-	Bytes        uint64
-	Table        int
-	Conduits     int
-	RoutedBy     map[string]uint64
+	Routed          uint64
+	Resumed         uint64
+	Reroutes        uint64
+	Detaches        uint64
+	Refusals        uint64
+	AuthRefusals    uint64
+	DialFails       uint64
+	Frames          uint64
+	Bytes           uint64
+	FetchFanouts    uint64
+	FetchFanoutHits uint64
+	TenantReloads   uint64
+	Table           int
+	Conduits        int
+	RoutedBy        map[string]uint64
 }
 
 // Stats snapshots the gateway's routing and relay counters.
 func (g *Gateway) Stats() Stats {
 	st := Stats{
-		Routed:       g.routed.Load(),
-		Resumed:      g.resumed.Load(),
-		Reroutes:     g.reroutes.Load(),
-		Detaches:     g.detaches.Load(),
-		Refusals:     g.refusals.Load(),
-		AuthRefusals: g.authRefusals.Load(),
-		DialFails:    g.dialFails.Load(),
-		Frames:       g.frames.Load(),
-		Bytes:        g.bytes.Load(),
-		RoutedBy:     make(map[string]uint64),
+		Routed:          g.routed.Load(),
+		Resumed:         g.resumed.Load(),
+		Reroutes:        g.reroutes.Load(),
+		Detaches:        g.detaches.Load(),
+		Refusals:        g.refusals.Load(),
+		AuthRefusals:    g.authRefusals.Load(),
+		DialFails:       g.dialFails.Load(),
+		Frames:          g.frames.Load(),
+		Bytes:           g.bytes.Load(),
+		FetchFanouts:    g.fetchFanouts.Load(),
+		FetchFanoutHits: g.fetchFanoutHits.Load(),
+		TenantReloads:   g.tenantReloads.Load(),
+		RoutedBy:        make(map[string]uint64),
 	}
 	g.mu.Lock()
 	st.Table = len(g.sessions)
@@ -713,6 +846,9 @@ func (g *Gateway) Handler() http.Handler {
 		fmt.Fprintf(w, "racedctl_backend_dial_failures_total %d\n", st.DialFails)
 		fmt.Fprintf(w, "racedctl_frames_proxied_total %d\n", st.Frames)
 		fmt.Fprintf(w, "racedctl_bytes_proxied_total %d\n", st.Bytes)
+		fmt.Fprintf(w, "racedctl_fetch_fanouts_total %d\n", st.FetchFanouts)
+		fmt.Fprintf(w, "racedctl_fetch_fanout_hits_total %d\n", st.FetchFanoutHits)
+		fmt.Fprintf(w, "racedctl_tenant_reloads_total %d\n", st.TenantReloads)
 		fmt.Fprintf(w, "racedctl_session_table_size %d\n", st.Table)
 		fmt.Fprintf(w, "racedctl_conduits_live %d\n", st.Conduits)
 		for addr, mst := range g.ring.Members() {

@@ -25,6 +25,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -331,4 +332,43 @@ func (c *conn) Read(p []byte) (int, error) {
 func (c *conn) Close() error {
 	c.closed.Store(true)
 	return c.Conn.Close()
+}
+
+// Writer wraps w with deterministic write-fault injection — the
+// disk-shaped deployment of the injector, used against the store's
+// segment append path. Network classes map onto the failures a file
+// write can actually produce: Partial becomes a short write (a prefix
+// lands, then the error), everything else except Delay becomes an
+// ENOSPC-style clean refusal (no bytes written, error returned). Unlike
+// the net.Conn wrapper nothing is ever silently corrupted or swallowed:
+// a durable write that lies about success is not a recoverable fault.
+func (in *Injector) Writer(w io.Writer) io.Writer {
+	idx := int64(in.conns.Add(1))
+	return &writer{w: w, in: in, path: newPath(in, idx, 1)}
+}
+
+type writer struct {
+	w    io.Writer
+	in   *Injector
+	path *path
+}
+
+func (fw *writer) Write(p []byte) (int, error) {
+	class, delay, cut := fw.path.next(fw.in)
+	switch class {
+	case Delay:
+		time.Sleep(delay)
+	case Partial:
+		if len(p) > 1 {
+			k := 1 + cut%(len(p)-1)
+			n, err := fw.w.Write(p[:k])
+			if err != nil {
+				return n, err
+			}
+			return n, &errInjected{"short write"}
+		}
+	case Corrupt, Drop, Reset:
+		return 0, &errInjected{"write refused (no space)"}
+	}
+	return fw.w.Write(p)
 }

@@ -1,0 +1,221 @@
+package repl
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// readIdle reaps a replication connection whose source has gone silent
+// (sources heartbeat every HeartbeatEvery, default 10s).
+const readIdle = 60 * time.Second
+
+// ReplicaSet hosts the replica logs a follower keeps, one per source
+// chain, under <dir>/<sourceID>/. Replicas found on disk are reopened
+// eagerly so fetches work before (or without) the source reconnecting.
+type ReplicaSet struct {
+	dir    string
+	noSync bool
+	logf   func(format string, args ...any)
+
+	mu   sync.Mutex
+	logs map[string]*store.Log
+
+	conns   atomic.Int64
+	served  atomic.Uint64 // replication connections accepted, lifetime
+	records atomic.Uint64
+	refused atomic.Uint64
+}
+
+// OpenReplicaSet opens dir (created if absent) and every replica log
+// already in it. A replica that fails to open — tampered, for example —
+// is skipped with a warning: it must not poison the ones that are fine.
+func OpenReplicaSet(dir string, noSync bool, logf func(format string, args ...any)) (*ReplicaSet, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	rs := &ReplicaSet{dir: dir, noSync: noSync, logf: logf, logs: make(map[string]*store.Log)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !store.ValidSourceID(e.Name()) {
+			continue
+		}
+		if _, err := rs.open(e.Name()); err != nil && logf != nil {
+			logf("repl: skipping replica %s: %v", e.Name(), err)
+		}
+	}
+	return rs, nil
+}
+
+// open returns the replica log for sourceID, opening or creating it.
+func (rs *ReplicaSet) open(sourceID string) (*store.Log, error) {
+	if !store.ValidSourceID(sourceID) {
+		return nil, fmt.Errorf("repl: malformed source id %q", sourceID)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if lg, ok := rs.logs[sourceID]; ok {
+		return lg, nil
+	}
+	lg, err := store.OpenLog(store.LogConfig{Dir: filepath.Join(rs.dir, sourceID), NoSync: rs.noSync})
+	if err != nil {
+		return nil, err
+	}
+	if te := lg.Tampered(); te != nil {
+		lg.Close()
+		return nil, te
+	}
+	rs.logs[sourceID] = lg
+	return lg, nil
+}
+
+// Get retrieves a record by token from any replica. Tampered or damaged
+// replicas are skipped: absence of proof in one replica does not refuse
+// a clean answer from another.
+func (rs *ReplicaSet) Get(token uint64) (store.Record, error) {
+	rs.mu.Lock()
+	logs := make([]*store.Log, 0, len(rs.logs))
+	for _, lg := range rs.logs {
+		logs = append(logs, lg)
+	}
+	rs.mu.Unlock()
+	for _, lg := range logs {
+		if rec, err := lg.Get(token); err == nil {
+			return rec, nil
+		}
+	}
+	return store.Record{}, fmt.Errorf("%w: %#x", store.ErrNotFound, token)
+}
+
+// Sources lists the hosted source IDs, sorted.
+func (rs *ReplicaSet) Sources() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ids := make([]string, 0, len(rs.logs))
+	for id := range rs.logs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ReplicaStats snapshots the follower side for /metrics.
+type ReplicaStats struct {
+	Sources     int
+	Connections int64
+	Served      uint64
+	Records     uint64
+	Refused     uint64
+	// Positions maps source ID to the replica's next chain index.
+	Positions map[string]uint64
+}
+
+// Stats snapshots the replica set.
+func (rs *ReplicaSet) Stats() ReplicaStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	st := ReplicaStats{
+		Sources:     len(rs.logs),
+		Connections: rs.conns.Load(),
+		Served:      rs.served.Load(),
+		Records:     rs.records.Load(),
+		Refused:     rs.refused.Load(),
+		Positions:   make(map[string]uint64, len(rs.logs)),
+	}
+	for id, lg := range rs.logs {
+		next, _ := lg.ChainPos()
+		st.Positions[id] = next
+	}
+	return st
+}
+
+// Close closes every replica log.
+func (rs *ReplicaSet) Close() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var first error
+	for id, lg := range rs.logs {
+		if err := lg.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(rs.logs, id)
+	}
+	return first
+}
+
+// Serve runs the follower side of one replication connection, whose
+// opening FrameReplHello payload the caller has already read: verify
+// the credential, announce our chain position, then apply records —
+// each chain-hash-verified — acking as they land.
+func (rs *ReplicaSet) Serve(conn net.Conn, key string, helloPayload []byte) error {
+	refuse := func(msg string) error {
+		rs.refused.Add(1)
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		wire.WriteFrame(conn, wire.FrameError, []byte("raced: replication: "+msg))
+		return errors.New("repl: " + msg)
+	}
+	hello, err := wire.DecodeReplHello(helloPayload)
+	if err != nil {
+		return refuse("malformed hello")
+	}
+	if key != "" && subtle.ConstantTimeCompare([]byte(hello.Key), []byte(key)) != 1 {
+		return refuse("invalid replication key")
+	}
+	lg, err := rs.open(hello.SourceID)
+	if err != nil {
+		return refuse(err.Error())
+	}
+	rs.served.Add(1)
+	rs.conns.Add(1)
+	defer rs.conns.Add(-1)
+
+	next, prev := lg.ChainPos()
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := wire.WriteFrame(conn, wire.FrameReplWelcome, wire.EncodeReplWelcome(wire.ReplWelcome{Next: next, Chain: prev})); err != nil {
+		return err
+	}
+	var scratch []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(readIdle))
+		ft, payload, err := wire.ReadFrame(conn, scratch)
+		if err != nil {
+			return err
+		}
+		scratch = payload
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		switch ft {
+		case wire.FrameReplRecord:
+			rec, err := wire.DecodeReplRecord(payload)
+			if err != nil {
+				return refuse("malformed record frame")
+			}
+			if err := lg.ApplyFramed(rec.Index, rec.Framed); err != nil {
+				return refuse(err.Error())
+			}
+			rs.records.Add(1)
+			next = rec.Index + 1
+			if err := wire.WriteFrame(conn, wire.FrameReplAck, wire.EncodeReplAck(next)); err != nil {
+				return err
+			}
+		case wire.FrameHeartbeat:
+			if err := wire.WriteFrame(conn, wire.FrameReplAck, wire.EncodeReplAck(next)); err != nil {
+				return err
+			}
+		default:
+			return refuse(fmt.Sprintf("unexpected %v frame on replication stream", ft))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// The admin surface lives on the observability handler (the -metrics
+// listener in raced), enabled by a non-empty AdminKey and guarded by
+// "Authorization: Bearer <key>". PUT /admin/tenants accepts the
+// -tenant-keys-file grammar (one name=key[:sessions[:bytes]] per
+// line) and swaps the live table atomically — the very next handshake
+// sees the new keys, no restart. GET returns the table with the keys
+// withheld; /admin/reports lists and exports a tenant's persisted
+// verdicts when the server is store-backed.
+func ExampleServer_adminTenants() {
+	srv := server.New(server.Config{
+		AdminKey: "adm-secret",
+		Tenants:  map[string]server.Tenant{"acme": {Key: "old"}},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	do := func(method, body string, authed bool) {
+		req, _ := http.NewRequest(method, ts.URL+"/admin/tenants", strings.NewReader(body))
+		if authed {
+			req.Header.Set("Authorization", "Bearer adm-secret")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		fmt.Printf("%s %d %s", method, resp.StatusCode, b)
+	}
+
+	do(http.MethodPut, "acme=rotated:100\ndev=hunter2\n", false) // no key: refused
+	do(http.MethodPut, "acme=rotated:100\ndev=hunter2\n", true)  // rotate + add
+	do(http.MethodGet, "", true)                                 // keys withheld
+	// Output:
+	// PUT 403 admin: forbidden
+	// PUT 200 {"count":2,"enabled":true}
+	// GET 200 {"enabled":true,"tenants":{"acme":{"max_sessions":100,"max_store_bytes":0,"live_sessions":0},"dev":{"max_sessions":0,"max_store_bytes":0,"live_sessions":0}}}
+}

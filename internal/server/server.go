@@ -86,13 +86,16 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/fj"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/store"
 	"repro/internal/wire"
 
@@ -148,8 +151,27 @@ type Config struct {
 	// carry a "tenant:key" credential matching this table, and the named
 	// quotas are enforced at admission. Sessions below v3 (which cannot
 	// carry a credential) are refused. Empty runs the server open, with
-	// every session under the anonymous "" tenant.
+	// every session under the anonymous "" tenant. This is only the
+	// table the server STARTS with: SetTenants (the admin surface, or a
+	// SIGHUP reload of -tenant-keys-file) swaps it live.
 	Tenants map[string]Tenant
+	// RevokeGrace is how long the in-flight sessions of a tenant removed
+	// by SetTenants keep running before the janitor evicts them
+	// (<= 0 means DefaultRevokeGrace). New handshakes of a revoked
+	// tenant are refused immediately regardless.
+	RevokeGrace time.Duration
+	// AdminKey, when non-empty, enables the /admin endpoints on
+	// Handler() behind "Authorization: Bearer <AdminKey>". Empty keeps
+	// the admin surface disabled (requests get 403).
+	AdminKey string
+	// Replicas, when non-nil, makes this server a replication follower:
+	// connections opening with FrameReplHello are served as replication
+	// streams into the replica set, and resume-by-token falls back to
+	// the replicas when the primary store does not know a token.
+	Replicas *repl.ReplicaSet
+	// ReplKey is the credential FrameReplHello must present when
+	// Replicas is set ("" accepts unauthenticated sources).
+	ReplKey string
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -175,6 +197,11 @@ const DefaultMaxSessions = 64
 // DefaultResumeWindow is the suspended-session / cached-report lifetime
 // used when Config leaves ResumeWindow unset.
 const DefaultResumeWindow = time.Minute
+
+// DefaultRevokeGrace is how long a revoked tenant's in-flight sessions
+// keep running (Config.RevokeGrace unset): long enough to finish a
+// short stream, short enough that revocation means something.
+const DefaultRevokeGrace = 30 * time.Second
 
 // drainGrace bounds how long a draining or finishing session waits for
 // the peer while discarding its remaining input or writing a frame.
@@ -206,6 +233,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxVersion <= 0 || c.MaxVersion > wire.Version {
 		c.MaxVersion = wire.Version
+	}
+	if c.RevokeGrace <= 0 {
+		c.RevokeGrace = DefaultRevokeGrace
 	}
 	return c
 }
@@ -252,6 +282,18 @@ type Server struct {
 	done           chan struct{}
 	wg             sync.WaitGroup
 
+	// Live tenant table. Guarded by tmu, not mu: SetTenants (the admin
+	// surface, or a SIGHUP reload) swaps it while sessions are serving,
+	// and the handshake path only ever takes the read side. Lock order:
+	// mu may be held while taking tmu (admission), never the reverse
+	// while blocking on mu.
+	tmu                sync.RWMutex
+	tenants            map[string]Tenant
+	tenantAuthRefusals map[string]uint64 // keyed by names in the table: bounded cardinality
+
+	tenantReloads     atomic.Uint64
+	tenantRevocations atomic.Uint64
+
 	// Wire-level counters (atomic: bumped on every frame).
 	sessionsTotal     atomic.Uint64
 	sessionsRejected  atomic.Uint64
@@ -293,14 +335,103 @@ func New(cfg Config) *Server {
 		// always had: in-memory, retained for ResumeWindow.
 		st = store.NewMemory(cfg.ResumeWindow)
 	}
-	return &Server{
-		cfg:            cfg,
-		tokenBase:      binary.LittleEndian.Uint64(b[:]),
-		store:          st,
-		sessions:       make(map[uint64]*session),
-		tenantSessions: make(map[string]int),
-		done:           make(chan struct{}),
+	tenants := make(map[string]Tenant, len(cfg.Tenants))
+	for name, t := range cfg.Tenants {
+		tenants[name] = t
 	}
+	return &Server{
+		cfg:                cfg,
+		tokenBase:          binary.LittleEndian.Uint64(b[:]),
+		store:              st,
+		sessions:           make(map[uint64]*session),
+		tenantSessions:     make(map[string]int),
+		tenants:            tenants,
+		tenantAuthRefusals: make(map[string]uint64),
+		done:               make(chan struct{}),
+	}
+}
+
+// tenantsEnabled reports whether tenant auth is currently on (the live
+// table is non-empty).
+func (s *Server) tenantsEnabled() bool {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	return len(s.tenants) > 0
+}
+
+// lookupTenant resolves a name against the live table.
+func (s *Server) lookupTenant(name string) (Tenant, bool) {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// Tenants snapshots the live tenant table (the admin GET surface; also
+// handy for tests). Mutating the returned map changes nothing.
+func (s *Server) Tenants() map[string]Tenant {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	out := make(map[string]Tenant, len(s.tenants))
+	for name, t := range s.tenants {
+		out[name] = t
+	}
+	return out
+}
+
+// SetTenants atomically replaces the live tenant table — the admin PUT
+// surface and the SIGHUP reload of -tenant-keys-file both land here.
+// New handshakes see the new table immediately: a rotated key is
+// required at once, a removed tenant is refused at once. In-flight
+// sessions are untouched by a key rotation (they already
+// authenticated); sessions of a tenant REMOVED from the table get a
+// revoke deadline RevokeGrace away, enforced by the janitor — long
+// enough to finish a short stream, short enough that revocation means
+// something. Swapping in an empty table turns tenant auth off entirely
+// and revokes nobody.
+func (s *Server) SetTenants(table map[string]Tenant) {
+	next := make(map[string]Tenant, len(table))
+	for name, t := range table {
+		next[name] = t
+	}
+	s.tmu.Lock()
+	s.tenants = next
+	// Keep the refusal-counter cardinality bounded by the table.
+	for name := range s.tenantAuthRefusals {
+		if _, ok := next[name]; !ok {
+			delete(s.tenantAuthRefusals, name)
+		}
+	}
+	s.tmu.Unlock()
+	s.tenantReloads.Add(1)
+
+	if len(next) == 0 {
+		return // auth turned off: every session is welcome
+	}
+	deadline := time.Now().Add(s.cfg.RevokeGrace)
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		if _, ok := next[sess.tenant]; ok {
+			// Present (possibly with a rotated key, possibly re-added
+			// within a pending grace window): not revoked.
+			sess.revokeDeadline = time.Time{}
+		} else if sess.revokeDeadline.IsZero() {
+			sess.revokeDeadline = deadline
+			s.logf("session %d: tenant %q revoked, evicting in %v", sess.id, sess.tenant, s.cfg.RevokeGrace)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// countTenantRefusal bumps the per-tenant auth-refusal counter, but
+// only for names present in the live table — an attacker probing
+// random names must not grow the metric cardinality.
+func (s *Server) countTenantRefusal(name string) {
+	s.tmu.Lock()
+	if _, ok := s.tenants[name]; ok {
+		s.tenantAuthRefusals[name]++
+	}
+	s.tmu.Unlock()
 }
 
 // Store returns the server's report store (the configured one, or the
@@ -373,10 +504,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-finished:
-		return s.store.Close()
+		return s.closeStores()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// closeStores closes the report store and, on a follower, the hosted
+// replica set.
+func (s *Server) closeStores() error {
+	err := s.store.Close()
+	if s.cfg.Replicas != nil {
+		if rerr := s.cfg.Replicas.Close(); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // Close abruptly terminates the server and every live session.
@@ -392,7 +535,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return s.store.Close()
+	return s.closeStores()
 }
 
 func (s *Server) beginClose() {
@@ -425,12 +568,23 @@ func (s *Server) janitor() {
 		cutoff := now.Add(-s.cfg.IdleTimeout).UnixNano()
 		s.mu.Lock()
 		for _, sess := range s.sessions {
+			revoked := !sess.revokeDeadline.IsZero() && now.After(sess.revokeDeadline)
 			switch {
 			case sess.state == stateSuspended:
-				if now.After(sess.resumeDeadline) {
-					s.logf("session %d: resume window expired", sess.id)
+				if revoked || now.After(sess.resumeDeadline) {
+					if revoked {
+						s.tenantRevocations.Add(1)
+						s.logf("session %d: tenant %q revoked, abandoning", sess.id, sess.tenant)
+					} else {
+						s.logf("session %d: resume window expired", sess.id)
+					}
 					s.abandonLocked(sess)
 				}
+			case revoked:
+				s.tenantRevocations.Add(1)
+				s.logf("session %d: tenant %q revoked, evicting", sess.id, sess.tenant)
+				sess.revokeDeadline = time.Time{} // count the eviction once
+				sess.beginDrain(true)
 			case s.cfg.IdleTimeout > 0 && sess.lastActive.Load() < cutoff:
 				sess.beginDrain(true)
 			}
@@ -473,13 +627,15 @@ var errDraining = errors.New("raced: draining (not accepting sessions)")
 var errSessionLimit = errors.New("raced: session limit reached")
 
 // authenticate resolves the session's tenant from the Hello credential.
-// An open server (no Tenants configured) admits everyone under the
+// An open server (empty live tenant table) admits everyone under the
 // anonymous "" tenant and ignores the credential. A tenant-keyed server
-// requires a v3 "tenant:key" credential matching its table; anything
-// else is wire.ErrAuth. The error text never says which part of the
-// credential failed, and the key comparison is constant-time.
+// requires a v3 "tenant:key" credential matching the LIVE table — the
+// one SetTenants last installed, so a rotation or revocation bites the
+// very next handshake — anything else is wire.ErrAuth. The error text
+// never says which part of the credential failed, and the key
+// comparison is constant-time.
 func (s *Server) authenticate(version int, hello wire.Hello) (string, error) {
-	if len(s.cfg.Tenants) == 0 {
+	if !s.tenantsEnabled() {
 		return "", nil
 	}
 	if version < wire.V3 || hello.Auth == "" {
@@ -487,9 +643,10 @@ func (s *Server) authenticate(version int, hello wire.Hello) (string, error) {
 		return "", fmt.Errorf("%w (tenant credential required)", wire.ErrAuth)
 	}
 	name, key, ok := strings.Cut(hello.Auth, ":")
-	tenant, found := s.cfg.Tenants[name]
+	tenant, found := s.lookupTenant(name)
 	if !ok || !found || subtle.ConstantTimeCompare([]byte(key), []byte(tenant.Key)) != 1 {
 		s.authFailures.Add(1)
+		s.countTenantRefusal(name)
 		return "", wire.ErrAuth
 	}
 	return name, nil
@@ -498,10 +655,13 @@ func (s *Server) authenticate(version int, hello wire.Hello) (string, error) {
 // admit registers a new session, or refuses it with errDraining,
 // errSessionLimit, or (per-tenant quota exhaustion) wire.ErrQuota.
 func (s *Server) admit(conn net.Conn, version int, hello wire.Hello, tenant string) (*session, error) {
-	// Storage quota reads the store outside s.mu: the store has its own
-	// lock and never calls back into the server.
+	// Tenant quota and capability decisions read the live table (and the
+	// store) before taking s.mu: both have their own locks and never call
+	// back into the server.
+	t, keyed := s.lookupTenant(tenant)
+	tenantsOn := s.tenantsEnabled()
 	var storedBytes int64
-	if t, ok := s.cfg.Tenants[tenant]; ok && t.MaxStoreBytes > 0 {
+	if keyed && t.MaxStoreBytes > 0 {
 		storedBytes = s.store.TenantBytes(tenant)
 	}
 	s.mu.Lock()
@@ -512,7 +672,7 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello, tenant stri
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		return nil, errSessionLimit
 	}
-	if t, ok := s.cfg.Tenants[tenant]; ok {
+	if keyed {
 		if t.MaxSessions > 0 && s.tenantSessions[tenant] >= t.MaxSessions {
 			s.quotaRefusals.Add(1)
 			return nil, fmt.Errorf("%w: tenant %q at %d sessions", wire.ErrQuota, tenant, t.MaxSessions)
@@ -526,7 +686,7 @@ func (s *Server) admit(conn net.Conn, version int, hello wire.Hello, tenant stri
 	var caps uint64
 	if version >= wire.V3 {
 		granted := s.cfg.grantedCaps()
-		if len(s.cfg.Tenants) > 0 {
+		if tenantsOn {
 			granted |= wire.CapTenant
 		}
 		caps = hello.Caps & granted
@@ -637,26 +797,33 @@ func (s *Server) refuse(conn net.Conn, err error) {
 	wire.WriteFrame(conn, wire.FrameError, []byte(wire.HandshakeRefusedPrefix+err.Error()))
 }
 
-// handshake reads the magic and Hello off a fresh connection and
-// negotiates the protocol version.
-func (s *Server) handshake(conn net.Conn) (int, wire.Hello, error) {
+// handshake reads the magic and opening frame off a fresh connection
+// and negotiates the protocol version. A session opens with FrameHello,
+// decoded into the returned wire.Hello; a replication source opens with
+// FrameReplHello, whose raw payload is returned instead (non-nil) for
+// the replica set to verify — replication shares the listener, so the
+// split happens here, on the first frame's type.
+func (s *Server) handshake(conn net.Conn) (int, wire.Hello, []byte, error) {
 	var hello wire.Hello
 	version, err := wire.ReadMagicVersion(conn)
 	if err != nil {
-		return 0, hello, err
+		return 0, hello, nil, err
 	}
 	if version > s.cfg.MaxVersion {
 		// Refuse with the documented version error; a newer client
 		// recognizes it in the refusal text and downgrades.
-		return 0, hello, fmt.Errorf("%w: version %d, speak %d..%d",
+		return 0, hello, nil, fmt.Errorf("%w: version %d, speak %d..%d",
 			wire.ErrVersion, version, wire.V1, s.cfg.MaxVersion)
 	}
 	ft, payload, err := wire.ReadFrame(conn, nil)
 	if err != nil {
-		return 0, hello, fmt.Errorf("raced: reading hello: %w", err)
+		return 0, hello, nil, fmt.Errorf("raced: reading hello: %w", err)
+	}
+	if ft == wire.FrameReplHello && s.cfg.Replicas != nil {
+		return version, hello, payload, nil
 	}
 	if ft != wire.FrameHello {
-		return 0, hello, fmt.Errorf("raced: expected hello frame, got %v", ft)
+		return 0, hello, nil, fmt.Errorf("raced: expected hello frame, got %v", ft)
 	}
 	switch {
 	case version >= wire.V3:
@@ -667,16 +834,17 @@ func (s *Server) handshake(conn net.Conn) (int, wire.Hello, error) {
 		hello, err = wire.DecodeHello(payload)
 	}
 	if err != nil {
-		return 0, hello, fmt.Errorf("raced: malformed hello: %w", err)
+		return 0, hello, nil, fmt.Errorf("raced: malformed hello: %w", err)
 	}
-	return version, hello, nil
+	return version, hello, nil, nil
 }
 
 // handle runs one connection from accept to close: handshake, then
-// either a fresh session, a resume of a suspended one, or a refusal.
+// either a fresh session, a resume of a suspended one, an inbound
+// replication stream, or a refusal.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	version, hello, err := s.handshake(conn)
+	version, hello, replHello, err := s.handshake(conn)
 	if err != nil {
 		if errors.Is(err, wire.ErrEmptyHandshake) {
 			// A connect immediately closed is a TCP health probe (load
@@ -686,6 +854,17 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.refuse(conn, err)
+		return
+	}
+	if replHello != nil {
+		// A replication source, not a client. The replica set owns the
+		// stream from here: credential check, welcome-at-position,
+		// chain-verified applies. Sessions and replication multiplex on
+		// one listener so a follower needs no extra port.
+		if err := s.cfg.Replicas.Serve(conn, s.cfg.ReplKey, replHello); err != nil &&
+			!errors.Is(err, io.EOF) {
+			s.logf("replication from %v: %v", conn.RemoteAddr(), err)
+		}
 		return
 	}
 	tenant, err := s.authenticate(version, hello)
@@ -740,9 +919,18 @@ func (s *Server) handle(conn net.Conn) {
 // the store, so it survives a server restart).
 func (s *Server) resume(conn net.Conn, version int, hello wire.Hello, tenant string) {
 	rec, err := s.store.Get(hello.Token)
+	if err != nil && !errors.Is(err, store.ErrTampered) && s.cfg.Replicas != nil {
+		// The primary store does not know the token, but a replica this
+		// follower hosts might: a client whose home backend died fetches
+		// its report from any follower of that backend. Tenant ownership
+		// is enforced below exactly as for a home-store hit.
+		if rrec, rerr := s.cfg.Replicas.Get(hello.Token); rerr == nil {
+			rec, err = rrec, nil
+		}
+	}
 	switch {
 	case err == nil:
-		if len(s.cfg.Tenants) > 0 && rec.Tenant != tenant {
+		if s.tenantsEnabled() && rec.Tenant != tenant {
 			// The token exists but belongs to another tenant: refuse as
 			// an auth failure, not a not-found — and certainly not with
 			// the other tenant's report.
@@ -955,8 +1143,194 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "raced_tenant_store_bytes{tenant=%q} %d\n", t, ss.TenantBytes[t])
 			fmt.Fprintf(w, "raced_tenant_store_records{tenant=%q} %d\n", t, ss.TenantRecords[t])
 		}
+
+		// Live-reconfiguration counters and per-tenant auth refusals
+		// (cardinality bounded: only names in the live table are counted).
+		fmt.Fprintf(w, "raced_tenant_reloads_total %d\n", s.tenantReloads.Load())
+		fmt.Fprintf(w, "raced_tenant_revoked_sessions_total %d\n", s.tenantRevocations.Load())
+		s.tmu.RLock()
+		refusals := make(map[string]uint64, len(s.tenantAuthRefusals))
+		for t, n := range s.tenantAuthRefusals {
+			refusals[t] = n
+		}
+		s.tmu.RUnlock()
+		rnames := make([]string, 0, len(refusals))
+		for t := range refusals {
+			rnames = append(rnames, t)
+		}
+		sort.Strings(rnames)
+		for _, t := range rnames {
+			fmt.Fprintf(w, "raced_tenant_auth_refusals_total{tenant=%q} %d\n", t, refusals[t])
+		}
+
+		// Replication source side: present when the store replicates
+		// outward (detected by the Source upcast, so the server needs no
+		// store-type knowledge).
+		if src, ok := s.store.(interface{ Source() *repl.Source }); ok {
+			rst := src.Source().Stats()
+			fmt.Fprintf(w, "raced_repl_followers %d\n", rst.Followers)
+			fmt.Fprintf(w, "raced_repl_followers_connected %d\n", rst.Connected)
+			fmt.Fprintf(w, "raced_repl_followers_degraded %d\n", rst.Degraded)
+			fmt.Fprintf(w, "raced_repl_followers_failed %d\n", rst.Failed)
+			fmt.Fprintf(w, "raced_repl_records_sent_total %d\n", rst.RecordsSent)
+			fmt.Fprintf(w, "raced_repl_acks_total %d\n", rst.AcksReceived)
+			fmt.Fprintf(w, "raced_repl_reconnects_total %d\n", rst.Reconnects)
+			fmt.Fprintf(w, "raced_repl_degraded_events_total %d\n", rst.DegradedEvents)
+			addrs := make([]string, 0, len(rst.Acked))
+			for a := range rst.Acked {
+				addrs = append(addrs, a)
+			}
+			sort.Strings(addrs)
+			for _, a := range addrs {
+				fmt.Fprintf(w, "raced_repl_follower_acked{follower=%q} %d\n", a, rst.Acked[a])
+			}
+		}
+		// Follower side: the replica logs this backend hosts for others.
+		if s.cfg.Replicas != nil {
+			fst := s.cfg.Replicas.Stats()
+			fmt.Fprintf(w, "raced_replica_sources %d\n", fst.Sources)
+			fmt.Fprintf(w, "raced_replica_connections %d\n", fst.Connections)
+			fmt.Fprintf(w, "raced_replica_streams_total %d\n", fst.Served)
+			fmt.Fprintf(w, "raced_replica_records_total %d\n", fst.Records)
+			fmt.Fprintf(w, "raced_replica_refusals_total %d\n", fst.Refused)
+			srcs := make([]string, 0, len(fst.Positions))
+			for id := range fst.Positions {
+				srcs = append(srcs, id)
+			}
+			sort.Strings(srcs)
+			for _, id := range srcs {
+				fmt.Fprintf(w, "raced_replica_position{source=%q} %d\n", id, fst.Positions[id])
+			}
+		}
 	})
+
+	// Admin surface: authenticated tenant-table reads and swaps, and a
+	// per-tenant report listing. Disabled (403 on everything) unless the
+	// server was started with an AdminKey; the key rides the standard
+	// Bearer scheme and is compared constant-time.
+	admin := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			const scheme = "Bearer "
+			auth := r.Header.Get("Authorization")
+			if s.cfg.AdminKey == "" || !strings.HasPrefix(auth, scheme) ||
+				subtle.ConstantTimeCompare([]byte(strings.TrimPrefix(auth, scheme)), []byte(s.cfg.AdminKey)) != 1 {
+				http.Error(w, "admin: forbidden", http.StatusForbidden)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/admin/tenants", admin(s.handleAdminTenants))
+	mux.HandleFunc("/admin/reports", admin(s.handleAdminReports))
 	return mux
+}
+
+// handleAdminTenants serves the live tenant table. GET returns the
+// table's names and quotas — keys are write-only and never echoed. PUT
+// replaces the whole table from a body in the -tenant-keys-file format
+// (see cliflags.ParseTenantKeysFile); an empty body turns auth off.
+// Rotations and revocations take effect on the next handshake, exactly
+// as SetTenants documents.
+func (s *Server) handleAdminTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		type tenantInfo struct {
+			MaxSessions   int   `json:"max_sessions"`
+			MaxStoreBytes int64 `json:"max_store_bytes"`
+			LiveSessions  int   `json:"live_sessions"`
+		}
+		table := s.Tenants()
+		s.mu.Lock()
+		live := make(map[string]int, len(s.tenantSessions))
+		for t, n := range s.tenantSessions {
+			live[t] = n
+		}
+		s.mu.Unlock()
+		out := make(map[string]tenantInfo, len(table))
+		for name, t := range table {
+			out[name] = tenantInfo{
+				MaxSessions:   t.MaxSessions,
+				MaxStoreBytes: t.MaxStoreBytes,
+				LiveSessions:  live[name],
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"enabled": len(table) > 0, "tenants": out})
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "admin: reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		specs, err := cliflags.ParseTenantKeysFile(body)
+		if err != nil {
+			http.Error(w, "admin: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		table := make(map[string]Tenant, len(specs))
+		for _, sp := range specs {
+			table[sp.Name] = Tenant{Key: sp.Key, MaxSessions: sp.MaxSessions, MaxStoreBytes: sp.MaxStoreBytes}
+		}
+		s.SetTenants(table)
+		s.logf("admin: tenant table replaced (%d tenants)", len(table))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"enabled": len(table) > 0, "count": len(table)})
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		http.Error(w, "admin: method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleAdminReports lists a tenant's persisted reports
+// (GET /admin/reports?tenant=X), or exports one report's stored JSON
+// verbatim (&token=<hex> — the bytes a resuming client would receive).
+func (s *Server) handleAdminReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "admin: method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if tok := r.URL.Query().Get("token"); tok != "" {
+		token, err := strconv.ParseUint(tok, 16, 64)
+		if err != nil {
+			http.Error(w, "admin: bad token (want hex)", http.StatusBadRequest)
+			return
+		}
+		rec, err := s.store.Get(token)
+		if err != nil || rec.Tenant != tenant {
+			// Absent, expired, tampered-at, or another tenant's: one
+			// answer for all of them, like the wire surface.
+			http.Error(w, "admin: report not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rec.JSON)
+		return
+	}
+	recs, err := s.store.List()
+	if err != nil {
+		http.Error(w, "admin: listing store: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type reportInfo struct {
+		Token   string `json:"token"`
+		Session uint64 `json:"session"`
+		Flags   uint64 `json:"flags"`
+	}
+	out := []reportInfo{}
+	for _, rec := range recs {
+		if rec.Tenant != tenant {
+			continue
+		}
+		out = append(out, reportInfo{
+			Token:   strconv.FormatUint(rec.Token, 16),
+			Session: rec.Session,
+			Flags:   rec.Flags,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"tenant": tenant, "reports": out})
 }
 
 // ---- per-session pipeline ----------------------------------------------
@@ -994,6 +1368,10 @@ type session struct {
 	conn           net.Conn // nil while suspended
 	nextSeq        uint64   // next expected v2 events sequence
 	resumeDeadline time.Time
+	// revokeDeadline, when non-zero, marks this session's tenant as
+	// removed from the live table: the janitor evicts the session once
+	// the grace window passes. Guarded by srv.mu like state.
+	revokeDeadline time.Time
 }
 
 // startConsumer launches the queue's single reader — the only goroutine

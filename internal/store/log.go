@@ -1,13 +1,16 @@
 package store
 
 import (
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -49,6 +52,11 @@ type LogConfig struct {
 	// NoSync skips the fsync after every Put. Faster, but a host crash
 	// can lose the latest acked reports — a process crash cannot.
 	NoSync bool
+	// WrapWriter, when non-nil, wraps the writer every record append
+	// goes through — the fault-injection hook (faults.Injector.Writer)
+	// that lets tests drive short writes and ENOSPC-style refusals into
+	// the segment append path.
+	WrapWriter func(io.Writer) io.Writer
 }
 
 func (c LogConfig) withDefaults() LogConfig {
@@ -86,16 +94,20 @@ type entry struct {
 // an in-memory token index rebuilt (and verified) on open.
 type Log struct {
 	cfg LogConfig
+	id  string
 
 	mu       sync.Mutex
 	segs     []segInfo
 	active   *os.File
+	w        io.Writer // active, possibly wrapped by cfg.WrapWriter
 	index    map[uint64]entry
 	next     uint64 // chain-wide index of the next record
 	prev     [HashSize]byte
 	sinceAnc int
 	tampered *TamperError
+	failed   error // terminal append-failure state (tail unrecoverable)
 	buf      []byte
+	subs     []chan struct{}
 
 	puts, putFailures, gets, hits uint64
 	compactions, pruned           uint64
@@ -118,7 +130,11 @@ func OpenLog(cfg LogConfig) (*Log, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	l := &Log{cfg: cfg, index: make(map[uint64]entry)}
+	id, err := loadIdentity(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{cfg: cfg, id: id, index: make(map[uint64]entry)}
 	if err := l.scan(true); err != nil {
 		var te *TamperError
 		if !errors.As(err, &te) {
@@ -132,6 +148,49 @@ func OpenLog(cfg LogConfig) (*Log, error) {
 	}
 	return l, nil
 }
+
+// loadIdentity reads (or mints, on first open) the log's persistent
+// identity — a random hex string in <dir>/identity. Replication keys
+// follower replica logs by it, so it must survive restarts.
+func loadIdentity(dir string) (string, error) {
+	path := filepath.Join(dir, "identity")
+	if b, err := os.ReadFile(path); err == nil {
+		id := strings.TrimSpace(string(b))
+		if !ValidSourceID(id) {
+			return "", fmt.Errorf("store: malformed identity file %s", path)
+		}
+		return id, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	id := hex.EncodeToString(raw[:])
+	if err := os.WriteFile(path, []byte(id+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return id, nil
+}
+
+// ValidSourceID reports whether s is a well-formed log identity: short
+// lowercase hex, so an ID received over the network is always safe to
+// use as a directory name.
+func ValidSourceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ID returns the log's persistent identity (see loadIdentity).
+func (l *Log) ID() string { return l.id }
 
 // listSegments returns the directory's segment files ordered by
 // sequence number.
@@ -295,7 +354,7 @@ func (l *Log) openActive() error {
 			if err != nil {
 				return fmt.Errorf("store: %w", err)
 			}
-			l.active = f
+			l.setActive(f)
 			return nil
 		}
 	}
@@ -315,7 +374,10 @@ func (l *Log) rollLocked() error {
 		seq = l.segs[n-1].seq + 1
 	}
 	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("seg-%016x.log", seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND so a failed append that recoverTailLocked truncates away
+	// cannot leave the file offset past EOF: the next write must land at
+	// the truncated end, never after a hole of zero bytes.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -323,19 +385,37 @@ func (l *Log) rollLocked() error {
 	hdr = append(hdr, segMagic[:]...)
 	hdr = binary.LittleEndian.AppendUint64(hdr, l.next)
 	hdr = append(hdr, l.prev[:]...)
-	if _, err := f.Write(hdr); err != nil {
+	w := io.Writer(f)
+	if l.cfg.WrapWriter != nil {
+		w = l.cfg.WrapWriter(f)
+	}
+	hn, err := w.Write(hdr)
+	if err == nil && hn != len(hdr) {
+		err = io.ErrShortWrite
+	}
+	if err == nil && !l.cfg.NoSync {
+		err = f.Sync()
+	}
+	if err != nil {
+		// Remove the half-born segment: a partial header left behind
+		// would read as tampering on the next open.
 		f.Close()
+		os.Remove(path)
 		return fmt.Errorf("store: %w", err)
 	}
-	if !l.cfg.NoSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-	}
 	l.segs = append(l.segs, segInfo{seq: seq, path: path, base: l.next})
-	l.active = f
+	l.setActive(f)
 	return nil
+}
+
+// setActive installs the active segment file and its (possibly
+// fault-wrapped) append writer.
+func (l *Log) setActive(f *os.File) {
+	l.active = f
+	l.w = io.Writer(f)
+	if l.cfg.WrapWriter != nil {
+		l.w = l.cfg.WrapWriter(f)
+	}
 }
 
 // Put appends one report record (and, on cadence, an anchor), fsyncs
@@ -352,6 +432,10 @@ func (l *Log) Put(rec Record) error {
 		l.putFailures++
 		return l.tampered
 	}
+	if l.failed != nil {
+		l.putFailures++
+		return l.failed
+	}
 	if segHeaderSize+l.segBytesLocked() >= l.cfg.SegmentBytes {
 		if err := l.rollLocked(); err != nil {
 			l.putFailures++
@@ -367,17 +451,20 @@ func (l *Log) Put(rec Record) error {
 		buf = AppendAnchor(buf, recHash, l.next+1)
 	}
 	l.buf = buf
-	if _, err := l.active.Write(buf); err != nil {
+	seg := &l.segs[len(l.segs)-1]
+	if n, err := l.w.Write(buf); err != nil || n != len(buf) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
 		l.putFailures++
-		return fmt.Errorf("store: append: %w", err)
+		return l.recoverTailLocked(seg, fmt.Errorf("store: append: %w", err))
 	}
 	if !l.cfg.NoSync {
 		if err := l.active.Sync(); err != nil {
 			l.putFailures++
-			return fmt.Errorf("store: fsync: %w", err)
+			return l.recoverTailLocked(seg, fmt.Errorf("store: fsync: %w", err))
 		}
 	}
-	seg := &l.segs[len(l.segs)-1]
 	meta := rec
 	meta.JSON = nil
 	l.index[rec.Token] = entry{
@@ -396,7 +483,216 @@ func (l *Log) Put(rec Record) error {
 		l.prev = chainHash(buf[recLen:])
 		l.next++
 		l.sinceAnc = 0
+		seg.records++ // the anchor occupies a chain slot of its own
 	}
+	l.notifyAppendLocked()
+	return nil
+}
+
+// recoverTailLocked repairs the active segment after a failed append by
+// truncating any torn bytes back to the last known-good size, so the
+// chain on disk stays verifiable. If even that fails the store enters a
+// terminal failed state: every later Put is refused (and counted)
+// rather than risking a corrupt tail. Caller holds l.mu.
+func (l *Log) recoverTailLocked(seg *segInfo, cause error) error {
+	good := int64(segHeaderSize) + seg.bytes
+	err := l.active.Truncate(good)
+	if err == nil && !l.cfg.NoSync {
+		err = l.active.Sync()
+	}
+	if err != nil {
+		l.failed = fmt.Errorf("%v (store now refusing appends: tail recovery failed: %v)", cause, err)
+		return l.failed
+	}
+	return cause
+}
+
+// notifyAppendLocked signals every Subscribe channel; notifications are
+// coalesced so an idle replicator wakes once per burst.
+func (l *Log) notifyAppendLocked() {
+	for _, c := range l.subs {
+		select {
+		case c <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Subscribe returns a channel that receives a (coalesced) notification
+// after every successful append — the replication streamers' wakeup.
+// Each subscriber gets its own channel; there is no unsubscribe (the
+// channels live as long as the log).
+func (l *Log) Subscribe() <-chan struct{} {
+	c := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.subs = append(l.subs, c)
+	l.mu.Unlock()
+	return c
+}
+
+// Failed returns the terminal append-failure state, if the log has
+// entered one (see recoverTailLocked).
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// ChainPos returns the chain position the next append will occupy and
+// the running chain hash it will link to. Two logs with equal ChainPos
+// hold byte-identical verified chains.
+func (l *Log) ChainPos() (next uint64, prev [HashSize]byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next, l.prev
+}
+
+// ReadFramed returns the on-disk framed bytes of chain records (reports
+// AND anchors) starting at chain position from, bounded by maxBytes
+// (but always at least one record), plus the chain position one past
+// the last returned record. It reads at most one segment per call;
+// callers loop. A position pruned by retention returns ErrCompacted —
+// the replica behind it can never catch up from this log.
+func (l *Log) ReadFramed(from uint64, maxBytes int) ([][]byte, uint64, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 10
+	}
+	l.mu.Lock()
+	if l.tampered != nil {
+		t := l.tampered
+		l.mu.Unlock()
+		return nil, from, t
+	}
+	if from > l.next {
+		next := l.next
+		l.mu.Unlock()
+		return nil, from, fmt.Errorf("store: read framed: position %d beyond chain end %d", from, next)
+	}
+	if from == l.next {
+		l.mu.Unlock()
+		return nil, from, nil
+	}
+	var seg segInfo
+	found := false
+	for i := range l.segs {
+		s := l.segs[i]
+		if from >= s.base && from < s.base+uint64(s.records) {
+			seg = s
+			found = true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !found {
+		return nil, from, fmt.Errorf("%w: position %d", ErrCompacted, from)
+	}
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, from, fmt.Errorf("%w: position %d", ErrCompacted, from)
+		}
+		return nil, from, fmt.Errorf("store: %w", err)
+	}
+	if len(data) < segHeaderSize {
+		return nil, from, fmt.Errorf("store: read framed: %w: short segment header", ErrTruncated)
+	}
+	var frames [][]byte
+	pos, off, total := seg.base, int64(segHeaderSize), 0
+	for off < int64(len(data)) && pos < seg.base+uint64(seg.records) {
+		_, _, _, _, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			return frames, pos, fmt.Errorf("store: read framed: %w", err)
+		}
+		if pos >= from {
+			if len(frames) > 0 && total+n > maxBytes {
+				return frames, pos, nil
+			}
+			frames = append(frames, append([]byte(nil), data[off:off+int64(n)]...))
+			total += n
+		}
+		pos++
+		off += int64(n)
+	}
+	return frames, pos, nil
+}
+
+// ApplyFramed appends one replicated record exactly as framed by the
+// source log, after verifying the frame decodes, lands at the expected
+// chain position, and links to this replica's running chain hash — the
+// chain-hash verification on apply. The replica's chain stays
+// byte-identical to the source's.
+func (l *Log) ApplyFramed(index uint64, framed []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.puts++
+	if l.tampered != nil {
+		l.putFailures++
+		return l.tampered
+	}
+	if l.failed != nil {
+		l.putFailures++
+		return l.failed
+	}
+	kind, rec, anc, prev, n, err := DecodeRecord(framed)
+	if err == nil && n != len(framed) {
+		err = fmt.Errorf("%w: trailing bytes after record", ErrCorrupt)
+	}
+	if err != nil {
+		l.putFailures++
+		return fmt.Errorf("store: apply: %w", err)
+	}
+	if index != l.next {
+		l.putFailures++
+		return fmt.Errorf("store: apply: record at chain position %d, replica is at %d", index, l.next)
+	}
+	if prev != l.prev {
+		l.putFailures++
+		return fmt.Errorf("store: apply: %w: chain link broken at position %d", ErrCorrupt, index)
+	}
+	if kind == KindAnchor && (anc.Records != l.next || anc.Chain != l.prev) {
+		l.putFailures++
+		return fmt.Errorf("store: apply: %w: anchor does not match the chain", ErrCorrupt)
+	}
+	if segHeaderSize+l.segBytesLocked() >= l.cfg.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			l.putFailures++
+			return err
+		}
+	}
+	seg := &l.segs[len(l.segs)-1]
+	if wn, werr := l.w.Write(framed); werr != nil || wn != len(framed) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		l.putFailures++
+		return l.recoverTailLocked(seg, fmt.Errorf("store: append: %w", werr))
+	}
+	if !l.cfg.NoSync {
+		if err := l.active.Sync(); err != nil {
+			l.putFailures++
+			return l.recoverTailLocked(seg, fmt.Errorf("store: fsync: %w", err))
+		}
+	}
+	switch kind {
+	case KindReport:
+		meta := rec
+		meta.JSON = nil
+		l.index[rec.Token] = entry{
+			seg: seg.seq, off: segHeaderSize + seg.bytes, n: n,
+			index: l.next, meta: meta, jsonLen: len(rec.JSON),
+		}
+		if rec.Unix > seg.maxUnix {
+			seg.maxUnix = rec.Unix
+		}
+		l.sinceAnc++
+	case KindAnchor:
+		l.sinceAnc = 0
+	}
+	seg.bytes += int64(n)
+	seg.records++
+	l.next++
+	l.prev = chainHash(framed)
+	l.notifyAppendLocked()
 	return nil
 }
 

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestLogCompactRacesConcurrentGetPut runs compaction continuously
+// against concurrent writers and readers (the raced janitor does
+// exactly this against live sessions). Under -race this is the
+// locking proof; functionally, reads must only ever answer "here it
+// is" or ErrNotFound — never a tamper error or a torn record — and
+// the chain must verify once the dust settles.
+func TestLogCompactRacesConcurrentGetPut(t *testing.T) {
+	// A data-race-free fake clock: the stock fakeClock closure is fine
+	// for sequential tests, but here the clock advances concurrently
+	// with Puts reading it.
+	var tick atomic.Int64
+	base := time.Unix(1_700_000_000, 0)
+	now = func() time.Time { return base.Add(time.Duration(tick.Load()) * time.Second) }
+	t.Cleanup(func() { now = time.Now })
+
+	dir := t.TempDir()
+	l := openTestLog(t, dir, LogConfig{NoSync: true, SegmentBytes: 512, Retention: 3 * time.Second})
+
+	const puts = 400
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // clock: race time forward so closed segments keep expiring
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tick.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	wg.Add(1)
+	go func() { // compactor
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Compact(); err != nil {
+				t.Errorf("concurrent Compact: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ { // readers
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := l.Get(uint64(0x1000 + rng.Intn(puts)))
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("concurrent Get: %v", err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for i := 0; i < puts; i++ {
+		if err := l.Put(testRecord(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify after concurrent compaction: %v", err)
+	}
+	// Prove retention actually pruned segments during or after the run,
+	// and that the survivor chain still serves appends and reads.
+	tick.Add(10)
+	if err := l.Compact(); err != nil {
+		t.Fatalf("final Compact: %v", err)
+	}
+	if st := l.Stats(); st.SegmentsPruned == 0 {
+		t.Error("compaction never pruned a segment (retention config inert?)")
+	}
+	rec := testRecord(puts)
+	if err := l.Put(rec); err != nil {
+		t.Fatalf("Put after compaction: %v", err)
+	}
+	if _, err := l.Get(rec.Token); err != nil {
+		t.Fatalf("Get after compaction: %v", err)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("final Verify: %v", err)
+	}
+}
+
+// TestLogTornTailAtSegmentBoundary crashes the log mid-way through the
+// first record of a freshly rolled segment: recovery must truncate to
+// exactly the segment header — the chain's tail lands precisely on the
+// segment boundary — and the log must keep serving and appending.
+func TestLogTornTailAtSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	cfg := LogConfig{NoSync: true, SegmentBytes: 256}
+	l := openTestLog(t, dir, cfg)
+	i := 0
+	for l.Stats().Segments < 2 {
+		if err := l.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if i > 100 {
+			t.Fatal("segment never rolled")
+		}
+	}
+	// The roll happens before the append, so the put that created
+	// segment 2 is its only record.
+	tornTok := testRecord(i - 1).Token
+	l.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
+	}
+	tail := segs[len(segs)-1].path
+	data, err := os.ReadFile(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= segHeaderSize {
+		t.Fatalf("tail segment has no record (%d bytes)", len(data))
+	}
+	frame := len(data) - segHeaderSize
+	if err := os.WriteFile(tail, data[:segHeaderSize+frame/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTestLog(t, dir, cfg)
+	if te := re.Tampered(); te != nil {
+		t.Fatalf("torn boundary record read as tampering: %v", te)
+	}
+	if fi, err := os.Stat(tail); err != nil || fi.Size() != segHeaderSize {
+		t.Fatalf("tail not truncated to the segment boundary: size %d, want %d (err %v)",
+			fi.Size(), segHeaderSize, err)
+	}
+	if _, err := re.Get(tornTok); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn (never-acked) record: err = %v, want ErrNotFound", err)
+	}
+	for j := 0; j < i-1; j++ {
+		if _, err := re.Get(testRecord(j).Token); err != nil {
+			t.Fatalf("record %d lost by boundary recovery: %v", j, err)
+		}
+	}
+	// The chain continues from the boundary: new appends extend it and
+	// the whole store verifies, including across another reopen.
+	if err := re.Put(testRecord(500)); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatalf("Verify after recovery: %v", err)
+	}
+	re.Close()
+	again := openTestLog(t, dir, cfg)
+	if te := again.Tampered(); te != nil {
+		t.Fatalf("chain damaged after post-recovery append: %v", te)
+	}
+	if _, err := again.Get(testRecord(500).Token); err != nil {
+		t.Fatalf("post-recovery record lost: %v", err)
+	}
+}
+
+// TestLogWriteFaultsRefuseCleanly wires the faults injector into the
+// append path (raced -faults against the store, effectively): short
+// writes and no-space refusals must fail individual Puts — counted in
+// PutFailures — without damaging the chain. Every acked Put stays
+// retrievable, and a clean reopen finds an intact, verifiable log.
+func TestLogWriteFaultsRefuseCleanly(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(faults.Config{
+		Seed:    7,
+		Classes: faults.Partial | faults.Drop,
+		Every:   3,
+		// A finite budget guarantees the loop also exercises the
+		// post-fault recovery path with clean writes.
+		MaxFaults: 6,
+	})
+	cfg := LogConfig{NoSync: true, SegmentBytes: 512, WrapWriter: inj.Writer}
+	l := openTestLog(t, dir, cfg)
+
+	var acked []uint64
+	failures := 0
+	for i := 0; i < 60; i++ {
+		rec := testRecord(i)
+		if err := l.Put(rec); err != nil {
+			if ferr := l.Failed(); ferr != nil {
+				t.Fatalf("recoverable fault escalated to terminal state: %v", ferr)
+			}
+			failures++
+			continue
+		}
+		acked = append(acked, rec.Token)
+	}
+	if failures == 0 {
+		t.Fatal("injector never fired (fault schedule changed?)")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("injector reports no faults spent")
+	}
+	st := l.Stats()
+	if st.PutFailures != uint64(failures) {
+		t.Errorf("PutFailures = %d, want %d", st.PutFailures, failures)
+	}
+	if st.Puts != 60 {
+		t.Errorf("Puts = %d, want 60 attempts", st.Puts)
+	}
+	for _, tok := range acked {
+		if _, err := l.Get(tok); err != nil {
+			t.Fatalf("acked record %#x lost to a later refused append: %v", tok, err)
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify with refused appends in history: %v", err)
+	}
+	l.Close()
+
+	re := openTestLog(t, dir, LogConfig{NoSync: true, SegmentBytes: 512})
+	if te := re.Tampered(); te != nil {
+		t.Fatalf("refused appends damaged the chain: %v", te)
+	}
+	for _, tok := range acked {
+		if _, err := re.Get(tok); err != nil {
+			t.Fatalf("acked record %#x lost across reopen: %v", tok, err)
+		}
+	}
+	if err := re.Put(testRecord(1000)); err != nil {
+		t.Fatalf("Put after clean reopen: %v", err)
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatalf("Verify after clean reopen: %v", err)
+	}
+}
+
+// TestLogFailedStateRefusesAppends pins the terminal half of the
+// degradation contract: once tail recovery has failed, every Put is
+// refused with the recorded cause and counted, while reads keep
+// serving what was acked before the failure.
+func TestLogFailedStateRefusesAppends(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), LogConfig{NoSync: true})
+	if err := l.Put(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom: tail unrecoverable")
+	l.mu.Lock()
+	l.failed = boom
+	l.mu.Unlock()
+
+	if err := l.Put(testRecord(2)); !errors.Is(err, boom) {
+		t.Fatalf("Put in failed state: err = %v, want the terminal cause", err)
+	}
+	if err := l.Failed(); !errors.Is(err, boom) {
+		t.Fatalf("Failed() = %v, want the terminal cause", err)
+	}
+	if st := l.Stats(); st.PutFailures != 1 {
+		t.Errorf("PutFailures = %d, want 1", st.PutFailures)
+	}
+	if _, err := l.Get(testRecord(1).Token); err != nil {
+		t.Fatalf("read in failed state: %v", err)
+	}
+}

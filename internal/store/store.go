@@ -39,6 +39,10 @@ var (
 	// ErrTampered reports a store whose chain failed verification; it is
 	// the target of errors.Is for every *TamperError.
 	ErrTampered = errors.New("store: log tampered")
+	// ErrCompacted reports a chain position already pruned by retention
+	// compaction (ReadFramed); a replica behind it cannot catch up from
+	// this log.
+	ErrCompacted = errors.New("store: chain position compacted away")
 )
 
 // TamperError pinpoints the first record that failed verification.

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	cases := []ReplHello{
+		{},
+		{SourceID: "a1b2c3"},
+		{SourceID: "deadbeefcafe0123", Key: "sekrit"},
+		{Key: "only-key"},
+	}
+	for _, want := range cases {
+		got, err := DecodeReplHello(EncodeReplHello(want))
+		if err != nil {
+			t.Fatalf("DecodeReplHello(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("repl hello round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestReplHelloTolerantOfTrailingBytes(t *testing.T) {
+	payload := append(EncodeReplHello(ReplHello{SourceID: "src", Key: "k"}), 0xFF, 0x01)
+	got, err := DecodeReplHello(payload)
+	if err != nil {
+		t.Fatalf("trailing bytes should be ignored: %v", err)
+	}
+	if got.SourceID != "src" || got.Key != "k" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReplHelloRejectsMalformed(t *testing.T) {
+	huge := EncodeReplHello(ReplHello{SourceID: strings.Repeat("x", MaxReplIDLen+1)})
+	for name, payload := range map[string][]byte{
+		"empty":       {},
+		"cut-id":      EncodeReplHello(ReplHello{SourceID: "abcdef"})[:3],
+		"missing-key": EncodeReplHello(ReplHello{SourceID: "abcdef"})[:7],
+		"oversized":   huge,
+	} {
+		if _, err := DecodeReplHello(payload); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: want ErrTruncated, got %v", name, err)
+		}
+	}
+}
+
+func TestReplWelcomeRoundTrip(t *testing.T) {
+	want := ReplWelcome{Next: 12345}
+	for i := range want.Chain {
+		want.Chain[i] = byte(i * 7)
+	}
+	got, err := DecodeReplWelcome(EncodeReplWelcome(want))
+	if err != nil {
+		t.Fatalf("DecodeReplWelcome: %v", err)
+	}
+	if got != want {
+		t.Fatalf("repl welcome round trip: got %+v want %+v", got, want)
+	}
+	if _, err := DecodeReplWelcome(EncodeReplWelcome(want)[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short welcome: want ErrTruncated, got %v", err)
+	}
+}
+
+func TestReplRecordRoundTrip(t *testing.T) {
+	want := ReplRecord{Index: 77, Framed: []byte("framed-record-bytes")}
+	got, err := DecodeReplRecord(EncodeReplRecord(nil, want))
+	if err != nil {
+		t.Fatalf("DecodeReplRecord: %v", err)
+	}
+	if got.Index != want.Index || !bytes.Equal(got.Framed, want.Framed) {
+		t.Fatalf("repl record round trip: got %+v want %+v", got, want)
+	}
+	for name, payload := range map[string][]byte{
+		"empty":     {},
+		"no-framed": EncodeReplRecord(nil, ReplRecord{Index: 3}),
+	} {
+		if _, err := DecodeReplRecord(payload); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: want ErrTruncated, got %v", name, err)
+		}
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	for _, want := range []uint64{0, 1, 1 << 40} {
+		got, err := DecodeReplAck(EncodeReplAck(want))
+		if err != nil || got != want {
+			t.Fatalf("ack round trip %d: got %d err %v", want, got, err)
+		}
+	}
+	if _, err := DecodeReplAck(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty ack: want ErrTruncated, got %v", err)
+	}
+}
+
+func TestReplFrameTypeStrings(t *testing.T) {
+	for ft, want := range map[FrameType]string{
+		FrameReplHello:   "repl-hello",
+		FrameReplWelcome: "repl-welcome",
+		FrameReplRecord:  "repl-record",
+		FrameReplAck:     "repl-ack",
+	} {
+		if got := ft.String(); got != want {
+			t.Errorf("FrameType(%d).String() = %q, want %q", ft, got, want)
+		}
+	}
+}

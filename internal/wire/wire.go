@@ -179,6 +179,21 @@ const (
 	// self-contained compressed block (BlockEncoder payload). Sequenced,
 	// acked and resent exactly like a v2 Events frame.
 	FrameEventsBlock FrameType = 9
+	// FrameReplHello (v3, primary → follower) opens a store-replication
+	// stream instead of a detection session: it names the source chain
+	// and carries the replication credential (EncodeReplHello payload).
+	FrameReplHello FrameType = 10
+	// FrameReplWelcome (v3, follower → primary) answers a ReplHello with
+	// the follower's exact chain position so the primary can replay from
+	// there (EncodeReplWelcome payload) — the anti-entropy handshake.
+	FrameReplWelcome FrameType = 11
+	// FrameReplRecord (v3, primary → follower) carries one hash-chained
+	// store record, byte-identical to the source log's on-disk framing
+	// (EncodeReplRecord payload).
+	FrameReplRecord FrameType = 12
+	// FrameReplAck (v3, follower → primary) acknowledges the highest
+	// contiguously applied chain position (EncodeReplAck payload).
+	FrameReplAck FrameType = 13
 )
 
 func (t FrameType) String() string {
@@ -201,6 +216,14 @@ func (t FrameType) String() string {
 		return "heartbeat"
 	case FrameEventsBlock:
 		return "events-block"
+	case FrameReplHello:
+		return "repl-hello"
+	case FrameReplWelcome:
+		return "repl-welcome"
+	case FrameReplRecord:
+		return "repl-record"
+	case FrameReplAck:
+		return "repl-ack"
 	}
 	return fmt.Sprintf("FrameType(%d)", uint8(t))
 }

@@ -111,4 +111,58 @@ if ! cmp -s "$tmp/stored.out" "$tmp/fetched.out"; then
 	exit 1
 fi
 echo "chaos-smoke: durable report survived SIGKILL byte-identical (token $token)"
+stop_raced
+
+# 4. Replication degraded mode: a primary replicating to a follower
+#    must keep acking sessions while the follower is down — degraded
+#    and counted, never failing the client — and a restarted follower
+#    must catch up to the full chain and serve the verdicts persisted
+#    while it was dead.
+start_fleet_proc follower 'raced: listening on ' "$tmp/raced" \
+	-addr 127.0.0.1:0 -metrics 127.0.0.1:0 -store-dir "$tmp/chaosf" -repl-key rk -v
+follower_addr=$addr follower_pid=$fleet_pid follower_m=$(metrics_addr follower)
+
+start_raced repl -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+	-store-dir "$tmp/chaosp" -replicate-to "$follower_addr" -repl-key rk -v
+pmaddr=$(metrics_addr repl)
+echo "chaos-smoke: primary $addr replicating to $follower_addr"
+
+assert_parity "replicated $prog" -json "$prog"
+wait_metric "$follower_m" raced_replica_records_total 1
+
+kill -9 "$follower_pid" 2>/dev/null || true
+wait "$follower_pid" 2>/dev/null || true
+echo "chaos-smoke: follower SIGKILLed; primary must degrade, not fail"
+
+# Sessions during the outage still finish and persist (the Finish ack
+# must not wait on the dead follower beyond the sync budget).
+dcode=0
+"$tmp/race2d" -remote "$addr" -json "$prog" \
+	>"$tmp/degraded.out" 2>"$tmp/degraded.err" || dcode=$?
+dtoken=$(sed -n 's/^race2d: note: resume token //p' "$tmp/degraded.err")
+if [ -z "$dtoken" ] || ! cmp -s "$tmp/local.out" "$tmp/degraded.out"; then
+	echo "chaos-smoke: session during follower outage broken (exit $dcode)" >&2
+	cat "$tmp/degraded.err" >&2
+	exit 1
+fi
+wait_metric "$pmaddr" raced_repl_degraded_events_total 1
+echo "chaos-smoke: primary acked through the outage (degraded, counted)"
+
+# Restart the follower on the same address over the same replica dir:
+# anti-entropy must stream it the records it missed.
+start_fleet_proc follower2 'raced: listening on ' "$tmp/raced" \
+	-addr "$follower_addr" -metrics 127.0.0.1:0 -store-dir "$tmp/chaosf" -repl-key rk -v
+# records_total counts applies since process start: >= 1 on the fresh
+# process means the record persisted during the outage has arrived.
+wait_metric "$(metrics_addr follower2)" raced_replica_records_total 1
+
+fcode=0
+"$tmp/race2d" -remote "$follower_addr" -fetch "$dtoken" -json "$prog" \
+	>"$tmp/caughtup.out" 2>/dev/null || fcode=$?
+if [ "$dcode" != "$fcode" ] || ! cmp -s "$tmp/degraded.out" "$tmp/caughtup.out"; then
+	echo "chaos-smoke: restarted follower's catch-up fetch differs (exit $dcode vs $fcode)" >&2
+	diff "$tmp/degraded.out" "$tmp/caughtup.out" >&2 || true
+	exit 1
+fi
+echo "chaos-smoke: restarted follower caught up and served the outage-era verdict"
 echo "chaos-smoke: PASS"

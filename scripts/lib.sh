@@ -129,3 +129,19 @@ assert_parity() {
 	fi
 	echo "$SMOKE: parity ok: $label (exit $lcode)"
 }
+
+# wait_metric MADDR NAME MIN: poll http://MADDR/metrics until the
+# exactly-named metric (labels and all, no spaces) reaches MIN; fails
+# after ten seconds. Works for any raced/racedctl observability
+# listener.
+wait_metric() {
+	local m=$1 name=$2 min=$3 v=
+	for _ in $(seq 1 100); do
+		v=$(curl -fsS "http://$m/metrics" 2>/dev/null |
+			awk -v n="$name" '$1 == n { print $2 }')
+		[ -n "$v" ] && [ "$v" -ge "$min" ] && return 0
+		sleep 0.1
+	done
+	echo "$SMOKE: metric $name on $m stuck at ${v:-<absent>} (want >= $min)" >&2
+	return 1
+}
